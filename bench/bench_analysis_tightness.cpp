@@ -1,0 +1,116 @@
+// Ablation A3 — how tight is the overhead-aware analysis? For accepted
+// FP-TS partitions, compare each task's analytic worst-case completion
+// bound against the worst response actually OBSERVED in long simulations
+// under three progressively nastier run-time conditions:
+//
+//   1. periodic arrivals, full WCET  (the analysis' critical instant),
+//   2. sporadic arrivals, full WCET,
+//   3. sporadic arrivals, uniform execution in [0.5, 1.0] x WCET.
+//
+// Sound analysis requires observed <= bound everywhere (enforced as a
+// hard check here and in the test suite); the ratio distribution shows
+// how much capacity the conservative terms (jitter chains, per-arrival
+// CPMD, victim re-dispatch) leave on the table.
+//
+// Environment knobs: SPS_SETS (default 10), SPS_TASKS (default 12).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "exp/acceptance.hpp"
+#include "overhead/model.hpp"
+#include "partition/verify.hpp"
+#include "rt/generator.hpp"
+#include "sim/engine.hpp"
+
+using namespace sps;
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+struct Ratios {
+  double max = 0.0;
+  double sum = 0.0;
+  int n = 0;
+  int violations = 0;
+};
+
+void Observe(const partition::PartitionResult& pr,
+             const partition::PartitionAnalysis& pa,
+             const sim::SimConfig& cfg, Ratios& out) {
+  const sim::SimResult r = Simulate(pr.partition, cfg);
+  for (std::size_t i = 0; i < r.tasks.size(); ++i) {
+    if (r.tasks[i].completed == 0) continue;
+    const double bound =
+        static_cast<double>(pa.verdicts[i].completion);
+    const double seen = static_cast<double>(r.tasks[i].max_response);
+    const double ratio = seen / bound;
+    out.max = std::max(out.max, ratio);
+    out.sum += ratio;
+    ++out.n;
+    if (seen > bound) ++out.violations;
+  }
+}
+
+}  // namespace
+
+int main() {
+  const int sets = EnvInt("SPS_SETS", 10);
+  const int tasks = EnvInt("SPS_TASKS", 12);
+  const overhead::OverheadModel model = overhead::OverheadModel::PaperCoreI7();
+  std::printf("=== A3: observed worst response vs analytic bound "
+              "(FP-TS(SPA2), m=4, n=%d, %d sets x 5s sim) ===\n\n",
+              tasks, sets);
+
+  rt::GeneratorConfig gen;
+  gen.num_tasks = static_cast<std::size_t>(tasks);
+  gen.total_utilization = 0.9 * 4;
+  rt::Rng rng(321);
+
+  Ratios periodic, sporadic, sporadic_varying;
+  int accepted = 0;
+  for (int s = 0; s < sets; ++s) {
+    const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+    const partition::PartitionResult pr =
+        exp::RunAlgorithm(exp::Algo::kSpa2, ts, 4, model);
+    if (!pr.success) continue;
+    ++accepted;
+    const partition::PartitionAnalysis pa =
+        AnalyzePartition(pr.partition, model);
+
+    sim::SimConfig cfg;
+    cfg.horizon = Millis(5000);
+    cfg.overheads = model;
+    Observe(pr, pa, cfg, periodic);
+
+    cfg.arrivals.kind = sim::ArrivalModel::Kind::kSporadicUniformDelay;
+    Observe(pr, pa, cfg, sporadic);
+
+    cfg.exec.kind = sim::ExecModel::Kind::kUniform;
+    Observe(pr, pa, cfg, sporadic_varying);
+  }
+
+  auto report = [](const char* name, const Ratios& r) {
+    std::printf("%-34s observed/bound: mean %.3f, max %.3f, "
+                "violations %d/%d\n",
+                name, r.n > 0 ? r.sum / r.n : 0.0, r.max, r.violations,
+                r.n);
+  };
+  std::printf("accepted %d/%d sets\n", accepted, sets);
+  report("periodic + WCET (critical instant)", periodic);
+  report("sporadic + WCET", sporadic);
+  report("sporadic + varying execution", sporadic_varying);
+  std::printf("\nShape check: zero violations (soundness); the critical-"
+              "instant scenario comes closest to the bound; relaxing "
+              "arrivals/execution widens the safety margin.\n");
+  return (periodic.violations + sporadic.violations +
+          sporadic_varying.violations) == 0
+             ? 0
+             : 1;
+}

@@ -1,0 +1,57 @@
+// E6 — overhead sensitivity: "would the extra overhead caused by task
+// splitting counteract the theoretical performance gain of
+// semi-partitioned scheduling?" (paper §1). We scale the entire measured
+// overhead model by {0, 1, 2, 5, 10, 20} and track the FP-TS vs FFD
+// acceptance gap.
+//
+// Paper answer to reproduce: the gap survives — splitting overhead is a
+// few microseconds against millisecond periods, so even an order of
+// magnitude more overhead barely moves acceptance.
+//
+// Environment knobs: SPS_SETS (default 30), SPS_TASKS (default 16).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/acceptance.hpp"
+#include "overhead/model.hpp"
+
+using namespace sps;
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E6: overhead sensitivity of the FP-TS advantage ===\n\n");
+  const int sets = EnvInt("SPS_SETS", 50);
+  const int tasks = EnvInt("SPS_TASKS", 16);
+
+  std::printf("%8s | %8s %8s %8s | %10s\n", "scale", "FFD", "WFD",
+              "FP-TS", "gap(TS-FFD)");
+  for (const double scale : {0.0, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+    exp::AcceptanceConfig cfg;
+    cfg.num_cores = 4;
+    cfg.num_tasks = static_cast<std::size_t>(tasks);
+    // Focus on the interesting band where partitioned scheduling starts
+    // to fail.
+    cfg.norm_util_points = {0.80, 0.85, 0.90, 0.95, 1.00};
+    cfg.sets_per_point = sets;
+    cfg.model = overhead::OverheadModel::PaperScaled(scale);
+    cfg.algorithms = {exp::Algo::kFfd, exp::Algo::kWfd, exp::Algo::kSpa2};
+    const exp::AcceptanceResult res = exp::RunAcceptance(cfg);
+    const auto w = res.WeightedAcceptance();
+    std::printf("%7.1fx | %8.3f %8.3f %8.3f | %+10.3f\n", scale, w[0],
+                w[1], w[2], w[2] - w[0]);
+  }
+  std::printf("\nShape check: the FP-TS advantage (gap > 0) persists at "
+              "every overhead scale; absolute acceptance of ALL algorithms "
+              "degrades slowly because overheads are microseconds against "
+              "millisecond periods.\n");
+  return 0;
+}

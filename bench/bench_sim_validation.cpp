@@ -1,0 +1,113 @@
+// E7 — simulation cross-check: the paper implemented its scheduler and
+// ran it; we do the analog end-to-end. Task sets accepted by the
+// overhead-aware analysis are executed in the discrete-event scheduler
+// (binomial-heap ready queues, red-black-tree sleep queues, split-task
+// budgets, full overhead injection) and must produce ZERO deadline
+// misses, while the observed overhead totals and migration counts show
+// how small the splitting cost actually is — the paper's practicability
+// argument.
+
+#include <cstdio>
+
+#include "exp/acceptance.hpp"
+#include "overhead/model.hpp"
+#include "rt/generator.hpp"
+#include "sim/engine.hpp"
+
+using namespace sps;
+
+int main() {
+  std::printf("=== E7: simulation validation of accepted partitions ===\n\n");
+  const overhead::OverheadModel model = overhead::OverheadModel::PaperCoreI7();
+
+  rt::GeneratorConfig gen;
+  gen.num_tasks = 16;
+  gen.period_min = Millis(10);
+  gen.period_max = Millis(200);
+  rt::Rng rng(20110318);
+
+  std::printf("%6s | %8s %8s | %9s %11s %11s %11s %9s\n", "util",
+              "accepted", "misses", "migr/sec", "ovh[us/sec]",
+              "cpmd[us/s]", "ovh/budget", "splits");
+
+  for (const double nu : {0.70, 0.80, 0.85, 0.90, 0.95}) {
+    gen.total_utilization = nu * 4;
+    int accepted = 0;
+    std::uint64_t misses = 0;
+    double migr_per_sec = 0, ovh_us_per_sec = 0, cpmd_us_per_sec = 0;
+    double splits = 0;
+    const int kSets = 15;
+    for (int i = 0; i < kSets; ++i) {
+      const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+      const partition::PartitionResult pr =
+          exp::RunAlgorithm(exp::Algo::kSpa2, ts, 4, model);
+      if (!pr.success) continue;
+      ++accepted;
+      splits += pr.partition.num_split_tasks();
+      sim::SimConfig cfg;
+      cfg.horizon = Millis(3000);
+      cfg.overheads = model;
+      const sim::SimResult r = Simulate(pr.partition, cfg);
+      misses += r.total_misses;
+      const double secs = ToMillis(r.simulated) / 1000.0;
+      migr_per_sec += static_cast<double>(r.total_migrations) / secs;
+      ovh_us_per_sec += ToMicros(r.total_overhead()) / secs;
+      Time cpmd = 0;
+      Time busy = 0;
+      for (const sim::CoreStats& c : r.cores) {
+        cpmd += c.cpmd_charged;
+        busy += c.busy_exec;
+      }
+      cpmd_us_per_sec += ToMicros(cpmd) / secs;
+      (void)busy;
+    }
+    if (accepted > 0) {
+      migr_per_sec /= accepted;
+      ovh_us_per_sec /= accepted;
+      cpmd_us_per_sec /= accepted;
+      splits /= accepted;
+    }
+    // Overhead as a fraction of one core-second (4 cores = 4e6 us/sec).
+    const double ovh_frac = ovh_us_per_sec / 4e6;
+    std::printf("%6.2f | %5d/%-2d %8llu | %9.1f %11.1f %11.1f %10.4f%% %9.2f\n",
+                nu, accepted, kSets,
+                static_cast<unsigned long long>(misses), migr_per_sec,
+                ovh_us_per_sec, cpmd_us_per_sec, 100.0 * ovh_frac, splits);
+  }
+
+  std::printf("\nShape check: zero misses everywhere (analysis soundness); "
+              "total scheduler overhead well under 1%% of capacity; "
+              "migrations only appear at high utilization where splitting "
+              "kicks in — the paper's 'extra overhead ... is very low'.\n\n");
+
+  // Negative control: an overloaded set must produce misses.
+  rt::GeneratorConfig over;
+  over.num_tasks = 8;
+  over.total_utilization = 4.6;  // > 4 cores' capacity
+  rt::Rng rng2(7);
+  const rt::TaskSet ts = rt::GenerateTaskSet(over, rng2);
+  partition::Partition naive;
+  naive.num_cores = 4;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    partition::PlacedTask pt;
+    pt.task = ts[i];
+    pt.parts = {{static_cast<partition::CoreId>(i % 4), ts[i].wcet,
+                 ts[i].priority + partition::kNormalPriorityBase}};
+    naive.tasks.push_back(pt);
+  }
+  sim::SimConfig cfg;
+  cfg.horizon = Millis(2000);
+  cfg.overheads = model;
+  const sim::SimResult r = Simulate(naive, cfg);
+  std::printf("negative control (U=4.6 on 4 cores, naive round-robin "
+              "placement): %llu misses+shed — the simulator does catch "
+              "overload.\n",
+              static_cast<unsigned long long>(
+                  r.total_misses +
+                  [&r] {
+                    std::uint64_t s = 0;
+                    for (const auto& t : r.tasks) s += t.shed;
+                    return s;
+                  }()));
+  return 0;
+}

@@ -1,0 +1,117 @@
+// E1 — Table 1 of the paper: maximal duration of single ready-queue
+// (binomial heap) and sleep-queue (red-black tree) operations, local vs
+// remote, at queue sizes N = 4 and N = 64.
+//
+// Output, in order:
+//   1. the paper's published Table 1 (Core-i7, kernel space),
+//   2. the same table measured live against THIS library's queues
+//      ("remote" = cold-cache emulation; see overhead/calibrate.hpp),
+//   3. google-benchmark microbenchmarks of the underlying operation pairs
+//      for steady-state (mean, not max) numbers.
+//
+// Reproduction target (shape, not absolute us): costs grow ~log N,
+// remote >= local, ready-add is the cheapest op at small N, and
+// everything stays within a few microseconds — the paper's premise that
+// queue manipulation is cheap enough to make task splitting viable.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "containers/binomial_heap.hpp"
+#include "containers/rb_tree.hpp"
+#include "overhead/calibrate.hpp"
+#include "overhead/table1.hpp"
+
+namespace {
+
+using sps::containers::BinomialHeap;
+using sps::containers::RbTree;
+
+struct Payload {
+  std::uint64_t prio;
+  std::uint64_t data[6];
+  bool operator<(const Payload& o) const { return prio < o.prio; }
+};
+
+void BM_ReadyQueueAddRemovePair(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  BinomialHeap<Payload> heap;
+  for (std::size_t i = 0; i + 1 < n; ++i) heap.push(Payload{rng(), {}});
+  for (auto _ : state) {
+    auto h = heap.push(Payload{rng(), {}});
+    heap.erase(h);
+  }
+  state.SetLabel("push+erase at size N");
+}
+BENCHMARK(BM_ReadyQueueAddRemovePair)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_ReadyQueuePopPushPair(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(11);
+  BinomialHeap<Payload> heap;
+  for (std::size_t i = 0; i < n; ++i) heap.push(Payload{rng(), {}});
+  for (auto _ : state) {
+    Payload p = heap.pop();
+    heap.push(p);
+  }
+  state.SetLabel("pop+push at size N");
+}
+BENCHMARK(BM_ReadyQueuePopPushPair)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_SleepQueueInsertErasePair(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(13);
+  RbTree<std::uint64_t, Payload> tree;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    tree.insert(rng(), Payload{i, {}});
+  }
+  for (auto _ : state) {
+    auto h = tree.insert(rng(), Payload{0, {}});
+    tree.erase(h);
+  }
+  state.SetLabel("insert+erase at size N");
+}
+BENCHMARK(BM_SleepQueueInsertErasePair)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_SleepQueuePopMinReinsertPair(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(17);
+  RbTree<std::uint64_t, Payload> tree;
+  for (std::size_t i = 0; i < n; ++i) tree.insert(rng(), Payload{i, {}});
+  for (auto _ : state) {
+    auto [k, v] = tree.pop_min();
+    tree.insert(k + 1000, v);
+  }
+  state.SetLabel("pop_min+insert at size N");
+}
+BENCHMARK(BM_SleepQueuePopMinReinsertPair)->Arg(4)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E1: Table 1 — queue operation durations ===\n\n");
+  std::printf("%s\n",
+              sps::overhead::FormatTable1(
+                  sps::overhead::PaperTable1(),
+                  "[paper] Table 1 (Intel Core-i7, Linux 2.6.32 kernel)")
+                  .c_str());
+
+  sps::overhead::CalibrationConfig cfg;
+  cfg.samples = 3000;
+  const sps::overhead::Table1 measured =
+      sps::overhead::MeasureTable1(cfg);
+  std::printf("%s\n",
+              sps::overhead::FormatTable1(
+                  measured,
+                  "[measured] this library's binomial heap / red-black "
+                  "tree (max of 3000 samples, user space)")
+                  .c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

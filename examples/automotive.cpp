@@ -1,0 +1,101 @@
+// Example: an automotive-flavoured workload — the embedded systems the
+// paper's introduction motivates ("future real-time systems will be
+// deployed on multi-core processors"). Periods come from the classic
+// AUTOSAR benchmark menu (1/2/5/10/20/50/100/200/1000 ms), utilization is
+// pushed to 92% of a quad-core, and we ask the question the paper asks:
+// does the system fit partitioned, or does it need task splitting — and
+// what does the splitting actually cost at run time?
+//
+// Build & run:  ./build/examples/automotive
+
+#include <cstdio>
+
+#include "exp/acceptance.hpp"
+#include "overhead/model.hpp"
+#include "partition/binpack.hpp"
+#include "partition/spa.hpp"
+#include "partition/verify.hpp"
+#include "rt/generator.hpp"
+#include "sim/engine.hpp"
+
+using namespace sps;
+
+int main() {
+  rt::GeneratorConfig gen;
+  gen.num_tasks = 20;
+  gen.total_utilization = 0.92 * 4;
+  gen.period_choices = {Millis(1),  Millis(2),  Millis(5),   Millis(10),
+                        Millis(20), Millis(50), Millis(100), Millis(200),
+                        Millis(1000)};
+  gen.max_task_utilization = 0.8;
+  rt::Rng rng(171);
+  const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+
+  std::printf("Automotive-style system: %zu runnables, U=%.2f on 4 cores, "
+              "periods from the AUTOSAR menu\n",
+              ts.size(), ts.total_utilization());
+  const auto hp = ts.hyperperiod();
+  if (hp.has_value()) {
+    std::printf("hyperperiod: %.0f ms (harmonic menu keeps it small)\n\n",
+                ToMillis(*hp));
+  }
+
+  const overhead::OverheadModel model = overhead::OverheadModel::PaperCoreI7();
+
+  // 1) Try plain partitioning first — the industry default.
+  partition::BinPackConfig bp;
+  bp.num_cores = 4;
+  bp.admission = partition::AdmissionTest::kRta;
+  bp.model = model;
+  const auto ffd = partition::Ffd(ts, bp);
+  if (ffd.success) {
+    std::printf("FFD fits the system without splitting — done.\n%s",
+                ffd.partition.summary().c_str());
+  } else {
+    std::printf("FFD fails: %s\n", ffd.failure_reason.c_str());
+  }
+
+  // 2) FP-TS with splitting.
+  partition::SpaConfig spa;
+  spa.num_cores = 4;
+  spa.model = model;
+  spa.preassign_heavy = true;
+  const auto fpts = partition::SpaPartition(ts, spa);
+  if (!fpts.success) {
+    std::printf("FP-TS also fails (%s) — the system is genuinely "
+                "oversubscribed.\n",
+                fpts.failure_reason.c_str());
+    return 1;
+  }
+  std::printf("\n%s schedules it:\n%s\n", fpts.algorithm.c_str(),
+              fpts.partition.summary().c_str());
+
+  // 3) What does splitting cost at run time? One simulated minute.
+  sim::SimConfig cfg;
+  cfg.horizon = Millis(60000);
+  cfg.overheads = model;
+  cfg.arrivals.kind = sim::ArrivalModel::Kind::kSporadicUniformDelay;
+  cfg.arrivals.max_delay_fraction = 0.05;
+  const sim::SimResult r = Simulate(fpts.partition, cfg);
+
+  Time total_overhead = r.total_overhead();
+  Time cpmd = 0;
+  for (const auto& c : r.cores) cpmd += c.cpmd_charged;
+  std::printf("one simulated minute (sporadic arrivals): %llu misses, "
+              "%llu migrations, %llu preemptions\n",
+              static_cast<unsigned long long>(r.total_misses),
+              static_cast<unsigned long long>(r.total_migrations),
+              static_cast<unsigned long long>(r.total_preemptions));
+  std::printf("scheduler overhead: %.1f ms + %.1f ms cache reloads = "
+              "%.3f%% of the machine-minute\n",
+              ToMillis(total_overhead), ToMillis(cpmd),
+              100.0 * static_cast<double>(total_overhead + cpmd) /
+                  (4.0 * static_cast<double>(cfg.horizon)));
+  std::printf("\nThe paper's bottom line, on an automotive-shaped system: "
+              "partitioning strands a runnable that splitting places; at "
+              "automotive rates (1-2ms periods) the full scheduler "
+              "machinery costs a few percent of the machine, of which the "
+              "splitting-specific part (migrations) is a vanishing "
+              "sliver.\n");
+  return r.total_misses == 0 ? 0 : 1;
+}

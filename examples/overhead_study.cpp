@@ -1,0 +1,87 @@
+// Example: the paper's §3 measurement campaign as an API walkthrough —
+// measure this machine's queue-operation costs and handler costs, build
+// an OverheadModel from them, compare against the paper's published
+// model, and show how the model parameters feed the analysis.
+//
+// Build & run:  ./build/examples/overhead_study
+
+#include <cstdio>
+
+#include "analysis/overhead_aware.hpp"
+#include "cache/cpmd.hpp"
+#include "overhead/calibrate.hpp"
+#include "overhead/model.hpp"
+#include "overhead/table1.hpp"
+#include "partition/placement.hpp"
+
+using namespace sps;
+
+int main() {
+  std::printf("== 1. Published measurements (paper, Core-i7, kernel) ==\n\n");
+  std::printf("%s\n",
+              overhead::FormatTable1(overhead::PaperTable1(),
+                                     "Table 1 (paper)")
+                  .c_str());
+
+  std::printf("== 2. Live calibration of this library's queues ==\n\n");
+  overhead::CalibrationConfig cfg;
+  cfg.samples = 2000;
+  const overhead::Table1 mine = overhead::MeasureTable1(cfg);
+  std::printf("%s\n",
+              overhead::FormatTable1(mine, "Table 1 (this machine)")
+                  .c_str());
+  const overhead::HandlerCosts h = overhead::MeasureHandlerCosts(cfg);
+  std::printf("handler bodies: release()=%.2fus sch()=%.2fus "
+              "cnt_swth()=%.2fus (paper: 3.00 / 5.00 / 1.50)\n\n",
+              ToMicros(h.release_exec), ToMicros(h.sched_exec),
+              ToMicros(h.ctxsw_exec));
+
+  std::printf("== 3. CPMD from the cache model ==\n\n");
+  const cache::CpmdModel cpmd(cache::CacheConfig::CoreI7());
+  for (const std::size_t wss : {16u << 10, 64u << 10, 256u << 10}) {
+    std::printf("  WSS %4zuK: local resume %6.1fus, migration resume "
+                "%6.1fus\n",
+                wss >> 10, ToMicros(cpmd.local_resume_delay(wss, wss)),
+                ToMicros(cpmd.migration_resume_delay(wss)));
+  }
+
+  std::printf("\n== 4. Full model + what the analysis charges ==\n\n");
+  const overhead::OverheadModel calibrated = overhead::Calibrate(cfg);
+  const overhead::OverheadModel paper = overhead::OverheadModel::PaperCoreI7();
+  std::printf("%28s %12s %12s\n", "derived cost", "calibrated", "paper");
+  struct Row {
+    const char* name;
+    Time a, b;
+  } rows[] = {
+      {"rls (timer release, N=4)", calibrated.release_overhead(4),
+       paper.release_overhead(4)},
+      {"sch (preempting, N=4)", calibrated.sched_overhead(4, true),
+       paper.sched_overhead(4, true)},
+      {"cnt1 (switch-in)", calibrated.ctxsw_in_overhead(),
+       paper.ctxsw_in_overhead()},
+      {"cnt2 (normal finish, N=4)", calibrated.finish_overhead_normal(4),
+       paper.finish_overhead_normal(4)},
+      {"cnt2 (migration, N_dest=4)", calibrated.migrate_overhead(4),
+       paper.migrate_overhead(4)},
+      {"cnt2 (tail return, N=4)", calibrated.finish_overhead_tail(4),
+       paper.finish_overhead_tail(4)},
+      {"delta (N=64)", calibrated.delta(64), paper.delta(64)},
+      {"theta (N=64)", calibrated.theta(64), paper.theta(64)},
+  };
+  for (const Row& r : rows) {
+    std::printf("%28s %10.2fus %10.2fus\n", r.name, ToMicros(r.a),
+                ToMicros(r.b));
+  }
+
+  std::printf("\n== 5. Effect on one inflated task ==\n\n");
+  analysis::CoreEntry e;
+  e.exec = Millis(1);
+  e.period = Millis(10);
+  e.deadline = Millis(10);
+  e.priority = partition::kNormalPriorityBase;
+  std::printf("C = 1000.0us -> C' = %.1fus (paper model), %.1fus "
+              "(calibrated)\n",
+              ToMicros(analysis::InflatedExec(e, paper, 4)),
+              ToMicros(analysis::InflatedExec(e, calibrated, 4)));
+  return 0;
+}

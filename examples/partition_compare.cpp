@@ -1,0 +1,69 @@
+// Example: compare every partitioning algorithm on one task set — the
+// paper's §1 motivation made concrete. The set is the classic bin-packing
+// pathology (m+1 tasks of utilization 0.6 on m cores): partitioned
+// scheduling wastes nearly half the machine, semi-partitioned splits one
+// task and schedules it.
+//
+// Build & run:  ./build/examples/partition_compare
+
+#include <cstdio>
+
+#include "overhead/model.hpp"
+#include "partition/binpack.hpp"
+#include "partition/spa.hpp"
+#include "rt/taskset.hpp"
+
+using namespace sps;
+
+namespace {
+
+void Report(const partition::PartitionResult& r) {
+  if (r.success) {
+    std::printf("%-16s SCHEDULABLE (%u split task(s), %u migration(s)/"
+                "period)\n",
+                r.algorithm.c_str(), r.partition.num_split_tasks(),
+                r.partition.migrations_per_period());
+    std::printf("%s", r.partition.summary().c_str());
+  } else {
+    std::printf("%-16s FAILED: %s\n", r.algorithm.c_str(),
+                r.failure_reason.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // The pathology: 5 tasks of utilization 0.6 on 4 cores (total U = 3.0,
+  // i.e. only 75% of the machine) — yet no two tasks share a core.
+  rt::TaskSet ts;
+  for (rt::TaskId i = 0; i < 5; ++i) {
+    ts.add(rt::MakeTask(i, Millis(60), Millis(100)));
+  }
+  rt::AssignRateMonotonic(ts);
+  std::printf("Task set: 5 x (C=60ms, T=100ms), total U=3.0 on 4 cores\n\n");
+
+  const overhead::OverheadModel model = overhead::OverheadModel::PaperCoreI7();
+
+  partition::BinPackConfig bp;
+  bp.num_cores = 4;
+  bp.admission = partition::AdmissionTest::kRta;
+  bp.model = model;
+  Report(partition::BinPackDecreasing(ts, partition::FitPolicy::kFirstFit, bp));
+  Report(partition::BinPackDecreasing(ts, partition::FitPolicy::kBestFit, bp));
+  Report(partition::BinPackDecreasing(ts, partition::FitPolicy::kWorstFit, bp));
+  Report(partition::BinPackDecreasing(ts, partition::FitPolicy::kNextFit, bp));
+
+  partition::SpaConfig spa;
+  spa.num_cores = 4;
+  spa.model = model;
+  Report(partition::Spa1(ts, spa));
+  Report(partition::Spa2(ts, spa));
+
+  std::printf("Takeaway: every partitioned policy strands the fifth task "
+              "although a full core of capacity is free in aggregate; "
+              "FP-TS splits one task across the cores' leftover slack and "
+              "schedules everything — the paper's case for "
+              "semi-partitioned scheduling.\n");
+  return 0;
+}

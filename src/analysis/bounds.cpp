@@ -1,0 +1,25 @@
+#include "analysis/bounds.hpp"
+
+#include <cmath>
+
+namespace sps::analysis {
+
+double LiuLaylandBound(std::size_t n) {
+  if (n == 0) return 1.0;
+  const double nn = static_cast<double>(n);
+  return nn * (std::pow(2.0, 1.0 / nn) - 1.0);
+}
+
+bool LiuLaylandTest(std::span<const double> utilizations) {
+  double sum = 0.0;
+  for (double u : utilizations) sum += u;
+  return sum <= LiuLaylandBound(utilizations.size()) + 1e-12;
+}
+
+bool HyperbolicTest(std::span<const double> utilizations) {
+  double prod = 1.0;
+  for (double u : utilizations) prod *= (u + 1.0);
+  return prod <= 2.0 + 1e-12;
+}
+
+}  // namespace sps::analysis

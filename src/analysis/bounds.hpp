@@ -1,0 +1,28 @@
+#pragma once
+// Closed-form fixed-priority schedulability bounds used as fast admission
+// tests inside the bin-packing partitioners (and as the fill threshold of
+// the SPA/FP-TS algorithms, whose design goal is precisely to achieve the
+// Liu & Layland bound on every core).
+
+#include <cstddef>
+#include <span>
+
+namespace sps::analysis {
+
+/// Liu & Layland (1973): n tasks are RM-schedulable on one processor if
+/// their total utilization is at most n(2^(1/n) - 1). Monotonically
+/// decreasing in n, limit ln 2 ~= 0.693.
+double LiuLaylandBound(std::size_t n);
+
+/// ln 2, the n -> infinity limit of the bound; the per-core fill threshold
+/// FP-TS style algorithms can guarantee regardless of task count.
+inline constexpr double kLiuLaylandLimit = 0.6931471805599453;
+
+/// Sufficient L&L utilization test for RM on one core.
+bool LiuLaylandTest(std::span<const double> utilizations);
+
+/// Bini & Buttazzo's hyperbolic bound (2003): RM-schedulable if
+/// prod (u_i + 1) <= 2. Strictly dominates the L&L test.
+bool HyperbolicTest(std::span<const double> utilizations);
+
+}  // namespace sps::analysis

@@ -1,0 +1,136 @@
+#include "analysis/edf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/overhead_aware.hpp"
+
+namespace sps::analysis {
+
+Time Dbf(const EdfTask& task, Time t) {
+  const Time effective = t + task.jitter - task.deadline;
+  if (effective < 0) return 0;
+  return (effective / task.period + 1) * task.wcet;
+}
+
+double EdfUtilization(std::span<const EdfTask> tasks) {
+  double u = 0.0;
+  for (const EdfTask& t : tasks) {
+    u += static_cast<double>(t.wcet) / static_cast<double>(t.period);
+  }
+  return u;
+}
+
+EdfResult EdfDemandTest(std::span<const EdfTask> tasks, Time max_horizon) {
+  EdfResult res;
+  if (tasks.empty()) {
+    res.schedulable = true;
+    return res;
+  }
+  const double u = EdfUtilization(tasks);
+  if (u > 1.0 + 1e-12) return res;
+
+  // Demand needs checking only up to the utilization-slack bound
+  // L_a = sum u_i (T_i - D_i + J_i) / (1 - U), and no earlier than the
+  // first absolute deadline.
+  Time horizon = 0;
+  if (u < 1.0 - 1e-9) {
+    double la = 0.0;
+    for (const EdfTask& t : tasks) {
+      const double ui =
+          static_cast<double>(t.wcet) / static_cast<double>(t.period);
+      la += ui * static_cast<double>(t.period - t.deadline + t.jitter);
+    }
+    la /= (1.0 - u);
+    horizon = static_cast<Time>(la) + 1;
+  } else {
+    // U == 1: the theoretical bound is the hyperperiod; fall back to the
+    // configured cap (conservatively fail if demand keeps fitting only
+    // because we stopped looking — handled below by requiring the bound
+    // to fit the cap).
+    horizon = max_horizon;
+  }
+  for (const EdfTask& t : tasks) {
+    horizon = std::max(horizon, t.deadline - t.jitter);
+  }
+  const bool capped = horizon > max_horizon && u >= 1.0 - 1e-9;
+  horizon = std::min(horizon, max_horizon);
+  res.horizon = horizon;
+
+  // Check every absolute-deadline point up to the horizon.
+  std::vector<Time> points;
+  for (const EdfTask& t : tasks) {
+    for (Time d = t.deadline - t.jitter; d <= horizon; d += t.period) {
+      if (d > 0) points.push_back(d);
+      if (d > horizon - t.period) break;  // avoid overflow on huge T
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  for (const Time t : points) {
+    Time demand = 0;
+    for (const EdfTask& task : tasks) demand += Dbf(task, t);
+    if (demand > t) {
+      res.violation_at = t;
+      return res;
+    }
+  }
+  if (capped) {
+    // Demand fit everywhere we looked, but the sound bound exceeded the
+    // cap: reject conservatively.
+    return res;
+  }
+  res.schedulable = true;
+  return res;
+}
+
+bool EdfSchedulable(std::span<const rt::Task> tasks) {
+  std::vector<EdfTask> v;
+  v.reserve(tasks.size());
+  for (const rt::Task& t : tasks) {
+    v.push_back(EdfTask{.wcet = t.wcet,
+                        .period = t.period,
+                        .deadline = t.deadline,
+                        .jitter = 0,
+                        .check = true,
+                        .id = t.id});
+  }
+  return EdfDemandTest(v).schedulable;
+}
+
+std::vector<EdfTask> InflateEdfCore(std::span<const EdfCoreEntry> entries,
+                                    const overhead::OverheadModel& model,
+                                    std::size_t n_local) {
+  if (n_local == 0) n_local = entries.size();
+  std::vector<EdfTask> out;
+  out.reserve(entries.size());
+  for (const EdfCoreEntry& e : entries) {
+    // Reuse the fixed-priority inflation arithmetic via a CoreEntry
+    // facade; the per-job charges are policy-independent.
+    CoreEntry fp;
+    fp.exec = e.exec;
+    fp.period = e.period;
+    fp.deadline = e.deadline;
+    fp.kind = static_cast<EntryKind>(e.kind);
+    fp.dest_queue_size = e.dest_queue_size;
+    fp.first_core_queue_size = e.first_core_queue_size;
+    fp.id = e.id;
+    Time c = InflatedExec(fp, model, n_local);
+    // Demand analysis has no separate per-arrival interference term, so
+    // the release-path cost is folded straight into the job's demand.
+    const bool migrated = fp.kind == EntryKind::kBodyMiddle ||
+                          fp.kind == EntryKind::kTail;
+    c += migrated ? model.sched_overhead(n_local, true)
+                  : model.release_overhead(n_local);
+    out.push_back(EdfTask{.wcet = c,
+                          .period = e.period,
+                          .deadline = e.deadline,
+                          .jitter = e.jitter,
+                          .check = true,
+                          .id = e.id});
+  }
+  return out;
+}
+
+}  // namespace sps::analysis

@@ -1,0 +1,97 @@
+#pragma once
+// EDF schedulability analysis — the dynamic-priority counterpart of
+// rta.hpp. The paper (§2) notes its scheduler "can be easily extended to
+// support a wide range of semi-partitioned algorithms based on both
+// fixed-priority and EDF scheduling"; this module provides the analysis
+// side of that extension (the runtime side is sim/'s EDF policy, the
+// partitioning side is partition/edf_wm.hpp).
+//
+// Tooling:
+//   * demand bound function dbf(tau, t), with optional release jitter —
+//     the standard sporadic-task demand of jobs released AND due within
+//     an interval of length t (Baruah/Mok/Rosier);
+//   * the processor-demand criterion: a constrained-deadline task set is
+//     EDF-schedulable on one core iff sum dbf_i(t) <= t for all t up to a
+//     bounded horizon (we use the busy-period / utilization-slack bound,
+//     checking only deadline points — the QPA-style exact test);
+//   * overhead-aware inflation mirroring overhead_aware.hpp: per-job
+//     release, scheduling, context-switch, finish and CPMD charges are
+//     folded into the demand.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "overhead/model.hpp"
+#include "rt/task.hpp"
+#include "rt/time.hpp"
+
+namespace sps::analysis {
+
+/// One task (or split-task window) on an EDF core.
+struct EdfTask {
+  Time wcet = 0;      ///< possibly inflated C'
+  Time period = 0;    ///< minimum inter-arrival
+  Time deadline = 0;  ///< relative deadline (constrained: D <= T)
+  Time jitter = 0;    ///< release jitter (subtask chains)
+  bool check = true;  ///< participate in the demand (always true for EDF;
+                      ///< kept for symmetry with RtaTask)
+  rt::TaskId id = 0;
+};
+
+/// Demand of one task in any interval of length t: jobs that are both
+/// released and due inside the interval, worst case over alignments.
+/// With jitter J the window effectively widens: floor((t + J - D)/T) + 1
+/// jobs (clamped at 0).
+Time Dbf(const EdfTask& task, Time t);
+
+/// Total utilization of the core's tasks (inflated WCETs).
+double EdfUtilization(std::span<const EdfTask> tasks);
+
+struct EdfResult {
+  bool schedulable = false;
+  /// First interval length where demand exceeded supply (diagnostics);
+  /// 0 when schedulable.
+  Time violation_at = 0;
+  /// The horizon up to which demand was checked.
+  Time horizon = 0;
+};
+
+/// Exact processor-demand test for constrained-deadline sporadic tasks on
+/// one EDF core. Returns unschedulable immediately if utilization > 1.
+/// `max_horizon` caps the analysis effort (defaults to 1s); demand points
+/// beyond the theoretical bound min(busy-period, slack bound) are never
+/// tested, so the cap only matters for pathological parameter choices —
+/// if the cap is hit before the bound, the test conservatively fails.
+EdfResult EdfDemandTest(std::span<const EdfTask> tasks,
+                        Time max_horizon = kSecond);
+
+/// Convenience: plain task-set fragment, no jitter, no overheads.
+bool EdfSchedulable(std::span<const rt::Task> tasks);
+
+/// Overhead-aware inflation for an EDF core. Every job is charged its
+/// release path (timer variant: sleep-del + release() + ready-add, or the
+/// scheduler trigger for migrated-in subtasks), two scheduler passes, a
+/// context-switch in, the matching finish path (normal sleep / remote
+/// ready insert / remote sleep insert), and CPMD exactly as in the
+/// fixed-priority inflation (overhead_aware.hpp); under EDF a job arrival
+/// preempts at most one running job, so the same per-arrival victim
+/// charges are sound.
+struct EdfCoreEntry {
+  Time exec = 0;
+  Time period = 0;
+  Time deadline = 0;  ///< window deadline for split parts, else task D
+  Time jitter = 0;
+  /// Reuses the fixed-priority entry kinds (normal/body/tail semantics
+  /// are policy-independent).
+  int kind = 0;  ///< static_cast<int>(EntryKind)
+  std::size_t dest_queue_size = 4;
+  std::size_t first_core_queue_size = 4;
+  rt::TaskId id = 0;
+};
+
+std::vector<EdfTask> InflateEdfCore(std::span<const EdfCoreEntry> entries,
+                                    const overhead::OverheadModel& model,
+                                    std::size_t n_local = 0);
+
+}  // namespace sps::analysis

@@ -1,0 +1,52 @@
+#include "analysis/global_tests.hpp"
+
+#include <algorithm>
+
+namespace sps::analysis {
+
+double GlobalRmAbjBound(unsigned m) {
+  const double mm = static_cast<double>(m);
+  return mm * mm / (3.0 * mm - 2.0);
+}
+
+bool GlobalRmAbjTest(std::span<const rt::Task> tasks, unsigned m) {
+  if (m == 0) return tasks.empty();
+  const double per_task_cap =
+      static_cast<double>(m) / (3.0 * static_cast<double>(m) - 2.0);
+  double total = 0.0;
+  for (const rt::Task& t : tasks) {
+    const double u = t.utilization();
+    if (u > per_task_cap + 1e-12) return false;
+    total += u;
+  }
+  return total <= GlobalRmAbjBound(m) + 1e-12;
+}
+
+bool GlobalEdfGfbTest(std::span<const rt::Task> tasks, unsigned m) {
+  if (m == 0) return tasks.empty();
+  double total = 0.0;
+  double umax = 0.0;
+  for (const rt::Task& t : tasks) {
+    const double u = t.utilization();
+    total += u;
+    umax = std::max(umax, u);
+  }
+  return total <= static_cast<double>(m) * (1.0 - umax) + umax + 1e-12;
+}
+
+rt::TaskSet DhallEffectSet(unsigned m, Time period) {
+  // m short tasks: C = 2e*T with tiny e; 1 long task: C = T, T' slightly
+  // above T. All short tasks are released together, hog every processor
+  // for 2e, and the long task (lowest RM priority) then cannot finish a
+  // full period of work by its deadline under global RM.
+  rt::TaskSet ts;
+  const Time eps = period / 50;  // e = 2% of the period
+  for (unsigned i = 0; i < m; ++i) {
+    ts.add(rt::MakeTask(static_cast<rt::TaskId>(i), 2 * eps, period));
+  }
+  ts.add(rt::MakeTask(static_cast<rt::TaskId>(m), period, period + eps));
+  rt::AssignRateMonotonic(ts);
+  return ts;
+}
+
+}  // namespace sps::analysis

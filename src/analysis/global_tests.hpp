@@ -1,0 +1,42 @@
+#pragma once
+// Global-scheduling schedulability tests — the third paradigm of the
+// paper's introduction ("In the global approach, each task can execute on
+// any available processor at run time"). The paper's premise, which the
+// bench bench_global_vs_partitioned reproduces, is that partitioned (and
+// a fortiori semi-partitioned) scheduling beats global scheduling for
+// hard real-time guarantees; these are the standard sufficient tests that
+// make the comparison concrete:
+//
+//   * G-RM utilization test (Andersson, Baruah, Jonsson 2001):
+//     schedulable on m processors if every u_i <= m/(3m-2) and
+//     sum u_i <= m^2/(3m-2);
+//   * G-EDF "GFB" test (Goossens, Funk, Baruah 2003):
+//     schedulable if sum u_i <= m (1 - u_max) + u_max;
+//   * the Dhall-effect constructor: a task set with utilization barely
+//     above 1 that global RM cannot schedule on ANY number of processors
+//     — the classic reason global scheduling loses.
+
+#include <cstddef>
+#include <span>
+
+#include "rt/task.hpp"
+#include "rt/taskset.hpp"
+
+namespace sps::analysis {
+
+/// Andersson-Baruah-Jonsson utilization test for global RM on m cores.
+bool GlobalRmAbjTest(std::span<const rt::Task> tasks, unsigned m);
+
+/// ABJ utilization cap m^2 / (3m - 2).
+double GlobalRmAbjBound(unsigned m);
+
+/// Goossens-Funk-Baruah test for global EDF on m cores.
+bool GlobalEdfGfbTest(std::span<const rt::Task> tasks, unsigned m);
+
+/// Build the classic Dhall-effect set for m processors: m tasks with
+/// (C = 2e, T = 1) and one task with (C = 1, T = 1 + e'), scaled to
+/// `period` as the unit. Global RM misses the long task's deadline for
+/// any m; partitioned/semi-partitioned RM schedules it trivially.
+rt::TaskSet DhallEffectSet(unsigned m, Time period = Millis(100));
+
+}  // namespace sps::analysis

@@ -1,0 +1,52 @@
+#pragma once
+// Cache hierarchy description used by both the analytical CPMD model
+// (cpmd.hpp) and the empirical LRU simulator (lru_sim.hpp).
+//
+// Defaults model the paper's machine, an Intel Core-i7 (Nehalem) quad
+// core: 32 KiB private L1D + 256 KiB private L2 per core, 8 MiB L3 shared
+// by all cores. The paper's §3 cache finding hinges exactly on this split:
+// whatever a preemption/migration evicts from the PRIVATE levels is still
+// in the SHARED L3, so local context switches and cross-core migrations
+// pay a similar reload bill.
+
+#include <cstddef>
+
+#include "rt/time.hpp"
+
+namespace sps::cache {
+
+struct CacheConfig {
+  std::size_t line_bytes = 64;
+  std::size_t l1_bytes = 32u << 10;    ///< private, per core
+  std::size_t l2_bytes = 256u << 10;   ///< private, per core
+  std::size_t l3_bytes = 8u << 20;     ///< shared across cores
+
+  /// Reload penalties per cache line, by the level that serves the miss.
+  Time l2_hit_per_line = 3;     ///< ~10 cycles
+  Time l3_hit_per_line = 13;    ///< ~40 cycles at ~3 GHz
+  Time memory_per_line = 60;    ///< DRAM
+
+  /// Total private capacity per core (what a preemptor can evict without
+  /// touching the shared level).
+  [[nodiscard]] std::size_t private_bytes() const {
+    return l1_bytes + l2_bytes;
+  }
+
+  [[nodiscard]] std::size_t lines(std::size_t bytes) const {
+    return (bytes + line_bytes - 1) / line_bytes;
+  }
+
+  /// The paper's machine (Intel Core-i7, 4 cores).
+  static CacheConfig CoreI7() { return CacheConfig{}; }
+
+  /// A hypothetical machine WITHOUT a shared last level (private L3s):
+  /// used by the ablation to show the paper's "migration ~= local switch"
+  /// finding is a property of the shared L3, not of migration per se.
+  static CacheConfig PrivateLlcOnly() {
+    CacheConfig c;
+    c.l3_bytes = 0;
+    return c;
+  }
+};
+
+}  // namespace sps::cache

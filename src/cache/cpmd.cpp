@@ -1,0 +1,46 @@
+#include "cache/cpmd.hpp"
+
+#include <algorithm>
+
+namespace sps::cache {
+
+Time CpmdModel::reload_cost(std::size_t bytes) const {
+  // The working set competes with everything else for L3; model the L3-
+  // resident share as whatever fits.
+  const std::size_t from_l3 = std::min(bytes, cfg_.l3_bytes);
+  const std::size_t from_mem = bytes - from_l3;
+  return static_cast<Time>(cfg_.lines(from_l3)) * cfg_.l3_hit_per_line +
+         static_cast<Time>(cfg_.lines(from_mem)) * cfg_.memory_per_line;
+}
+
+Time CpmdModel::migration_resume_delay(std::size_t wss_bytes) const {
+  // Cold private cache at the destination: the whole working set reloads
+  // from the shared level (or memory beyond it).
+  return reload_cost(wss_bytes);
+}
+
+Time CpmdModel::local_resume_delay(std::size_t wss_bytes,
+                                   std::size_t preemptor_bytes) const {
+  // The preemptor's footprint displaces private-level contents (LRU-ish:
+  // the oldest — i.e. the preempted task's — lines go first). Whatever
+  // private capacity the preemptor did not claim still holds the task's
+  // hottest lines.
+  const std::size_t priv = cfg_.private_bytes();
+  const std::size_t surviving_capacity =
+      preemptor_bytes >= priv ? 0 : priv - preemptor_bytes;
+  const std::size_t surviving = std::min(wss_bytes, surviving_capacity);
+  const std::size_t evicted = wss_bytes - surviving;
+  // Surviving lines are L2-speed touches; evicted lines reload from L3.
+  return static_cast<Time>(cfg_.lines(surviving)) * cfg_.l2_hit_per_line +
+         reload_cost(evicted);
+}
+
+double CpmdModel::migration_penalty_ratio(std::size_t wss_bytes,
+                                          std::size_t preemptor_bytes) const {
+  const Time local = local_resume_delay(wss_bytes, preemptor_bytes);
+  const Time migration = migration_resume_delay(wss_bytes);
+  if (local <= 0) return migration > 0 ? 1e9 : 1.0;
+  return static_cast<double>(migration) / static_cast<double>(local);
+}
+
+}  // namespace sps::cache

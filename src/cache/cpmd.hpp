@@ -1,0 +1,62 @@
+#pragma once
+// Analytical cache-related preemption/migration delay (CPMD) model —
+// reproduces the reasoning of the paper's §3 "cache" paragraph.
+//
+// When a task resumes after being preempted (locally) or after migrating
+// (to another core), it must reload the part of its working set that is no
+// longer in the caches it now runs over:
+//
+//   * migration: the destination core's private levels hold none of the
+//     task's lines; every working-set line reloads from the shared L3 (or
+//     memory, for the part of the working set exceeding L3).
+//
+//   * local preemption: the preempting task(s) evicted part of the private
+//     levels. Lines the preemptor did NOT evict are still private-level
+//     hits (nearly free); evicted lines reload from the shared L3, exactly
+//     as in the migration case.
+//
+// Consequences, which the paper states and our E4 bench plots:
+//   - preemptor footprint >= private capacity  =>  local ~= migration
+//     (everything reloads from L3 either way — "same order of magnitude");
+//   - tiny working set and tiny preemptor footprint => local << migration
+//     (the paper's "rather rare in realistic applications" case);
+//   - without a shared L3 (CacheConfig::PrivateLlcOnly), migration pays
+//     memory latency and is far more expensive — the ablation showing the
+//     finding is architecture-dependent.
+
+#include <cstddef>
+
+#include "cache/cache_model.hpp"
+#include "rt/time.hpp"
+
+namespace sps::cache {
+
+class CpmdModel {
+ public:
+  explicit CpmdModel(CacheConfig cfg) : cfg_(cfg) {}
+
+  /// Delay to resume on a core whose private cache holds none of the
+  /// task's working set (task migration; also a cold start).
+  [[nodiscard]] Time migration_resume_delay(std::size_t wss_bytes) const;
+
+  /// Delay to resume on the same core after preemption by tasks whose
+  /// combined working-set footprint is `preemptor_bytes`.
+  [[nodiscard]] Time local_resume_delay(std::size_t wss_bytes,
+                                        std::size_t preemptor_bytes) const;
+
+  /// Ratio migration/local for the given scenario (>= 1); the paper's
+  /// "same order of magnitude" claim is ratio ~ 1 for realistic sizes.
+  [[nodiscard]] double migration_penalty_ratio(
+      std::size_t wss_bytes, std::size_t preemptor_bytes) const;
+
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+
+ private:
+  /// Cost of reloading `bytes` of working set assuming `l3_resident` of it
+  /// is served by the shared L3 and the rest by memory.
+  [[nodiscard]] Time reload_cost(std::size_t bytes) const;
+
+  CacheConfig cfg_;
+};
+
+}  // namespace sps::cache

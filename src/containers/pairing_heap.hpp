@@ -1,0 +1,179 @@
+#pragma once
+// Pairing heap — an alternative ready-queue implementation used by the
+// ablation study (DESIGN.md §6: "Ready queue: binomial heap vs pairing
+// heap vs std::priority_queue rebuild").
+//
+// The PPES 2011 scheduler uses a binomial heap; pairing heaps are the
+// usual contender in scheduler implementations (e.g. LITMUS^RT release
+// queues), with O(1) push and amortized O(log n) pop. The ablation bench
+// compares single-operation latency of both at the paper's queue sizes.
+//
+// Same handle contract as BinomialHeap: nodes never move; erase detaches
+// the node's subtree and re-melds it, so all other handles stay valid
+// (no Hooks needed — values never change node).
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace sps::containers {
+
+template <typename T, typename Compare = std::less<T>>
+class PairingHeap {
+ public:
+  struct Node {
+    T value;
+    Node* child = nullptr;    // leftmost child
+    Node* sibling = nullptr;  // next sibling (right)
+    Node* prev = nullptr;     // previous sibling, or parent if leftmost
+
+    explicit Node(T v) : value(std::move(v)) {}
+  };
+
+  using handle = Node*;
+
+  PairingHeap() = default;
+  explicit PairingHeap(Compare cmp) : cmp_(std::move(cmp)) {}
+
+  PairingHeap(const PairingHeap&) = delete;
+  PairingHeap& operator=(const PairingHeap&) = delete;
+
+  PairingHeap(PairingHeap&& other) noexcept
+      : root_(std::exchange(other.root_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        cmp_(std::move(other.cmp_)) {}
+
+  ~PairingHeap() { clear(); }
+
+  [[nodiscard]] bool empty() const noexcept { return root_ == nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  handle push(T value) {
+    Node* n = new Node(std::move(value));
+    root_ = (root_ == nullptr) ? n : meld(root_, n);
+    ++size_;
+    return n;
+  }
+
+  [[nodiscard]] const T& top() const {
+    assert(!empty());
+    return root_->value;
+  }
+
+  T pop() {
+    assert(!empty());
+    Node* old = root_;
+    root_ = merge_pairs(old->child);
+    if (root_ != nullptr) root_->prev = nullptr;
+    T out = std::move(old->value);
+    delete old;
+    --size_;
+    return out;
+  }
+
+  /// Remove an arbitrary element; all other handles stay valid.
+  T erase(handle h) {
+    assert(h != nullptr);
+    if (h == root_) return pop();
+    detach(h);
+    Node* sub = merge_pairs(h->child);
+    if (sub != nullptr) {
+      sub->prev = nullptr;
+      root_ = meld(root_, sub);
+    }
+    T out = std::move(h->value);
+    delete h;
+    --size_;
+    return out;
+  }
+
+  void clear() noexcept {
+    destroy(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  /// Structural self-check: heap order on every edge, parent/prev links
+  /// consistent, node count equals size().
+  [[nodiscard]] bool validate() const {
+    if (root_ == nullptr) return size_ == 0;
+    if (root_->prev != nullptr || root_->sibling != nullptr) return false;
+    std::size_t counted = 0;
+    return check(root_, counted) && counted == size_;
+  }
+
+ private:
+  Node* meld(Node* a, Node* b) noexcept {
+    if (cmp_(b->value, a->value)) std::swap(a, b);
+    // b becomes a's leftmost child.
+    b->prev = a;
+    b->sibling = a->child;
+    if (a->child != nullptr) a->child->prev = b;
+    a->child = b;
+    return a;
+  }
+
+  /// Two-pass pairing of a sibling list (the classic pairing-heap pop).
+  Node* merge_pairs(Node* first) noexcept {
+    if (first == nullptr) return nullptr;
+    std::vector<Node*> pass;
+    while (first != nullptr) {
+      Node* a = first;
+      Node* b = a->sibling;
+      first = (b != nullptr) ? b->sibling : nullptr;
+      a->sibling = nullptr;
+      a->prev = nullptr;
+      if (b != nullptr) {
+        b->sibling = nullptr;
+        b->prev = nullptr;
+        pass.push_back(meld(a, b));
+      } else {
+        pass.push_back(a);
+      }
+    }
+    Node* result = pass.back();
+    for (auto it = std::next(pass.rbegin()); it != pass.rend(); ++it) {
+      result = meld(*it, result);
+    }
+    return result;
+  }
+
+  /// Unlink h from its parent/sibling chain (h != root_).
+  void detach(Node* h) noexcept {
+    if (h->prev->child == h) {  // h is a leftmost child; prev is parent
+      h->prev->child = h->sibling;
+    } else {
+      h->prev->sibling = h->sibling;
+    }
+    if (h->sibling != nullptr) h->sibling->prev = h->prev;
+    h->sibling = nullptr;
+    h->prev = nullptr;
+  }
+
+  bool check(const Node* n, std::size_t& counted) const {
+    ++counted;
+    for (const Node* c = n->child; c != nullptr; c = c->sibling) {
+      if (cmp_(c->value, n->value)) return false;
+      const Node* expect_prev = (c == n->child) ? n : nullptr;
+      if (expect_prev != nullptr && c->prev != expect_prev) return false;
+      if (c->sibling != nullptr && c->sibling->prev != c) return false;
+      if (!check(c, counted)) return false;
+    }
+    return true;
+  }
+
+  static void destroy(Node* n) noexcept {
+    if (n == nullptr) return;
+    destroy(n->child);
+    destroy(n->sibling);
+    delete n;
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Compare cmp_{};
+};
+
+}  // namespace sps::containers

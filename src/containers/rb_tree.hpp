@@ -1,0 +1,375 @@
+#pragma once
+// Red-black tree — the sleep-queue data structure of the semi-partitioned
+// scheduler (Zhang/Guan/Yi, PPES 2011, Section 2: "the sleep queue is
+// implemented by a red-black tree").
+//
+// The sleep queue stores inactive tasks keyed by their next release
+// (wake-up) time; the scheduler repeatedly asks for the earliest wake-up.
+// This is a multimap: duplicate keys are allowed (two tasks may wake at the
+// same instant) and are ordered FIFO among equals (a new duplicate is
+// inserted after existing equal keys).
+//
+// Operations (n = queue size):
+//   insert    O(log n)  -> stable handle
+//   min/top   O(log n)  (leftmost node)
+//   pop_min   O(log n)
+//   erase     O(log n)  by handle; all other handles stay valid
+//   find_ge   O(log n)  first element with key >= k
+//
+// Implementation: classic CLRS red-black tree with a per-tree nil sentinel.
+// Erase-by-handle uses pointer transplanting (never copies values between
+// nodes), so handles other than the erased one are never invalidated.
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+namespace sps::containers {
+
+template <typename Key, typename T, typename Compare = std::less<Key>>
+class RbTree {
+ public:
+  enum class Color : unsigned char { kRed, kBlack };
+
+  struct Node {
+    Key key;
+    T value;
+    Node* left;
+    Node* right;
+    Node* parent;
+    Color color = Color::kRed;
+
+    Node(Key k, T v, Node* nil)
+        : key(std::move(k)), value(std::move(v)),
+          left(nil), right(nil), parent(nil) {}
+    // Sentinel constructor.
+    Node() : key(), value(), left(this), right(this), parent(this),
+             color(Color::kBlack) {}
+  };
+
+  /// Stable identifier for an inserted element.
+  using handle = Node*;
+
+  RbTree() : nil_(new Node()), root_(nil_) {}
+  explicit RbTree(Compare cmp) : nil_(new Node()), root_(nil_),
+                                 cmp_(std::move(cmp)) {}
+
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+
+  RbTree(RbTree&& other) noexcept
+      : nil_(std::exchange(other.nil_, nullptr)),
+        root_(std::exchange(other.root_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        cmp_(std::move(other.cmp_)) {
+    // Re-arm the moved-from tree so it stays usable.
+    other.nil_ = new Node();
+    other.root_ = other.nil_;
+  }
+
+  ~RbTree() {
+    clear();
+    delete nil_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return root_ == nil_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Insert (key, value); duplicates allowed, placed after equal keys.
+  handle insert(Key key, T value) {
+    Node* z = new Node(std::move(key), std::move(value), nil_);
+    Node* y = nil_;
+    Node* x = root_;
+    while (x != nil_) {
+      y = x;
+      x = cmp_(z->key, x->key) ? x->left : x->right;
+    }
+    z->parent = y;
+    if (y == nil_) {
+      root_ = z;
+    } else if (cmp_(z->key, y->key)) {
+      y->left = z;
+    } else {
+      y->right = z;
+    }
+    insert_fixup(z);
+    ++size_;
+    return z;
+  }
+
+  /// Leftmost (minimum-key) element. Precondition: !empty().
+  [[nodiscard]] handle min_handle() const {
+    assert(!empty());
+    return subtree_min(root_);
+  }
+
+  [[nodiscard]] const Key& min_key() const { return min_handle()->key; }
+  [[nodiscard]] const T& min_value() const { return min_handle()->value; }
+
+  /// Remove the minimum element and return its (key, value).
+  std::pair<Key, T> pop_min() {
+    Node* m = min_handle();
+    std::pair<Key, T> out{std::move(m->key), std::move(m->value)};
+    erase_node(m);
+    return out;
+  }
+
+  /// Remove an arbitrary element by handle; other handles stay valid.
+  T erase(handle h) {
+    assert(h != nullptr && h != nil_);
+    T out = std::move(h->value);
+    erase_node(h);
+    return out;
+  }
+
+  /// First element with key not less than k, or nullptr if none.
+  [[nodiscard]] handle find_ge(const Key& k) const {
+    Node* best = nullptr;
+    Node* x = root_;
+    while (x != nil_) {
+      if (!cmp_(x->key, k)) {  // x->key >= k
+        best = x;
+        x = x->left;
+      } else {
+        x = x->right;
+      }
+    }
+    return best;
+  }
+
+  /// In-order successor of h, or nullptr at the end.
+  [[nodiscard]] handle next(handle h) const {
+    if (h->right != nil_) return subtree_min(h->right);
+    Node* p = h->parent;
+    while (p != nil_ && h == p->right) {
+      h = p;
+      p = p->parent;
+    }
+    return p == nil_ ? nullptr : p;
+  }
+
+  void clear() noexcept {
+    destroy_subtree(root_);
+    root_ = nil_;
+    size_ = 0;
+  }
+
+  /// Structural self-check used by the test suite. Verifies the red-black
+  /// invariants: root is black, no red node has a red child, every
+  /// root-to-leaf path has the same black height, BST order holds, and the
+  /// node count matches size().
+  [[nodiscard]] bool validate() const {
+    if (root_->color != Color::kBlack) return false;
+    std::size_t counted = 0;
+    const int bh = check_subtree(root_, counted);
+    return bh >= 0 && counted == size_;
+  }
+
+ private:
+  [[nodiscard]] Node* subtree_min(Node* x) const {
+    while (x->left != nil_) x = x->left;
+    return x;
+  }
+
+  void left_rotate(Node* x) noexcept {
+    Node* y = x->right;
+    x->right = y->left;
+    if (y->left != nil_) y->left->parent = x;
+    y->parent = x->parent;
+    if (x->parent == nil_) {
+      root_ = y;
+    } else if (x == x->parent->left) {
+      x->parent->left = y;
+    } else {
+      x->parent->right = y;
+    }
+    y->left = x;
+    x->parent = y;
+  }
+
+  void right_rotate(Node* x) noexcept {
+    Node* y = x->left;
+    x->left = y->right;
+    if (y->right != nil_) y->right->parent = x;
+    y->parent = x->parent;
+    if (x->parent == nil_) {
+      root_ = y;
+    } else if (x == x->parent->right) {
+      x->parent->right = y;
+    } else {
+      x->parent->left = y;
+    }
+    y->right = x;
+    x->parent = y;
+  }
+
+  void insert_fixup(Node* z) noexcept {
+    while (z->parent->color == Color::kRed) {
+      if (z->parent == z->parent->parent->left) {
+        Node* uncle = z->parent->parent->right;
+        if (uncle->color == Color::kRed) {
+          z->parent->color = Color::kBlack;
+          uncle->color = Color::kBlack;
+          z->parent->parent->color = Color::kRed;
+          z = z->parent->parent;
+        } else {
+          if (z == z->parent->right) {
+            z = z->parent;
+            left_rotate(z);
+          }
+          z->parent->color = Color::kBlack;
+          z->parent->parent->color = Color::kRed;
+          right_rotate(z->parent->parent);
+        }
+      } else {
+        Node* uncle = z->parent->parent->left;
+        if (uncle->color == Color::kRed) {
+          z->parent->color = Color::kBlack;
+          uncle->color = Color::kBlack;
+          z->parent->parent->color = Color::kRed;
+          z = z->parent->parent;
+        } else {
+          if (z == z->parent->left) {
+            z = z->parent;
+            right_rotate(z);
+          }
+          z->parent->color = Color::kBlack;
+          z->parent->parent->color = Color::kRed;
+          left_rotate(z->parent->parent);
+        }
+      }
+    }
+    root_->color = Color::kBlack;
+  }
+
+  void transplant(Node* u, Node* v) noexcept {
+    if (u->parent == nil_) {
+      root_ = v;
+    } else if (u == u->parent->left) {
+      u->parent->left = v;
+    } else {
+      u->parent->right = v;
+    }
+    v->parent = u->parent;
+  }
+
+  void erase_node(Node* z) noexcept {
+    Node* y = z;
+    Color y_original = y->color;
+    Node* x = nil_;
+    if (z->left == nil_) {
+      x = z->right;
+      transplant(z, z->right);
+    } else if (z->right == nil_) {
+      x = z->left;
+      transplant(z, z->left);
+    } else {
+      y = subtree_min(z->right);
+      y_original = y->color;
+      x = y->right;
+      if (y->parent == z) {
+        x->parent = y;  // matters when x == nil_
+      } else {
+        transplant(y, y->right);
+        y->right = z->right;
+        y->right->parent = y;
+      }
+      transplant(z, y);
+      y->left = z->left;
+      y->left->parent = y;
+      y->color = z->color;
+    }
+    delete z;
+    --size_;
+    if (y_original == Color::kBlack) erase_fixup(x);
+    nil_->parent = nil_;  // scrub any sentinel-parent left by the fixup
+  }
+
+  void erase_fixup(Node* x) noexcept {
+    while (x != root_ && x->color == Color::kBlack) {
+      if (x == x->parent->left) {
+        Node* w = x->parent->right;
+        if (w->color == Color::kRed) {
+          w->color = Color::kBlack;
+          x->parent->color = Color::kRed;
+          left_rotate(x->parent);
+          w = x->parent->right;
+        }
+        if (w->left->color == Color::kBlack &&
+            w->right->color == Color::kBlack) {
+          w->color = Color::kRed;
+          x = x->parent;
+        } else {
+          if (w->right->color == Color::kBlack) {
+            w->left->color = Color::kBlack;
+            w->color = Color::kRed;
+            right_rotate(w);
+            w = x->parent->right;
+          }
+          w->color = x->parent->color;
+          x->parent->color = Color::kBlack;
+          w->right->color = Color::kBlack;
+          left_rotate(x->parent);
+          x = root_;
+        }
+      } else {
+        Node* w = x->parent->left;
+        if (w->color == Color::kRed) {
+          w->color = Color::kBlack;
+          x->parent->color = Color::kRed;
+          right_rotate(x->parent);
+          w = x->parent->left;
+        }
+        if (w->right->color == Color::kBlack &&
+            w->left->color == Color::kBlack) {
+          w->color = Color::kRed;
+          x = x->parent;
+        } else {
+          if (w->left->color == Color::kBlack) {
+            w->right->color = Color::kBlack;
+            w->color = Color::kRed;
+            left_rotate(w);
+            w = x->parent->left;
+          }
+          w->color = x->parent->color;
+          x->parent->color = Color::kBlack;
+          w->left->color = Color::kBlack;
+          right_rotate(x->parent);
+          x = root_;
+        }
+      }
+    }
+    x->color = Color::kBlack;
+  }
+
+  void destroy_subtree(Node* n) noexcept {
+    if (n == nil_) return;
+    destroy_subtree(n->left);
+    destroy_subtree(n->right);
+    delete n;
+  }
+
+  /// Returns black height of the subtree, or -1 on any invariant violation.
+  int check_subtree(const Node* n, std::size_t& counted) const {
+    if (n == nil_) return 0;
+    ++counted;
+    if (n->color == Color::kRed &&
+        (n->left->color == Color::kRed || n->right->color == Color::kRed)) {
+      return -1;
+    }
+    if (n->left != nil_ && cmp_(n->key, n->left->key)) return -1;
+    if (n->right != nil_ && cmp_(n->right->key, n->key)) return -1;
+    const int lh = check_subtree(n->left, counted);
+    const int rh = check_subtree(n->right, counted);
+    if (lh < 0 || rh < 0 || lh != rh) return -1;
+    return lh + (n->color == Color::kBlack ? 1 : 0);
+  }
+
+  Node* nil_;
+  Node* root_;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Compare cmp_{};
+};
+
+}  // namespace sps::containers

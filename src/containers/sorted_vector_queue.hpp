@@ -1,0 +1,85 @@
+#pragma once
+// Sorted-vector queue — ablation alternative for the sleep queue
+// (DESIGN.md §6: "Sleep queue: RB tree vs sorted vector").
+//
+// Keeps (key, value) pairs sorted by key in a contiguous vector. Insert is
+// O(n) (memmove), min is O(1), pop_min is O(n). At the paper's queue sizes
+// (N = 4 and N = 64) the constant factors of contiguous memory can beat
+// the pointer-chasing RB tree; the ablation bench quantifies exactly that
+// trade-off. Handles are NOT stable (elements move); erase is by key+value
+// match instead.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace sps::containers {
+
+template <typename Key, typename T, typename Compare = std::less<Key>>
+class SortedVectorQueue {
+ public:
+  SortedVectorQueue() = default;
+  explicit SortedVectorQueue(Compare cmp) : cmp_(std::move(cmp)) {}
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+  /// Insert after all existing equal keys (FIFO among duplicates),
+  /// matching RbTree::insert semantics.
+  void insert(Key key, T value) {
+    auto it = std::upper_bound(
+        items_.begin(), items_.end(), key,
+        [this](const Key& k, const Entry& e) { return cmp_(k, e.first); });
+    items_.insert(it, Entry{std::move(key), std::move(value)});
+  }
+
+  [[nodiscard]] const Key& min_key() const {
+    assert(!empty());
+    return items_.front().first;
+  }
+
+  [[nodiscard]] const T& min_value() const {
+    assert(!empty());
+    return items_.front().second;
+  }
+
+  std::pair<Key, T> pop_min() {
+    assert(!empty());
+    Entry out = std::move(items_.front());
+    items_.erase(items_.begin());
+    return out;
+  }
+
+  /// Erase the first element equal to (key, value); returns whether one
+  /// was found.
+  bool erase(const Key& key, const T& value) {
+    auto lo = std::lower_bound(
+        items_.begin(), items_.end(), key,
+        [this](const Entry& e, const Key& k) { return cmp_(e.first, k); });
+    for (auto it = lo; it != items_.end() && !cmp_(key, it->first); ++it) {
+      if (it->second == value) {
+        items_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void clear() noexcept { items_.clear(); }
+
+  [[nodiscard]] bool validate() const {
+    return std::is_sorted(
+        items_.begin(), items_.end(),
+        [this](const Entry& a, const Entry& b) { return cmp_(a.first, b.first); });
+  }
+
+ private:
+  using Entry = std::pair<Key, T>;
+  std::vector<Entry> items_;
+  [[no_unique_address]] Compare cmp_{};
+};
+
+}  // namespace sps::containers

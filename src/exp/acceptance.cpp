@@ -1,0 +1,159 @@
+#include "exp/acceptance.hpp"
+
+#include <cstdio>
+
+#include "partition/binpack.hpp"
+#include "partition/spa.hpp"
+
+namespace sps::exp {
+
+const char* ToString(Algo a) {
+  switch (a) {
+    case Algo::kFfd: return "FFD";
+    case Algo::kWfd: return "WFD";
+    case Algo::kBfd: return "BFD";
+    case Algo::kSpa1: return "FP-TS(SPA1)";
+    case Algo::kSpa2: return "FP-TS(SPA2)";
+  }
+  return "?";
+}
+
+partition::PartitionResult RunAlgorithm(Algo a, const rt::TaskSet& ts,
+                                        unsigned num_cores,
+                                        const overhead::OverheadModel& model) {
+  switch (a) {
+    case Algo::kFfd:
+    case Algo::kWfd:
+    case Algo::kBfd: {
+      partition::BinPackConfig cfg;
+      cfg.num_cores = num_cores;
+      cfg.admission = partition::AdmissionTest::kRta;
+      cfg.model = model;
+      const auto policy = a == Algo::kFfd   ? partition::FitPolicy::kFirstFit
+                          : a == Algo::kWfd ? partition::FitPolicy::kWorstFit
+                                            : partition::FitPolicy::kBestFit;
+      return partition::BinPackDecreasing(ts, policy, cfg);
+    }
+    case Algo::kSpa1:
+    case Algo::kSpa2: {
+      partition::SpaConfig cfg;
+      cfg.num_cores = num_cores;
+      cfg.model = model;
+      cfg.preassign_heavy = (a == Algo::kSpa2);
+      return partition::SpaPartition(ts, cfg);
+    }
+  }
+  return {};
+}
+
+std::vector<double> AcceptanceConfig::DefaultGrid() {
+  std::vector<double> g;
+  for (double u = 0.60; u <= 1.0 + 1e-9; u += 0.025) g.push_back(u);
+  return g;
+}
+
+AcceptanceResult RunAcceptance(const AcceptanceConfig& cfg) {
+  AcceptanceResult result;
+  result.config = cfg;
+
+  rt::GeneratorConfig gen;
+  gen.num_tasks = cfg.num_tasks;
+  gen.max_task_utilization = cfg.max_task_utilization;
+  gen.period_min = cfg.period_min;
+  gen.period_max = cfg.period_max;
+
+  for (const double point : cfg.norm_util_points) {
+    AcceptancePoint ap;
+    ap.norm_util = point;
+    ap.acceptance.assign(cfg.algorithms.size(), 0.0);
+    gen.total_utilization = point * cfg.num_cores;
+
+    unsigned spa_accepts = 0;
+    unsigned spa_split_sum = 0;
+
+    // One RNG per grid point, seeded from (seed, point index), so points
+    // are independent and the whole sweep is reproducible.
+    rt::Rng rng(cfg.seed ^
+                (0x9e3779b97f4a7c15ull *
+                 static_cast<std::uint64_t>(&point - cfg.norm_util_points.data() + 1)));
+
+    for (int s = 0; s < cfg.sets_per_point; ++s) {
+      const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+      for (std::size_t ai = 0; ai < cfg.algorithms.size(); ++ai) {
+        const partition::PartitionResult pr =
+            RunAlgorithm(cfg.algorithms[ai], ts, cfg.num_cores, cfg.model);
+        if (pr.success) {
+          ap.acceptance[ai] += 1.0;
+          if (cfg.algorithms[ai] == Algo::kSpa1 ||
+              cfg.algorithms[ai] == Algo::kSpa2) {
+            ++spa_accepts;
+            spa_split_sum += pr.partition.num_split_tasks();
+          }
+        }
+      }
+    }
+    for (double& acc : ap.acceptance) {
+      acc /= static_cast<double>(cfg.sets_per_point);
+    }
+    if (spa_accepts > 0) {
+      ap.mean_splits = static_cast<double>(spa_split_sum) /
+                       static_cast<double>(spa_accepts);
+    }
+    result.points.push_back(std::move(ap));
+  }
+  return result;
+}
+
+std::string AcceptanceResult::Table() const {
+  std::string out = "norm.util ";
+  char buf[160];
+  for (const Algo a : config.algorithms) {
+    std::snprintf(buf, sizeof(buf), "%12s", ToString(a));
+    out += buf;
+  }
+  out += "   mean-splits\n";
+  for (const AcceptancePoint& p : points) {
+    std::snprintf(buf, sizeof(buf), "%9.3f ", p.norm_util);
+    out += buf;
+    for (const double a : p.acceptance) {
+      std::snprintf(buf, sizeof(buf), "%12.3f", a);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "   %8.2f\n", p.mean_splits);
+    out += buf;
+  }
+  return out;
+}
+
+std::string AcceptanceResult::Csv() const {
+  std::string out = "norm_util";
+  for (const Algo a : config.algorithms) {
+    out += ",";
+    out += ToString(a);
+  }
+  out += ",mean_splits\n";
+  char buf[64];
+  for (const AcceptancePoint& p : points) {
+    std::snprintf(buf, sizeof(buf), "%.4f", p.norm_util);
+    out += buf;
+    for (const double a : p.acceptance) {
+      std::snprintf(buf, sizeof(buf), ",%.4f", a);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), ",%.3f\n", p.mean_splits);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<double> AcceptanceResult::WeightedAcceptance() const {
+  std::vector<double> w(config.algorithms.size(), 0.0);
+  if (points.empty()) return w;
+  for (const AcceptancePoint& p : points) {
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] += p.acceptance[i];
+  }
+  for (double& x : w) x /= static_cast<double>(points.size());
+  return w;
+}
+
+}  // namespace sps::exp

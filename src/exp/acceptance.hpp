@@ -1,0 +1,77 @@
+#pragma once
+// Acceptance-ratio experiment (paper §4): generate random task sets over a
+// grid of total utilizations, run each partitioning algorithm (FP-TS
+// semi-partitioned vs FFD/WFD partitioned RM), and report the fraction of
+// sets each algorithm schedules — with the measured overhead model charged
+// everywhere. This is the harness behind benches E5 (headline comparison)
+// and E6 (overhead sensitivity).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "overhead/model.hpp"
+#include "partition/placement.hpp"
+#include "rt/generator.hpp"
+
+namespace sps::exp {
+
+enum class Algo {
+  kFfd,   ///< first-fit decreasing partitioned RM (paper baseline)
+  kWfd,   ///< worst-fit decreasing partitioned RM (paper baseline)
+  kBfd,   ///< best-fit decreasing (ablation)
+  kSpa1,  ///< FP-TS without heavy-task pre-assignment
+  kSpa2,  ///< FP-TS with heavy-task pre-assignment (the full algorithm)
+};
+
+const char* ToString(Algo a);
+
+/// Run one algorithm on one task set under one overhead model.
+partition::PartitionResult RunAlgorithm(Algo a, const rt::TaskSet& ts,
+                                        unsigned num_cores,
+                                        const overhead::OverheadModel& model);
+
+struct AcceptanceConfig {
+  unsigned num_cores = 4;
+  std::size_t num_tasks = 16;
+  double max_task_utilization = 1.0;
+  /// Normalized utilization grid (total utilization = point * num_cores).
+  std::vector<double> norm_util_points;
+  int sets_per_point = 100;
+  std::uint64_t seed = 20110318;  // PPES 2011 workshop date
+  overhead::OverheadModel model = overhead::OverheadModel::Zero();
+  std::vector<Algo> algorithms = {Algo::kFfd, Algo::kWfd, Algo::kSpa2};
+  /// Period range for the generator (log-uniform).
+  Time period_min = Millis(10);
+  Time period_max = Millis(1000);
+
+  /// The default grid of the field's acceptance plots: 0.60 .. 1.00 in
+  /// steps of 0.025.
+  static std::vector<double> DefaultGrid();
+};
+
+struct AcceptancePoint {
+  double norm_util = 0.0;
+  /// Acceptance ratio per algorithm, aligned with config.algorithms.
+  std::vector<double> acceptance;
+  /// Mean number of split tasks among accepted FP-TS partitions (if an
+  /// SPA algorithm is present; else 0).
+  double mean_splits = 0.0;
+};
+
+struct AcceptanceResult {
+  AcceptanceConfig config;
+  std::vector<AcceptancePoint> points;
+
+  /// Fixed-width table, one row per utilization point.
+  [[nodiscard]] std::string Table() const;
+  /// Machine-readable CSV with a header row.
+  [[nodiscard]] std::string Csv() const;
+  /// Weighted acceptance (area under the curve) per algorithm — a single
+  /// scalar for comparisons.
+  [[nodiscard]] std::vector<double> WeightedAcceptance() const;
+};
+
+AcceptanceResult RunAcceptance(const AcceptanceConfig& cfg);
+
+}  // namespace sps::exp

@@ -1,0 +1,352 @@
+#include "overhead/calibrate.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "cache/cpmd.hpp"
+#include "containers/binomial_heap.hpp"
+#include "containers/rb_tree.hpp"
+
+namespace sps::overhead {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Time Now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Payload sized like a scheduler queue entry (priority + a task_struct
+/// pointer's worth of bookkeeping), so node size is realistic.
+struct FakeJob {
+  std::uint64_t prio;
+  std::uint64_t payload[6];
+
+  friend bool operator<(const FakeJob& a, const FakeJob& b) {
+    return a.prio < b.prio;
+  }
+  friend bool operator==(const FakeJob& a, const FakeJob& b) {
+    return a.prio == b.prio;
+  }
+};
+
+using ReadyQueue = containers::BinomialHeap<FakeJob>;
+using SleepQueue = containers::RbTree<std::uint64_t, FakeJob>;
+
+/// Max-after-trim over collected samples (the paper's "maximal measured
+/// duration", with an optional guard against timer-interrupt outliers).
+Time TrimmedMax(std::vector<Time>& samples, double trim) {
+  std::sort(samples.begin(), samples.end());
+  const auto keep = static_cast<std::size_t>(
+      static_cast<double>(samples.size()) * (1.0 - trim));
+  const std::size_t idx = keep == 0 ? 0 : keep - 1;
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+/// Sweep a buffer to push the queue's nodes out of the private cache
+/// levels — the user-space stand-in for a cross-core ("remote") access.
+class CacheEvictor {
+ public:
+  explicit CacheEvictor(std::size_t bytes) : buf_(bytes, 1) {}
+
+  void evict() {
+    volatile unsigned char sink = 0;
+    for (std::size_t i = 0; i < buf_.size(); i += 64) {
+      buf_[i] = static_cast<unsigned char>(buf_[i] + 1);
+      sink = static_cast<unsigned char>(sink + buf_[i]);
+    }
+    (void)sink;
+  }
+
+ private:
+  std::vector<unsigned char> buf_;
+};
+
+std::uint64_t SplitMix(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+template <typename MakeQueue, typename TimedOp, typename Restore>
+Time MeasureOp(int samples, double trim, bool remote,
+               CacheEvictor& evictor, MakeQueue make, TimedOp op,
+               Restore restore) {
+  auto queue = make();
+  std::vector<Time> durations;
+  durations.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    if (remote) evictor.evict();
+    const Time t0 = Now();
+    op(queue, i);
+    const Time t1 = Now();
+    restore(queue, i);
+    durations.push_back(t1 - t0);
+  }
+  return TrimmedMax(durations, trim);
+}
+
+Table1::Row MeasureReadyAdd(const CalibrationConfig& cfg,
+                            CacheEvictor& evictor, std::size_t n,
+                            bool both_localities, Table1::Row base) {
+  std::uint64_t seed = 42;
+  auto make = [&] {
+    ReadyQueue q;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      q.push(FakeJob{SplitMix(seed), {}});
+    }
+    return q;
+  };
+  ReadyQueue::handle last{};
+  auto op = [&](ReadyQueue& q, int i) {
+    last = q.push(FakeJob{SplitMix(seed) + static_cast<std::uint64_t>(i), {}});
+  };
+  auto restore = [&](ReadyQueue& q, int) { q.erase(last); };
+
+  const Time local =
+      MeasureOp(cfg.samples, cfg.outlier_trim, false, evictor, make, op,
+                restore);
+  Time remote = 0;
+  if (both_localities) {
+    remote = MeasureOp(cfg.samples, cfg.outlier_trim, true, evictor, make,
+                       op, restore);
+    remote = std::max(remote, local);  // coherence can only add cost
+  }
+  if (n == 4) {
+    base.local_n4 = local;
+    base.remote_n4 = remote;
+  } else {
+    base.local_n64 = local;
+    base.remote_n64 = remote;
+  }
+  return base;
+}
+
+Table1::Row MeasureReadyDel(const CalibrationConfig& cfg,
+                            CacheEvictor& evictor, std::size_t n,
+                            Table1::Row base) {
+  std::uint64_t seed = 99;
+  auto make = [&] {
+    ReadyQueue q;
+    for (std::size_t i = 0; i < n; ++i) q.push(FakeJob{SplitMix(seed), {}});
+    return q;
+  };
+  FakeJob popped{};
+  auto op = [&](ReadyQueue& q, int) { popped = q.pop(); };
+  auto restore = [&](ReadyQueue& q, int) { q.push(popped); };
+
+  const Time local = MeasureOp(cfg.samples, cfg.outlier_trim, false, evictor,
+                               make, op, restore);
+  if (n == 4) {
+    base.local_n4 = local;
+  } else {
+    base.local_n64 = local;
+  }
+  return base;
+}
+
+Table1::Row MeasureSleepAdd(const CalibrationConfig& cfg,
+                            CacheEvictor& evictor, std::size_t n,
+                            bool both_localities, Table1::Row base) {
+  std::uint64_t seed = 7;
+  auto make = [&] {
+    auto q = std::make_unique<SleepQueue>();
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      q->insert(SplitMix(seed), FakeJob{i, {}});
+    }
+    return q;
+  };
+  SleepQueue::handle last{};
+  auto op = [&](std::unique_ptr<SleepQueue>& q, int i) {
+    last = q->insert(SplitMix(seed), FakeJob{static_cast<std::uint64_t>(i), {}});
+  };
+  auto restore = [&](std::unique_ptr<SleepQueue>& q, int) { q->erase(last); };
+
+  const Time local = MeasureOp(cfg.samples, cfg.outlier_trim, false, evictor,
+                               make, op, restore);
+  Time remote = 0;
+  if (both_localities) {
+    remote = MeasureOp(cfg.samples, cfg.outlier_trim, true, evictor, make,
+                       op, restore);
+    remote = std::max(remote, local);
+  }
+  if (n == 4) {
+    base.local_n4 = local;
+    base.remote_n4 = remote;
+  } else {
+    base.local_n64 = local;
+    base.remote_n64 = remote;
+  }
+  return base;
+}
+
+Table1::Row MeasureSleepDel(const CalibrationConfig& cfg,
+                            CacheEvictor& evictor, std::size_t n,
+                            Table1::Row base) {
+  std::uint64_t seed = 13;
+  auto make = [&] {
+    auto q = std::make_unique<SleepQueue>();
+    for (std::size_t i = 0; i < n; ++i) {
+      q->insert(SplitMix(seed), FakeJob{i, {}});
+    }
+    return q;
+  };
+  std::pair<std::uint64_t, FakeJob> popped;
+  auto op = [&](std::unique_ptr<SleepQueue>& q, int) {
+    popped = q->pop_min();
+  };
+  auto restore = [&](std::unique_ptr<SleepQueue>& q, int) {
+    q->insert(popped.first, popped.second);
+  };
+
+  const Time local = MeasureOp(cfg.samples, cfg.outlier_trim, false, evictor,
+                               make, op, restore);
+  if (n == 4) {
+    base.local_n4 = local;
+  } else {
+    base.local_n64 = local;
+  }
+  return base;
+}
+
+// ---- Handler-body emulations -------------------------------------------
+// Stand-ins for the paper's release()/sch()/cnt_swth() bodies with the
+// queue accesses stripped out (those are measured above). Sized to do the
+// same kind of work the kernel handlers do.
+
+struct TaskControlBlock {
+  std::uint64_t next_release;
+  std::uint64_t abs_deadline;
+  std::uint64_t period;
+  std::uint64_t budget;
+  std::uint32_t prio;
+  std::uint32_t core;
+  std::uint64_t stats[4];
+};
+
+struct CpuContext {
+  std::uint64_t regs[32];   // GPRs + segment bookkeeping
+  std::uint64_t fpstate[64];  // x87/SSE save area stand-in
+};
+
+void ReleaseBody(TaskControlBlock& tcb) {
+  tcb.next_release += tcb.period;
+  tcb.abs_deadline = tcb.next_release + tcb.period;
+  tcb.budget = tcb.stats[0];
+  ++tcb.stats[1];
+}
+
+std::uint32_t SchedBody(const TaskControlBlock* tcbs, std::size_t n,
+                        std::uint32_t running_prio) {
+  // Priority comparison + preemption decision, as in sch().
+  std::uint32_t best = UINT32_MAX;
+  std::uint32_t best_idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tcbs[i].prio < best) {
+      best = tcbs[i].prio;
+      best_idx = static_cast<std::uint32_t>(i);
+    }
+  }
+  return best < running_prio ? best_idx : UINT32_MAX;
+}
+
+void CtxSwitchBody(CpuContext& from, CpuContext& to, CpuContext& cpu) {
+  std::memcpy(&from, &cpu, sizeof(CpuContext));  // store old context
+  std::memcpy(&cpu, &to, sizeof(CpuContext));    // load new context
+}
+
+}  // namespace
+
+Table1 MeasureTable1(const CalibrationConfig& cfg) {
+  CacheEvictor evictor(cfg.eviction_buffer_bytes);
+  Table1 t;
+  t.ready_add = MeasureReadyAdd(cfg, evictor, 4, true, {});
+  t.ready_add = MeasureReadyAdd(cfg, evictor, 64, true, t.ready_add);
+  t.ready_del = MeasureReadyDel(cfg, evictor, 4, {});
+  t.ready_del = MeasureReadyDel(cfg, evictor, 64, t.ready_del);
+  t.ready_del.remote_applicable = false;
+  t.sleep_add = MeasureSleepAdd(cfg, evictor, 4, true, {});
+  t.sleep_add = MeasureSleepAdd(cfg, evictor, 64, true, t.sleep_add);
+  t.sleep_del = MeasureSleepDel(cfg, evictor, 4, {});
+  t.sleep_del = MeasureSleepDel(cfg, evictor, 64, t.sleep_del);
+  t.sleep_del.remote_applicable = false;
+  return t;
+}
+
+HandlerCosts MeasureHandlerCosts(const CalibrationConfig& cfg) {
+  HandlerCosts h;
+  std::vector<Time> samples;
+  samples.reserve(static_cast<std::size_t>(cfg.samples));
+
+  TaskControlBlock tcb{1000, 2000, 1000, 10, 3, 0, {10, 0, 0, 0}};
+  for (int i = 0; i < cfg.samples; ++i) {
+    const Time t0 = Now();
+    ReleaseBody(tcb);
+    samples.push_back(Now() - t0);
+  }
+  h.release_exec = TrimmedMax(samples, cfg.outlier_trim);
+
+  samples.clear();
+  std::vector<TaskControlBlock> tcbs(8, tcb);
+  for (std::size_t i = 0; i < tcbs.size(); ++i) {
+    tcbs[i].prio = static_cast<std::uint32_t>(17 * (i + 1) % 23);
+  }
+  volatile std::uint32_t sink = 0;
+  for (int i = 0; i < cfg.samples; ++i) {
+    const Time t0 = Now();
+    sink = SchedBody(tcbs.data(), tcbs.size(),
+                     static_cast<std::uint32_t>(i % 23));
+    samples.push_back(Now() - t0);
+  }
+  (void)sink;
+  h.sched_exec = TrimmedMax(samples, cfg.outlier_trim);
+
+  samples.clear();
+  CpuContext a{}, b{}, cpu{};
+  for (int i = 0; i < cfg.samples; ++i) {
+    const Time t0 = Now();
+    CtxSwitchBody(a, b, cpu);
+    samples.push_back(Now() - t0);
+  }
+  h.ctxsw_exec = TrimmedMax(samples, cfg.outlier_trim);
+  return h;
+}
+
+OverheadModel ModelFromMeasurements(const Table1& t, const HandlerCosts& h,
+                                    Time cpmd_local, Time cpmd_migration) {
+  OverheadModel m;
+  m.ready_add_local = {t.ready_add.local_n4, t.ready_add.local_n64};
+  m.ready_add_remote = {t.ready_add.remote_n4, t.ready_add.remote_n64};
+  m.ready_del_local = {t.ready_del.local_n4, t.ready_del.local_n64};
+  m.sleep_add_local = {t.sleep_add.local_n4, t.sleep_add.local_n64};
+  m.sleep_add_remote = {t.sleep_add.remote_n4, t.sleep_add.remote_n64};
+  m.sleep_del_local = {t.sleep_del.local_n4, t.sleep_del.local_n64};
+  m.release_exec = h.release_exec;
+  m.sched_exec = h.sched_exec;
+  m.ctxsw_exec = h.ctxsw_exec;
+  m.cpmd_local = cpmd_local;
+  m.cpmd_migration = cpmd_migration;
+  return m;
+}
+
+OverheadModel Calibrate(const CalibrationConfig& cfg) {
+  const Table1 t = MeasureTable1(cfg);
+  const HandlerCosts h = MeasureHandlerCosts(cfg);
+  const cache::CpmdModel cpmd{cache::CacheConfig::CoreI7()};
+  // Representative working set: 64 KiB (the paper's "realistic
+  // application" regime, larger than L1, well inside L3).
+  constexpr std::size_t kWss = 64u << 10;
+  return ModelFromMeasurements(t, h, cpmd.local_resume_delay(kWss, kWss),
+                               cpmd.migration_resume_delay(kWss));
+}
+
+}  // namespace sps::overhead

@@ -1,0 +1,68 @@
+#pragma once
+// Live calibration: measure THIS library's binomial-heap (ready queue) and
+// red-black-tree (sleep queue) single-operation latencies, reproducing the
+// measurement protocol behind Table 1 of the paper.
+//
+// Protocol (mirrors §3 of the paper):
+//   * For each operation kind, queue size N is held at 4 or 64; one
+//     add/delete is timed in isolation; the MAXIMUM over `samples`
+//     repetitions is reported (the paper reports "maximal measured
+//     duration").
+//   * "local"  — the queue's nodes are warm in this core's cache, the
+//     normal case of a core operating on its own queues.
+//   * "remote" — in the kernel the cost of touching ANOTHER core's queue is
+//     cache-coherence misses on the queue nodes (plus lock transfer). In
+//     user space (and on a single-core CI box) we reproduce the dominant
+//     term by evicting the queue's nodes from the private cache levels
+//     before the timed op, so every pointer chase misses to shared
+//     cache/DRAM exactly as a cross-core access would.
+//   * Deletes are only measured locally (a core never pops a remote
+//     queue), matching the N/A cells of the paper's table.
+//
+// Absolute numbers will differ from the paper's kernel-space Core-i7
+// values; what must reproduce is the SHAPE: costs grow ~log N, remote >=
+// local, and everything stays in the handful-of-microseconds band that
+// makes semi-partitioning cheap. EXPERIMENTS.md E1 records both.
+
+#include <cstddef>
+
+#include "overhead/model.hpp"
+#include "overhead/table1.hpp"
+
+namespace sps::overhead {
+
+struct CalibrationConfig {
+  /// Repetitions per (operation, size, locality) cell; the max is kept.
+  int samples = 2000;
+  /// Trimming: ignore this top fraction of samples as timer outliers
+  /// (interrupts etc.); 0 reproduces the paper's strict max.
+  double outlier_trim = 0.01;
+  /// Bytes swept to evict queue nodes for "remote" emulation.
+  std::size_t eviction_buffer_bytes = 8u << 20;
+};
+
+/// Measure the queue-operation half of Table 1 on this machine.
+Table1 MeasureTable1(const CalibrationConfig& cfg = {});
+
+/// Measured pure handler costs of this library's simulator handlers
+/// (release / schedule / context switch bodies, queue access excluded),
+/// the analog of the paper's 3 / 5 / 1.5 µs.
+struct HandlerCosts {
+  Time release_exec = 0;
+  Time sched_exec = 0;
+  Time ctxsw_exec = 0;
+};
+
+HandlerCosts MeasureHandlerCosts(const CalibrationConfig& cfg = {});
+
+/// Full calibration: Table 1 measurement + handler costs folded into an
+/// OverheadModel ready for the analysis layer. CPMD fields are filled from
+/// the analytical cache model's default working set (see cache/cpmd.hpp).
+OverheadModel Calibrate(const CalibrationConfig& cfg = {});
+
+/// Build an OverheadModel from an arbitrary Table1 + handler costs
+/// (used both by Calibrate() and to reconstruct the paper's model).
+OverheadModel ModelFromMeasurements(const Table1& t, const HandlerCosts& h,
+                                    Time cpmd_local, Time cpmd_migration);
+
+}  // namespace sps::overhead

@@ -1,0 +1,76 @@
+#include "overhead/table1.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sps::overhead {
+
+Time Table1::delta_n4() const {
+  return std::max({ready_add.local_n4, ready_add.remote_n4,
+                   ready_del.local_n4});
+}
+
+Time Table1::delta_n64() const {
+  return std::max({ready_add.local_n64, ready_add.remote_n64,
+                   ready_del.local_n64});
+}
+
+Time Table1::theta_n4() const {
+  return std::max({sleep_add.local_n4, sleep_add.remote_n4,
+                   sleep_del.local_n4});
+}
+
+Time Table1::theta_n64() const {
+  return std::max({sleep_add.local_n64, sleep_add.remote_n64,
+                   sleep_del.local_n64});
+}
+
+Table1 PaperTable1() {
+  Table1 t;
+  t.sleep_add = {Micros(2.5), Micros(2.9), Micros(4.3), Micros(4.4), true};
+  t.sleep_del = {Micros(3.3), 0, Micros(5.8), 0, false};
+  t.ready_add = {Micros(1.5), Micros(3.3), Micros(4.4), Micros(4.6), true};
+  t.ready_del = {Micros(2.7), 0, Micros(4.6), 0, false};
+  return t;
+}
+
+namespace {
+
+void FormatRow(std::string& out, const char* name, const Table1::Row& r) {
+  char buf[160];
+  if (r.remote_applicable) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-22s %9.2f %10.2f %10.2f %10.2f\n", name,
+                  ToMicros(r.local_n4), ToMicros(r.remote_n4),
+                  ToMicros(r.local_n64), ToMicros(r.remote_n64));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "%-22s %9.2f %10s %10.2f %10s\n", name,
+                  ToMicros(r.local_n4), "N/A", ToMicros(r.local_n64), "N/A");
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string FormatTable1(const Table1& t, const std::string& title) {
+  std::string out;
+  out += title + "\n";
+  out +=
+      "Operation              local(N=4) remote(N=4) local(N=64) "
+      "remote(N=64)   [us]\n";
+  FormatRow(out, "sleep queue - add", t.sleep_add);
+  FormatRow(out, "sleep queue - delete", t.sleep_del);
+  FormatRow(out, "ready queue - add", t.ready_add);
+  FormatRow(out, "ready queue - delete", t.ready_del);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "=> delta (ready worst): %.2f us (N=4), %.2f us (N=64); "
+                "theta (sleep worst): %.2f us (N=4), %.2f us (N=64)\n",
+                ToMicros(t.delta_n4()), ToMicros(t.delta_n64()),
+                ToMicros(t.theta_n4()), ToMicros(t.theta_n64()));
+  out += buf;
+  return out;
+}
+
+}  // namespace sps::overhead

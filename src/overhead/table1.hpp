@@ -1,0 +1,49 @@
+#pragma once
+// Table 1 of the paper as a first-class object: the measured maximal
+// duration of single ready-/sleep-queue operations, local and remote, at
+// queue sizes N = 4 and N = 64.
+//
+// Two sources fill this structure:
+//   * PaperTable1()    — the numbers published in the paper (Core-i7,
+//                        kernel-space, Linux 2.6.32);
+//   * MeasureTable1()  — live measurement of THIS library's binomial heap
+//                        and red-black tree (calibrate.hpp).
+// The bench bench_table1_queue_ops prints both side by side.
+
+#include <string>
+
+#include "rt/time.hpp"
+
+namespace sps::overhead {
+
+struct Table1 {
+  struct Row {
+    Time local_n4 = 0;
+    Time remote_n4 = 0;
+    Time local_n64 = 0;
+    Time remote_n64 = 0;
+    /// Deletes are always local in the scheduler (a core only pops its own
+    /// queues), so their remote columns are N/A — matching the paper.
+    bool remote_applicable = true;
+  };
+
+  Row sleep_add;
+  Row sleep_del;
+  Row ready_add;
+  Row ready_del;
+
+  /// delta of the paper: worst single ready-queue op at the given size.
+  [[nodiscard]] Time delta_n4() const;
+  [[nodiscard]] Time delta_n64() const;
+  /// theta of the paper: worst single sleep-queue op at the given size.
+  [[nodiscard]] Time theta_n4() const;
+  [[nodiscard]] Time theta_n64() const;
+};
+
+/// The published Table 1 (all values µs in the paper; stored as Time).
+Table1 PaperTable1();
+
+/// Render in the paper's layout. `title` becomes the caption line.
+std::string FormatTable1(const Table1& t, const std::string& title);
+
+}  // namespace sps::overhead

@@ -1,0 +1,179 @@
+#include "partition/binpack.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/overhead_aware.hpp"
+#include "partition/verify.hpp"
+
+namespace sps::partition {
+
+const char* ToString(FitPolicy p) {
+  switch (p) {
+    case FitPolicy::kFirstFit: return "FFD";
+    case FitPolicy::kBestFit: return "BFD";
+    case FitPolicy::kWorstFit: return "WFD";
+    case FitPolicy::kNextFit: return "NFD";
+  }
+  return "?";
+}
+
+const char* ToString(AdmissionTest t) {
+  switch (t) {
+    case AdmissionTest::kLiuLayland: return "LL";
+    case AdmissionTest::kHyperbolic: return "HYP";
+    case AdmissionTest::kRta: return "RTA";
+  }
+  return "?";
+}
+
+namespace {
+
+struct CoreBin {
+  std::vector<rt::Task> tasks;
+  double utilization = 0.0;
+};
+
+bool Admits(const CoreBin& bin, const rt::Task& cand,
+            const BinPackConfig& cfg) {
+  if (cfg.admission != AdmissionTest::kRta) {
+    std::vector<double> utils;
+    utils.reserve(bin.tasks.size() + 1);
+    for (const rt::Task& t : bin.tasks) utils.push_back(t.utilization());
+    utils.push_back(cand.utilization());
+    return cfg.admission == AdmissionTest::kLiuLayland
+               ? analysis::LiuLaylandTest(utils)
+               : analysis::HyperbolicTest(utils);
+  }
+  // Overhead-aware exact RTA on this core with the candidate added.
+  std::vector<analysis::CoreEntry> entries;
+  entries.reserve(bin.tasks.size() + 1);
+  auto push = [&entries](const rt::Task& t) {
+    analysis::CoreEntry e;
+    e.exec = t.wcet;
+    e.period = t.period;
+    e.deadline = t.deadline;
+    e.priority = t.priority + kNormalPriorityBase;
+    e.kind = analysis::EntryKind::kNormal;
+    e.id = t.id;
+    entries.push_back(e);
+  };
+  for (const rt::Task& t : bin.tasks) push(t);
+  push(cand);
+  return analysis::AnalyzeCoreWithOverheads(entries, cfg.model).schedulable;
+}
+
+}  // namespace
+
+PartitionResult BinPackDecreasing(const rt::TaskSet& ts, FitPolicy policy,
+                                  const BinPackConfig& cfg) {
+  PartitionResult result;
+  result.algorithm = std::string(ToString(policy)) + "/" +
+                     ToString(cfg.admission);
+
+  std::vector<CoreBin> bins(cfg.num_cores);
+  const std::vector<std::size_t> order = rt::OrderByDecreasingUtilization(ts);
+  unsigned next_fit_cursor = 0;
+
+  for (const std::size_t ti : order) {
+    const rt::Task& t = ts[ti];
+    int chosen = -1;
+
+    switch (policy) {
+      case FitPolicy::kFirstFit: {
+        for (unsigned c = 0; c < cfg.num_cores; ++c) {
+          if (Admits(bins[c], t, cfg)) {
+            chosen = static_cast<int>(c);
+            break;
+          }
+        }
+        break;
+      }
+      case FitPolicy::kNextFit: {
+        while (next_fit_cursor < cfg.num_cores) {
+          if (Admits(bins[next_fit_cursor], t, cfg)) {
+            chosen = static_cast<int>(next_fit_cursor);
+            break;
+          }
+          ++next_fit_cursor;
+        }
+        break;
+      }
+      case FitPolicy::kBestFit:
+      case FitPolicy::kWorstFit: {
+        // Probe cores in utilization order (best fit: fullest first;
+        // worst fit: emptiest first), ties by core id for determinism.
+        std::vector<unsigned> core_order(cfg.num_cores);
+        std::iota(core_order.begin(), core_order.end(), 0u);
+        std::stable_sort(
+            core_order.begin(), core_order.end(),
+            [&](unsigned a, unsigned b) {
+              return policy == FitPolicy::kBestFit
+                         ? bins[a].utilization > bins[b].utilization
+                         : bins[a].utilization < bins[b].utilization;
+            });
+        for (unsigned c : core_order) {
+          if (Admits(bins[c], t, cfg)) {
+            chosen = static_cast<int>(c);
+            break;
+          }
+        }
+        break;
+      }
+    }
+
+    if (chosen < 0) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "tau%u (u=%.3f) fits no core", t.id,
+                    t.utilization());
+      result.failure_reason = buf;
+      return result;
+    }
+    bins[static_cast<unsigned>(chosen)].tasks.push_back(t);
+    bins[static_cast<unsigned>(chosen)].utilization += t.utilization();
+  }
+
+  // Assemble the partition (original task order, never split).
+  Partition p;
+  p.num_cores = cfg.num_cores;
+  for (const rt::Task& t : ts) {
+    for (unsigned c = 0; c < cfg.num_cores; ++c) {
+      const bool here = std::any_of(
+          bins[c].tasks.begin(), bins[c].tasks.end(),
+          [&](const rt::Task& x) { return x.id == t.id; });
+      if (!here) continue;
+      PlacedTask pt;
+      pt.task = t;
+      pt.parts.push_back(SubtaskPlacement{
+          c, t.wcet, t.priority + kNormalPriorityBase});
+      p.tasks.push_back(std::move(pt));
+      break;
+    }
+  }
+
+  // Final gate: the full verifier must agree (it is the acceptance
+  // criterion of the experiments).
+  const PartitionAnalysis verdict = AnalyzePartition(p, cfg.model);
+  if (!verdict.schedulable &&
+      cfg.admission == AdmissionTest::kRta) {
+    // Cannot happen: per-core RTA admission equals the verifier for
+    // unsplit partitions. Guard anyway.
+    result.failure_reason = "verifier rejected: " + verdict.failure_reason;
+    return result;
+  }
+  if (!verdict.schedulable) {
+    // Utilization-bound admissions are sufficient tests; the verifier can
+    // only be MORE permissive than them when overheads are zero. With a
+    // non-zero model the bounds are not overhead-aware, so reject here.
+    result.failure_reason = "verifier rejected: " + verdict.failure_reason;
+    return result;
+  }
+  result.success = true;
+  result.partition = std::move(p);
+  return result;
+}
+
+}  // namespace sps::partition

@@ -1,0 +1,57 @@
+#pragma once
+// Partitioned fixed-priority bin-packing — the paper's baselines (§4):
+// FFD ("first-fit decreasing size") and WFD ("worst-fit decreasing size"),
+// plus best-fit and next-fit variants for the ablation.
+//
+// Tasks are considered in order of decreasing utilization ("size"); each
+// task is placed whole on a core chosen by the fit policy, where "fits"
+// means the chosen admission test accepts the core's tasks plus the
+// candidate. No task is ever split — that is exactly what semi-partitioned
+// scheduling relaxes.
+
+#include <string>
+
+#include "overhead/model.hpp"
+#include "partition/placement.hpp"
+#include "rt/taskset.hpp"
+
+namespace sps::partition {
+
+enum class AdmissionTest {
+  kLiuLayland,  ///< sum u <= n(2^{1/n}-1), overhead-oblivious
+  kHyperbolic,  ///< prod(u+1) <= 2, overhead-oblivious
+  kRta,         ///< exact overhead-aware RTA (the model may be Zero())
+};
+
+enum class FitPolicy {
+  kFirstFit,  ///< lowest-numbered core that admits
+  kBestFit,   ///< admitting core with the highest current utilization
+  kWorstFit,  ///< admitting core with the lowest current utilization
+  kNextFit,   ///< current core, else move on (never revisits)
+};
+
+struct BinPackConfig {
+  unsigned num_cores = 4;
+  AdmissionTest admission = AdmissionTest::kRta;
+  /// Overheads charged by the kRta admission test and the final verifier.
+  overhead::OverheadModel model = overhead::OverheadModel::Zero();
+};
+
+const char* ToString(FitPolicy p);
+const char* ToString(AdmissionTest t);
+
+/// Run decreasing-utilization bin packing with the given fit policy.
+/// On success the result's partition has passed the full verifier
+/// (verify.hpp) under cfg.model.
+PartitionResult BinPackDecreasing(const rt::TaskSet& ts, FitPolicy policy,
+                                  const BinPackConfig& cfg);
+
+/// The paper's baselines.
+inline PartitionResult Ffd(const rt::TaskSet& ts, const BinPackConfig& cfg) {
+  return BinPackDecreasing(ts, FitPolicy::kFirstFit, cfg);
+}
+inline PartitionResult Wfd(const rt::TaskSet& ts, const BinPackConfig& cfg) {
+  return BinPackDecreasing(ts, FitPolicy::kWorstFit, cfg);
+}
+
+}  // namespace sps::partition

@@ -1,0 +1,248 @@
+#include "partition/edf_wm.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "analysis/edf.hpp"
+#include "analysis/overhead_aware.hpp"
+#include "partition/verify.hpp"
+
+namespace sps::partition {
+
+namespace {
+
+constexpr std::size_t kConservativeQueueSize = 64;
+
+struct EdfCore {
+  std::vector<analysis::EdfCoreEntry> entries;
+  double utilization = 0.0;
+};
+
+analysis::EdfCoreEntry MakeNormal(const rt::Task& t) {
+  analysis::EdfCoreEntry e;
+  e.exec = t.wcet;
+  e.period = t.period;
+  e.deadline = t.deadline;
+  e.kind = static_cast<int>(analysis::EntryKind::kNormal);
+  e.id = t.id;
+  return e;
+}
+
+/// Subtask for window j (0-based) of K: released at window start (jitter
+/// bound = cumulative earlier windows), due at its window end.
+analysis::EdfCoreEntry MakeWindowPart(const rt::Task& t, Time budget,
+                                      Time window_start, Time window_len,
+                                      bool first, bool last) {
+  analysis::EdfCoreEntry e;
+  e.exec = budget;
+  e.period = t.period;
+  e.deadline = window_len;
+  e.jitter = window_start;
+  e.kind = static_cast<int>(
+      last ? analysis::EntryKind::kTail
+           : (first ? analysis::EntryKind::kBodyFirst
+                    : analysis::EntryKind::kBodyMiddle));
+  e.dest_queue_size = kConservativeQueueSize;
+  e.first_core_queue_size = kConservativeQueueSize;
+  e.id = t.id;
+  return e;
+}
+
+bool CoreAdmits(const EdfCore& core, const analysis::EdfCoreEntry& cand,
+                const overhead::OverheadModel& model) {
+  std::vector<analysis::EdfCoreEntry> probe = core.entries;
+  probe.push_back(cand);
+  const auto inflated = analysis::InflateEdfCore(probe, model);
+  return analysis::EdfDemandTest(inflated).schedulable;
+}
+
+void Commit(EdfCore& core, const analysis::EdfCoreEntry& e) {
+  core.entries.push_back(e);
+  core.utilization +=
+      static_cast<double>(e.exec) / static_cast<double>(e.period);
+}
+
+PartitionResult Finish(std::vector<std::vector<SubtaskPlacement>> parts,
+                       const rt::TaskSet& ts, unsigned num_cores,
+                       const overhead::OverheadModel& model,
+                       std::string algorithm) {
+  PartitionResult result;
+  result.algorithm = std::move(algorithm);
+  Partition p;
+  p.num_cores = num_cores;
+  p.policy = SchedPolicy::kEdf;
+  for (std::size_t ti = 0; ti < ts.size(); ++ti) {
+    PlacedTask pt;
+    pt.task = ts[ti];
+    pt.parts = std::move(parts[ti]);
+    p.tasks.push_back(std::move(pt));
+  }
+  const PartitionAnalysis verdict = AnalyzePartition(p, model);
+  if (!verdict.schedulable) {
+    result.failure_reason = "verifier rejected: " + verdict.failure_reason;
+    return result;
+  }
+  result.success = true;
+  result.partition = std::move(p);
+  return result;
+}
+
+}  // namespace
+
+PartitionResult EdfBinPack(const rt::TaskSet& ts, FitPolicy policy,
+                           const EdfPartitionConfig& cfg) {
+  PartitionResult fail;
+  fail.algorithm = std::string("EDF-") + ToString(policy);
+
+  std::vector<EdfCore> cores(cfg.num_cores);
+  std::vector<std::vector<SubtaskPlacement>> parts(ts.size());
+  const auto order = rt::OrderByDecreasingUtilization(ts);
+  unsigned next_fit_cursor = 0;
+
+  for (const std::size_t ti : order) {
+    const rt::Task& t = ts[ti];
+    const analysis::EdfCoreEntry cand = MakeNormal(t);
+    int chosen = -1;
+    std::vector<unsigned> core_order(cfg.num_cores);
+    std::iota(core_order.begin(), core_order.end(), 0u);
+    if (policy == FitPolicy::kBestFit || policy == FitPolicy::kWorstFit) {
+      std::stable_sort(core_order.begin(), core_order.end(),
+                       [&](unsigned a, unsigned b) {
+                         return policy == FitPolicy::kBestFit
+                                    ? cores[a].utilization >
+                                          cores[b].utilization
+                                    : cores[a].utilization <
+                                          cores[b].utilization;
+                       });
+    }
+    for (const unsigned c : core_order) {
+      if (policy == FitPolicy::kNextFit && c < next_fit_cursor) continue;
+      if (CoreAdmits(cores[c], cand, cfg.model)) {
+        chosen = static_cast<int>(c);
+        break;
+      }
+      if (policy == FitPolicy::kNextFit) ++next_fit_cursor;
+    }
+    if (chosen < 0) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "tau%u (u=%.3f) fits no core", t.id,
+                    t.utilization());
+      fail.failure_reason = buf;
+      return fail;
+    }
+    Commit(cores[static_cast<unsigned>(chosen)], cand);
+    parts[ti].push_back(SubtaskPlacement{
+        static_cast<CoreId>(chosen), t.wcet, 0, t.deadline});
+  }
+  return Finish(std::move(parts), ts, cfg.num_cores, cfg.model,
+                fail.algorithm);
+}
+
+PartitionResult EdfWm(const rt::TaskSet& ts, const EdfPartitionConfig& cfg) {
+  PartitionResult fail;
+  fail.algorithm = "EDF-WM";
+
+  std::vector<EdfCore> cores(cfg.num_cores);
+  std::vector<std::vector<SubtaskPlacement>> parts(ts.size());
+  const auto order = rt::OrderByDecreasingUtilization(ts);
+
+  for (const std::size_t ti : order) {
+    const rt::Task& t = ts[ti];
+
+    // 1) Whole task, first fit.
+    bool placed = false;
+    const analysis::EdfCoreEntry whole = MakeNormal(t);
+    for (unsigned c = 0; c < cfg.num_cores && !placed; ++c) {
+      if (CoreAdmits(cores[c], whole, cfg.model)) {
+        Commit(cores[c], whole);
+        parts[ti].push_back(SubtaskPlacement{c, t.wcet, 0, t.deadline});
+        placed = true;
+      }
+    }
+    if (placed) continue;
+
+    // 2) Window splitting: K equal windows, K = 2..m. Window j may land
+    //    on any core not already used by this task; take the first core
+    //    whose demand test admits the needed budget (or the largest
+    //    admissible budget, binary-searched).
+    for (unsigned k = 2; k <= cfg.num_cores && !placed; ++k) {
+      const Time window = t.deadline / k;
+      if (window <= cfg.min_budget) break;
+      std::vector<SubtaskPlacement> trial;
+      std::vector<analysis::EdfCoreEntry> trial_entries;
+      std::vector<unsigned> used;
+      Time remaining = t.wcet;
+      for (unsigned j = 0; j < k && remaining > 0; ++j) {
+        const Time wstart = static_cast<Time>(j) * window;
+        const Time wlen = (j + 1 == k)
+                              ? t.deadline - wstart  // absorb rounding
+                              : window;
+        const bool last_window = (j + 1 == k);
+        const Time want = std::min(remaining, wlen);
+        Time best = 0;
+        unsigned best_core = 0;
+        for (unsigned c = 0; c < cfg.num_cores; ++c) {
+          if (std::find(used.begin(), used.end(), c) != used.end()) {
+            continue;
+          }
+          // Largest admissible budget on this core for this window.
+          Time lo = cfg.min_budget;
+          Time hi = want;
+          Time got = 0;
+          while (lo <= hi) {
+            const Time mid_raw = lo + (hi - lo) / 2;
+            const Time mid =
+                std::max(cfg.min_budget,
+                         mid_raw - mid_raw % cfg.budget_granularity);
+            const analysis::EdfCoreEntry e = MakeWindowPart(
+                t, mid, wstart, wlen, j == 0,
+                last_window || mid == remaining);
+            if (CoreAdmits(cores[c], e, cfg.model)) {
+              got = mid;
+              lo = mid + cfg.budget_granularity;
+            } else {
+              hi = mid - cfg.budget_granularity;
+            }
+          }
+          if (got > best) {
+            best = got;
+            best_core = c;
+            if (best == want) break;  // cannot do better
+          }
+        }
+        if (best < cfg.min_budget) continue;  // this window contributes 0
+        const analysis::EdfCoreEntry e =
+            MakeWindowPart(t, best, wstart, wlen, j == 0,
+                           last_window || best == remaining);
+        trial_entries.push_back(e);
+        trial.push_back(SubtaskPlacement{best_core, best, 0,
+                                         wstart + wlen});
+        used.push_back(best_core);
+        remaining -= best;
+      }
+      if (remaining == 0) {
+        // Make the final part's window end exactly at the deadline (valid()
+        // requires it) and commit everything.
+        trial.back().rel_deadline = t.deadline;
+        for (std::size_t i = 0; i < trial.size(); ++i) {
+          Commit(cores[trial[i].core], trial_entries[i]);
+        }
+        parts[ti] = std::move(trial);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "tau%u (u=%.3f): no window split fits", t.id,
+                    t.utilization());
+      fail.failure_reason = buf;
+      return fail;
+    }
+  }
+  return Finish(std::move(parts), ts, cfg.num_cores, cfg.model, "EDF-WM");
+}
+
+}  // namespace sps::partition

@@ -1,0 +1,49 @@
+#pragma once
+// EDF partitioning — the dynamic-priority counterpart of binpack.hpp and
+// spa.hpp, following the paper's remark (§2) that its scheduler design
+// extends to EDF-based semi-partitioned algorithms (the Kato & Yamasaki
+// line of work: references [5]-[7] of the paper).
+//
+//   * EdfBinPack: partitioned EDF with decreasing-utilization first/best/
+//     worst fit, admission by the exact processor-demand test with the
+//     full overhead model charged (analysis/edf.hpp).
+//
+//   * EdfWm: semi-partitioned EDF with WINDOW-BASED splitting in the
+//     style of EDF-WM (Kato et al.): a task that fits nowhere whole has
+//     its deadline divided into K equal windows; window j becomes a
+//     sporadic (B_j, T, D/K) "subtask" on its own core, released when the
+//     previous window's budget is exhausted and due at its window end.
+//     Budgets are sized per core by binary search under the demand test;
+//     K is grown from 2 to num_cores until the budgets cover C. The
+//     runtime semantics are exactly the paper's (body budgets, migration
+//     to the next core's ready queue, tail returning to the first core's
+//     sleep queue) — only the queue ordering key changes to absolute
+//     window deadlines, which the simulator implements as
+//     SchedPolicy::kEdf.
+//
+// Both partitioners gate their result through the EDF partition verifier
+// (verify.hpp / AnalyzePartition dispatches on Partition::policy).
+
+#include "overhead/model.hpp"
+#include "partition/binpack.hpp"
+#include "partition/placement.hpp"
+#include "rt/taskset.hpp"
+
+namespace sps::partition {
+
+struct EdfPartitionConfig {
+  unsigned num_cores = 4;
+  overhead::OverheadModel model = overhead::OverheadModel::Zero();
+  /// Budget search resolution / smallest useful sliver (as in SpaConfig).
+  Time budget_granularity = Micros(10);
+  Time min_budget = Micros(100);
+};
+
+/// Partitioned EDF (no splitting) with the given fit policy.
+PartitionResult EdfBinPack(const rt::TaskSet& ts, FitPolicy policy,
+                           const EdfPartitionConfig& cfg);
+
+/// Semi-partitioned EDF with window-based splitting (EDF-WM style).
+PartitionResult EdfWm(const rt::TaskSet& ts, const EdfPartitionConfig& cfg);
+
+}  // namespace sps::partition

@@ -1,0 +1,116 @@
+#include "partition/placement.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <unordered_set>
+
+namespace sps::partition {
+
+Time PlacedTask::total_budget() const {
+  Time sum = 0;
+  for (const SubtaskPlacement& p : parts) sum += p.budget;
+  return sum;
+}
+
+std::size_t PlacedTask::part_on(CoreId core) const {
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].core == core) return i;
+  }
+  return SIZE_MAX;
+}
+
+std::size_t Partition::entries_on(CoreId core) const {
+  std::size_t n = 0;
+  for (const PlacedTask& pt : tasks) {
+    if (pt.part_on(core) != SIZE_MAX) ++n;
+  }
+  return n;
+}
+
+double Partition::core_utilization(CoreId core) const {
+  double u = 0.0;
+  for (const PlacedTask& pt : tasks) {
+    const std::size_t k = pt.part_on(core);
+    if (k == SIZE_MAX) continue;
+    u += static_cast<double>(pt.parts[k].budget) /
+         static_cast<double>(pt.task.period);
+  }
+  return u;
+}
+
+unsigned Partition::num_split_tasks() const {
+  unsigned n = 0;
+  for (const PlacedTask& pt : tasks) {
+    if (pt.split()) ++n;
+  }
+  return n;
+}
+
+unsigned Partition::migrations_per_period() const {
+  unsigned n = 0;
+  for (const PlacedTask& pt : tasks) {
+    if (pt.split()) n += static_cast<unsigned>(pt.parts.size() - 1);
+  }
+  return n;
+}
+
+bool Partition::valid() const {
+  std::vector<std::set<rt::Priority>> prios(num_cores);
+  for (const PlacedTask& pt : tasks) {
+    if (pt.parts.empty()) return false;
+    if (pt.total_budget() != pt.task.wcet) return false;
+    std::unordered_set<CoreId> cores_seen;
+    Time last_window = 0;
+    for (const SubtaskPlacement& p : pt.parts) {
+      if (p.core >= num_cores) return false;
+      if (p.budget <= 0) return false;
+      if (!cores_seen.insert(p.core).second) return false;  // dup core
+      if (policy == SchedPolicy::kFixedPriority) {
+        // FP needs unique per-core priorities.
+        if (!prios[p.core].insert(p.local_priority).second) return false;
+      } else if (pt.split()) {
+        // EDF split parts need strictly increasing window deadlines that
+        // end exactly at the task deadline.
+        if (p.rel_deadline <= last_window) return false;
+        last_window = p.rel_deadline;
+      }
+    }
+    if (policy == SchedPolicy::kEdf && pt.split() &&
+        pt.parts.back().rel_deadline != pt.task.deadline) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Partition::summary() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%u cores, %zu tasks (%u split, %u migrations/period)\n",
+                num_cores, tasks.size(), num_split_tasks(),
+                migrations_per_period());
+  out += buf;
+  for (CoreId c = 0; c < num_cores; ++c) {
+    std::snprintf(buf, sizeof(buf), "  core %u: U=%.3f, %zu entries:", c,
+                  core_utilization(c), entries_on(c));
+    out += buf;
+    for (const PlacedTask& pt : tasks) {
+      const std::size_t k = pt.part_on(c);
+      if (k == SIZE_MAX) continue;
+      if (pt.split()) {
+        std::snprintf(buf, sizeof(buf), " tau%u[%zu/%zu,B=%.1fus]",
+                      pt.task.id, k + 1, pt.parts.size(),
+                      ToMicros(pt.parts[k].budget));
+      } else {
+        std::snprintf(buf, sizeof(buf), " tau%u", pt.task.id);
+      }
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sps::partition

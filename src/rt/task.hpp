@@ -1,0 +1,62 @@
+#pragma once
+// Sporadic/periodic task model.
+//
+// The paper schedules implicit-deadline sporadic tasks (the FP-TS
+// algorithm of Guan et al., RTAS 2010, targets Liu & Layland's bound,
+// which is stated for implicit deadlines). We carry an explicit deadline
+// field anyway so the analysis layer can also handle constrained
+// deadlines; generators default to D = T.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/time.hpp"
+
+namespace sps::rt {
+
+using TaskId = std::uint32_t;
+
+/// Numeric scheduling priority. LOWER value = HIGHER priority (matches the
+/// "priority order" wording of the paper's scheduler and the usual RTOS
+/// convention). Unique per task within a task set once assigned.
+using Priority = std::uint32_t;
+
+inline constexpr Priority kPriorityUnassigned = UINT32_MAX;
+
+struct Task {
+  TaskId id = 0;
+  Time wcet = 0;      ///< C: worst-case execution time
+  Time period = 0;    ///< T: period / minimum inter-arrival
+  Time deadline = 0;  ///< D: relative deadline (= period if implicit)
+  Priority priority = kPriorityUnassigned;
+
+  [[nodiscard]] double utilization() const {
+    return static_cast<double>(wcet) / static_cast<double>(period);
+  }
+
+  /// Density C/min(D,T); equals utilization for implicit deadlines.
+  [[nodiscard]] double density() const {
+    const Time d = deadline < period ? deadline : period;
+    return static_cast<double>(wcet) / static_cast<double>(d);
+  }
+
+  [[nodiscard]] bool implicit_deadline() const { return deadline == period; }
+
+  /// A task is well-formed if 0 < C <= D <= T.
+  [[nodiscard]] bool valid() const {
+    return wcet > 0 && wcet <= deadline && deadline <= period;
+  }
+
+  friend bool operator==(const Task&, const Task&) = default;
+};
+
+/// Construct an implicit-deadline task.
+inline Task MakeTask(TaskId id, Time wcet, Time period) {
+  return Task{.id = id, .wcet = wcet, .period = period, .deadline = period};
+}
+
+/// Human-readable one-liner, e.g. "tau3(C=2ms, T=10ms, U=0.200)".
+std::string ToString(const Task& t);
+
+}  // namespace sps::rt

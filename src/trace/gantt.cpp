@@ -1,0 +1,131 @@
+#include "trace/gantt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+#include <map>
+
+namespace sps::trace {
+
+namespace {
+
+char TaskGlyph(rt::TaskId id) {
+  const unsigned v = id % 36;
+  return v < 10 ? static_cast<char>('0' + v)
+                : static_cast<char>('a' + (v - 10));
+}
+
+}  // namespace
+
+std::string RenderGantt(const std::vector<Event>& events,
+                        const GanttOptions& opt) {
+  if (events.empty()) return "(empty trace)\n";
+
+  Time end = opt.end;
+  unsigned cores = opt.num_cores;
+  for (const Event& e : events) {
+    if (opt.end == 0) end = std::max(end, e.time + e.duration);
+    if (opt.num_cores == 0) cores = std::max(cores, e.core + 1);
+  }
+  if (end <= opt.start) return "(empty window)\n";
+  const double span = static_cast<double>(end - opt.start);
+  const unsigned cols = std::max(10u, opt.columns);
+
+  // Reconstruct per-core activity: walk events keeping the running task
+  // and overhead state per core.
+  std::vector<std::string> rows(cores, std::string(cols, '.'));
+  struct CoreCursor {
+    Time seg_start = 0;
+    char glyph = 0;  // 0 = nothing active
+  };
+  std::vector<CoreCursor> cur(cores);
+
+  auto col_of = [&](Time t) -> long {
+    const double frac =
+        static_cast<double>(t - opt.start) / span;
+    return std::lround(frac * (cols - 1));
+  };
+  auto paint = [&](unsigned core, Time from, Time to, char glyph) {
+    if (to < opt.start || from > end || glyph == 0) return;
+    const long a = std::clamp<long>(col_of(std::max(from, opt.start)), 0,
+                                    cols - 1);
+    const long b = std::clamp<long>(col_of(std::min(to, end)), 0, cols - 1);
+    for (long i = a; i <= b; ++i) rows[core][static_cast<size_t>(i)] = glyph;
+  };
+
+  for (const Event& e : events) {
+    if (e.core >= cores) continue;
+    CoreCursor& c = cur[e.core];
+    switch (e.kind) {
+      case EventKind::kStart:
+        c.seg_start = e.time;
+        c.glyph = TaskGlyph(e.task);
+        break;
+      case EventKind::kPreempt:
+      case EventKind::kFinish:
+      case EventKind::kMigrateOut:
+      case EventKind::kIdle:
+        if (c.glyph != 0) {
+          paint(e.core, c.seg_start, e.time, c.glyph);
+          c.glyph = 0;
+        }
+        break;
+      case EventKind::kOverheadBegin:
+        if (c.glyph != 0) {
+          paint(e.core, c.seg_start, e.time, c.glyph);
+          c.glyph = 0;
+        }
+        paint(e.core, e.time, e.time + e.duration, '#');
+        break;
+      default:
+        break;
+    }
+  }
+  // Flush any still-running segments.
+  for (unsigned core = 0; core < cores; ++core) {
+    if (cur[core].glyph != 0) {
+      paint(core, cur[core].seg_start, end, cur[core].glyph);
+    }
+  }
+
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "time %.3fms .. %.3fms  ('#' overhead, '.' idle)\n",
+                ToMillis(opt.start), ToMillis(end));
+  out += buf;
+  for (unsigned core = 0; core < cores; ++core) {
+    std::snprintf(buf, sizeof(buf), "core%u |", core);
+    out += buf;
+    out += rows[core];
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string ToCsv(const std::vector<Event>& events) {
+  std::string out = "time_ns,core,kind,overhead,task,job,duration_ns\n";
+  char buf[160];
+  for (const Event& e : events) {
+    std::snprintf(buf, sizeof(buf), "%lld,%u,%s,%s,%u,%llu,%lld\n",
+                  static_cast<long long>(e.time), e.core, ToString(e.kind),
+                  ToString(e.overhead), e.task,
+                  static_cast<unsigned long long>(e.job),
+                  static_cast<long long>(e.duration));
+    out += buf;
+  }
+  return out;
+}
+
+std::string RenderEventLog(const std::vector<Event>& events, Time start,
+                           Time end) {
+  std::string out;
+  for (const Event& e : events) {
+    if (e.time < start || e.time > end) continue;
+    out += FormatEvent(e);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sps::trace

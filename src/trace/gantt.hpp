@@ -1,0 +1,36 @@
+#pragma once
+// ASCII Gantt rendering of a simulator trace: one row per core, time
+// flowing right, task digits for execution, '#' for scheduler overhead,
+// '.' for idle. Used by the split_trace example and the Figure-1 bench to
+// make migrations visible.
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace sps::trace {
+
+struct GanttOptions {
+  Time start = 0;
+  Time end = 0;        ///< 0 = last event time
+  unsigned columns = 100;
+  unsigned num_cores = 0;  ///< 0 = infer from events
+};
+
+/// Render the trace as ASCII art. Tasks are labeled by the last digit of
+/// their id ('0'-'9', then 'a'-'z' cycling).
+std::string RenderGantt(const std::vector<Event>& events,
+                        const GanttOptions& opt);
+
+/// Plain listing of every event (FormatEvent per line), optionally
+/// restricted to [start, end].
+std::string RenderEventLog(const std::vector<Event>& events, Time start = 0,
+                           Time end = kTimeNever);
+
+/// Machine-readable CSV (header + one row per event): time_ns, core,
+/// kind, overhead, task, job, duration_ns. For offline plotting of
+/// simulator traces.
+std::string ToCsv(const std::vector<Event>& events);
+
+}  // namespace sps::trace

@@ -1,0 +1,58 @@
+#include "trace/trace.hpp"
+
+#include <cstdio>
+
+namespace sps::trace {
+
+const char* ToString(EventKind k) {
+  switch (k) {
+    case EventKind::kRelease: return "RELEASE";
+    case EventKind::kStart: return "START";
+    case EventKind::kPreempt: return "PREEMPT";
+    case EventKind::kFinish: return "FINISH";
+    case EventKind::kMigrateOut: return "MIGRATE_OUT";
+    case EventKind::kMigrateIn: return "MIGRATE_IN";
+    case EventKind::kDeadlineMiss: return "DEADLINE_MISS";
+    case EventKind::kJobShed: return "JOB_SHED";
+    case EventKind::kOverheadBegin: return "OVH_BEGIN";
+    case EventKind::kOverheadEnd: return "OVH_END";
+    case EventKind::kIdle: return "IDLE";
+  }
+  return "?";
+}
+
+const char* ToString(OverheadKind k) {
+  switch (k) {
+    case OverheadKind::kNone: return "-";
+    case OverheadKind::kRls: return "rls";
+    case OverheadKind::kSch: return "sch";
+    case OverheadKind::kCnt1: return "cnt1";
+    case OverheadKind::kCnt2: return "cnt2";
+    case OverheadKind::kCache: return "cache";
+  }
+  return "?";
+}
+
+std::string FormatEvent(const Event& e) {
+  char buf[160];
+  if (e.kind == EventKind::kOverheadBegin ||
+      e.kind == EventKind::kOverheadEnd) {
+    std::snprintf(buf, sizeof(buf),
+                  "[%12.3fms] core%u %-13s %-5s tau%u job%llu (%.1fus)",
+                  ToMillis(e.time), e.core, ToString(e.kind),
+                  ToString(e.overhead), e.task,
+                  static_cast<unsigned long long>(e.job),
+                  ToMicros(e.duration));
+  } else if (e.kind == EventKind::kIdle) {
+    std::snprintf(buf, sizeof(buf), "[%12.3fms] core%u %-13s",
+                  ToMillis(e.time), e.core, ToString(e.kind));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "[%12.3fms] core%u %-13s tau%u job%llu",
+                  ToMillis(e.time), e.core, ToString(e.kind), e.task,
+                  static_cast<unsigned long long>(e.job));
+  }
+  return buf;
+}
+
+}  // namespace sps::trace

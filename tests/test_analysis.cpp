@@ -1,0 +1,267 @@
+// Tests for the analysis layer: utilization bounds, exact RTA (with
+// jitter and release costs), and the overhead-aware inflation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/overhead_aware.hpp"
+#include "analysis/rta.hpp"
+#include "overhead/model.hpp"
+#include "rt/task.hpp"
+
+namespace sps::analysis {
+namespace {
+
+using overhead::OverheadModel;
+
+TEST(Bounds, LiuLaylandKnownValues) {
+  EXPECT_DOUBLE_EQ(LiuLaylandBound(1), 1.0);
+  EXPECT_NEAR(LiuLaylandBound(2), 0.8284, 1e-4);
+  EXPECT_NEAR(LiuLaylandBound(3), 0.7798, 1e-4);
+  EXPECT_NEAR(LiuLaylandBound(4), 0.7568, 1e-4);
+  EXPECT_NEAR(LiuLaylandBound(1000), kLiuLaylandLimit, 1e-3);
+}
+
+TEST(Bounds, LiuLaylandMonotoneDecreasing) {
+  for (std::size_t n = 1; n < 64; ++n) {
+    EXPECT_GT(LiuLaylandBound(n), LiuLaylandBound(n + 1));
+  }
+}
+
+TEST(Bounds, HyperbolicDominatesLiuLayland) {
+  // A set accepted by L&L is always accepted by the hyperbolic bound.
+  const std::vector<double> u = {0.25, 0.25, 0.25};  // sum 0.75 < 0.7798
+  EXPECT_TRUE(LiuLaylandTest(u));
+  EXPECT_TRUE(HyperbolicTest(u));
+  // The classic case hyperbolic accepts but L&L rejects.
+  const std::vector<double> v = {0.5, 0.5};  // sum 1.0 > 0.8284
+  EXPECT_FALSE(LiuLaylandTest(v));
+  // prod(1.5 * 1.5) = 2.25 > 2 -> also rejected; pick asymmetric instead:
+  const std::vector<double> w = {0.6, 0.25};  // sum 0.85 > 0.8284
+  EXPECT_FALSE(LiuLaylandTest(w));
+  EXPECT_TRUE(HyperbolicTest(w));  // 1.6 * 1.25 = 2.0
+}
+
+// ---- exact RTA ------------------------------------------------------------
+
+RtaTask T(Time c, Time t, rt::Priority p, Time d = 0) {
+  RtaTask x;
+  x.wcet = c;
+  x.period = t;
+  x.deadline = d == 0 ? t : d;
+  x.priority = p;
+  return x;
+}
+
+TEST(Rta, TextbookExample) {
+  // Classic: C=(1,2,3), T=(4,6,10): R1=1, R2=3, R3=10 (schedulable).
+  std::vector<RtaTask> ts = {T(1, 4, 0), T(2, 6, 1), T(3, 10, 2)};
+  const RtaResult r = AnalyzeCore(ts);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_EQ(r.response[0], 1);
+  EXPECT_EQ(r.response[1], 3);
+  EXPECT_EQ(r.response[2], 10);
+}
+
+TEST(Rta, DetectsUnschedulable) {
+  // Overload: C=(2,3,4), T=(4,6,8) -> U = 1.5. Already tau1 fails:
+  // R = 3 + 2*ceil(R/4) -> 7 > 6.
+  std::vector<RtaTask> ts = {T(2, 4, 0), T(3, 6, 1), T(4, 8, 2)};
+  const RtaResult r = AnalyzeCore(ts);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_EQ(r.first_failure, 1u);
+  EXPECT_EQ(r.response[1], kTimeNever);
+  EXPECT_EQ(r.response[2], kTimeNever);
+}
+
+TEST(Rta, ExactlyFullUtilizationHarmonicIsSchedulable) {
+  // Harmonic periods reach U=1: C=(1,1,2), T=(2,4,8).
+  std::vector<RtaTask> ts = {T(1, 2, 0), T(1, 4, 1), T(2, 8, 2)};
+  const RtaResult r = AnalyzeCore(ts);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_EQ(r.response[2], 8);
+}
+
+TEST(Rta, JitterIncreasesInterferenceOnOthers) {
+  // Higher-priority task with jitter can hit twice in a short window.
+  std::vector<RtaTask> ts = {T(2, 10, 0), T(7, 12, 1)};
+  EXPECT_TRUE(AnalyzeCore(ts).schedulable);
+  ts[0].jitter = 9;  // arrivals at R+9 -> two hits within R2's window
+  const RtaResult r = AnalyzeCore(ts);
+  EXPECT_EQ(r.response[1], 11);  // 7 + 2*2
+}
+
+TEST(Rta, JitterCountsAgainstOwnDeadline) {
+  std::vector<RtaTask> ts = {T(5, 10, 0)};
+  ts[0].jitter = 6;  // R + J = 11 > D = 10
+  EXPECT_FALSE(AnalyzeCore(ts).schedulable);
+  ts[0].jitter = 5;
+  EXPECT_TRUE(AnalyzeCore(ts).schedulable);
+}
+
+TEST(Rta, ReleaseCostChargedForLowerPriorityTasksToo) {
+  // tau0 (high prio) is delayed by tau1's release overhead even though
+  // tau1 cannot preempt it.
+  std::vector<RtaTask> ts = {T(5, 10, 0), T(1, 10, 1)};
+  EXPECT_EQ(AnalyzeCore(ts).response[0], 5);
+  ts[1].release_cost = 2;
+  EXPECT_EQ(AnalyzeCore(ts).response[0], 7);
+}
+
+TEST(Rta, InterferenceOnlyEntriesAreNotChecked) {
+  // An interference-only entry with an impossible deadline must not fail
+  // the analysis, but must still delay others.
+  std::vector<RtaTask> ts = {T(4, 10, 0), T(5, 10, 1)};
+  ts[0].check = false;
+  ts[0].deadline = 1;  // would fail if checked
+  const RtaResult r = AnalyzeCore(ts);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_EQ(r.response[1], 9);
+}
+
+TEST(Rta, ResponseMonotoneInWcet) {
+  for (Time c = 1; c <= 6; ++c) {
+    std::vector<RtaTask> ts = {T(c, 10, 0), T(3, 15, 1)};
+    const Time prev_c = c - 1;
+    if (prev_c >= 1) {
+      std::vector<RtaTask> prev = {T(prev_c, 10, 0), T(3, 15, 1)};
+      EXPECT_LE(AnalyzeCore(prev).response[1], AnalyzeCore(ts).response[1]);
+    }
+  }
+}
+
+// ---- arbitrary-deadline (busy-window) RTA ---------------------------------
+
+TEST(RtaArbitrary, MatchesSingleJobAnalysisForConstrainedSets) {
+  std::vector<RtaTask> ts = {T(1, 4, 0), T(2, 6, 1), T(3, 10, 2)};
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(ResponseTimeArbitrary(ts, i, Millis(1)),
+              ResponseTime(ts, i, Millis(1)));
+  }
+}
+
+TEST(RtaArbitrary, LehoczkyExample) {
+  // THE classic busy-window example: (C=26,T=70) + (C=62,T=100,D=118).
+  // The level-2 busy window is 694 long and holds SEVEN jobs of tau2 with
+  // responses 114, 102, 116, 104, 118, 106, 94 — the worst (118) is the
+  // FIFTH instance; any single-job analysis underestimates at 114.
+  std::vector<RtaTask> ts = {T(26, 70, 0), T(62, 100, 1, 118)};
+  EXPECT_EQ(ResponseTimeArbitrary(ts, 1, Millis(1)), 118);
+  EXPECT_TRUE(AnalyzeCore(ts).schedulable);  // exactly meets D = 118
+  ts[1].deadline = 117;
+  EXPECT_FALSE(AnalyzeCore(ts).schedulable);
+}
+
+TEST(RtaArbitrary, BacklogCarriesAcrossPeriodBoundary) {
+  // (C=52,T=100) hp + (C=52,T=140,D=300) lp: the first job finishes at
+  // 156 — after its own period — so the second job starts backlogged
+  // (window 260, responses 156 and 120).
+  std::vector<RtaTask> ts = {T(52, 100, 0), T(52, 140, 1, 300)};
+  const Time r = ResponseTimeArbitrary(ts, 1, Millis(10));
+  EXPECT_EQ(r, 156);
+  EXPECT_GT(r, ts[1].period);
+  const RtaResult res = AnalyzeCore(ts);
+  EXPECT_TRUE(res.schedulable);
+  EXPECT_EQ(res.response[1], 156);
+}
+
+TEST(RtaArbitrary, DetectsOverloadByWindowDivergence) {
+  std::vector<RtaTask> ts = {T(60, 100, 0), T(60, 100, 1, 500)};
+  EXPECT_EQ(ResponseTimeArbitrary(ts, 1, Millis(1)), kTimeNever);
+  EXPECT_FALSE(AnalyzeCore(ts).schedulable);
+}
+
+TEST(RtaArbitrary, DeadlineBeyondPeriodAcceptsWhatConstrainedCannot) {
+  // U = 1.0 exactly, non-harmonic: tau2's busy window spans 3 jobs with
+  // responses (11, 12, 10) — infeasible under D = T = 10, fine at D = 20.
+  std::vector<RtaTask> ts = {T(3, 6, 0), T(5, 10, 1, 20)};
+  const RtaResult res = AnalyzeCore(ts);
+  EXPECT_TRUE(res.schedulable) << res.response[1];
+  EXPECT_EQ(res.response[1], 12);
+  EXPECT_GT(res.response[1], ts[1].period);  // genuinely arbitrary
+}
+
+// ---- overhead-aware inflation ----------------------------------------------
+
+CoreEntry E(Time exec, Time period, rt::Priority prio,
+            EntryKind kind = EntryKind::kNormal) {
+  CoreEntry e;
+  e.exec = exec;
+  e.period = period;
+  e.deadline = period;
+  e.priority = prio;
+  e.kind = kind;
+  return e;
+}
+
+TEST(OverheadAware, ZeroModelIsIdentity) {
+  const OverheadModel zero = OverheadModel::Zero();
+  std::vector<CoreEntry> entries = {E(Millis(1), Millis(10), 0),
+                                    E(Millis(2), Millis(20), 1)};
+  const auto inflated = InflateCore(entries, zero);
+  ASSERT_EQ(inflated.size(), 2u);
+  EXPECT_EQ(inflated[0].wcet, Millis(1));
+  EXPECT_EQ(inflated[0].release_cost, 0);
+  EXPECT_EQ(inflated[1].wcet, Millis(2));
+}
+
+TEST(OverheadAware, PaperModelInflatesEverything) {
+  const OverheadModel m = OverheadModel::PaperCoreI7();
+  std::vector<CoreEntry> entries = {E(Millis(1), Millis(10), 0)};
+  const auto inflated = InflateCore(entries, m);
+  EXPECT_GT(inflated[0].wcet, Millis(1));
+  EXPECT_GT(inflated[0].release_cost, 0);
+  // Inflation must contain at least the start path (sch + cnt1) and the
+  // finish path (sch + cnt2).
+  const Time floor = m.sched_overhead(1, true) + m.ctxsw_in_overhead() +
+                     m.sched_overhead(1, false) +
+                     m.finish_overhead_normal(1);
+  EXPECT_GE(inflated[0].wcet - Millis(1), floor);
+}
+
+TEST(OverheadAware, MigratedEntriesPayMigrationCpmd) {
+  const OverheadModel m = OverheadModel::PaperCoreI7();
+  const Time normal = InflatedExec(E(Millis(1), Millis(10), 0), m, 4);
+  CoreEntry tail = E(Millis(1), Millis(10), 0, EntryKind::kTail);
+  const Time tail_cost = InflatedExec(tail, m, 4);
+  // Tail pays migration CPMD on top and a remote (not local) sleep insert.
+  EXPECT_GT(tail_cost, normal);
+}
+
+TEST(OverheadAware, BodyChargesRemoteInsertAtDestinationSize) {
+  const OverheadModel m = OverheadModel::PaperCoreI7();
+  CoreEntry small = E(Millis(1), Millis(10), 0, EntryKind::kBodyFirst);
+  small.dest_queue_size = 4;
+  CoreEntry big = small;
+  big.dest_queue_size = 64;
+  EXPECT_LT(InflatedExec(small, m, 4), InflatedExec(big, m, 4));
+}
+
+TEST(OverheadAware, ReleaseCostDiffersByArrivalType) {
+  const OverheadModel m = OverheadModel::PaperCoreI7();
+  std::vector<CoreEntry> entries = {
+      E(Millis(1), Millis(10), 0),                        // timer release
+      E(Millis(1), Millis(10), 1, EntryKind::kTail)};     // migration
+  const auto inflated = InflateCore(entries, m);
+  EXPECT_EQ(inflated[0].release_cost, m.release_overhead(2));
+  EXPECT_EQ(inflated[1].release_cost, m.sched_overhead(2, true));
+}
+
+TEST(OverheadAware, ScaledModelScalesMonotonically) {
+  std::vector<CoreEntry> entries = {E(Millis(1), Millis(5), 0),
+                                    E(Millis(1), Millis(8), 1),
+                                    E(Millis(2), Millis(20), 2)};
+  Time last_response = 0;
+  for (const double scale : {0.0, 1.0, 2.0, 5.0}) {
+    const OverheadModel m = OverheadModel::PaperScaled(scale);
+    const RtaResult r = AnalyzeCoreWithOverheads(entries, m);
+    ASSERT_TRUE(r.schedulable) << "scale " << scale;
+    EXPECT_GE(r.response[2], last_response);
+    last_response = r.response[2];
+  }
+}
+
+}  // namespace
+}  // namespace sps::analysis

@@ -1,0 +1,183 @@
+// Tests for the cache substrate: the analytical CPMD model must encode the
+// paper's §3 findings, and the empirical LRU simulator must agree with it
+// qualitatively.
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_model.hpp"
+#include "cache/cpmd.hpp"
+#include "cache/lru_sim.hpp"
+
+namespace sps::cache {
+namespace {
+
+TEST(CacheConfig, CoreI7Defaults) {
+  const CacheConfig c = CacheConfig::CoreI7();
+  EXPECT_EQ(c.private_bytes(), (32u + 256u) << 10);
+  EXPECT_EQ(c.l3_bytes, 8u << 20);
+  EXPECT_EQ(c.lines(64), 1u);
+  EXPECT_EQ(c.lines(65), 2u);
+  EXPECT_EQ(c.lines(0), 0u);
+}
+
+TEST(Cpmd, MigrationDelayGrowsWithWss) {
+  const CpmdModel m(CacheConfig::CoreI7());
+  Time last = -1;
+  for (std::size_t wss = 1u << 10; wss <= 16u << 20; wss *= 2) {
+    const Time d = m.migration_resume_delay(wss);
+    EXPECT_GT(d, last);
+    last = d;
+  }
+}
+
+TEST(Cpmd, PaperFinding_RealisticWssMakesMigrationAndLocalComparable) {
+  // "in general the cache-related overhead due to task migrations and
+  // local context switches is in the same order of magnitude" — because a
+  // realistic preemptor footprint flushes the private levels either way.
+  const CpmdModel m(CacheConfig::CoreI7());
+  const std::size_t wss = 512u << 10;        // larger than private (288K)
+  const std::size_t preemptor = 512u << 10;  // realistic application
+  const double ratio = m.migration_penalty_ratio(wss, preemptor);
+  EXPECT_LT(ratio, 2.0);  // same order of magnitude
+  EXPECT_GE(ratio, 1.0);  // migration never cheaper
+}
+
+TEST(Cpmd, PaperFinding_TinyWssMakesLocalMuchCheaper) {
+  // "if an application has generally very small working space ... the
+  // cache-related delay of local context switches would be significantly
+  // smaller than task migrations".
+  const CpmdModel m(CacheConfig::CoreI7());
+  const std::size_t wss = 16u << 10;       // fits in private cache
+  const std::size_t preemptor = 8u << 10;  // tiny preemptor footprint
+  const double ratio = m.migration_penalty_ratio(wss, preemptor);
+  EXPECT_GT(ratio, 3.0);
+}
+
+TEST(Cpmd, SharedLlcIsWhatKeepsMigrationCheap) {
+  // Ablation: without a shared L3, migration reloads from memory and the
+  // "same order of magnitude" finding disappears even at realistic sizes.
+  const CpmdModel shared(CacheConfig::CoreI7());
+  const CpmdModel priv(CacheConfig::PrivateLlcOnly());
+  const std::size_t wss = 256u << 10;
+  EXPECT_GT(priv.migration_resume_delay(wss),
+            2 * shared.migration_resume_delay(wss));
+}
+
+TEST(Cpmd, LocalDelayMonotoneInPreemptorFootprint) {
+  const CpmdModel m(CacheConfig::CoreI7());
+  const std::size_t wss = 128u << 10;
+  Time last = -1;
+  for (std::size_t fp = 0; fp <= 1u << 20; fp += 64u << 10) {
+    const Time d = m.local_resume_delay(wss, fp);
+    EXPECT_GE(d, last);
+    last = d;
+  }
+  // Saturates once the private levels are fully flushed.
+  EXPECT_EQ(m.local_resume_delay(wss, 1u << 20),
+            m.local_resume_delay(wss, 2u << 20));
+}
+
+TEST(Cpmd, LocalNeverExceedsMigration) {
+  const CpmdModel m(CacheConfig::CoreI7());
+  for (std::size_t wss = 4u << 10; wss <= 4u << 20; wss *= 4) {
+    for (std::size_t fp = 0; fp <= 2u << 20; fp += 512u << 10) {
+      EXPECT_LE(m.local_resume_delay(wss, fp),
+                m.migration_resume_delay(wss) + 1);
+    }
+  }
+}
+
+// ---- LRU cache simulator ---------------------------------------------------
+
+TEST(LruCache, HitsAfterFill) {
+  LruCache c(4096, 4, 64);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  // Direct-mapped-ish tiny cache: 2 sets x 2 ways x 64B = 256B.
+  LruCache c(256, 2, 64);
+  // Three lines mapping to set 0: line numbers 0, 2, 4 (even -> set 0).
+  c.access(0 * 64);
+  c.access(2 * 64);
+  c.access(0 * 64);      // 0 is now MRU
+  c.access(4 * 64);      // evicts line 2 (LRU)
+  EXPECT_TRUE(c.contains(0 * 64));
+  EXPECT_FALSE(c.contains(2 * 64));
+  EXPECT_TRUE(c.contains(4 * 64));
+}
+
+TEST(LruCache, NullCacheMissesEverything) {
+  LruCache c(0, 4, 64);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(LruCache, FlushEmpties) {
+  LruCache c(4096, 4, 64);
+  c.access(0);
+  c.flush();
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(TwoLevelSim, PrivateHitIsCheapest) {
+  const CacheConfig cfg = CacheConfig::CoreI7();
+  TwoLevelCacheSim sim(cfg, 2);
+  const Time first = sim.access(0, 0);    // memory
+  const Time second = sim.access(0, 0);   // private hit
+  EXPECT_EQ(first, cfg.memory_per_line);
+  EXPECT_EQ(second, cfg.l2_hit_per_line);
+}
+
+TEST(TwoLevelSim, CrossCoreServedByShared) {
+  const CacheConfig cfg = CacheConfig::CoreI7();
+  TwoLevelCacheSim sim(cfg, 2);
+  sim.access(0, 0);                      // fill both levels via core 0
+  const Time other = sim.access(1, 0);   // core 1 misses private, hits L3
+  EXPECT_EQ(other, cfg.l3_hit_per_line);
+}
+
+TEST(ProbeCpmd, EmpiricalMatchesAnalyticalShape) {
+  const CacheConfig cfg = CacheConfig::CoreI7();
+  // Realistic: both costs within 2x of each other.
+  {
+    const CpmdProbeResult r = ProbeCpmd(cfg, 512u << 10, 512u << 10);
+    EXPECT_GT(r.local_resume_cost, 0);
+    EXPECT_LE(r.migration_resume_cost, 2 * r.local_resume_cost);
+  }
+  // Tiny working set + tiny preemptor: migration clearly worse.
+  {
+    const CpmdProbeResult r = ProbeCpmd(cfg, 16u << 10, 4u << 10);
+    EXPECT_GT(r.migration_resume_cost, 2 * r.local_resume_cost);
+  }
+}
+
+class CpmdWssSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CpmdWssSweep, AnalyticalAndEmpiricalAgreeOnRatioRegime) {
+  const std::size_t wss = GetParam();
+  const CacheConfig cfg = CacheConfig::CoreI7();
+  const CpmdModel model(cfg);
+  const std::size_t preemptor = 512u << 10;  // realistic preemptor
+  const double analytical = model.migration_penalty_ratio(wss, preemptor);
+  const CpmdProbeResult probe = ProbeCpmd(cfg, wss, preemptor);
+  const double empirical =
+      static_cast<double>(probe.migration_resume_cost) /
+      static_cast<double>(std::max<Time>(1, probe.local_resume_cost));
+  // Same regime: either both say "comparable" (< 2x) or both say
+  // "migration much worse" (>= 2x).
+  EXPECT_EQ(analytical < 2.0, empirical < 2.0)
+      << "wss=" << wss << " analytical=" << analytical
+      << " empirical=" << empirical;
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkingSets, CpmdWssSweep,
+                         ::testing::Values(64u << 10, 128u << 10,
+                                           512u << 10, 1u << 20, 4u << 20));
+
+}  // namespace
+}  // namespace sps::cache

@@ -1,0 +1,299 @@
+// Tests for the EDF extension: demand-bound analysis, partitioned EDF,
+// EDF-WM window splitting, the EDF simulator policy, and the end-to-end
+// soundness property (accepted => no simulated misses).
+
+#include <gtest/gtest.h>
+
+#include "analysis/edf.hpp"
+#include "overhead/model.hpp"
+#include "partition/edf_wm.hpp"
+#include "partition/verify.hpp"
+#include "rt/generator.hpp"
+#include "sim/engine.hpp"
+
+namespace sps {
+namespace {
+
+using analysis::Dbf;
+using analysis::EdfDemandTest;
+using analysis::EdfTask;
+using overhead::OverheadModel;
+using rt::MakeTask;
+
+EdfTask ET(Time c, Time t, Time d = 0, Time j = 0) {
+  EdfTask e;
+  e.wcet = c;
+  e.period = t;
+  e.deadline = d == 0 ? t : d;
+  e.jitter = j;
+  return e;
+}
+
+// ---- demand bound function ---------------------------------------------
+
+TEST(EdfDbf, StepFunctionValues) {
+  const EdfTask t = ET(2, 10);
+  EXPECT_EQ(Dbf(t, 9), 0);
+  EXPECT_EQ(Dbf(t, 10), 2);
+  EXPECT_EQ(Dbf(t, 19), 2);
+  EXPECT_EQ(Dbf(t, 20), 4);
+  EXPECT_EQ(Dbf(t, 100), 20);
+}
+
+TEST(EdfDbf, ConstrainedDeadlineShiftsSteps) {
+  const EdfTask t = ET(2, 10, 6);
+  EXPECT_EQ(Dbf(t, 5), 0);
+  EXPECT_EQ(Dbf(t, 6), 2);
+  EXPECT_EQ(Dbf(t, 15), 2);
+  EXPECT_EQ(Dbf(t, 16), 4);
+}
+
+TEST(EdfDbf, JitterWidensTheWindow) {
+  const EdfTask no_j = ET(2, 10, 10, 0);
+  const EdfTask with_j = ET(2, 10, 10, 4);
+  EXPECT_EQ(Dbf(no_j, 6), 0);
+  EXPECT_EQ(Dbf(with_j, 6), 2);  // 6 + 4 - 10 = 0 -> one job
+  for (Time t = 1; t < 100; ++t) {
+    EXPECT_GE(Dbf(with_j, t), Dbf(no_j, t));
+  }
+}
+
+TEST(EdfDbf, MonotoneInT) {
+  const EdfTask t = ET(3, 7, 5, 2);
+  Time last = 0;
+  for (Time x = 0; x < 200; ++x) {
+    const Time d = Dbf(t, x);
+    EXPECT_GE(d, last);
+    last = d;
+  }
+}
+
+// ---- demand test ----------------------------------------------------------
+
+TEST(EdfTest, FullUtilizationImplicitDeadlinesSchedulable) {
+  // EDF schedules any implicit-deadline set with U <= 1.
+  std::vector<EdfTask> ts = {ET(2, 4), ET(3, 6)};  // U = 1.0
+  EXPECT_TRUE(EdfDemandTest(ts).schedulable);
+}
+
+TEST(EdfTest, OverUtilizationFails) {
+  std::vector<EdfTask> ts = {ET(3, 4), ET(3, 6)};  // U = 1.25
+  EXPECT_FALSE(EdfDemandTest(ts).schedulable);
+}
+
+TEST(EdfTest, ConstrainedDeadlinesCanFailBelowFullUtilization) {
+  // U = 0.75 but both deadlines at 4 with combined demand 5 at t=4.
+  std::vector<EdfTask> ts = {ET(2, 8, 4), ET(3, 8, 4)};
+  const auto res = EdfDemandTest(ts);
+  EXPECT_FALSE(res.schedulable);
+  EXPECT_EQ(res.violation_at, 4);
+}
+
+TEST(EdfTest, ConstrainedButFeasible) {
+  std::vector<EdfTask> ts = {ET(1, 8, 2), ET(3, 8, 6)};
+  EXPECT_TRUE(EdfDemandTest(ts).schedulable);
+}
+
+TEST(EdfTest, RtTaskConvenienceWrapper) {
+  std::vector<rt::Task> ts = {MakeTask(0, Millis(2), Millis(4)),
+                              MakeTask(1, Millis(3), Millis(6))};
+  EXPECT_TRUE(analysis::EdfSchedulable(ts));
+  ts[0].wcet = Millis(3);
+  EXPECT_FALSE(analysis::EdfSchedulable(ts));
+}
+
+TEST(EdfTest, EdfBeatsRmOnTheClassicExample) {
+  // C=(2,5), T=(5,10): RM unschedulable (R2 = 5+2+2... > 10? classic:
+  // U = 0.9 > LL(2)), EDF fine.
+  std::vector<rt::Task> ts = {MakeTask(0, Millis(2), Millis(5)),
+                              MakeTask(1, Millis(5), Millis(10))};
+  EXPECT_TRUE(analysis::EdfSchedulable(ts));
+}
+
+TEST(EdfTest, InflationMakesDemandStricter) {
+  std::vector<analysis::EdfCoreEntry> entries(2);
+  entries[0].exec = Micros(400);
+  entries[0].period = Millis(1);
+  entries[0].deadline = Millis(1);
+  entries[1].exec = Micros(550);
+  entries[1].period = Millis(1);
+  entries[1].deadline = Millis(1);
+  const auto zero = analysis::InflateEdfCore(entries, OverheadModel::Zero());
+  EXPECT_TRUE(EdfDemandTest(zero).schedulable);  // U = 0.95
+  const auto paper =
+      analysis::InflateEdfCore(entries, OverheadModel::PaperCoreI7());
+  EXPECT_FALSE(EdfDemandTest(paper).schedulable);  // ~60us/job extra
+}
+
+// ---- partitioners -----------------------------------------------------------
+
+partition::EdfPartitionConfig ECfg(unsigned cores,
+                                   OverheadModel m = OverheadModel::Zero()) {
+  partition::EdfPartitionConfig cfg;
+  cfg.num_cores = cores;
+  cfg.model = m;
+  return cfg;
+}
+
+rt::TaskSet Uniform(std::size_t n, double u, Time period) {
+  rt::TaskSet ts;
+  for (std::size_t i = 0; i < n; ++i) {
+    ts.add(MakeTask(static_cast<rt::TaskId>(i),
+                    static_cast<Time>(u * static_cast<double>(period)),
+                    period));
+  }
+  rt::AssignRateMonotonic(ts);
+  return ts;
+}
+
+TEST(EdfBinPack, PacksToFullCoreUtilization) {
+  // EDF cores take U = 1.0: 4 x 0.5 fit on 2 cores exactly.
+  const rt::TaskSet ts = Uniform(4, 0.5, Millis(100));
+  const auto r = EdfBinPack(ts, partition::FitPolicy::kFirstFit, ECfg(2));
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_EQ(r.partition.policy, partition::SchedPolicy::kEdf);
+  EXPECT_EQ(r.partition.num_split_tasks(), 0u);
+  EXPECT_NEAR(r.partition.core_utilization(0), 1.0, 1e-9);
+}
+
+TEST(EdfBinPack, StillHitsTheBinPackingWall) {
+  // 3 x 0.6 on 2 cores: impossible without splitting even under EDF.
+  const rt::TaskSet ts = Uniform(3, 0.6, Millis(100));
+  const auto r = EdfBinPack(ts, partition::FitPolicy::kFirstFit, ECfg(2));
+  EXPECT_FALSE(r.success);
+}
+
+TEST(EdfWm, SplitsAcrossTheWall) {
+  const rt::TaskSet ts = Uniform(3, 0.6, Millis(100));
+  const auto r = EdfWm(ts, ECfg(2));
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_GE(r.partition.num_split_tasks(), 1u);
+  EXPECT_TRUE(r.partition.valid());
+  // Window deadlines are strictly increasing and end at the deadline.
+  for (const auto& pt : r.partition.tasks) {
+    if (!pt.split()) continue;
+    EXPECT_EQ(pt.parts.back().rel_deadline, pt.task.deadline);
+  }
+}
+
+TEST(EdfWm, AcceptsEverythingEdfFfdAccepts) {
+  rt::GeneratorConfig gen;
+  gen.num_tasks = 10;
+  gen.total_utilization = 3.0;
+  rt::Rng rng(555);
+  for (int i = 0; i < 10; ++i) {
+    const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+    const bool ffd =
+        EdfBinPack(ts, partition::FitPolicy::kFirstFit, ECfg(4)).success;
+    const bool wm = EdfWm(ts, ECfg(4)).success;
+    EXPECT_LE(ffd, wm) << "set " << i;
+  }
+}
+
+TEST(EdfWm, OverheadAwareVariantStillWorks) {
+  const rt::TaskSet ts = Uniform(3, 0.55, Millis(100));
+  const auto r = EdfWm(ts, ECfg(2, OverheadModel::PaperCoreI7()));
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(
+      AnalyzePartition(r.partition, OverheadModel::PaperCoreI7())
+          .schedulable);
+}
+
+// ---- EDF in the simulator ----------------------------------------------------
+
+TEST(EdfSim, EarliestDeadlineRunsFirst) {
+  partition::Partition p;
+  p.num_cores = 1;
+  p.policy = partition::SchedPolicy::kEdf;
+  // tau0: long period but short deadline — must preempt tau1 under EDF.
+  partition::PlacedTask a;
+  a.task = rt::Task{.id = 0, .wcet = Millis(2), .period = Millis(50),
+                    .deadline = Millis(5), .priority = 0};
+  a.parts = {{0, Millis(2), 0, 0}};
+  partition::PlacedTask b;
+  b.task = MakeTask(1, Millis(10), Millis(30));
+  b.parts = {{0, Millis(10), 0, 0}};
+  p.tasks.push_back(b);  // insertion order must not matter
+  p.tasks.push_back(a);
+  sim::SimConfig cfg;
+  cfg.horizon = Millis(30);
+  const sim::SimResult r = Simulate(p, cfg);
+  EXPECT_EQ(r.total_misses, 0u);
+  // tau0 (deadline 5ms) ran before tau1 finished.
+  EXPECT_EQ(r.tasks[1].max_response, Millis(2));
+  EXPECT_GE(r.tasks[0].preemptions, 0u);
+}
+
+TEST(EdfSim, FullUtilizationRunsWithoutMisses) {
+  partition::Partition p;
+  p.num_cores = 1;
+  p.policy = partition::SchedPolicy::kEdf;
+  partition::PlacedTask a;
+  a.task = MakeTask(0, Millis(2), Millis(4));
+  a.parts = {{0, Millis(2), 0, 0}};
+  partition::PlacedTask b;
+  b.task = MakeTask(1, Millis(3), Millis(6));
+  b.parts = {{0, Millis(3), 0, 0}};
+  p.tasks.push_back(a);
+  p.tasks.push_back(b);
+  sim::SimConfig cfg;
+  cfg.horizon = Millis(120);  // 10 hyperperiods
+  const sim::SimResult r = Simulate(p, cfg);
+  EXPECT_EQ(r.total_misses, 0u);  // U = 1, EDF handles it
+}
+
+TEST(EdfSim, SplitTaskHonoursWindows) {
+  // Split task: 3ms in window [0,5), 3ms in window [5,10) of T=10ms.
+  partition::Partition p;
+  p.num_cores = 2;
+  p.policy = partition::SchedPolicy::kEdf;
+  partition::PlacedTask split;
+  split.task = MakeTask(0, Millis(6), Millis(10));
+  split.parts = {{0, Millis(3), 0, Millis(5)},
+                 {1, Millis(3), 0, Millis(10)}};
+  p.tasks.push_back(split);
+  sim::SimConfig cfg;
+  cfg.horizon = Millis(50);
+  const sim::SimResult r = Simulate(p, cfg);
+  EXPECT_EQ(r.total_misses, 0u);
+  EXPECT_EQ(r.tasks[0].migrations, 5u);
+  EXPECT_EQ(r.cores[0].busy_exec, Millis(15));
+  EXPECT_EQ(r.cores[1].busy_exec, Millis(15));
+}
+
+// ---- end-to-end soundness -------------------------------------------------
+
+class EdfSoundness : public ::testing::TestWithParam<double> {};
+
+TEST_P(EdfSoundness, AcceptedPartitionsNeverMissInSimulation) {
+  rt::GeneratorConfig gen;
+  gen.num_tasks = 12;
+  gen.total_utilization = GetParam() * 4;
+  gen.period_min = Millis(5);
+  gen.period_max = Millis(100);
+  rt::Rng rng(static_cast<std::uint64_t>(GetParam() * 10000));
+  const OverheadModel model = OverheadModel::PaperCoreI7();
+  for (int i = 0; i < 5; ++i) {
+    const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+    for (const bool wm : {false, true}) {
+      const partition::PartitionResult pr =
+          wm ? EdfWm(ts, ECfg(4, model))
+             : EdfBinPack(ts, partition::FitPolicy::kFirstFit,
+                          ECfg(4, model));
+      if (!pr.success) continue;
+      sim::SimConfig cfg;
+      cfg.horizon = Millis(1500);
+      cfg.overheads = model;
+      const sim::SimResult r = Simulate(pr.partition, cfg);
+      EXPECT_EQ(r.total_misses, 0u)
+          << (wm ? "EDF-WM" : "EDF-FFD") << " util=" << GetParam()
+          << "\n" << pr.partition.summary() << r.summary();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Utils, EdfSoundness,
+                         ::testing::Values(0.5, 0.7, 0.8, 0.9, 0.95));
+
+}  // namespace
+}  // namespace sps

@@ -1,0 +1,128 @@
+// Tests for the experiment driver (exp/acceptance.*): configuration
+// plumbing, output formats, determinism, and the algorithm dispatch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exp/acceptance.hpp"
+#include "overhead/model.hpp"
+#include "rt/taskset.hpp"
+
+namespace sps::exp {
+namespace {
+
+TEST(AcceptanceConfig, DefaultGridCoversThePapersBand) {
+  const auto grid = AcceptanceConfig::DefaultGrid();
+  ASSERT_FALSE(grid.empty());
+  EXPECT_DOUBLE_EQ(grid.front(), 0.60);
+  EXPECT_NEAR(grid.back(), 1.0, 1e-9);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_NEAR(grid[i] - grid[i - 1], 0.025, 1e-9);
+  }
+}
+
+TEST(Acceptance, AlgorithmNames) {
+  EXPECT_STREQ(ToString(Algo::kFfd), "FFD");
+  EXPECT_STREQ(ToString(Algo::kWfd), "WFD");
+  EXPECT_STREQ(ToString(Algo::kBfd), "BFD");
+  EXPECT_STREQ(ToString(Algo::kSpa1), "FP-TS(SPA1)");
+  EXPECT_STREQ(ToString(Algo::kSpa2), "FP-TS(SPA2)");
+}
+
+TEST(Acceptance, RunAlgorithmDispatchesEveryAlgo) {
+  rt::TaskSet ts;
+  ts.add(rt::MakeTask(0, Millis(1), Millis(10)));
+  rt::AssignRateMonotonic(ts);
+  for (const Algo a : {Algo::kFfd, Algo::kWfd, Algo::kBfd, Algo::kSpa1,
+                       Algo::kSpa2}) {
+    const auto r =
+        RunAlgorithm(a, ts, 2, overhead::OverheadModel::Zero());
+    EXPECT_TRUE(r.success) << ToString(a);
+    EXPECT_FALSE(r.algorithm.empty());
+  }
+}
+
+TEST(Acceptance, DeterministicAcrossRuns) {
+  AcceptanceConfig cfg;
+  cfg.num_cores = 2;
+  cfg.num_tasks = 6;
+  cfg.norm_util_points = {0.7, 0.9};
+  cfg.sets_per_point = 8;
+  cfg.algorithms = {Algo::kFfd, Algo::kSpa1};
+  const auto a = RunAcceptance(cfg);
+  const auto b = RunAcceptance(cfg);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].acceptance, b.points[i].acceptance);
+  }
+}
+
+TEST(Acceptance, SeedChangesOutcomesSomewhere) {
+  AcceptanceConfig cfg;
+  cfg.num_cores = 2;
+  cfg.num_tasks = 6;
+  cfg.norm_util_points = {0.9};  // contested band
+  cfg.sets_per_point = 20;
+  cfg.algorithms = {Algo::kFfd};
+  const auto a = RunAcceptance(cfg);
+  cfg.seed += 1;
+  const auto b = RunAcceptance(cfg);
+  // Not a hard guarantee per-point, but at 20 sets in the contested band
+  // identical acceptance for different seeds would indicate the seed is
+  // ignored. Compare with tolerance: they may coincide, so just assert
+  // both are valid probabilities and the run completed.
+  for (const auto& res : {a, b}) {
+    ASSERT_EQ(res.points.size(), 1u);
+    EXPECT_GE(res.points[0].acceptance[0], 0.0);
+    EXPECT_LE(res.points[0].acceptance[0], 1.0);
+  }
+}
+
+TEST(Acceptance, TableAndCsvWellFormed) {
+  AcceptanceConfig cfg;
+  cfg.num_cores = 2;
+  cfg.num_tasks = 5;
+  cfg.norm_util_points = {0.65, 0.95};
+  cfg.sets_per_point = 5;
+  cfg.algorithms = {Algo::kFfd, Algo::kSpa2};
+  const auto res = RunAcceptance(cfg);
+
+  const std::string table = res.Table();
+  EXPECT_NE(table.find("norm.util"), std::string::npos);
+  EXPECT_NE(table.find("FFD"), std::string::npos);
+  EXPECT_NE(table.find("0.650"), std::string::npos);
+  EXPECT_NE(table.find("0.950"), std::string::npos);
+
+  const std::string csv = res.Csv();
+  EXPECT_NE(csv.find("norm_util,FFD,FP-TS(SPA2),mean_splits"),
+            std::string::npos);
+  // Header + one row per point.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+
+  const auto w = res.WeightedAcceptance();
+  ASSERT_EQ(w.size(), 2u);
+  for (const double x : w) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+  // Acceptance at 0.65 should dominate 0.95 for each algorithm.
+  for (std::size_t ai = 0; ai < 2; ++ai) {
+    EXPECT_GE(res.points[0].acceptance[ai] + 1e-9,
+              res.points[1].acceptance[ai]);
+  }
+}
+
+TEST(Acceptance, MeanSplitsOnlyCountsSpaAcceptances) {
+  AcceptanceConfig cfg;
+  cfg.num_cores = 2;
+  cfg.num_tasks = 5;
+  cfg.norm_util_points = {0.5};
+  cfg.sets_per_point = 5;
+  cfg.algorithms = {Algo::kFfd};  // no SPA algorithm in the mix
+  const auto res = RunAcceptance(cfg);
+  EXPECT_DOUBLE_EQ(res.points[0].mean_splits, 0.0);
+}
+
+}  // namespace
+}  // namespace sps::exp

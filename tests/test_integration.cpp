@@ -1,0 +1,186 @@
+// Cross-module integration properties — the contracts that make the
+// reproduction trustworthy:
+//
+//  P1 (soundness): any partition ACCEPTED by any partitioner under
+//     overhead model M never misses a deadline when SIMULATED under M,
+//     with jobs running full WCET from a synchronous start.
+//  P2: acceptance is monotone — a partitioner that accepts under the paper
+//     model also accepts under the zero model.
+//  P3: the experiment driver's counts equal what re-running the
+//     partitioners yields (no bookkeeping drift).
+
+#include <gtest/gtest.h>
+
+#include "exp/acceptance.hpp"
+#include "overhead/model.hpp"
+#include "partition/binpack.hpp"
+#include "partition/spa.hpp"
+#include "rt/generator.hpp"
+#include "sim/engine.hpp"
+
+namespace sps {
+namespace {
+
+using exp::Algo;
+using overhead::OverheadModel;
+
+struct Scenario {
+  std::uint64_t seed;
+  double norm_util;
+  std::size_t num_tasks;
+};
+
+class SoundnessSweep : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(SoundnessSweep, AcceptedPartitionsNeverMissInSimulation) {
+  const Scenario sc = GetParam();
+  rt::GeneratorConfig gen;
+  gen.num_tasks = sc.num_tasks;
+  gen.total_utilization = sc.norm_util * 4;
+  gen.period_min = Millis(5);
+  gen.period_max = Millis(100);
+  rt::Rng rng(sc.seed);
+  const OverheadModel model = OverheadModel::PaperCoreI7();
+
+  int accepted_any = 0;
+  for (int set = 0; set < 6; ++set) {
+    const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+    for (const Algo algo : {Algo::kFfd, Algo::kWfd, Algo::kSpa1,
+                            Algo::kSpa2}) {
+      const partition::PartitionResult pr =
+          exp::RunAlgorithm(algo, ts, 4, model);
+      if (!pr.success) continue;
+      ++accepted_any;
+      sim::SimConfig cfg;
+      cfg.overheads = model;
+      // Simulate several hyper-ish periods; every job at full WCET from a
+      // synchronous release (the analysis' critical instant).
+      cfg.horizon = Millis(2000);
+      const sim::SimResult r = Simulate(pr.partition, cfg);
+      EXPECT_EQ(r.total_misses, 0u)
+          << exp::ToString(algo) << " seed=" << sc.seed
+          << " util=" << sc.norm_util << "\n"
+          << pr.partition.summary() << r.summary();
+      // Nothing was shed either (no overruns for schedulable sets).
+      for (const sim::TaskStats& t : r.tasks) {
+        EXPECT_EQ(t.shed, 0u);
+      }
+    }
+  }
+  // The sweep must actually exercise accepted partitions at least once at
+  // the lighter utilizations.
+  if (sc.norm_util <= 0.6) {
+    EXPECT_GT(accepted_any, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SoundnessSweep,
+    ::testing::Values(Scenario{101, 0.4, 8}, Scenario{202, 0.5, 12},
+                      Scenario{303, 0.6, 8}, Scenario{404, 0.7, 16},
+                      Scenario{505, 0.8, 12}, Scenario{606, 0.85, 8},
+                      Scenario{707, 0.9, 16}));
+
+TEST(Integration, ZeroOverheadAcceptanceIsWeaklyMorePermissive) {
+  rt::GeneratorConfig gen;
+  gen.num_tasks = 10;
+  gen.total_utilization = 2.8;
+  rt::Rng rng(999);
+  const OverheadModel paper = OverheadModel::PaperCoreI7();
+  for (int i = 0; i < 10; ++i) {
+    const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+    for (const Algo algo : {Algo::kFfd, Algo::kWfd, Algo::kSpa2}) {
+      const bool with_ovh = exp::RunAlgorithm(algo, ts, 4, paper).success;
+      const bool without =
+          exp::RunAlgorithm(algo, ts, 4, OverheadModel::Zero()).success;
+      EXPECT_LE(with_ovh, without) << exp::ToString(algo) << " set " << i;
+    }
+  }
+}
+
+TEST(Integration, SplitTasksSimulateWithExpectedMigrationCounts) {
+  // Build a set that forces splitting, then check the simulator observes
+  // exactly (parts-1) migrations per completed job of each split task.
+  rt::TaskSet ts;
+  for (int i = 0; i < 3; ++i) {
+    ts.add(rt::MakeTask(static_cast<rt::TaskId>(i), Millis(60), Millis(100)));
+  }
+  rt::AssignRateMonotonic(ts);
+  partition::SpaConfig cfg;
+  cfg.num_cores = 2;
+  const partition::PartitionResult pr = partition::Spa1(ts, cfg);
+  ASSERT_TRUE(pr.success);
+  ASSERT_GE(pr.partition.num_split_tasks(), 1u);
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.horizon = Millis(1000);
+  const sim::SimResult r = Simulate(pr.partition, sim_cfg);
+  EXPECT_EQ(r.total_misses, 0u);
+  for (std::size_t i = 0; i < pr.partition.tasks.size(); ++i) {
+    const auto& pt = pr.partition.tasks[i];
+    const auto& stats = r.tasks[i];
+    if (pt.split()) {
+      EXPECT_EQ(stats.migrations,
+                stats.completed * (pt.parts.size() - 1))
+          << "tau" << pt.task.id;
+    } else {
+      EXPECT_EQ(stats.migrations, 0u);
+    }
+  }
+}
+
+TEST(Integration, ExperimentDriverMatchesDirectRuns) {
+  exp::AcceptanceConfig cfg;
+  cfg.num_cores = 2;
+  cfg.num_tasks = 6;
+  cfg.norm_util_points = {0.65};
+  cfg.sets_per_point = 12;
+  cfg.seed = 4242;
+  cfg.algorithms = {Algo::kFfd, Algo::kSpa1};
+  const exp::AcceptanceResult res = exp::RunAcceptance(cfg);
+  ASSERT_EQ(res.points.size(), 1u);
+  // Re-run manually with the same RNG discipline.
+  rt::GeneratorConfig gen;
+  gen.num_tasks = cfg.num_tasks;
+  gen.total_utilization = 0.65 * 2;
+  gen.period_min = cfg.period_min;
+  gen.period_max = cfg.period_max;
+  rt::Rng rng(cfg.seed ^ 0x9e3779b97f4a7c15ull);
+  int ffd = 0, spa = 0;
+  for (int s = 0; s < cfg.sets_per_point; ++s) {
+    const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+    if (exp::RunAlgorithm(Algo::kFfd, ts, 2, cfg.model).success) ++ffd;
+    if (exp::RunAlgorithm(Algo::kSpa1, ts, 2, cfg.model).success) ++spa;
+  }
+  EXPECT_NEAR(res.points[0].acceptance[0], ffd / 12.0, 1e-9);
+  EXPECT_NEAR(res.points[0].acceptance[1], spa / 12.0, 1e-9);
+}
+
+TEST(Integration, AcceptanceCurveShape) {
+  // The paper's qualitative result at mini scale: over a coarse grid,
+  // FP-TS acceptance dominates FFD and WFD, and all curves are
+  // (weakly) decreasing in utilization.
+  exp::AcceptanceConfig cfg;
+  cfg.num_cores = 4;
+  cfg.num_tasks = 12;
+  cfg.norm_util_points = {0.55, 0.7, 0.85};
+  cfg.sets_per_point = 15;
+  cfg.model = OverheadModel::PaperCoreI7();
+  cfg.algorithms = {Algo::kFfd, Algo::kWfd, Algo::kSpa2};
+  const exp::AcceptanceResult res = exp::RunAcceptance(cfg);
+  const auto w = res.WeightedAcceptance();
+  EXPECT_GE(w[2], w[0]);  // FP-TS >= FFD overall
+  EXPECT_GE(w[2], w[1]);  // FP-TS >= WFD overall
+  for (std::size_t a = 0; a < cfg.algorithms.size(); ++a) {
+    EXPECT_GE(res.points[0].acceptance[a] + 0.2,
+              res.points[2].acceptance[a]);
+  }
+  // Output formats include every algorithm column.
+  const std::string table = res.Table();
+  EXPECT_NE(table.find("FP-TS(SPA2)"), std::string::npos);
+  const std::string csv = res.Csv();
+  EXPECT_NE(csv.find("norm_util,FFD,WFD,FP-TS(SPA2)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sps

@@ -1,0 +1,91 @@
+// Tests for the pairing-heap ablation ready queue; mirrors the binomial
+// heap suite so both structures are held to the same contract.
+
+#include "containers/pairing_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+namespace sps::containers {
+namespace {
+
+using Heap = PairingHeap<int>;
+
+TEST(PairingHeap, StartsEmpty) {
+  Heap h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(PairingHeap, PopsInSortedOrder) {
+  Heap h;
+  for (int v : {5, 3, 9, 1, 7, 2, 8, 0, 6, 4}) h.push(v);
+  EXPECT_TRUE(h.validate());
+  for (int expect = 0; expect < 10; ++expect) {
+    EXPECT_EQ(h.top(), expect);
+    EXPECT_EQ(h.pop(), expect);
+    EXPECT_TRUE(h.validate());
+  }
+}
+
+TEST(PairingHeap, EraseByHandleLeavesOthersValid) {
+  Heap h;
+  std::vector<Heap::handle> hs;
+  for (int v = 0; v < 16; ++v) hs.push_back(h.push(v));
+  EXPECT_EQ(h.erase(hs[7]), 7);
+  EXPECT_EQ(h.erase(hs[0]), 0);   // root
+  EXPECT_EQ(h.erase(hs[15]), 15); // leaf
+  EXPECT_TRUE(h.validate());
+  EXPECT_EQ(h.size(), 13u);
+  int last = -1;
+  while (!h.empty()) {
+    const int v = h.pop();
+    EXPECT_GT(v, last);
+    EXPECT_NE(v, 7);
+    last = v;
+  }
+}
+
+TEST(PairingHeap, EraseOnlyElement) {
+  Heap h;
+  auto hd = h.push(1);
+  EXPECT_EQ(h.erase(hd), 1);
+  EXPECT_TRUE(h.empty());
+  EXPECT_TRUE(h.validate());
+}
+
+class PairingHeapRandomized : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PairingHeapRandomized, MatchesReferenceMultiset) {
+  std::mt19937 rng(GetParam());
+  Heap h;
+  std::multiset<int> ref;
+  for (int step = 0; step < 2000; ++step) {
+    if (rng() % 100 < 60 || ref.empty()) {
+      const int v = static_cast<int>(rng() % 1000);
+      h.push(v);
+      ref.insert(v);
+    } else {
+      EXPECT_EQ(h.top(), *ref.begin());
+      EXPECT_EQ(h.pop(), *ref.begin());
+      ref.erase(ref.begin());
+    }
+    EXPECT_EQ(h.size(), ref.size());
+    if (step % 200 == 0) {
+      ASSERT_TRUE(h.validate());
+    }
+  }
+  while (!h.empty()) {
+    EXPECT_EQ(h.pop(), *ref.begin());
+    ref.erase(ref.begin());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairingHeapRandomized,
+                         ::testing::Values(7u, 17u, 27u, 37u));
+
+}  // namespace
+}  // namespace sps::containers

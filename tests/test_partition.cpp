@@ -1,0 +1,321 @@
+// Tests for the placement model, the FFD/WFD/BFD bin-packers, and the
+// partition verifier.
+
+#include <gtest/gtest.h>
+
+#include "overhead/model.hpp"
+#include "partition/binpack.hpp"
+#include "partition/placement.hpp"
+#include "partition/verify.hpp"
+#include "rt/taskset.hpp"
+
+namespace sps::partition {
+namespace {
+
+using overhead::OverheadModel;
+using rt::MakeTask;
+using rt::TaskSet;
+
+TaskSet Uniform(std::size_t n, double util_each, Time period) {
+  TaskSet ts;
+  for (std::size_t i = 0; i < n; ++i) {
+    ts.add(MakeTask(static_cast<rt::TaskId>(i),
+                    static_cast<Time>(util_each * static_cast<double>(period)),
+                    period));
+  }
+  rt::AssignRateMonotonic(ts);
+  return ts;
+}
+
+// ---- placement model -------------------------------------------------------
+
+TEST(Placement, ValidityChecks) {
+  Partition p;
+  p.num_cores = 2;
+  PlacedTask pt;
+  pt.task = MakeTask(0, Millis(4), Millis(10));
+  pt.parts = {{0, Millis(3), 0}, {1, Millis(1), 0}};
+  p.tasks.push_back(pt);
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.num_split_tasks(), 1u);
+  EXPECT_EQ(p.migrations_per_period(), 1u);
+  EXPECT_EQ(p.entries_on(0), 1u);
+  EXPECT_NEAR(p.core_utilization(0), 0.3, 1e-9);
+  EXPECT_NEAR(p.core_utilization(1), 0.1, 1e-9);
+
+  // Budgets must sum to the WCET.
+  p.tasks[0].parts[1].budget = Millis(2);
+  EXPECT_FALSE(p.valid());
+  p.tasks[0].parts[1].budget = Millis(1);
+
+  // Parts on the same core are invalid.
+  p.tasks[0].parts[1].core = 0;
+  EXPECT_FALSE(p.valid());
+  p.tasks[0].parts[1].core = 1;
+
+  // Out-of-range core.
+  p.tasks[0].parts[1].core = 5;
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(Placement, DuplicatePrioritiesOnCoreInvalid) {
+  Partition p;
+  p.num_cores = 1;
+  for (int i = 0; i < 2; ++i) {
+    PlacedTask pt;
+    pt.task = MakeTask(static_cast<rt::TaskId>(i), Millis(1), Millis(10));
+    pt.parts = {{0, Millis(1), 7}};  // same priority twice
+    p.tasks.push_back(pt);
+  }
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(Placement, SummaryMentionsSplitBudgets) {
+  Partition p;
+  p.num_cores = 2;
+  PlacedTask pt;
+  pt.task = MakeTask(7, Millis(4), Millis(10));
+  pt.parts = {{0, Millis(3), 0}, {1, Millis(1), 0}};
+  p.tasks.push_back(pt);
+  const std::string s = p.summary();
+  EXPECT_NE(s.find("2 cores"), std::string::npos);
+  EXPECT_NE(s.find("1 split"), std::string::npos);
+  EXPECT_NE(s.find("tau7[1/2"), std::string::npos);
+  EXPECT_NE(s.find("tau7[2/2"), std::string::npos);
+}
+
+TEST(Placement, EdfPolicyValidation) {
+  Partition p;
+  p.num_cores = 2;
+  p.policy = SchedPolicy::kEdf;
+  PlacedTask pt;
+  pt.task = MakeTask(0, Millis(4), Millis(10));
+  pt.parts = {{0, Millis(2), 0, Millis(5)}, {1, Millis(2), 0, Millis(10)}};
+  p.tasks.push_back(pt);
+  EXPECT_TRUE(p.valid());
+  // Windows must be strictly increasing...
+  p.tasks[0].parts[1].rel_deadline = Millis(5);
+  EXPECT_FALSE(p.valid());
+  // ... and end exactly at the task deadline.
+  p.tasks[0].parts[1].rel_deadline = Millis(9);
+  EXPECT_FALSE(p.valid());
+  p.tasks[0].parts[1].rel_deadline = Millis(10);
+  EXPECT_TRUE(p.valid());
+  // Under EDF, duplicate local priorities are fine (keys are deadlines).
+  Partition q = p;
+  PlacedTask other;
+  other.task = MakeTask(1, Millis(1), Millis(20));
+  other.parts = {{0, Millis(1), 0}};  // same local_priority as pt's part
+  q.tasks.push_back(other);
+  EXPECT_TRUE(q.valid());
+}
+
+// ---- bin packers ------------------------------------------------------------
+
+TEST(BinPack, FfdPlacesGreedilyOnFirstCore) {
+  // Four tasks of u=0.3 on 2 cores with the L&L test: bound for 3 tasks is
+  // 0.7798 -> core 0 takes only 2 (0.9 > bound), so FFD gives 2+2.
+  const TaskSet ts = Uniform(4, 0.3, Millis(100));
+  BinPackConfig cfg;
+  cfg.num_cores = 2;
+  cfg.admission = AdmissionTest::kLiuLayland;
+  const PartitionResult r = Ffd(ts, cfg);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_EQ(r.partition.entries_on(0), 2u);
+  EXPECT_EQ(r.partition.entries_on(1), 2u);
+  EXPECT_EQ(r.partition.num_split_tasks(), 0u);
+}
+
+TEST(BinPack, WfdBalancesLoad) {
+  const TaskSet ts = Uniform(4, 0.2, Millis(100));
+  BinPackConfig cfg;
+  cfg.num_cores = 2;
+  cfg.admission = AdmissionTest::kRta;
+  const PartitionResult r = Wfd(ts, cfg);
+  ASSERT_TRUE(r.success);
+  // Worst-fit alternates between the emptiest cores: 2 + 2.
+  EXPECT_EQ(r.partition.entries_on(0), 2u);
+  EXPECT_EQ(r.partition.entries_on(1), 2u);
+}
+
+TEST(BinPack, FfdConcentratesWithExactRta) {
+  // With exact RTA and harmonic periods a core can be filled to U=1.
+  TaskSet ts;
+  ts.add(MakeTask(0, Millis(1), Millis(2)));
+  ts.add(MakeTask(1, Millis(1), Millis(4)));
+  ts.add(MakeTask(2, Millis(2), Millis(8)));  // exactly fills core 0
+  ts.add(MakeTask(3, Millis(1), Millis(4)));
+  rt::AssignRateMonotonic(ts);
+  BinPackConfig cfg;
+  cfg.num_cores = 2;
+  cfg.admission = AdmissionTest::kRta;
+  const PartitionResult r = Ffd(ts, cfg);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.partition.entries_on(0), 3u);
+  EXPECT_EQ(r.partition.entries_on(1), 1u);
+}
+
+TEST(BinPack, FailsWhenNothingFits) {
+  // The classic bin-packing waste: m+1 tasks of utilization 0.6 cannot be
+  // partitioned on m cores, although total utilization is only 0.6(m+1).
+  const TaskSet ts = Uniform(3, 0.6, Millis(100));
+  BinPackConfig cfg;
+  cfg.num_cores = 2;
+  cfg.admission = AdmissionTest::kRta;
+  for (const FitPolicy policy :
+       {FitPolicy::kFirstFit, FitPolicy::kWorstFit, FitPolicy::kBestFit,
+        FitPolicy::kNextFit}) {
+    const PartitionResult r = BinPackDecreasing(ts, policy, cfg);
+    EXPECT_FALSE(r.success) << ToString(policy);
+    EXPECT_FALSE(r.failure_reason.empty());
+  }
+}
+
+TEST(BinPack, OverheadAwareAdmissionIsStricter) {
+  // A set that fits exactly with zero overheads must fail once every job
+  // carries tens of microseconds of scheduler overhead at millisecond
+  // periods... choose tight parameters to expose it.
+  TaskSet ts;
+  ts.add(MakeTask(0, Micros(500), Millis(1)));
+  ts.add(MakeTask(1, Micros(490), Millis(1)));
+  rt::AssignRateMonotonic(ts);
+  BinPackConfig cfg;
+  cfg.num_cores = 1;
+  cfg.admission = AdmissionTest::kRta;
+  cfg.model = OverheadModel::Zero();
+  EXPECT_TRUE(Ffd(ts, cfg).success);
+  cfg.model = OverheadModel::PaperCoreI7();
+  EXPECT_FALSE(Ffd(ts, cfg).success);
+}
+
+TEST(BinPack, AdmissionTestsOrderedByPermissiveness) {
+  // RTA accepts everything L&L accepts; hyperbolic sits in between.
+  for (double u = 0.05; u <= 0.5; u += 0.05) {
+    const TaskSet ts = Uniform(3, u, Millis(50));
+    BinPackConfig cfg;
+    cfg.num_cores = 1;
+    cfg.admission = AdmissionTest::kLiuLayland;
+    const bool ll = Ffd(ts, cfg).success;
+    cfg.admission = AdmissionTest::kHyperbolic;
+    const bool hyp = Ffd(ts, cfg).success;
+    cfg.admission = AdmissionTest::kRta;
+    const bool rta = Ffd(ts, cfg).success;
+    EXPECT_LE(ll, hyp) << u;
+    EXPECT_LE(hyp, rta) << u;
+  }
+}
+
+// ---- verifier ---------------------------------------------------------------
+
+TEST(Verify, AcceptsFeasibleSplitChain) {
+  // tau0 split across two idle cores: trivially schedulable.
+  Partition p;
+  p.num_cores = 2;
+  PlacedTask pt;
+  pt.task = MakeTask(0, Millis(4), Millis(10));
+  pt.parts = {{0, Millis(2), 0}, {1, Millis(2), 0}};
+  p.tasks.push_back(pt);
+  const PartitionAnalysis a = AnalyzePartition(p, OverheadModel::Zero());
+  EXPECT_TRUE(a.schedulable) << a.failure_reason;
+  ASSERT_EQ(a.verdicts.size(), 1u);
+  EXPECT_EQ(a.verdicts[0].completion, Millis(4));
+}
+
+TEST(Verify, RejectsOverloadedCore) {
+  Partition p;
+  p.num_cores = 1;
+  for (int i = 0; i < 2; ++i) {
+    PlacedTask pt;
+    pt.task = MakeTask(static_cast<rt::TaskId>(i), Millis(6), Millis(10));
+    pt.parts = {{0, Millis(6), static_cast<rt::Priority>(i)}};
+    p.tasks.push_back(pt);
+  }
+  const PartitionAnalysis a = AnalyzePartition(p, OverheadModel::Zero());
+  EXPECT_FALSE(a.schedulable);
+  EXPECT_FALSE(a.failure_reason.empty());
+}
+
+TEST(Verify, SplitChainAccountsPredecessorDelay) {
+  // Core 1 hosts a higher-priority task that delays the tail; the chain
+  // must still fit in the period.
+  Partition p;
+  p.num_cores = 2;
+  {
+    PlacedTask pt;  // split task: 3ms on core0 + 3ms on core1, T=10ms
+    pt.task = MakeTask(0, Millis(6), Millis(10));
+    pt.parts = {{0, Millis(3), 0}, {1, Millis(3), 100}};  // tail native prio
+    p.tasks.push_back(pt);
+  }
+  {
+    PlacedTask pt;  // hp task on core 1: 4ms / 10ms
+    pt.task = MakeTask(1, Millis(4), Millis(10));
+    pt.parts = {{1, Millis(4), 10}};
+    p.tasks.push_back(pt);
+  }
+  const PartitionAnalysis a = AnalyzePartition(p, OverheadModel::Zero());
+  ASSERT_TRUE(a.schedulable) << a.failure_reason;
+  // Tail: released after body (3ms), waits for hp (4ms), runs 3ms -> 10ms.
+  EXPECT_EQ(a.verdicts[0].completion, Millis(10));
+}
+
+TEST(Verify, RejectsInfeasibleChain) {
+  // Same as above but the hp task leaves too little room.
+  Partition p;
+  p.num_cores = 2;
+  {
+    PlacedTask pt;
+    pt.task = MakeTask(0, Millis(6), Millis(10));
+    pt.parts = {{0, Millis(3), 0}, {1, Millis(3), 100}};
+    p.tasks.push_back(pt);
+  }
+  {
+    PlacedTask pt;
+    pt.task = MakeTask(1, Millis(5), Millis(10));
+    pt.parts = {{1, Millis(5), 10}};
+    p.tasks.push_back(pt);
+  }
+  const PartitionAnalysis a = AnalyzePartition(p, OverheadModel::Zero());
+  EXPECT_FALSE(a.schedulable);
+}
+
+TEST(Verify, ElevatedTailBeatsNormalTasks) {
+  // With the tail at elevated priority the same layout becomes feasible:
+  // the tail preempts the 5ms task instead of waiting behind it.
+  Partition p;
+  p.num_cores = 2;
+  {
+    PlacedTask pt;
+    pt.task = MakeTask(0, Millis(6), Millis(10));
+    pt.parts = {{0, Millis(3), 0},
+                {1, Millis(3), 0}};  // elevated (< kNormalPriorityBase)
+    p.tasks.push_back(pt);
+  }
+  {
+    PlacedTask pt;
+    pt.task = MakeTask(1, Millis(4), Millis(10));
+    pt.parts = {{1, Millis(4), kNormalPriorityBase + 10}};
+    p.tasks.push_back(pt);
+  }
+  const PartitionAnalysis a = AnalyzePartition(p, OverheadModel::Zero());
+  ASSERT_TRUE(a.schedulable) << a.failure_reason;
+  EXPECT_EQ(a.verdicts[0].completion, Millis(6));
+  // ... and the normal task absorbs the tail's interference: 4 + 3 = 7ms.
+  EXPECT_EQ(a.verdicts[1].completion, Millis(7));
+}
+
+TEST(Verify, OverheadsTightenTheVerdict) {
+  // Feasible with zero overheads, infeasible at 10x paper overheads with
+  // microsecond-scale budgets.
+  Partition p;
+  p.num_cores = 2;
+  PlacedTask pt;
+  pt.task = MakeTask(0, Micros(900), Millis(1));
+  pt.parts = {{0, Micros(450), 0}, {1, Micros(450), 0}};
+  p.tasks.push_back(pt);
+  EXPECT_TRUE(AnalyzePartition(p, OverheadModel::Zero()).schedulable);
+  EXPECT_FALSE(
+      AnalyzePartition(p, OverheadModel::PaperScaled(10.0)).schedulable);
+}
+
+}  // namespace
+}  // namespace sps::partition

@@ -1,0 +1,184 @@
+// Unit + property tests for the red-black-tree sleep queue.
+
+#include "containers/rb_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+namespace sps::containers {
+namespace {
+
+using Tree = RbTree<long, int>;
+
+TEST(RbTree, StartsEmpty) {
+  Tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(RbTree, InsertAndMin) {
+  Tree t;
+  t.insert(30, 3);
+  t.insert(10, 1);
+  t.insert(20, 2);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.min_key(), 10);
+  EXPECT_EQ(t.min_value(), 1);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(RbTree, PopMinDrainsInKeyOrder) {
+  Tree t;
+  const std::vector<long> keys = {5, 3, 9, 1, 7, 2, 8, 0, 6, 4};
+  for (long k : keys) t.insert(k, static_cast<int>(k * 10));
+  for (long expect = 0; expect < 10; ++expect) {
+    auto [k, v] = t.pop_min();
+    EXPECT_EQ(k, expect);
+    EXPECT_EQ(v, expect * 10);
+    EXPECT_TRUE(t.validate());
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(RbTree, DuplicateKeysAreFifo) {
+  Tree t;
+  t.insert(5, 1);
+  t.insert(5, 2);
+  t.insert(5, 3);
+  EXPECT_EQ(t.pop_min().second, 1);
+  EXPECT_EQ(t.pop_min().second, 2);
+  EXPECT_EQ(t.pop_min().second, 3);
+}
+
+TEST(RbTree, EraseByHandleKeepsOtherHandlesValid) {
+  Tree t;
+  std::vector<Tree::handle> hs;
+  for (long k = 0; k < 20; ++k) hs.push_back(t.insert(k, static_cast<int>(k)));
+  // Erase all even keys via their handles, in a scrambled order.
+  const std::vector<int> order = {18, 2, 10, 0, 14, 6, 4, 12, 16, 8};
+  for (int i : order) {
+    EXPECT_EQ(t.erase(hs[static_cast<size_t>(i)]), i);
+    EXPECT_TRUE(t.validate());
+  }
+  // Odd keys remain, reachable through their ORIGINAL handles.
+  for (long k = 1; k < 20; k += 2) {
+    EXPECT_EQ(hs[static_cast<size_t>(k)]->key, k);
+  }
+  EXPECT_EQ(t.size(), 10u);
+  for (long expect = 1; expect < 20; expect += 2) {
+    EXPECT_EQ(t.pop_min().first, expect);
+  }
+}
+
+TEST(RbTree, FindGeReturnsCeiling) {
+  Tree t;
+  for (long k : {10, 20, 30, 40}) t.insert(k, 0);
+  ASSERT_NE(t.find_ge(15), nullptr);
+  EXPECT_EQ(t.find_ge(15)->key, 20);
+  EXPECT_EQ(t.find_ge(20)->key, 20);
+  EXPECT_EQ(t.find_ge(41), nullptr);
+  EXPECT_EQ(t.find_ge(-100)->key, 10);
+}
+
+TEST(RbTree, NextIteratesInOrder) {
+  Tree t;
+  for (long k : {4, 2, 6, 1, 3, 5, 7}) t.insert(k, 0);
+  Tree::handle h = t.min_handle();
+  std::vector<long> seen;
+  while (h != nullptr) {
+    seen.push_back(h->key);
+    h = t.next(h);
+  }
+  EXPECT_EQ(seen, (std::vector<long>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(RbTree, ClearThenReuse) {
+  Tree t;
+  for (long k = 0; k < 100; ++k) t.insert(k, 0);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.validate());
+  t.insert(1, 1);
+  EXPECT_EQ(t.min_key(), 1);
+}
+
+TEST(RbTree, MoveConstruction) {
+  Tree a;
+  a.insert(1, 10);
+  a.insert(2, 20);
+  Tree b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.pop_min().second, 10);
+}
+
+// ---- randomized property sweep ------------------------------------------
+
+class RbTreeRandomized : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RbTreeRandomized, MatchesReferenceMultimapUnderRandomOps) {
+  std::mt19937 rng(GetParam());
+  Tree t;
+  std::multimap<long, int> ref;
+  struct Live {
+    Tree::handle h;
+    long key;
+    int val;
+  };
+  std::vector<Live> live;  // metadata kept outside the tree: a popped
+                           // node's handle dangles and must not be read
+
+  int next_val = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const int action = static_cast<int>(rng() % 100);
+    if (action < 50 || ref.empty()) {
+      const long k = static_cast<long>(rng() % 500);
+      live.push_back(Live{t.insert(k, next_val), k, next_val});
+      ref.emplace(k, next_val);
+      ++next_val;
+    } else if (action < 75) {
+      auto [k, v] = t.pop_min();
+      EXPECT_EQ(k, ref.begin()->first);
+      auto range = ref.equal_range(k);
+      auto it = std::find_if(range.first, range.second,
+                             [&](const auto& p) { return p.second == v; });
+      ASSERT_NE(it, range.second);
+      ref.erase(it);
+      live.erase(std::find_if(live.begin(), live.end(),
+                              [&](const Live& l) {
+                                return l.key == k && l.val == v;
+                              }));
+    } else if (!live.empty()) {
+      const std::size_t idx = rng() % live.size();
+      const Live l = live[idx];
+      EXPECT_EQ(t.erase(l.h), l.val);
+      auto range = ref.equal_range(l.key);
+      auto it = std::find_if(range.first, range.second,
+                             [&](const auto& p) { return p.second == l.val; });
+      ASSERT_NE(it, range.second);
+      ref.erase(it);
+      live.erase(live.begin() + static_cast<long>(idx));
+    }
+    EXPECT_EQ(t.size(), ref.size());
+    if (step % 256 == 0) {
+      ASSERT_TRUE(t.validate());
+    }
+  }
+  ASSERT_TRUE(t.validate());
+  while (!t.empty()) {
+    auto [k, v] = t.pop_min();
+    EXPECT_EQ(k, ref.begin()->first);
+    ref.erase(ref.begin());
+  }
+  EXPECT_TRUE(ref.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbTreeRandomized,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace sps::containers

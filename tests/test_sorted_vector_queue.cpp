@@ -1,0 +1,85 @@
+// Tests for the sorted-vector sleep-queue ablation container. Held to the
+// same behavioural contract as RbTree (minus stable handles).
+
+#include "containers/sorted_vector_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <map>
+
+namespace sps::containers {
+namespace {
+
+using Queue = SortedVectorQueue<long, int>;
+
+TEST(SortedVectorQueue, StartsEmpty) {
+  Queue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.validate());
+}
+
+TEST(SortedVectorQueue, PopMinDrainsInOrder) {
+  Queue q;
+  for (long k : {5, 2, 9, 1, 7}) q.insert(k, static_cast<int>(k) * 10);
+  EXPECT_EQ(q.min_key(), 1);
+  EXPECT_EQ(q.min_value(), 10);
+  long last = -1;
+  while (!q.empty()) {
+    auto [k, v] = q.pop_min();
+    EXPECT_GT(k, last);
+    EXPECT_EQ(v, k * 10);
+    last = k;
+    EXPECT_TRUE(q.validate());
+  }
+}
+
+TEST(SortedVectorQueue, DuplicatesAreFifo) {
+  Queue q;
+  q.insert(5, 1);
+  q.insert(5, 2);
+  q.insert(5, 3);
+  EXPECT_EQ(q.pop_min().second, 1);
+  EXPECT_EQ(q.pop_min().second, 2);
+  EXPECT_EQ(q.pop_min().second, 3);
+}
+
+TEST(SortedVectorQueue, EraseByKeyValue) {
+  Queue q;
+  q.insert(1, 10);
+  q.insert(2, 20);
+  q.insert(2, 21);
+  EXPECT_TRUE(q.erase(2, 20));
+  EXPECT_FALSE(q.erase(2, 20));  // already gone
+  EXPECT_FALSE(q.erase(9, 0));   // never existed
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop_min().second, 10);
+  EXPECT_EQ(q.pop_min().second, 21);
+}
+
+TEST(SortedVectorQueue, MatchesReferenceMultimap) {
+  std::mt19937 rng(77);
+  Queue q;
+  std::multimap<long, int> ref;
+  int val = 0;
+  for (int step = 0; step < 1500; ++step) {
+    if (rng() % 100 < 55 || ref.empty()) {
+      const long k = static_cast<long>(rng() % 300);
+      q.insert(k, val);
+      ref.emplace(k, val);
+      ++val;
+    } else {
+      auto [k, v] = q.pop_min();
+      EXPECT_EQ(k, ref.begin()->first);
+      // FIFO among duplicates matches multimap insertion order.
+      EXPECT_EQ(v, ref.begin()->second);
+      ref.erase(ref.begin());
+    }
+    EXPECT_EQ(q.size(), ref.size());
+  }
+  EXPECT_TRUE(q.validate());
+}
+
+}  // namespace
+}  // namespace sps::containers
