@@ -1,8 +1,19 @@
 // Ablation A1 (DESIGN.md §6) — ready-queue and sleep-queue data-structure
 // choices. The paper picked a binomial heap (ready) and a red-black tree
 // (sleep); this bench compares them against a pairing heap and a sorted
-// vector at the paper's queue sizes, using google-benchmark steady-state
-// timing of the scheduler's canonical operation pairs.
+// vector at the paper's queue sizes.
+//
+// Two tiers of measurement, both through the SAME queue concept
+// (containers/queue_traits.hpp) the scheduler uses:
+//
+//   1. single-operation pairs (google-benchmark steady state) — the
+//      microscopic Table-1 view;
+//   2. WHOLE SIMULATIONS per backend: the partitioned engine runs a
+//      fixed SPA2 partition end-to-end with each ready/sleep backend
+//      (SimConfig::ready_backend / sleep_backend), reporting simulated
+//      time and queue ops per wall second. This is the macroscopic view
+//      the container-only benches could never give: containers, policy,
+//      and engine composing through one kernel.
 //
 // Expected outcome: at N = 4..64 all structures are within small constant
 // factors — the paper's design is not load-bearing on the container
@@ -11,85 +22,190 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <random>
 #include <vector>
 
-#include "containers/binomial_heap.hpp"
-#include "containers/pairing_heap.hpp"
-#include "containers/rb_tree.hpp"
-#include "containers/sorted_vector_queue.hpp"
+#include "containers/queue_traits.hpp"
+#include "overhead/model.hpp"
+#include "partition/spa.hpp"
+#include "rt/generator.hpp"
+#include "sim/engine.hpp"
 
 namespace {
 
+using namespace sps;
 using namespace sps::containers;
 
 struct Payload {
-  std::uint64_t prio;
   std::uint64_t data[6];
-  bool operator<(const Payload& o) const { return prio < o.prio; }
-  bool operator==(const Payload& o) const { return prio == o.prio; }
 };
 
-template <typename Heap>
+// ---- Tier 1: single-operation pairs through the concept -------------------
+
+template <typename Queue>
 void ReadyPairBench(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::mt19937_64 rng(5);
-  Heap heap;
-  for (std::size_t i = 0; i < n; ++i) heap.push(Payload{rng(), {}});
+  Queue q;
+  for (std::size_t i = 0; i < n; ++i) q.push(rng(), Payload{});
   for (auto _ : state) {
-    Payload p = heap.pop();
-    p.prio += 1000;  // re-arm like a next-period job
-    heap.push(p);
+    auto [key, v] = q.pop_min();
+    q.push(key + 1000, v);  // re-arm like a next-period job
   }
+  // Timed work only (one pop + one push per iteration); the N setup
+  // pushes also sit in counters() and must not inflate items/s.
+  state.SetItemsProcessed(2 * state.iterations());
 }
 
 void BM_Ready_BinomialHeap(benchmark::State& s) {
-  ReadyPairBench<BinomialHeap<Payload>>(s);
+  ReadyPairBench<BinomialHeapQueue<std::uint64_t, Payload>>(s);
 }
 void BM_Ready_PairingHeap(benchmark::State& s) {
-  ReadyPairBench<PairingHeap<Payload>>(s);
+  ReadyPairBench<PairingHeapQueue<std::uint64_t, Payload>>(s);
+}
+void BM_Ready_RbTree(benchmark::State& s) {
+  ReadyPairBench<RbTreeQueue<std::uint64_t, Payload>>(s);
+}
+void BM_Ready_SortedVector(benchmark::State& s) {
+  ReadyPairBench<SortedVectorStableQueue<std::uint64_t, Payload>>(s);
 }
 void BM_Ready_StdPriorityQueue(benchmark::State& s) {
   // The std baseline: vector-backed binary heap (no stable handles, so a
   // real scheduler could not use it for erase; speed reference only).
   const auto n = static_cast<std::size_t>(s.range(0));
   std::mt19937_64 rng(5);
-  std::vector<Payload> v;
-  auto cmp = [](const Payload& a, const Payload& b) { return b < a; };
-  for (std::size_t i = 0; i < n; ++i) v.push_back(Payload{rng(), {}});
+  using Item = std::pair<std::uint64_t, Payload>;
+  std::vector<Item> v;
+  auto cmp = [](const Item& a, const Item& b) { return b.first < a.first; };
+  for (std::size_t i = 0; i < n; ++i) v.push_back({rng(), Payload{}});
   std::make_heap(v.begin(), v.end(), cmp);
   for (auto _ : s) {
     std::pop_heap(v.begin(), v.end(), cmp);
-    v.back().prio += 1000;
+    v.back().first += 1000;
     std::push_heap(v.begin(), v.end(), cmp);
   }
 }
 BENCHMARK(BM_Ready_BinomialHeap)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_Ready_PairingHeap)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Ready_RbTree)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Ready_SortedVector)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_Ready_StdPriorityQueue)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
-void BM_Sleep_RbTree(benchmark::State& s) {
-  const auto n = static_cast<std::size_t>(s.range(0));
+// The sleep-queue pattern differs from the ready pattern only in key
+// distribution (monotonically advancing wake-ups) — same concept calls.
+template <typename Queue>
+void SleepPairBench(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
   std::mt19937_64 rng(9);
-  RbTree<std::uint64_t, Payload> tree;
-  for (std::size_t i = 0; i < n; ++i) tree.insert(rng(), Payload{i, {}});
-  for (auto _ : s) {
-    auto [k, v] = tree.pop_min();
-    tree.insert(k + 100000, v);  // wake and re-sleep one period later
+  Queue q;
+  for (std::size_t i = 0; i < n; ++i) q.push(rng(), Payload{});
+  for (auto _ : state) {
+    auto [k, v] = q.pop_min();
+    q.push(k + 100000, v);  // wake and re-sleep one period later
   }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+
+void BM_Sleep_RbTree(benchmark::State& s) {
+  SleepPairBench<RbTreeQueue<std::uint64_t, Payload>>(s);
 }
 void BM_Sleep_SortedVector(benchmark::State& s) {
-  const auto n = static_cast<std::size_t>(s.range(0));
-  std::mt19937_64 rng(9);
-  SortedVectorQueue<std::uint64_t, Payload> q;
-  for (std::size_t i = 0; i < n; ++i) q.insert(rng(), Payload{i, {}});
-  for (auto _ : s) {
-    auto [k, v] = q.pop_min();
-    q.insert(k + 100000, v);
-  }
+  SleepPairBench<SortedVectorStableQueue<std::uint64_t, Payload>>(s);
+}
+void BM_Sleep_BinomialHeap(benchmark::State& s) {
+  SleepPairBench<BinomialHeapQueue<std::uint64_t, Payload>>(s);
+}
+void BM_Sleep_PairingHeap(benchmark::State& s) {
+  SleepPairBench<PairingHeapQueue<std::uint64_t, Payload>>(s);
 }
 BENCHMARK(BM_Sleep_RbTree)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_Sleep_SortedVector)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Sleep_BinomialHeap)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Sleep_PairingHeap)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// ---- Tier 2: whole simulations per backend --------------------------------
+
+/// A fixed, reproducible workload: 24 tasks at 85% of 4 cores, SPA2
+/// partition (split tasks included), paper overheads, 200 ms horizon.
+const partition::Partition& AblationPartition() {
+  static const partition::Partition p = [] {
+    rt::GeneratorConfig gen;
+    gen.num_tasks = 24;
+    gen.total_utilization = 0.85 * 4;
+    rt::Rng rng(12345);
+    const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+    partition::SpaConfig cfg;
+    cfg.num_cores = 4;
+    cfg.model = overhead::OverheadModel::PaperCoreI7();
+    cfg.preassign_heavy = true;
+    auto pr = partition::SpaPartition(ts, cfg);
+    if (!pr.success) {
+      // pr.partition is meaningless on rejection; fail loudly rather
+      // than benchmark garbage.
+      std::fprintf(stderr, "ablation workload rejected by SPA2: %s\n",
+                   pr.failure_reason.c_str());
+      std::abort();
+    }
+    return pr.partition;
+  }();
+  return p;
+}
+
+void SimEndToEnd(benchmark::State& state, QueueBackend ready,
+                 QueueBackend sleep) {
+  const partition::Partition& p = AblationPartition();
+  sim::SimConfig cfg;
+  cfg.horizon = Millis(200);
+  cfg.overheads = overhead::OverheadModel::PaperCoreI7();
+  cfg.ready_backend = ready;
+  cfg.sleep_backend = sleep;
+  std::uint64_t queue_ops = 0;
+  Time simulated = 0;
+  for (auto _ : state) {
+    const sim::SimResult r = Simulate(p, cfg);
+    benchmark::DoNotOptimize(r.total_misses);
+    queue_ops += r.ready_ops.total() + r.sleep_ops.total();
+    simulated += r.simulated;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(queue_ops));
+  state.counters["sim_ms_per_iter"] = benchmark::Counter(
+      ToMillis(simulated) / static_cast<double>(state.iterations()));
+}
+
+// Ready-queue sweep (sleep fixed at the paper's RB tree) and sleep-queue
+// sweep (ready fixed at the paper's binomial heap). The all-paper
+// baseline of the sleep sweep IS BM_Sim_Ready_Binomial — not registered
+// twice.
+void BM_Sim_Ready_Binomial(benchmark::State& s) {
+  SimEndToEnd(s, QueueBackend::kBinomialHeap, QueueBackend::kRbTree);
+}
+void BM_Sim_Ready_Pairing(benchmark::State& s) {
+  SimEndToEnd(s, QueueBackend::kPairingHeap, QueueBackend::kRbTree);
+}
+void BM_Sim_Ready_RbTree(benchmark::State& s) {
+  SimEndToEnd(s, QueueBackend::kRbTree, QueueBackend::kRbTree);
+}
+void BM_Sim_Ready_SortedVector(benchmark::State& s) {
+  SimEndToEnd(s, QueueBackend::kSortedVector, QueueBackend::kRbTree);
+}
+void BM_Sim_Sleep_SortedVector(benchmark::State& s) {
+  SimEndToEnd(s, QueueBackend::kBinomialHeap, QueueBackend::kSortedVector);
+}
+void BM_Sim_Sleep_Binomial(benchmark::State& s) {
+  SimEndToEnd(s, QueueBackend::kBinomialHeap, QueueBackend::kBinomialHeap);
+}
+void BM_Sim_Sleep_Pairing(benchmark::State& s) {
+  SimEndToEnd(s, QueueBackend::kBinomialHeap, QueueBackend::kPairingHeap);
+}
+BENCHMARK(BM_Sim_Ready_Binomial);
+BENCHMARK(BM_Sim_Ready_Pairing);
+BENCHMARK(BM_Sim_Ready_RbTree);
+BENCHMARK(BM_Sim_Ready_SortedVector);
+BENCHMARK(BM_Sim_Sleep_SortedVector);
+BENCHMARK(BM_Sim_Sleep_Binomial);
+BENCHMARK(BM_Sim_Sleep_Pairing);
 
 }  // namespace
 

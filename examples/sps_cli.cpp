@@ -8,17 +8,21 @@
 //           [--cores=4] [--tasks=16] [--util=0.85] [--seed=1]
 //           [--overheads=paper|zero|calibrated] [--scale=1.0]
 //           [--sim-ms=2000] [--sporadic] [--trace]
+//           [--ready-queue=binomial|pairing|rbtree|vector]
+//           [--sleep-queue=rbtree|vector|binomial|pairing]
 //
 // Examples:
 //   ./build/examples/sps_cli --algo=spa2 --util=0.95
 //   ./build/examples/sps_cli --algo=edf-wm --tasks=24 --sim-ms=5000
 //   ./build/examples/sps_cli --algo=ffd --overheads=zero --trace
+//   ./build/examples/sps_cli --ready-queue=pairing --sleep-queue=vector
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "containers/queue_traits.hpp"
 #include "overhead/calibrate.hpp"
 #include "overhead/model.hpp"
 #include "partition/binpack.hpp"
@@ -44,6 +48,9 @@ struct Options {
   Time sim_ms = Millis(2000);
   bool sporadic = false;
   bool trace = false;
+  containers::QueueBackend ready_queue =
+      containers::QueueBackend::kBinomialHeap;
+  containers::QueueBackend sleep_queue = containers::QueueBackend::kRbTree;
 };
 
 bool ParseArg(const char* arg, Options& o) {
@@ -60,6 +67,21 @@ bool ParseArg(const char* arg, Options& o) {
   if (const char* v = value("--overheads")) { o.overheads = v; return true; }
   if (const char* v = value("--scale")) { o.scale = std::strtod(v, nullptr); return true; }
   if (const char* v = value("--sim-ms")) { o.sim_ms = Millis(std::strtod(v, nullptr)); return true; }
+  auto parse_backend = [](const char* v, containers::QueueBackend& out) {
+    if (containers::ParseQueueBackend(v, out)) return true;
+    std::fprintf(stderr, "invalid queue backend '%s'; one of:", v);
+    for (containers::QueueBackend b : containers::kAllQueueBackends) {
+      std::fprintf(stderr, " %s", std::string(containers::to_string(b)).c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return false;
+  };
+  if (const char* v = value("--ready-queue")) {
+    return parse_backend(v, o.ready_queue);
+  }
+  if (const char* v = value("--sleep-queue")) {
+    return parse_backend(v, o.sleep_queue);
+  }
   if (std::strcmp(arg, "--sporadic") == 0) { o.sporadic = true; return true; }
   if (std::strcmp(arg, "--trace") == 0) { o.trace = true; return true; }
   return false;
@@ -116,7 +138,10 @@ int main(int argc, char** argv) {
     model = overhead::OverheadModel::PaperScaled(o.scale);
   } else if (o.overheads == "calibrated") {
     std::printf("calibrating against this machine's queues...\n");
-    model = overhead::Calibrate();
+    overhead::CalibrationConfig ccfg;
+    ccfg.ready_backend = o.ready_queue;
+    ccfg.sleep_backend = o.sleep_queue;
+    model = overhead::Calibrate(ccfg);
     model.scale = o.scale;
   } else if (o.overheads != "zero") {
     std::fprintf(stderr, "unknown --overheads=%s\n", o.overheads.c_str());
@@ -149,8 +174,15 @@ int main(int argc, char** argv) {
     cfg.arrivals.kind = sim::ArrivalModel::Kind::kSporadicUniformDelay;
   }
   cfg.record_trace = o.trace;
+  cfg.ready_backend = o.ready_queue;
+  cfg.sleep_backend = o.sleep_queue;
   trace::Recorder rec(o.trace);
   const sim::SimResult r = Simulate(pr.partition, cfg, &rec);
+  std::printf("queues: ready=%s (%llu ops) sleep=%s (%llu ops)\n",
+              std::string(containers::to_string(o.ready_queue)).c_str(),
+              static_cast<unsigned long long>(r.ready_ops.total()),
+              std::string(containers::to_string(o.sleep_queue)).c_str(),
+              static_cast<unsigned long long>(r.sleep_ops.total()));
   std::printf("%s\n", r.summary().c_str());
   if (o.trace) {
     trace::GanttOptions gopt;

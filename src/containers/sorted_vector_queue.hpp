@@ -2,12 +2,19 @@
 // Sorted-vector queue — ablation alternative for the sleep queue
 // (DESIGN.md §6: "Sleep queue: RB tree vs sorted vector").
 //
-// Keeps (key, value) pairs sorted by key in a contiguous vector. Insert is
-// O(n) (memmove), min is O(1), pop_min is O(n). At the paper's queue sizes
-// (N = 4 and N = 64) the constant factors of contiguous memory can beat
-// the pointer-chasing RB tree; the ablation bench quantifies exactly that
-// trade-off. Handles are NOT stable (elements move); erase is by key+value
-// match instead.
+// Keeps (key, value) pairs sorted by key in a contiguous vector, stored in
+// REVERSE (descending) key order so the minimum sits at the BACK: pop_min
+// is then a plain pop_back — O(1), no front memmove. Insert is O(n)
+// (memmove), min is O(1). At the paper's queue sizes (N = 4 and N = 64)
+// the constant factors of contiguous memory can beat the pointer-chasing
+// RB tree; the ablation bench quantifies exactly that trade-off. Handles
+// are NOT stable (elements move); erase is by key+value match instead —
+// the stable-handle adapter in queue_traits.hpp lifts this container to
+// the scheduler's queue concept.
+//
+// FIFO among duplicates is preserved under the reversed layout: a new
+// duplicate is placed at the FRONT of its equal-key run, so the oldest
+// equal element stays nearest the back and pops first.
 
 #include <algorithm>
 #include <cassert>
@@ -27,39 +34,49 @@ class SortedVectorQueue {
   [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
 
-  /// Insert after all existing equal keys (FIFO among duplicates),
-  /// matching RbTree::insert semantics.
+  /// Insert; FIFO among duplicates (matching RbTree::insert semantics).
+  /// Placed before all existing equal keys in the descending layout,
+  /// which is AFTER them in pop order.
   void insert(Key key, T value) {
-    auto it = std::upper_bound(
+    // First position whose key is <= `key` (first of the equal run, or
+    // the first strictly-smaller element when there are no equals).
+    auto it = std::lower_bound(
         items_.begin(), items_.end(), key,
-        [this](const Key& k, const Entry& e) { return cmp_(k, e.first); });
+        [this](const Entry& e, const Key& k) { return cmp_(k, e.first); });
     items_.insert(it, Entry{std::move(key), std::move(value)});
   }
 
   [[nodiscard]] const Key& min_key() const {
     assert(!empty());
-    return items_.front().first;
+    return items_.back().first;
   }
 
   [[nodiscard]] const T& min_value() const {
     assert(!empty());
-    return items_.front().second;
+    return items_.back().second;
   }
 
   std::pair<Key, T> pop_min() {
     assert(!empty());
-    Entry out = std::move(items_.front());
-    items_.erase(items_.begin());
+    Entry out = std::move(items_.back());
+    items_.pop_back();
     return out;
   }
 
-  /// Erase the first element equal to (key, value); returns whether one
-  /// was found.
+  /// Erase the first-inserted element equal to (key, value); returns
+  /// whether one was found. Under the reversed layout the oldest equal
+  /// element is the one nearest the back of its run.
   bool erase(const Key& key, const T& value) {
+    // Equal-key run [lo, hi): lo = first element <= key, hi = first
+    // element < key (descending order).
     auto lo = std::lower_bound(
         items_.begin(), items_.end(), key,
-        [this](const Entry& e, const Key& k) { return cmp_(e.first, k); });
-    for (auto it = lo; it != items_.end() && !cmp_(key, it->first); ++it) {
+        [this](const Entry& e, const Key& k) { return cmp_(k, e.first); });
+    auto hi = std::upper_bound(
+        lo, items_.end(), key,
+        [this](const Key& k, const Entry& e) { return cmp_(e.first, k); });
+    for (auto it = hi; it != lo;) {
+      --it;
       if (it->second == value) {
         items_.erase(it);
         return true;
@@ -73,12 +90,12 @@ class SortedVectorQueue {
   [[nodiscard]] bool validate() const {
     return std::is_sorted(
         items_.begin(), items_.end(),
-        [this](const Entry& a, const Entry& b) { return cmp_(a.first, b.first); });
+        [this](const Entry& a, const Entry& b) { return cmp_(b.first, a.first); });
   }
 
  private:
   using Entry = std::pair<Key, T>;
-  std::vector<Entry> items_;
+  std::vector<Entry> items_;  ///< descending by key; minimum at the back
   [[no_unique_address]] Compare cmp_{};
 };
 

@@ -4,12 +4,10 @@
 #include <chrono>
 #include <cstring>
 #include <memory>
-#include <random>
 #include <vector>
 
 #include "cache/cpmd.hpp"
-#include "containers/binomial_heap.hpp"
-#include "containers/rb_tree.hpp"
+#include "containers/queue_traits.hpp"
 
 namespace sps::overhead {
 
@@ -23,22 +21,12 @@ Time Now() {
       .count();
 }
 
-/// Payload sized like a scheduler queue entry (priority + a task_struct
-/// pointer's worth of bookkeeping), so node size is realistic.
+/// Payload sized like a scheduler queue entry (a task_struct pointer's
+/// worth of bookkeeping), so node size is realistic. The ordering key
+/// lives in the queue concept's key, not in the payload.
 struct FakeJob {
-  std::uint64_t prio;
   std::uint64_t payload[6];
-
-  friend bool operator<(const FakeJob& a, const FakeJob& b) {
-    return a.prio < b.prio;
-  }
-  friend bool operator==(const FakeJob& a, const FakeJob& b) {
-    return a.prio == b.prio;
-  }
 };
-
-using ReadyQueue = containers::BinomialHeap<FakeJob>;
-using SleepQueue = containers::RbTree<std::uint64_t, FakeJob>;
 
 /// Max-after-trim over collected samples (the paper's "maximal measured
 /// duration", with an optional guard against timer-interrupt outliers).
@@ -95,22 +83,31 @@ Time MeasureOp(int samples, double trim, bool remote,
   return TrimmedMax(durations, trim);
 }
 
-Table1::Row MeasureReadyAdd(const CalibrationConfig& cfg,
-                            CacheEvictor& evictor, std::size_t n,
-                            bool both_localities, Table1::Row base) {
-  std::uint64_t seed = 42;
+// Any queue backend is measured through the SAME concept interface the
+// simulator schedules with (queue_traits.hpp) — the measurement and the
+// scheduler exercise identical code paths. Q is one of the adapters, keyed
+// by a synthetic priority / wake-up time.
+
+/// One "add" measurement cell: timed push into a queue of n-1 elements,
+/// restored by erasing through the returned handle (the scheduler's
+/// release path). Fills the (n, locality) cells of `base`.
+template <typename Q>
+Table1::Row MeasureAdd(const CalibrationConfig& cfg, CacheEvictor& evictor,
+                       std::size_t n, bool both_localities, std::uint64_t seed0,
+                       Table1::Row base) {
+  std::uint64_t seed = seed0;
   auto make = [&] {
-    ReadyQueue q;
+    auto q = std::make_unique<Q>();
     for (std::size_t i = 0; i + 1 < n; ++i) {
-      q.push(FakeJob{SplitMix(seed), {}});
+      q->push(SplitMix(seed), FakeJob{});
     }
     return q;
   };
-  ReadyQueue::handle last{};
-  auto op = [&](ReadyQueue& q, int i) {
-    last = q.push(FakeJob{SplitMix(seed) + static_cast<std::uint64_t>(i), {}});
+  typename Q::handle last{};
+  auto op = [&](std::unique_ptr<Q>& q, int i) {
+    last = q->push(SplitMix(seed) + static_cast<std::uint64_t>(i), FakeJob{});
   };
-  auto restore = [&](ReadyQueue& q, int) { q.erase(last); };
+  auto restore = [&](std::unique_ptr<Q>& q, int) { q->erase(last); };
 
   const Time local =
       MeasureOp(cfg.samples, cfg.outlier_trim, false, evictor, make, op,
@@ -131,81 +128,23 @@ Table1::Row MeasureReadyAdd(const CalibrationConfig& cfg,
   return base;
 }
 
-Table1::Row MeasureReadyDel(const CalibrationConfig& cfg,
-                            CacheEvictor& evictor, std::size_t n,
-                            Table1::Row base) {
-  std::uint64_t seed = 99;
+/// One "delete" measurement cell: timed pop_min from a queue of n
+/// elements, restored by re-pushing the popped pair (the scheduler's
+/// dispatch path). Deletes are only ever local (a core pops its own
+/// queues), matching the N/A cells of the paper's table.
+template <typename Q>
+Table1::Row MeasureDel(const CalibrationConfig& cfg, CacheEvictor& evictor,
+                       std::size_t n, std::uint64_t seed0, Table1::Row base) {
+  std::uint64_t seed = seed0;
   auto make = [&] {
-    ReadyQueue q;
-    for (std::size_t i = 0; i < n; ++i) q.push(FakeJob{SplitMix(seed), {}});
-    return q;
-  };
-  FakeJob popped{};
-  auto op = [&](ReadyQueue& q, int) { popped = q.pop(); };
-  auto restore = [&](ReadyQueue& q, int) { q.push(popped); };
-
-  const Time local = MeasureOp(cfg.samples, cfg.outlier_trim, false, evictor,
-                               make, op, restore);
-  if (n == 4) {
-    base.local_n4 = local;
-  } else {
-    base.local_n64 = local;
-  }
-  return base;
-}
-
-Table1::Row MeasureSleepAdd(const CalibrationConfig& cfg,
-                            CacheEvictor& evictor, std::size_t n,
-                            bool both_localities, Table1::Row base) {
-  std::uint64_t seed = 7;
-  auto make = [&] {
-    auto q = std::make_unique<SleepQueue>();
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-      q->insert(SplitMix(seed), FakeJob{i, {}});
-    }
-    return q;
-  };
-  SleepQueue::handle last{};
-  auto op = [&](std::unique_ptr<SleepQueue>& q, int i) {
-    last = q->insert(SplitMix(seed), FakeJob{static_cast<std::uint64_t>(i), {}});
-  };
-  auto restore = [&](std::unique_ptr<SleepQueue>& q, int) { q->erase(last); };
-
-  const Time local = MeasureOp(cfg.samples, cfg.outlier_trim, false, evictor,
-                               make, op, restore);
-  Time remote = 0;
-  if (both_localities) {
-    remote = MeasureOp(cfg.samples, cfg.outlier_trim, true, evictor, make,
-                       op, restore);
-    remote = std::max(remote, local);
-  }
-  if (n == 4) {
-    base.local_n4 = local;
-    base.remote_n4 = remote;
-  } else {
-    base.local_n64 = local;
-    base.remote_n64 = remote;
-  }
-  return base;
-}
-
-Table1::Row MeasureSleepDel(const CalibrationConfig& cfg,
-                            CacheEvictor& evictor, std::size_t n,
-                            Table1::Row base) {
-  std::uint64_t seed = 13;
-  auto make = [&] {
-    auto q = std::make_unique<SleepQueue>();
-    for (std::size_t i = 0; i < n; ++i) {
-      q->insert(SplitMix(seed), FakeJob{i, {}});
-    }
+    auto q = std::make_unique<Q>();
+    for (std::size_t i = 0; i < n; ++i) q->push(SplitMix(seed), FakeJob{});
     return q;
   };
   std::pair<std::uint64_t, FakeJob> popped;
-  auto op = [&](std::unique_ptr<SleepQueue>& q, int) {
-    popped = q->pop_min();
-  };
-  auto restore = [&](std::unique_ptr<SleepQueue>& q, int) {
-    q->insert(popped.first, popped.second);
+  auto op = [&](std::unique_ptr<Q>& q, int) { popped = q->pop_min(); };
+  auto restore = [&](std::unique_ptr<Q>& q, int) {
+    q->push(popped.first, popped.second);
   };
 
   const Time local = MeasureOp(cfg.samples, cfg.outlier_trim, false, evictor,
@@ -216,6 +155,18 @@ Table1::Row MeasureSleepDel(const CalibrationConfig& cfg,
     base.local_n64 = local;
   }
   return base;
+}
+
+/// Both rows (add + del) of one queue's half of Table 1.
+template <typename Q>
+void MeasureQueueRows(const CalibrationConfig& cfg, CacheEvictor& evictor,
+                      std::uint64_t add_seed, std::uint64_t del_seed,
+                      Table1::Row& add, Table1::Row& del) {
+  add = MeasureAdd<Q>(cfg, evictor, 4, true, add_seed, {});
+  add = MeasureAdd<Q>(cfg, evictor, 64, true, add_seed, add);
+  del = MeasureDel<Q>(cfg, evictor, 4, del_seed, {});
+  del = MeasureDel<Q>(cfg, evictor, 64, del_seed, del);
+  del.remote_applicable = false;
 }
 
 // ---- Handler-body emulations -------------------------------------------
@@ -269,16 +220,16 @@ void CtxSwitchBody(CpuContext& from, CpuContext& to, CpuContext& cpu) {
 Table1 MeasureTable1(const CalibrationConfig& cfg) {
   CacheEvictor evictor(cfg.eviction_buffer_bytes);
   Table1 t;
-  t.ready_add = MeasureReadyAdd(cfg, evictor, 4, true, {});
-  t.ready_add = MeasureReadyAdd(cfg, evictor, 64, true, t.ready_add);
-  t.ready_del = MeasureReadyDel(cfg, evictor, 4, {});
-  t.ready_del = MeasureReadyDel(cfg, evictor, 64, t.ready_del);
-  t.ready_del.remote_applicable = false;
-  t.sleep_add = MeasureSleepAdd(cfg, evictor, 4, true, {});
-  t.sleep_add = MeasureSleepAdd(cfg, evictor, 64, true, t.sleep_add);
-  t.sleep_del = MeasureSleepDel(cfg, evictor, 4, {});
-  t.sleep_del = MeasureSleepDel(cfg, evictor, 64, t.sleep_del);
-  t.sleep_del.remote_applicable = false;
+  containers::WithQueueBackend(cfg.ready_backend, [&](auto rb) {
+    using ReadyQ =
+        containers::QueueOf<decltype(rb)::value, std::uint64_t, FakeJob>;
+    MeasureQueueRows<ReadyQ>(cfg, evictor, 42, 99, t.ready_add, t.ready_del);
+  });
+  containers::WithQueueBackend(cfg.sleep_backend, [&](auto sb) {
+    using SleepQ =
+        containers::QueueOf<decltype(sb)::value, std::uint64_t, FakeJob>;
+    MeasureQueueRows<SleepQ>(cfg, evictor, 7, 13, t.sleep_add, t.sleep_del);
+  });
   return t;
 }
 

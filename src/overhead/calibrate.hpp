@@ -1,7 +1,11 @@
 #pragma once
-// Live calibration: measure THIS library's binomial-heap (ready queue) and
-// red-black-tree (sleep queue) single-operation latencies, reproducing the
-// measurement protocol behind Table 1 of the paper.
+// Live calibration: measure THIS library's queue single-operation
+// latencies, reproducing the measurement protocol behind Table 1 of the
+// paper. The measured containers default to the paper's choices (binomial
+// heap ready queue, red-black-tree sleep queue) and are selectable per
+// CalibrationConfig::ready_backend / sleep_backend; measurement goes
+// through the same queue concept the simulator schedules with, so the
+// timed code path IS the scheduler's code path.
 //
 // Protocol (mirrors §3 of the paper):
 //   * For each operation kind, queue size N is held at 4 or 64; one
@@ -26,6 +30,7 @@
 
 #include <cstddef>
 
+#include "containers/queue_traits.hpp"
 #include "overhead/model.hpp"
 #include "overhead/table1.hpp"
 
@@ -39,6 +44,12 @@ struct CalibrationConfig {
   double outlier_trim = 0.01;
   /// Bytes swept to evict queue nodes for "remote" emulation.
   std::size_t eviction_buffer_bytes = 8u << 20;
+  /// Which containers to measure. Defaults are the paper's choices; the
+  /// ablation sweeps these. Measurement goes through the same queue
+  /// concept (containers/queue_traits.hpp) the simulator schedules with.
+  containers::QueueBackend ready_backend =
+      containers::QueueBackend::kBinomialHeap;
+  containers::QueueBackend sleep_backend = containers::QueueBackend::kRbTree;
 };
 
 /// Measure the queue-operation half of Table 1 on this machine.

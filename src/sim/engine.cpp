@@ -3,127 +3,75 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
-#include <queue>
+#include <memory>
 
-#include "containers/binomial_heap.hpp"
-#include "containers/rb_tree.hpp"
+#include "sim/kernel.hpp"
 
 namespace sps::sim {
 
 namespace {
 
+using containers::QueueBackend;
 using partition::PlacedTask;
 
-struct Job {
-  std::size_t task_idx = 0;
-  std::uint64_t seq = 0;          ///< job number within its task
-  Time release_time = 0;
-  Time abs_deadline = 0;
-  Time exec_remaining = 0;        ///< actual execution left (CPMD included)
-  Time budget_remaining = 0;      ///< current subtask's budget left
-  std::size_t part = 0;           ///< current subtask index
-  Time cpmd_pending = 0;          ///< reload cost to charge at next start
-};
+struct Job : kernel::JobBase {
+  Time budget_remaining = 0;  ///< current subtask's budget left
+  std::size_t part = 0;       ///< current subtask index
+  Time cpmd_pending = 0;      ///< reload cost to charge at next start
 
-struct ReadyItem {
-  /// Scheduling key: the fixed per-core priority under FP, the absolute
-  /// window deadline under EDF. Smaller = runs first, both ways.
-  std::uint64_t key = 0;
-  std::uint64_t order = 0;  ///< FIFO tie-break / determinism
-  Job* job = nullptr;
-};
-
-struct ReadyLess {
-  bool operator()(const ReadyItem& a, const ReadyItem& b) const {
-    if (a.key != b.key) return a.key < b.key;
-    return a.order < b.order;
+  /// Split budgets meter execution: progress burns WCET and budget in
+  /// lockstep (the kernel charges through this hook).
+  void charge(Time progress) {
+    exec_remaining -= progress;
+    budget_remaining -= progress;
   }
 };
 
-using ReadyQueue = containers::BinomialHeap<ReadyItem, ReadyLess>;
-using SleepQueue = containers::RbTree<Time, std::size_t>;
-
-enum class CoreState { kIdle, kExec, kOvh };
-
-struct Core {
-  ReadyQueue ready;
-  SleepQueue sleep;
-  CoreState state = CoreState::kIdle;
-  Job* running = nullptr;        ///< executing, or suspended mid-overhead
-  Job* pending_start = nullptr;  ///< picked by sch(), waiting for overhead
-  bool need_sched = false;
-  Time busy_until = 0;
-  Time seg_start = 0;
-  std::uint64_t epoch = 0;  ///< invalidates stale core events
-};
-
-enum class EvKind : std::uint8_t {
-  kTimer,             // task release (task_idx)
-  kOverheadEnd,       // core finished its overhead window (core, epoch)
-  kSegmentEnd,        // running segment ended (core, epoch)
-  kMigrationArrival,  // job lands on destination core (core, job)
-};
-
-struct Ev {
-  Time t = 0;
-  std::uint64_t seq = 0;
-  EvKind kind = EvKind::kTimer;
-  std::uint32_t core = 0;
-  std::size_t task_idx = 0;
-  std::uint64_t epoch = 0;
-  Job* job = nullptr;
-};
-
-/// Same-instant ordering matters twice over: a segment that completes
-/// exactly when a timer fires must finish BEFORE the release is handled
-/// (otherwise the done job is "preempted" with zero work left and its
-/// completion slips past the boundary), and all releases/arrivals must
-/// land in the ready queues BEFORE any dispatch (overhead end) at the
-/// same instant, or the scheduler briefly starts a job it immediately
-/// preempts. Rank: segment ends, then timers, then migration arrivals,
-/// then dispatches; ties by insertion order.
-inline int EvRank(EvKind k) {
-  switch (k) {
-    case EvKind::kSegmentEnd: return 0;
-    case EvKind::kTimer: return 1;
-    case EvKind::kMigrationArrival: return 2;
-    case EvKind::kOverheadEnd: return 3;
-  }
-  return 4;
-}
-
-struct EvLater {
-  bool operator()(const Ev& a, const Ev& b) const {
-    if (a.t != b.t) return a.t > b.t;
-    const int ra = EvRank(a.kind);
-    const int rb = EvRank(b.kind);
-    if (ra != rb) return ra > rb;
-    return a.seq > b.seq;
-  }
-};
-
-struct TaskRt {
+template <typename SleepQ>
+struct TaskRt : kernel::TaskRunBase {
   const PlacedTask* pt = nullptr;
-  bool active = false;
-  Time next_release = 0;  ///< nominal release of the NEXT job
-  SleepQueue::handle sleep_handle = nullptr;
-  // stats
-  TaskStats stats;
-  double response_sum = 0.0;
+  typename SleepQ::handle sleep_handle = nullptr;
 };
 
-class Engine {
+/// The partitioned policy's per-core state: one ready and one sleep
+/// queue per core, exactly as in the paper's kernel patch.
+template <typename ReadyQ, typename SleepQ>
+struct PerCoreQueues {
+  ReadyQ ready;
+  SleepQ sleep;
+};
+
+/// The semi-partitioned scheduling policy, hosted on the shared kernel.
+/// ReadyQ orders jobs by scheduling key (fixed priority under FP, the
+/// absolute window deadline under EDF; FIFO among ties). SleepQ orders
+/// inactive tasks by wake-up time.
+template <typename ReadyQ, typename SleepQ>
+class Engine final
+    : public kernel::KernelBase<Engine<ReadyQ, SleepQ>, Job, TaskRt<SleepQ>,
+                                PerCoreQueues<ReadyQ, SleepQ>> {
+  static_assert(containers::ReadyQueueFor<ReadyQ, std::uint64_t, Job*>);
+  static_assert(containers::SleepQueueFor<SleepQ, Time, std::size_t>);
+
  public:
+  using Base = kernel::KernelBase<Engine<ReadyQ, SleepQ>, Job,
+                                  TaskRt<SleepQ>, PerCoreQueues<ReadyQ, SleepQ>>;
+  friend Base;
+  using Ev = kernel::Event<Job>;
+  using EvKind = kernel::EvKind;
+  using CoreState = kernel::CoreState;
+  using Core = typename Base::Core;
+
   Engine(const partition::Partition& p, const SimConfig& cfg,
          trace::Recorder* rec)
-      : p_(p), cfg_(cfg), rec_(rec), cores_(p.num_cores),
-        tasks_(p.tasks.size()), rng_(cfg.exec.seed),
-        arrival_rng_(cfg.arrivals.seed) {
+      : Base(kernel::KernelConfig{p.num_cores, cfg.horizon, cfg.overheads,
+                                  cfg.exec, cfg.arrivals,
+                                  cfg.stop_on_first_miss},
+             p.tasks.size(), rec),
+        p_(p) {
     for (std::size_t i = 0; i < p.tasks.size(); ++i) {
       tasks_[i].pt = &p.tasks[i];
       tasks_[i].stats.id = p.tasks[i].task.id;
     }
-    result_.cores.resize(p.num_cores);
     // Static queue-size parameter N per core, as in the analysis.
     n_of_core_.resize(p.num_cores);
     for (partition::CoreId c = 0; c < p.num_cores; ++c) {
@@ -131,27 +79,50 @@ class Engine {
     }
   }
 
-  SimResult Run() {
+  using Base::Run;
+
+ private:
+  using Base::cores_;
+  using Base::kcfg_;
+  using Base::now_;
+  using Base::result_;
+  using Base::tasks_;
+
+  // ---- kernel policy hooks ----------------------------------------------
+
+  void Boot() {
     // All tasks start in their first core's sleep queue, waking at t=0
     // (synchronous release — the critical instant).
     for (std::size_t i = 0; i < tasks_.size(); ++i) {
       const partition::CoreId c = FirstCore(i);
-      tasks_[i].sleep_handle = cores_[c].sleep.insert(0, i);
+      tasks_[i].sleep_handle = cores_[c].sleep.push(0, i);
       tasks_[i].next_release = 0;
-      Push(Ev{.t = 0, .kind = EvKind::kTimer, .core = c, .task_idx = i});
+      this->Push(Ev{.t = 0, .kind = EvKind::kTimer, .core = c,
+                    .task_idx = i});
     }
-
-    while (!events_.empty() && !halted_) {
-      const Ev ev = events_.top();
-      events_.pop();
-      if (ev.t > cfg_.horizon) break;
-      now_ = ev.t;
-      Dispatch(ev);
-    }
-    return Finalize();
   }
 
- private:
+  void Dispatch(const Ev& ev) {
+    switch (ev.kind) {
+      case EvKind::kTimer: OnTimer(ev); break;
+      case EvKind::kOverheadEnd: OnOverheadEnd(ev); break;
+      case EvKind::kSegmentEnd: OnSegmentEnd(ev); break;
+      case EvKind::kMigrationArrival: OnMigrationArrival(ev); break;
+    }
+  }
+
+  Time WcetOf(std::size_t ti) const { return TaskOf(ti).wcet; }
+  Time PeriodOf(std::size_t ti) const { return TaskOf(ti).period; }
+  Time DeadlineOf(std::size_t ti) const { return TaskOf(ti).deadline; }
+  rt::TaskId TaskIdOf(std::size_t ti) const { return TaskOf(ti).id; }
+
+  void CollectQueueStats(SimResult& r) const {
+    for (const Core& core : cores_) {
+      r.ready_ops += core.ready.counters();
+      r.sleep_ops += core.sleep.counters();
+    }
+  }
+
   // ---- helpers ----------------------------------------------------------
 
   partition::CoreId FirstCore(std::size_t ti) const {
@@ -159,28 +130,6 @@ class Engine {
   }
 
   const rt::Task& TaskOf(std::size_t ti) const { return tasks_[ti].pt->task; }
-
-  void Push(Ev e) {
-    e.seq = ++ev_seq_;
-    events_.push(e);
-  }
-
-  void Trace(trace::EventKind k, std::uint32_t core, const Job* j,
-             trace::OverheadKind ovh = trace::OverheadKind::kNone,
-             Time dur = 0, Time at = -1) {
-    if (rec_ == nullptr || !rec_->enabled()) return;
-    trace::Event e;
-    e.time = at < 0 ? now_ : at;
-    e.core = core;
-    e.kind = k;
-    e.overhead = ovh;
-    if (j != nullptr) {
-      e.task = TaskOf(j->task_idx).id;
-      e.job = j->seq;
-    }
-    e.duration = dur;
-    rec_->record(e);
-  }
 
   /// Ready-queue ordering key of the job's CURRENT subtask: fixed
   /// priority under FP; absolute window deadline under EDF (a split
@@ -195,111 +144,29 @@ class Engine {
     return static_cast<std::uint64_t>(j->release_time + rel);
   }
 
-  Time SampleExec(std::size_t ti) {
-    const Time c = TaskOf(ti).wcet;
-    switch (cfg_.exec.kind) {
-      case ExecModel::Kind::kAlwaysWcet:
-        return c;
-      case ExecModel::Kind::kFraction:
-        return std::max<Time>(
-            1, static_cast<Time>(cfg_.exec.fraction *
-                                 static_cast<double>(c)));
-      case ExecModel::Kind::kUniform: {
-        std::uniform_real_distribution<double> d(cfg_.exec.lo_fraction,
-                                                 cfg_.exec.hi_fraction);
-        return std::max<Time>(
-            1, static_cast<Time>(d(rng_) * static_cast<double>(c)));
-      }
-    }
-    return c;
-  }
-
-  /// Next inter-arrival distance: exactly T (periodic) or T plus a
-  /// uniform sporadic slack.
-  Time SampleInterArrival(std::size_t ti) {
-    const Time t = TaskOf(ti).period;
-    if (cfg_.arrivals.kind == ArrivalModel::Kind::kPeriodic) return t;
-    std::uniform_real_distribution<double> d(
-        0.0, cfg_.arrivals.max_delay_fraction);
-    return t + static_cast<Time>(d(arrival_rng_) * static_cast<double>(t));
-  }
-
-  void AccountOverhead(std::uint32_t c, trace::OverheadKind kind, Time dur) {
-    CoreStats& s = result_.cores[c];
-    switch (kind) {
-      case trace::OverheadKind::kRls: s.overhead_rls += dur; break;
-      case trace::OverheadKind::kSch: s.overhead_sch += dur; break;
-      case trace::OverheadKind::kCnt1: s.overhead_cnt1 += dur; break;
-      case trace::OverheadKind::kCnt2: s.overhead_cnt2 += dur; break;
-      default: break;
-    }
-  }
-
-  /// Burn `cost` of core time starting no earlier than now_, tagged for
-  /// the stats/trace, and (re)arm the overhead-end event. `who` labels the
-  /// trace event (defaults to whichever job the core is holding).
-  void BurnOverhead(std::uint32_t c, trace::OverheadKind kind, Time cost,
-                    const Job* who = nullptr) {
-    Core& core = cores_[c];
-    const Time base = std::max(now_, core.busy_until);
-    if (cost > 0) {
-      if (who == nullptr) {
-        who = core.running != nullptr ? core.running : core.pending_start;
-      }
-      Trace(trace::EventKind::kOverheadBegin, c, who, kind, cost, base);
-      AccountOverhead(c, kind, cost);
-    }
-    core.busy_until = base + cost;
-    ++core.epoch;
-    Push(Ev{.t = core.busy_until, .kind = EvKind::kOverheadEnd, .core = c,
-            .epoch = core.epoch});
-  }
-
   /// Suspend execution (if any), account progress, queue a scheduling
   /// decision after `cost` of overhead.
   void InterruptCore(std::uint32_t c, trace::OverheadKind kind, Time cost) {
     Core& core = cores_[c];
     if (core.state == CoreState::kExec) {
-      SuspendRunning(c);
+      this->SuspendRunning(c);
     }
     if (core.pending_start != nullptr) {
       // A decision was in flight; fold the picked job back into the ready
       // queue so the new decision sees a consistent picture.
-      core.ready.push(ReadyItem{CurKey(core.pending_start), ++order_seq_,
-                                core.pending_start});
+      core.ready.push(CurKey(core.pending_start), core.pending_start);
       core.pending_start = nullptr;
     }
     core.state = CoreState::kOvh;
     core.need_sched = true;
-    BurnOverhead(c, kind, cost);
+    this->BurnOverhead(c, kind, cost);
   }
 
-  void SuspendRunning(std::uint32_t c) {
-    Core& core = cores_[c];
-    Job* j = core.running;
-    assert(core.state == CoreState::kExec && j != nullptr);
-    const Time progress = now_ - core.seg_start;
-    j->exec_remaining -= progress;
-    j->budget_remaining -= progress;
-    result_.cores[c].busy_exec += progress;
-    ++core.epoch;  // invalidate the armed segment-end
-    core.state = CoreState::kOvh;
-  }
-
-  // ---- event dispatch ----------------------------------------------------
-
-  void Dispatch(const Ev& ev) {
-    switch (ev.kind) {
-      case EvKind::kTimer: OnTimer(ev); break;
-      case EvKind::kOverheadEnd: OnOverheadEnd(ev); break;
-      case EvKind::kSegmentEnd: OnSegmentEnd(ev); break;
-      case EvKind::kMigrationArrival: OnMigrationArrival(ev); break;
-    }
-  }
+  // ---- event handlers ----------------------------------------------------
 
   void OnTimer(const Ev& ev) {
     const std::size_t ti = ev.task_idx;
-    TaskRt& tr = tasks_[ti];
+    TaskRt<SleepQ>& tr = tasks_[ti];
     const std::uint32_t c = ev.core;
     Core& core = cores_[c];
     assert(!tr.active && tr.sleep_handle != nullptr);
@@ -309,27 +176,18 @@ class Engine {
     core.sleep.erase(tr.sleep_handle);
     tr.sleep_handle = nullptr;
 
-    auto job = std::make_unique<Job>();
-    Job* j = job.get();
-    jobs_.push_back(std::move(job));
-    j->task_idx = ti;
-    j->seq = ++tr.stats.released;
-    j->release_time = now_;
-    j->abs_deadline = now_ + TaskOf(ti).deadline;
-    j->exec_remaining = SampleExec(ti);
+    Job* j = this->NewJob(ti);
     // The LAST subtask (or a normal task) runs to completion — its budget
     // is never enforced (the paper's tail subtasks finish, not migrate).
-    j->budget_remaining = tr.pt->parts.size() > 1
-                              ? tr.pt->parts[0].budget
-                              : kTimeNever;
+    j->budget_remaining = tr.pt->parts.size() > 1 ? tr.pt->parts[0].budget
+                                                  : kTimeNever;
     j->part = 0;
-    tr.active = true;
-    tr.next_release = now_ + SampleInterArrival(ti);
+    tr.next_release = now_ + this->SampleInterArrival(ti);
 
-    Trace(trace::EventKind::kRelease, c, j);
-    core.ready.push(ReadyItem{CurKey(j), ++order_seq_, j});
+    this->Trace(trace::EventKind::kRelease, c, j);
+    core.ready.push(CurKey(j), j);
 
-    const Time cost = cfg_.overheads.release_overhead(n_of_core_[c]);
+    const Time cost = kcfg_.overheads.release_overhead(n_of_core_[c]);
     InterruptCore(c, trace::OverheadKind::kRls, cost);
   }
 
@@ -356,7 +214,7 @@ class Engine {
       StartSegment(ev.core);
     } else {
       core.state = CoreState::kIdle;
-      Trace(trace::EventKind::kIdle, ev.core, nullptr);
+      this->Trace(trace::EventKind::kIdle, ev.core, nullptr);
     }
   }
 
@@ -370,41 +228,41 @@ class Engine {
 
     if (core.running != nullptr) {
       const std::uint64_t run_key = CurKey(core.running);
-      if (have_top && core.ready.top().key < run_key) {
+      if (have_top && core.ready.min_key() < run_key) {
         // Preemption: requeue current, switch to top.
         Job* preempted = core.running;
         core.running = nullptr;
-        Trace(trace::EventKind::kPreempt, c, preempted);
+        this->Trace(trace::EventKind::kPreempt, c, preempted);
         ++tasks_[preempted->task_idx].stats.preemptions;
         ++result_.total_preemptions;
         preempted->cpmd_pending = std::max(
-            preempted->cpmd_pending, cfg_.overheads.cpmd(false));
-        const ReadyItem top = core.ready.pop();
-        core.ready.push(ReadyItem{run_key, ++order_seq_, preempted});
-        core.pending_start = top.job;
+            preempted->cpmd_pending, kcfg_.overheads.cpmd(false));
+        Job* top = core.ready.pop_min().second;
+        core.ready.push(run_key, preempted);
+        core.pending_start = top;
         ++result_.cores[c].context_switches;
-        BurnOverhead(c, trace::OverheadKind::kSch,
-                     cfg_.overheads.sched_overhead(n, true));
-        BurnOverhead(c, trace::OverheadKind::kCnt1,
-                     cfg_.overheads.ctxsw_in_overhead());
+        this->BurnOverhead(c, trace::OverheadKind::kSch,
+                           kcfg_.overheads.sched_overhead(n, true));
+        this->BurnOverhead(c, trace::OverheadKind::kCnt1,
+                           kcfg_.overheads.ctxsw_in_overhead());
       } else {
         // Keep running the current job; sch() only inspected the queue.
         core.pending_start = core.running;
         core.running = nullptr;
-        BurnOverhead(c, trace::OverheadKind::kSch,
-                     cfg_.overheads.scaled(cfg_.overheads.sched_exec));
+        this->BurnOverhead(c, trace::OverheadKind::kSch,
+                           kcfg_.overheads.scaled(kcfg_.overheads.sched_exec));
       }
     } else if (have_top) {
-      const ReadyItem top = core.ready.pop();
-      core.pending_start = top.job;
+      Job* top = core.ready.pop_min().second;
+      core.pending_start = top;
       ++result_.cores[c].context_switches;
-      BurnOverhead(c, trace::OverheadKind::kSch,
-                   cfg_.overheads.sched_overhead(n, false));
-      BurnOverhead(c, trace::OverheadKind::kCnt1,
-                   cfg_.overheads.ctxsw_in_overhead());
+      this->BurnOverhead(c, trace::OverheadKind::kSch,
+                         kcfg_.overheads.sched_overhead(n, false));
+      this->BurnOverhead(c, trace::OverheadKind::kCnt1,
+                         kcfg_.overheads.ctxsw_in_overhead());
     } else {
       core.state = CoreState::kIdle;
-      Trace(trace::EventKind::kIdle, c, nullptr);
+      this->Trace(trace::EventKind::kIdle, c, nullptr);
     }
   }
 
@@ -423,17 +281,17 @@ class Engine {
         j->budget_remaining += j->cpmd_pending;
       }
       result_.cores[c].cpmd_charged += j->cpmd_pending;
-      Trace(trace::EventKind::kOverheadBegin, c, j,
-            trace::OverheadKind::kCache, j->cpmd_pending);
+      this->Trace(trace::EventKind::kOverheadBegin, c, j,
+                  trace::OverheadKind::kCache, j->cpmd_pending);
       j->cpmd_pending = 0;
     }
     core.state = CoreState::kExec;
     core.seg_start = now_;
     const Time len = std::min(j->exec_remaining, j->budget_remaining);
     ++core.epoch;
-    Push(Ev{.t = now_ + len, .kind = EvKind::kSegmentEnd, .core = c,
-            .epoch = core.epoch});
-    Trace(trace::EventKind::kStart, c, j);
+    this->Push(Ev{.t = now_ + len, .kind = EvKind::kSegmentEnd, .core = c,
+                  .epoch = core.epoch});
+    this->Trace(trace::EventKind::kStart, c, j);
   }
 
   void OnSegmentEnd(const Ev& ev) {
@@ -441,8 +299,7 @@ class Engine {
     if (ev.epoch != core.epoch || core.state != CoreState::kExec) return;
     Job* j = core.running;
     const Time progress = now_ - core.seg_start;
-    j->exec_remaining -= progress;
-    j->budget_remaining -= progress;
+    j->charge(progress);
     result_.cores[ev.core].busy_exec += progress;
 
     if (j->exec_remaining <= 0) {
@@ -454,19 +311,9 @@ class Engine {
 
   void FinishJob(std::uint32_t c, Job* j) {
     Core& core = cores_[c];
-    TaskRt& tr = tasks_[j->task_idx];
+    TaskRt<SleepQ>& tr = tasks_[j->task_idx];
 
-    Trace(trace::EventKind::kFinish, c, j);
-    ++tr.stats.completed;
-    const Time response = now_ - j->release_time;
-    tr.stats.max_response = std::max(tr.stats.max_response, response);
-    tr.response_sum += static_cast<double>(response);
-    if (now_ > j->abs_deadline) {
-      ++tr.stats.deadline_misses;
-      ++result_.total_misses;
-      Trace(trace::EventKind::kDeadlineMiss, c, j);
-      if (cfg_.stop_on_first_miss) halted_ = true;
-    }
+    this->RecordCompletion(c, j);
 
     // Back to the sleep queue of the core hosting the FIRST subtask
     // (paper §2: tail subtasks return there; normal tasks sleep locally).
@@ -476,25 +323,25 @@ class Engine {
     // finds the task asleep. Only strictly-passed releases are overruns.
     Time wake = tr.next_release;
     while (wake < now_) {
-      wake += SampleInterArrival(j->task_idx);
+      wake += this->SampleInterArrival(j->task_idx);
       ++tr.stats.shed;
-      Trace(trace::EventKind::kJobShed, first, j, trace::OverheadKind::kNone,
-            0, wake);
+      this->Trace(trace::EventKind::kJobShed, first, j,
+                  trace::OverheadKind::kNone, 0, wake);
     }
     tr.next_release = wake;
-    tr.sleep_handle = cores_[first].sleep.insert(wake, j->task_idx);
+    tr.sleep_handle = cores_[first].sleep.push(wake, j->task_idx);
     tr.active = false;
-    Push(Ev{.t = wake, .kind = EvKind::kTimer, .core = first,
-            .task_idx = j->task_idx});
+    this->Push(Ev{.t = wake, .kind = EvKind::kTimer, .core = first,
+                  .task_idx = j->task_idx});
 
     const Time cost =
         (c == first)
-            ? cfg_.overheads.finish_overhead_normal(n_of_core_[c])
-            : cfg_.overheads.finish_overhead_tail(n_of_core_[first]);
+            ? kcfg_.overheads.finish_overhead_normal(n_of_core_[c])
+            : kcfg_.overheads.finish_overhead_tail(n_of_core_[first]);
     core.running = nullptr;
     core.state = CoreState::kOvh;
     core.need_sched = true;
-    BurnOverhead(c, trace::OverheadKind::kCnt2, cost, j);
+    this->BurnOverhead(c, trace::OverheadKind::kCnt2, cost, j);
   }
 
   void MigrateJob(std::uint32_t c, Job* j) {
@@ -503,7 +350,7 @@ class Engine {
     assert(j->part + 1 < pt.parts.size());
 
     const partition::CoreId dest = pt.parts[j->part + 1].core;
-    Trace(trace::EventKind::kMigrateOut, c, j);
+    this->Trace(trace::EventKind::kMigrateOut, c, j);
     ++tasks_[j->task_idx].stats.migrations;
     ++result_.total_migrations;
 
@@ -511,71 +358,32 @@ class Engine {
     j->budget_remaining = (j->part + 1 == pt.parts.size())
                               ? kTimeNever
                               : pt.parts[j->part].budget;
-    j->cpmd_pending = std::max(j->cpmd_pending, cfg_.overheads.cpmd(true));
+    j->cpmd_pending = std::max(j->cpmd_pending, kcfg_.overheads.cpmd(true));
 
-    const Time cost = cfg_.overheads.migrate_overhead(n_of_core_[dest]);
+    const Time cost = kcfg_.overheads.migrate_overhead(n_of_core_[dest]);
     core.running = nullptr;
     core.state = CoreState::kOvh;
     core.need_sched = true;
-    BurnOverhead(c, trace::OverheadKind::kCnt2, cost, j);
+    this->BurnOverhead(c, trace::OverheadKind::kCnt2, cost, j);
 
     // The job becomes runnable at the destination once the remote insert
     // completes.
-    Push(Ev{.t = now_ + cost, .kind = EvKind::kMigrationArrival,
-            .core = dest, .job = j});
+    this->Push(Ev{.t = now_ + cost, .kind = EvKind::kMigrationArrival,
+                  .core = dest, .job = j});
   }
 
   void OnMigrationArrival(const Ev& ev) {
     Job* j = ev.job;
     Core& dest = cores_[ev.core];
-    Trace(trace::EventKind::kMigrateIn, ev.core, j);
-    dest.ready.push(ReadyItem{CurKey(j), ++order_seq_, j});
+    this->Trace(trace::EventKind::kMigrateIn, ev.core, j);
+    dest.ready.push(CurKey(j), j);
     // The insert was paid by the source core; the destination only runs
     // its scheduler (charged in the decision phase).
     InterruptCore(ev.core, trace::OverheadKind::kNone, 0);
   }
 
-  SimResult Finalize() {
-    result_.simulated = std::min(now_, cfg_.horizon);
-    // Unfinished jobs whose deadline already passed are misses too.
-    for (TaskRt& tr : tasks_) {
-      if (tr.active) {
-        // Find the in-flight job: it is whichever job of this task is
-        // still live; the deadline check needs only the release time.
-        // (next_release - period) is the release of the active job.
-        const Time release = tr.next_release - TaskOf(&tr - tasks_.data())
-                                                   .period;
-        const Time deadline =
-            release + TaskOf(&tr - tasks_.data()).deadline;
-        if (deadline <= cfg_.horizon) {
-          ++tr.stats.deadline_misses;
-          ++result_.total_misses;
-        }
-      }
-      if (tr.stats.completed > 0) {
-        tr.stats.avg_response =
-            tr.response_sum / static_cast<double>(tr.stats.completed);
-      }
-      result_.tasks.push_back(tr.stats);
-    }
-    return std::move(result_);
-  }
-
   const partition::Partition& p_;
-  const SimConfig& cfg_;
-  trace::Recorder* rec_;
-  std::vector<Core> cores_;
-  std::vector<TaskRt> tasks_;
   std::vector<std::size_t> n_of_core_;
-  std::vector<std::unique_ptr<Job>> jobs_;
-  std::priority_queue<Ev, std::vector<Ev>, EvLater> events_;
-  std::mt19937_64 rng_;
-  std::mt19937_64 arrival_rng_;
-  Time now_ = 0;
-  std::uint64_t ev_seq_ = 0;
-  std::uint64_t order_seq_ = 0;
-  bool halted_ = false;
-  SimResult result_;
 };
 
 }  // namespace
@@ -617,8 +425,16 @@ std::string SimResult::summary() const {
 
 SimResult Simulate(const partition::Partition& p, const SimConfig& cfg,
                    trace::Recorder* recorder) {
-  Engine engine(p, cfg, recorder);
-  return engine.Run();
+  return containers::WithQueueBackend(cfg.ready_backend, [&](auto rb) {
+    return containers::WithQueueBackend(cfg.sleep_backend, [&](auto sb) {
+      using ReadyQ =
+          containers::QueueOf<decltype(rb)::value, std::uint64_t, Job*>;
+      using SleepQ = containers::QueueOf<decltype(sb)::value, Time,
+                                         std::size_t>;
+      Engine<ReadyQ, SleepQ> engine(p, cfg, recorder);
+      return engine.Run();
+    });
+  });
 }
 
 }  // namespace sps::sim

@@ -3,9 +3,11 @@
 // for the paper's Linux 2.6.32 kernel patch (§2). It executes exactly the
 // scheduler design the paper describes:
 //
-//   * per-core READY queue (binomial heap, priority-ordered) and SLEEP
-//     queue (red-black tree keyed by wake-up time) — the very container
-//     implementations from src/containers;
+//   * per-core READY queue (priority-ordered; binomial heap by default)
+//     and SLEEP queue (keyed by wake-up time; red-black tree by default)
+//     — the very container implementations from src/containers. Both are
+//     runtime-selectable via SimConfig::ready_backend / sleep_backend
+//     (the DESIGN.md §6 ablation runs whole simulations per backend);
 //   * normal tasks released / executed / put to sleep on one fixed core;
 //   * split tasks carrying a per-core budget: when a BODY subtask's budget
 //     runs out, the job is inserted into the NEXT core's ready queue and
@@ -19,46 +21,26 @@
 //     (Figure 1's "cache" segment).
 //
 // The engine is fully deterministic: integer nanosecond time, seeded
-// execution-time model, stable event ordering.
+// execution-time model, stable event ordering — and, because every queue
+// backend implements the same FIFO-among-ties total order, the results
+// are bit-identical across backends (tests/test_queue_concept.cpp).
+//
+// The event-processing machinery itself (event queue, overhead charging,
+// statistics) lives in sim/kernel.hpp and is shared with the global
+// engine; this engine contributes the semi-partitioned POLICY.
 
 #include <cstdint>
-#include <memory>
-#include <random>
 #include <string>
 #include <vector>
 
+#include "containers/queue_traits.hpp"
 #include "overhead/model.hpp"
 #include "partition/placement.hpp"
 #include "rt/time.hpp"
+#include "sim/kernel.hpp"
 #include "trace/trace.hpp"
 
 namespace sps::sim {
-
-/// How much of its WCET a job actually executes.
-struct ExecModel {
-  enum class Kind {
-    kAlwaysWcet,  ///< every job runs exactly C (worst case; default)
-    kFraction,    ///< every job runs fraction * C
-    kUniform,     ///< uniform in [lo_fraction, hi_fraction] * C, seeded
-  };
-  Kind kind = Kind::kAlwaysWcet;
-  double fraction = 1.0;
-  double lo_fraction = 0.5;
-  double hi_fraction = 1.0;
-  std::uint64_t seed = 1;
-};
-
-/// Inter-arrival behaviour. The task model is sporadic: the period is
-/// only a MINIMUM separation. kPeriodic releases exactly every T (the
-/// analysis' worst case); kSporadicUniformDelay adds a uniform random
-/// slack of up to `max_delay_fraction * T` to each inter-arrival, the
-/// usual way to exercise non-critical-instant behaviour.
-struct ArrivalModel {
-  enum class Kind { kPeriodic, kSporadicUniformDelay };
-  Kind kind = Kind::kPeriodic;
-  double max_delay_fraction = 0.2;
-  std::uint64_t seed = 2;
-};
 
 struct SimConfig {
   Time horizon = Millis(1000);
@@ -69,40 +51,11 @@ struct SimConfig {
   /// Stop the run at the first deadline miss (the validation experiments
   /// assert none happen; leaving it false measures all misses).
   bool stop_on_first_miss = false;
-};
-
-struct TaskStats {
-  rt::TaskId id = 0;
-  std::uint64_t released = 0;
-  std::uint64_t completed = 0;
-  std::uint64_t deadline_misses = 0;
-  std::uint64_t shed = 0;  ///< releases skipped because the job overran
-  std::uint64_t preemptions = 0;
-  std::uint64_t migrations = 0;
-  Time max_response = 0;
-  double avg_response = 0.0;  ///< over completed jobs
-};
-
-struct CoreStats {
-  Time busy_exec = 0;      ///< time spent running task code (incl. CPMD)
-  Time overhead_rls = 0;
-  Time overhead_sch = 0;
-  Time overhead_cnt1 = 0;
-  Time overhead_cnt2 = 0;
-  Time cpmd_charged = 0;   ///< CPMD portion inside busy_exec
-  std::uint64_t context_switches = 0;
-};
-
-struct SimResult {
-  std::vector<TaskStats> tasks;
-  std::vector<CoreStats> cores;
-  std::uint64_t total_misses = 0;
-  std::uint64_t total_migrations = 0;
-  std::uint64_t total_preemptions = 0;
-  Time simulated = 0;
-
-  [[nodiscard]] Time total_overhead() const;
-  [[nodiscard]] std::string summary() const;
+  /// Queue backends (DESIGN.md §6 ablation): which container implements
+  /// each per-core queue. Defaults are the paper's choices.
+  containers::QueueBackend ready_backend =
+      containers::QueueBackend::kBinomialHeap;
+  containers::QueueBackend sleep_backend = containers::QueueBackend::kRbTree;
 };
 
 /// Run the partition under the config. The trace recorder (optional) gets

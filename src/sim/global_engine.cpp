@@ -2,224 +2,123 @@
 
 #include <algorithm>
 #include <cassert>
-#include <memory>
-#include <queue>
-#include <random>
-#include <vector>
 
-#include "containers/binomial_heap.hpp"
+#include "sim/kernel.hpp"
 
 namespace sps::sim {
 
 namespace {
 
-struct GJob {
-  std::size_t task_idx = 0;
-  std::uint64_t seq = 0;
-  Time release_time = 0;
-  Time abs_deadline = 0;
-  Time exec_remaining = 0;
-  int last_core = -1;        ///< core of the last execution segment
+using containers::QueueBackend;
+
+struct GJob : kernel::JobBase {
+  int last_core = -1;           ///< core of the last execution segment
   bool resume_pending = false;  ///< preempted; pays CPMD at next start
+
+  void charge(Time progress) { exec_remaining -= progress; }
 };
 
-struct GReadyItem {
-  std::uint64_t key = 0;  ///< priority (RM) or absolute deadline (EDF)
-  std::uint64_t order = 0;
-  GJob* job = nullptr;
+template <typename SleepQ>
+struct GTaskRt : kernel::TaskRunBase {
+  typename SleepQ::handle sleep_handle = nullptr;
 };
 
-struct GReadyLess {
-  bool operator()(const GReadyItem& a, const GReadyItem& b) const {
-    if (a.key != b.key) return a.key < b.key;
-    return a.order < b.order;
-  }
-};
+/// Global scheduling keeps no per-core queues — both queues are shared.
+struct NoPerCoreQueues {};
 
-using GReadyQueue = containers::BinomialHeap<GReadyItem, GReadyLess>;
+/// The global scheduling policy, hosted on the shared kernel. One ReadyQ
+/// (keyed by RM priority or absolute deadline) and one SleepQ (keyed by
+/// next release) serve all cores.
+template <typename ReadyQ, typename SleepQ>
+class GlobalEngine final
+    : public kernel::KernelBase<GlobalEngine<ReadyQ, SleepQ>, GJob,
+                                GTaskRt<SleepQ>, NoPerCoreQueues> {
+  static_assert(containers::ReadyQueueFor<ReadyQ, std::uint64_t, GJob*>);
+  static_assert(containers::SleepQueueFor<SleepQ, Time, std::size_t>);
 
-enum class GCoreState { kIdle, kExec, kOvh };
-
-struct GCore {
-  GCoreState state = GCoreState::kIdle;
-  GJob* running = nullptr;
-  GJob* pending_start = nullptr;
-  Time busy_until = 0;
-  Time seg_start = 0;
-  std::uint64_t epoch = 0;
-};
-
-enum class GEvKind : std::uint8_t { kTimer, kOvhEnd, kSegEnd };
-
-struct GEv {
-  Time t = 0;
-  std::uint64_t seq = 0;
-  GEvKind kind = GEvKind::kTimer;
-  std::uint32_t core = 0;
-  std::size_t task_idx = 0;
-  std::uint64_t epoch = 0;
-};
-
-/// Same-instant ordering: segment completions precede overhead ends
-/// precede timers (see the partitioned engine's EvLater for why).
-struct GEvLater {
-  bool operator()(const GEv& a, const GEv& b) const {
-    if (a.t != b.t) return a.t > b.t;
-    const auto rank = [](GEvKind k) {
-      switch (k) {
-        case GEvKind::kSegEnd: return 0;
-        case GEvKind::kTimer: return 1;
-        case GEvKind::kOvhEnd: return 2;
-      }
-      return 3;
-    };
-    const int ra = rank(a.kind);
-    const int rb = rank(b.kind);
-    if (ra != rb) return ra > rb;
-    return a.seq > b.seq;
-  }
-};
-
-struct GTaskRt {
-  bool active = false;
-  Time next_release = 0;
-  TaskStats stats;
-  double response_sum = 0.0;
-};
-
-class GlobalEngine {
  public:
+  using Base = kernel::KernelBase<GlobalEngine<ReadyQ, SleepQ>, GJob,
+                                  GTaskRt<SleepQ>, NoPerCoreQueues>;
+  friend Base;
+  using Ev = kernel::Event<GJob>;
+  using EvKind = kernel::EvKind;
+  using CoreState = kernel::CoreState;
+  using Core = typename Base::Core;
+
   GlobalEngine(const rt::TaskSet& ts, const GlobalSimConfig& cfg,
                trace::Recorder* rec)
-      : ts_(ts), cfg_(cfg), rec_(rec), cores_(cfg.num_cores),
-        tasks_(ts.size()), rng_(cfg.exec.seed) {
-    result_.cores.resize(cfg.num_cores);
+      : Base(kernel::KernelConfig{cfg.num_cores, cfg.horizon, cfg.overheads,
+                                  cfg.exec, cfg.arrivals,
+                                  cfg.stop_on_first_miss},
+             ts.size(), rec),
+        ts_(ts), gpolicy_(cfg.policy) {
     for (std::size_t i = 0; i < ts.size(); ++i) {
       tasks_[i].stats.id = ts[i].id;
     }
     n_queue_ = std::max<std::size_t>(1, ts.size());
   }
 
-  SimResult Run() {
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
-      Push(GEv{.t = 0, .kind = GEvKind::kTimer, .task_idx = i});
-    }
-    while (!events_.empty() && !halted_) {
-      const GEv ev = events_.top();
-      events_.pop();
-      if (ev.t > cfg_.horizon) break;
-      now_ = ev.t;
-      switch (ev.kind) {
-        case GEvKind::kTimer: OnTimer(ev.task_idx); break;
-        case GEvKind::kOvhEnd: OnOvhEnd(ev.core, ev.epoch); break;
-        case GEvKind::kSegEnd: OnSegEnd(ev.core, ev.epoch); break;
-      }
-    }
-    return Finalize();
-  }
+  using Base::Run;
 
  private:
+  using Base::cores_;
+  using Base::kcfg_;
+  using Base::now_;
+  using Base::result_;
+  using Base::tasks_;
+
+  // ---- kernel policy hooks ----------------------------------------------
+
+  void Boot() {
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      tasks_[i].sleep_handle = sleep_.push(0, i);
+      tasks_[i].next_release = 0;
+      this->Push(Ev{.t = 0, .kind = EvKind::kTimer, .task_idx = i});
+    }
+  }
+
+  void Dispatch(const Ev& ev) {
+    switch (ev.kind) {
+      case EvKind::kTimer: OnTimer(ev.task_idx); break;
+      case EvKind::kOverheadEnd: OnOvhEnd(ev.core, ev.epoch); break;
+      case EvKind::kSegmentEnd: OnSegEnd(ev.core, ev.epoch); break;
+      case EvKind::kMigrationArrival: break;  // never emitted here
+    }
+  }
+
+  Time WcetOf(std::size_t ti) const { return ts_[ti].wcet; }
+  Time PeriodOf(std::size_t ti) const { return ts_[ti].period; }
+  Time DeadlineOf(std::size_t ti) const { return ts_[ti].deadline; }
+  rt::TaskId TaskIdOf(std::size_t ti) const { return ts_[ti].id; }
+
+  void CollectQueueStats(SimResult& r) const {
+    r.ready_ops += ready_.counters();
+    r.sleep_ops += sleep_.counters();
+  }
+
+  // ---- helpers ----------------------------------------------------------
+
   std::uint64_t KeyOf(const GJob* j) const {
-    if (cfg_.policy == GlobalPolicy::kGlobalRm) {
+    if (gpolicy_ == GlobalPolicy::kGlobalRm) {
       return ts_[j->task_idx].priority;
     }
     return static_cast<std::uint64_t>(j->abs_deadline);
-  }
-
-  void Push(GEv e) {
-    e.seq = ++ev_seq_;
-    events_.push(e);
-  }
-
-  void Trace(trace::EventKind k, std::uint32_t core, const GJob* j,
-             trace::OverheadKind ovh = trace::OverheadKind::kNone,
-             Time dur = 0) {
-    if (rec_ == nullptr || !rec_->enabled()) return;
-    trace::Event e;
-    e.time = now_;
-    e.core = core;
-    e.kind = k;
-    e.overhead = ovh;
-    if (j != nullptr) {
-      e.task = ts_[j->task_idx].id;
-      e.job = j->seq;
-    }
-    e.duration = dur;
-    rec_->record(e);
-  }
-
-  Time SampleExec(std::size_t ti) {
-    const Time c = ts_[ti].wcet;
-    switch (cfg_.exec.kind) {
-      case ExecModel::Kind::kAlwaysWcet:
-        return c;
-      case ExecModel::Kind::kFraction:
-        return std::max<Time>(
-            1, static_cast<Time>(cfg_.exec.fraction *
-                                 static_cast<double>(c)));
-      case ExecModel::Kind::kUniform: {
-        std::uniform_real_distribution<double> d(cfg_.exec.lo_fraction,
-                                                 cfg_.exec.hi_fraction);
-        return std::max<Time>(
-            1, static_cast<Time>(d(rng_) * static_cast<double>(c)));
-      }
-    }
-    return c;
-  }
-
-  void Account(std::uint32_t c, trace::OverheadKind kind, Time dur) {
-    CoreStats& s = result_.cores[c];
-    switch (kind) {
-      case trace::OverheadKind::kRls: s.overhead_rls += dur; break;
-      case trace::OverheadKind::kSch: s.overhead_sch += dur; break;
-      case trace::OverheadKind::kCnt1: s.overhead_cnt1 += dur; break;
-      case trace::OverheadKind::kCnt2: s.overhead_cnt2 += dur; break;
-      default: break;
-    }
-  }
-
-  void Burn(std::uint32_t c, trace::OverheadKind kind, Time cost,
-            const GJob* who = nullptr) {
-    GCore& core = cores_[c];
-    const Time base = std::max(now_, core.busy_until);
-    if (cost > 0) {
-      if (who == nullptr) {
-        who = core.running != nullptr ? core.running : core.pending_start;
-      }
-      Trace(trace::EventKind::kOverheadBegin, c, who, kind, cost);
-      Account(c, kind, cost);
-    }
-    core.busy_until = base + cost;
-    ++core.epoch;
-    Push(GEv{.t = core.busy_until, .kind = GEvKind::kOvhEnd, .core = c,
-             .epoch = core.epoch});
-  }
-
-  void SuspendRunning(std::uint32_t c) {
-    GCore& core = cores_[c];
-    GJob* j = core.running;
-    const Time progress = now_ - core.seg_start;
-    j->exec_remaining -= progress;
-    result_.cores[c].busy_exec += progress;
-    ++core.epoch;
-    core.state = GCoreState::kOvh;
   }
 
   /// The global dispatch rule: fill idle cores with the best ready jobs,
   /// then preempt the worst-running core if the best ready job beats it.
   void Reschedule() {
     // Fill idle cores.
-    for (std::uint32_t c = 0; c < cfg_.num_cores && !ready_.empty(); ++c) {
-      GCore& core = cores_[c];
-      if (core.state == GCoreState::kIdle && core.pending_start == nullptr) {
-        const GReadyItem top = ready_.pop();
-        core.pending_start = top.job;
-        core.state = GCoreState::kOvh;
+    for (std::uint32_t c = 0; c < kcfg_.num_cores && !ready_.empty(); ++c) {
+      Core& core = cores_[c];
+      if (core.state == CoreState::kIdle && core.pending_start == nullptr) {
+        core.pending_start = ready_.pop_min().second;
+        core.state = CoreState::kOvh;
         ++result_.cores[c].context_switches;
-        Burn(c, trace::OverheadKind::kSch,
-             cfg_.overheads.sched_overhead(n_queue_, false));
-        Burn(c, trace::OverheadKind::kCnt1,
-             cfg_.overheads.ctxsw_in_overhead());
+        this->BurnOverhead(c, trace::OverheadKind::kSch,
+                           kcfg_.overheads.sched_overhead(n_queue_, false));
+        this->BurnOverhead(c, trace::OverheadKind::kCnt1,
+                           kcfg_.overheads.ctxsw_in_overhead());
       }
     }
     if (ready_.empty()) return;
@@ -227,8 +126,8 @@ class GlobalEngine {
     while (!ready_.empty()) {
       int worst = -1;
       std::uint64_t worst_key = 0;
-      for (std::uint32_t c = 0; c < cfg_.num_cores; ++c) {
-        const GCore& core = cores_[c];
+      for (std::uint32_t c = 0; c < kcfg_.num_cores; ++c) {
+        const Core& core = cores_[c];
         const GJob* occupant = core.running != nullptr ? core.running
                                                        : core.pending_start;
         if (occupant == nullptr) continue;
@@ -239,188 +138,161 @@ class GlobalEngine {
         }
       }
       if (worst < 0) return;  // nothing occupied (cannot happen here)
-      if (ready_.top().key >= worst_key) return;  // no preemption
+      if (ready_.min_key() >= worst_key) return;  // no preemption
       PreemptCore(static_cast<std::uint32_t>(worst));
     }
   }
 
   void PreemptCore(std::uint32_t c) {
-    GCore& core = cores_[c];
+    Core& core = cores_[c];
     GJob* victim = core.running != nullptr ? core.running
                                            : core.pending_start;
-    if (core.state == GCoreState::kExec) SuspendRunning(c);
+    if (core.state == CoreState::kExec) this->SuspendRunning(c);
     core.running = nullptr;
     core.pending_start = nullptr;
     victim->resume_pending = true;
-    Trace(trace::EventKind::kPreempt, c, victim);
+    this->Trace(trace::EventKind::kPreempt, c, victim);
     ++tasks_[victim->task_idx].stats.preemptions;
     ++result_.total_preemptions;
-    ready_.push(GReadyItem{KeyOf(victim), ++order_seq_, victim});
+    ready_.push(KeyOf(victim), victim);
 
-    const GReadyItem top = ready_.pop();
-    core.pending_start = top.job;
-    core.state = GCoreState::kOvh;
+    core.pending_start = ready_.pop_min().second;
+    core.state = CoreState::kOvh;
     ++result_.cores[c].context_switches;
-    Burn(c, trace::OverheadKind::kSch,
-         cfg_.overheads.sched_overhead(n_queue_, true));
-    Burn(c, trace::OverheadKind::kCnt1, cfg_.overheads.ctxsw_in_overhead());
+    this->BurnOverhead(c, trace::OverheadKind::kSch,
+                       kcfg_.overheads.sched_overhead(n_queue_, true));
+    this->BurnOverhead(c, trace::OverheadKind::kCnt1,
+                       kcfg_.overheads.ctxsw_in_overhead());
   }
 
+  // ---- event handlers ----------------------------------------------------
+
   void OnTimer(std::size_t ti) {
-    GTaskRt& tr = tasks_[ti];
+    GTaskRt<SleepQ>& tr = tasks_[ti];
     if (tr.active) {
       // Previous job still running: shed this release (overrun), retry
-      // next period.
+      // next period. The task is not asleep, so there is no sleep-queue
+      // entry to remove.
       ++tr.stats.shed;
-      tr.next_release += ts_[ti].period;
-      Push(GEv{.t = tr.next_release, .kind = GEvKind::kTimer,
-               .task_idx = ti});
+      tr.next_release += this->SampleInterArrival(ti);
+      this->Push(Ev{.t = tr.next_release, .kind = EvKind::kTimer,
+                    .task_idx = ti});
       return;
     }
-    auto owned = std::make_unique<GJob>();
-    GJob* j = owned.get();
-    jobs_.push_back(std::move(owned));
-    j->task_idx = ti;
-    j->seq = ++tr.stats.released;
-    j->release_time = now_;
-    j->abs_deadline = now_ + ts_[ti].deadline;
-    j->exec_remaining = SampleExec(ti);
-    tr.active = true;
-    tr.next_release = now_ + ts_[ti].period;
-    Push(GEv{.t = tr.next_release, .kind = GEvKind::kTimer,
-             .task_idx = ti});
+    // The timer handler pops the task from the shared sleep queue (the
+    // cost is part of release_overhead below, exactly as in the
+    // partitioned engine).
+    assert(tr.sleep_handle != nullptr);
+    sleep_.erase(tr.sleep_handle);
+    tr.sleep_handle = nullptr;
+
+    GJob* j = this->NewJob(ti);
+    tr.next_release = now_ + this->SampleInterArrival(ti);
+    this->Push(Ev{.t = tr.next_release, .kind = EvKind::kTimer,
+                  .task_idx = ti});
 
     // Release interrupt runs on a fixed per-task core.
     const auto irq_core =
-        static_cast<std::uint32_t>(ts_[ti].id % cfg_.num_cores);
-    Trace(trace::EventKind::kRelease, irq_core, j);
-    ready_.push(GReadyItem{KeyOf(j), ++order_seq_, j});
-    if (cores_[irq_core].state == GCoreState::kExec) {
-      SuspendRunning(irq_core);
+        static_cast<std::uint32_t>(ts_[ti].id % kcfg_.num_cores);
+    this->Trace(trace::EventKind::kRelease, irq_core, j);
+    ready_.push(KeyOf(j), j);
+    if (cores_[irq_core].state == CoreState::kExec) {
+      this->SuspendRunning(irq_core);
       cores_[irq_core].pending_start = cores_[irq_core].running;
       cores_[irq_core].running = nullptr;
     }
-    Burn(irq_core, trace::OverheadKind::kRls,
-         cfg_.overheads.release_overhead(n_queue_), j);
+    this->BurnOverhead(irq_core, trace::OverheadKind::kRls,
+                       kcfg_.overheads.release_overhead(n_queue_), j);
     Reschedule();
   }
 
   void OnOvhEnd(std::uint32_t c, std::uint64_t epoch) {
-    GCore& core = cores_[c];
-    if (epoch != core.epoch || core.state != GCoreState::kOvh) return;
+    Core& core = cores_[c];
+    if (epoch != core.epoch || core.state != CoreState::kOvh) return;
     if (core.pending_start != nullptr) {
       core.running = core.pending_start;
       core.pending_start = nullptr;
       StartSegment(c);
       return;
     }
-    core.state = GCoreState::kIdle;
-    Trace(trace::EventKind::kIdle, c, nullptr);
+    core.state = CoreState::kIdle;
+    this->Trace(trace::EventKind::kIdle, c, nullptr);
     Reschedule();
   }
 
   void StartSegment(std::uint32_t c) {
-    GCore& core = cores_[c];
+    Core& core = cores_[c];
     GJob* j = core.running;
     if (j->resume_pending) {
       const bool migrated = j->last_core >= 0 &&
                             j->last_core != static_cast<int>(c);
-      const Time cpmd = cfg_.overheads.cpmd(migrated);
+      const Time cpmd = kcfg_.overheads.cpmd(migrated);
       if (migrated) {
         ++tasks_[j->task_idx].stats.migrations;
         ++result_.total_migrations;
-        Trace(trace::EventKind::kMigrateIn, c, j);
+        this->Trace(trace::EventKind::kMigrateIn, c, j);
       }
       if (cpmd > 0) {
         j->exec_remaining += cpmd;
         result_.cores[c].cpmd_charged += cpmd;
-        Trace(trace::EventKind::kOverheadBegin, c, j,
-              trace::OverheadKind::kCache, cpmd);
+        this->Trace(trace::EventKind::kOverheadBegin, c, j,
+                    trace::OverheadKind::kCache, cpmd);
       }
       j->resume_pending = false;
     }
     j->last_core = static_cast<int>(c);
-    core.state = GCoreState::kExec;
+    core.state = CoreState::kExec;
     core.seg_start = now_;
     ++core.epoch;
-    Push(GEv{.t = now_ + j->exec_remaining, .kind = GEvKind::kSegEnd,
-             .core = c, .epoch = core.epoch});
-    Trace(trace::EventKind::kStart, c, j);
+    this->Push(Ev{.t = now_ + j->exec_remaining,
+                  .kind = EvKind::kSegmentEnd, .core = c,
+                  .epoch = core.epoch});
+    this->Trace(trace::EventKind::kStart, c, j);
   }
 
   void OnSegEnd(std::uint32_t c, std::uint64_t epoch) {
-    GCore& core = cores_[c];
-    if (epoch != core.epoch || core.state != GCoreState::kExec) return;
+    Core& core = cores_[c];
+    if (epoch != core.epoch || core.state != CoreState::kExec) return;
     GJob* j = core.running;
     const Time progress = now_ - core.seg_start;
-    j->exec_remaining -= progress;
+    j->charge(progress);
     result_.cores[c].busy_exec += progress;
     assert(j->exec_remaining <= 0);
 
-    GTaskRt& tr = tasks_[j->task_idx];
-    Trace(trace::EventKind::kFinish, c, j);
-    ++tr.stats.completed;
-    const Time response = now_ - j->release_time;
-    tr.stats.max_response = std::max(tr.stats.max_response, response);
-    tr.response_sum += static_cast<double>(response);
-    if (now_ > j->abs_deadline) {
-      ++tr.stats.deadline_misses;
-      ++result_.total_misses;
-      Trace(trace::EventKind::kDeadlineMiss, c, j);
-      if (cfg_.stop_on_first_miss) halted_ = true;
-    }
+    GTaskRt<SleepQ>& tr = tasks_[j->task_idx];
+    this->RecordCompletion(c, j);
     tr.active = false;
+    // Wait out the already-armed next release in the shared sleep queue.
+    tr.sleep_handle = sleep_.push(tr.next_release, j->task_idx);
 
     core.running = nullptr;
-    core.state = GCoreState::kOvh;
-    Burn(c, trace::OverheadKind::kCnt2,
-         cfg_.overheads.finish_overhead_normal(n_queue_), j);
+    core.state = CoreState::kOvh;
+    this->BurnOverhead(c, trace::OverheadKind::kCnt2,
+                       kcfg_.overheads.finish_overhead_normal(n_queue_), j);
     Reschedule();
   }
 
-  SimResult Finalize() {
-    result_.simulated = std::min(now_, cfg_.horizon);
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
-      GTaskRt& tr = tasks_[i];
-      if (tr.active) {
-        const Time release = tr.next_release - ts_[i].period;
-        if (release + ts_[i].deadline <= cfg_.horizon) {
-          ++tr.stats.deadline_misses;
-          ++result_.total_misses;
-        }
-      }
-      if (tr.stats.completed > 0) {
-        tr.stats.avg_response =
-            tr.response_sum / static_cast<double>(tr.stats.completed);
-      }
-      result_.tasks.push_back(tr.stats);
-    }
-    return std::move(result_);
-  }
-
   const rt::TaskSet& ts_;
-  const GlobalSimConfig& cfg_;
-  trace::Recorder* rec_;
-  std::vector<GCore> cores_;
-  std::vector<GTaskRt> tasks_;
-  GReadyQueue ready_;
-  std::vector<std::unique_ptr<GJob>> jobs_;
-  std::priority_queue<GEv, std::vector<GEv>, GEvLater> events_;
-  std::mt19937_64 rng_;
+  GlobalPolicy gpolicy_;
+  ReadyQ ready_;
+  SleepQ sleep_;
   std::size_t n_queue_ = 1;
-  Time now_ = 0;
-  std::uint64_t ev_seq_ = 0;
-  std::uint64_t order_seq_ = 0;
-  bool halted_ = false;
-  SimResult result_;
 };
 
 }  // namespace
 
 SimResult SimulateGlobal(const rt::TaskSet& ts, const GlobalSimConfig& cfg,
                          trace::Recorder* recorder) {
-  GlobalEngine engine(ts, cfg, recorder);
-  return engine.Run();
+  return containers::WithQueueBackend(cfg.ready_backend, [&](auto rb) {
+    return containers::WithQueueBackend(cfg.sleep_backend, [&](auto sb) {
+      using ReadyQ =
+          containers::QueueOf<decltype(rb)::value, std::uint64_t, GJob*>;
+      using SleepQ = containers::QueueOf<decltype(sb)::value, Time,
+                                         std::size_t>;
+      GlobalEngine<ReadyQ, SleepQ> engine(ts, cfg, recorder);
+      return engine.Run();
+    });
+  });
 }
 
 }  // namespace sps::sim

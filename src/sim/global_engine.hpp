@@ -4,7 +4,10 @@
 // execute on any available processor at run time"); this engine makes the
 // comparison executable. One shared ready queue feeds all cores; at any
 // instant the m highest-key ready/running jobs occupy the m cores, and
-// jobs migrate freely at dispatch time.
+// jobs migrate freely at dispatch time. Inactive tasks wait in one shared
+// sleep queue keyed by next release, mirroring the partitioned engine's
+// structure (and the release_overhead charge, which already prices the
+// sleep-queue delete).
 //
 // Policies: global RM (fixed priorities) and global EDF (absolute
 // deadlines). Overheads use the same model as the partitioned engine;
@@ -13,11 +16,16 @@
 // interrupts are handled by a fixed per-task core (task id mod m), the
 // usual staggered-timer-affinity arrangement.
 //
+// Like the partitioned engine, this one is a thin POLICY on the shared
+// kernel (sim/kernel.hpp), and both its queues are runtime-selectable
+// (GlobalSimConfig::ready_backend / sleep_backend).
+//
 // The Dhall effect (tests/test_global.cpp, bench_global_vs_partitioned)
 // falls straight out of this engine: m tiny tasks + one heavy task miss
 // deadlines under global RM on every m, while any partitioned placement
 // is trivially schedulable — the paper's opening argument.
 
+#include "containers/queue_traits.hpp"
 #include "overhead/model.hpp"
 #include "rt/taskset.hpp"
 #include "sim/engine.hpp"
@@ -35,9 +43,14 @@ struct GlobalSimConfig {
   Time horizon = Millis(1000);
   overhead::OverheadModel overheads = overhead::OverheadModel::Zero();
   ExecModel exec = {};
+  ArrivalModel arrivals = {};
   GlobalPolicy policy = GlobalPolicy::kGlobalRm;
   bool record_trace = false;
   bool stop_on_first_miss = false;
+  /// Queue backends (DESIGN.md §6 ablation), as in SimConfig.
+  containers::QueueBackend ready_backend =
+      containers::QueueBackend::kBinomialHeap;
+  containers::QueueBackend sleep_backend = containers::QueueBackend::kRbTree;
 };
 
 /// Run the task set under global scheduling. Requires assigned priorities

@@ -1,0 +1,396 @@
+#pragma once
+// Shared discrete-event scheduler kernel — the single implementation of
+// everything the partitioned engine (sim/engine.cpp) and the global
+// engine (sim/global_engine.cpp) used to duplicate: the event queue and
+// its same-instant ordering, per-core run state, overhead charging and
+// accounting, execution-time / inter-arrival sampling, job lifecycle
+// bookkeeping, completion statistics, and end-of-run finalization.
+//
+// The kernel is policy-based (CRTP): an engine derives from
+// KernelBase<Engine, Job, TaskRt, PerCore> and supplies
+//
+//   Boot()                    initial releases / timers
+//   Dispatch(event)           event handlers (the scheduling POLICY:
+//                             where jobs queue, who preempts whom, how
+//                             split budgets migrate)
+//   WcetOf / PeriodOf / DeadlineOf / TaskIdOf(task_idx)
+//   CollectQueueStats(result) fold per-queue op counters into the result
+//
+// and a Job type derived from JobBase with a charge(progress) method
+// (how execution progress is booked — the partitioned engine also burns
+// the split-subtask budget, the global engine only the remaining WCET).
+//
+// Queue backends are template parameters OF THE ENGINES, not of the
+// kernel: the kernel never touches a ready/sleep queue directly — it
+// only prices their operations through the OverheadModel. Engines
+// instantiate their queues from containers/queue_traits.hpp and select
+// the backend at runtime (SimConfig::ready_backend / sleep_backend).
+//
+// This header also hosts the public simulation types shared by both
+// engines (ExecModel, ArrivalModel, TaskStats, CoreStats, SimResult);
+// sim/engine.hpp re-exports them, so existing includes keep working.
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "containers/queue_traits.hpp"
+#include "overhead/model.hpp"
+#include "rt/task.hpp"
+#include "rt/time.hpp"
+#include "trace/trace.hpp"
+
+namespace sps::sim {
+
+/// How much of its WCET a job actually executes.
+struct ExecModel {
+  enum class Kind {
+    kAlwaysWcet,  ///< every job runs exactly C (worst case; default)
+    kFraction,    ///< every job runs fraction * C
+    kUniform,     ///< uniform in [lo_fraction, hi_fraction] * C, seeded
+  };
+  Kind kind = Kind::kAlwaysWcet;
+  double fraction = 1.0;
+  double lo_fraction = 0.5;
+  double hi_fraction = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Inter-arrival behaviour. The task model is sporadic: the period is
+/// only a MINIMUM separation. kPeriodic releases exactly every T (the
+/// analysis' worst case); kSporadicUniformDelay adds a uniform random
+/// slack of up to `max_delay_fraction * T` to each inter-arrival, the
+/// usual way to exercise non-critical-instant behaviour.
+struct ArrivalModel {
+  enum class Kind { kPeriodic, kSporadicUniformDelay };
+  Kind kind = Kind::kPeriodic;
+  double max_delay_fraction = 0.2;
+  std::uint64_t seed = 2;
+};
+
+struct TaskStats {
+  rt::TaskId id = 0;
+  std::uint64_t released = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t shed = 0;  ///< releases skipped because the job overran
+  std::uint64_t preemptions = 0;
+  std::uint64_t migrations = 0;
+  Time max_response = 0;
+  double avg_response = 0.0;  ///< over completed jobs
+};
+
+struct CoreStats {
+  Time busy_exec = 0;      ///< time spent running task code (incl. CPMD)
+  Time overhead_rls = 0;
+  Time overhead_sch = 0;
+  Time overhead_cnt1 = 0;
+  Time overhead_cnt2 = 0;
+  Time cpmd_charged = 0;   ///< CPMD portion inside busy_exec
+  std::uint64_t context_switches = 0;
+};
+
+struct SimResult {
+  std::vector<TaskStats> tasks;
+  std::vector<CoreStats> cores;
+  std::uint64_t total_misses = 0;
+  std::uint64_t total_migrations = 0;
+  std::uint64_t total_preemptions = 0;
+  Time simulated = 0;
+  /// Aggregated queue-operation counts over every ready / sleep queue
+  /// instance the run touched (all cores). Backend-independent: the op
+  /// SEQUENCE is fixed by the scheduling policy, only per-op cost varies.
+  containers::QueueOpCounters ready_ops;
+  containers::QueueOpCounters sleep_ops;
+
+  [[nodiscard]] Time total_overhead() const;
+  [[nodiscard]] std::string summary() const;
+};
+
+namespace kernel {
+
+enum class CoreState : std::uint8_t { kIdle, kExec, kOvh };
+
+/// Same-instant ordering matters twice over: a segment that completes
+/// exactly when a timer fires must finish BEFORE the release is handled
+/// (otherwise the done job is "preempted" with zero work left and its
+/// completion slips past the boundary), and all releases/arrivals must
+/// land in the ready queues BEFORE any dispatch (overhead end) at the
+/// same instant, or the scheduler briefly starts a job it immediately
+/// preempts. The enum value IS the same-instant rank; ties break by
+/// insertion order.
+enum class EvKind : std::uint8_t {
+  kSegmentEnd = 0,        // running segment ended (core, epoch)
+  kTimer = 1,             // task release (task_idx)
+  kMigrationArrival = 2,  // job lands on destination core (core, job)
+  kOverheadEnd = 3,       // core finished its overhead window (core, epoch)
+};
+
+template <typename JobT>
+struct Event {
+  Time t = 0;
+  std::uint64_t seq = 0;
+  EvKind kind = EvKind::kTimer;
+  std::uint32_t core = 0;
+  std::size_t task_idx = 0;
+  std::uint64_t epoch = 0;
+  JobT* job = nullptr;
+};
+
+template <typename JobT>
+struct EventLater {
+  bool operator()(const Event<JobT>& a, const Event<JobT>& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    if (a.kind != b.kind) {
+      return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+    }
+    return a.seq > b.seq;
+  }
+};
+
+/// Common per-job state. Engines derive and add policy state (split
+/// budgets, last-run core, ...) plus a charge(progress) method booking
+/// executed time against the job's counters.
+struct JobBase {
+  std::size_t task_idx = 0;
+  std::uint64_t seq = 0;   ///< job number within its task
+  Time release_time = 0;
+  Time abs_deadline = 0;
+  Time exec_remaining = 0;  ///< actual execution left (CPMD included)
+};
+
+/// Common per-task runtime state. Engines derive and add policy state
+/// (placement pointer, sleep-queue handle, ...).
+struct TaskRunBase {
+  bool active = false;
+  Time next_release = 0;  ///< nominal release of the NEXT job
+  Time last_release = 0;  ///< actual release of the in-flight job
+  TaskStats stats;
+  double response_sum = 0.0;
+};
+
+/// The engine-independent slice of a simulation config.
+struct KernelConfig {
+  unsigned num_cores = 1;
+  Time horizon = 0;
+  overhead::OverheadModel overheads;
+  ExecModel exec;
+  ArrivalModel arrivals;
+  bool stop_on_first_miss = false;
+};
+
+template <typename Policy, typename JobT, typename TaskRtT, typename PerCoreT>
+class KernelBase {
+ public:
+  /// Boot the policy, drain the event queue up to the horizon, finalize.
+  SimResult Run() {
+    policy().Boot();
+    while (!events_.empty() && !halted_) {
+      const Event<JobT> ev = events_.top();
+      events_.pop();
+      if (ev.t > kcfg_.horizon) break;
+      now_ = ev.t;
+      policy().Dispatch(ev);
+    }
+    return Finalize();
+  }
+
+ protected:
+  /// Per-core run state; PerCoreT adds the policy's per-core queues
+  /// (partitioned: ready + sleep; global: none — queues are shared).
+  struct Core : PerCoreT {
+    CoreState state = CoreState::kIdle;
+    JobT* running = nullptr;        ///< executing, or suspended mid-overhead
+    JobT* pending_start = nullptr;  ///< picked by sch(), awaiting overhead
+    bool need_sched = false;
+    Time busy_until = 0;
+    Time seg_start = 0;
+    std::uint64_t epoch = 0;  ///< invalidates stale core events
+  };
+
+  KernelBase(const KernelConfig& kcfg, std::size_t num_tasks,
+             trace::Recorder* rec)
+      : kcfg_(kcfg), rec_(rec), cores_(kcfg.num_cores), tasks_(num_tasks),
+        rng_(kcfg.exec.seed), arrival_rng_(kcfg.arrivals.seed) {
+    result_.cores.resize(kcfg.num_cores);
+  }
+
+  Policy& policy() { return static_cast<Policy&>(*this); }
+  const Policy& policy() const { return static_cast<const Policy&>(*this); }
+
+  void Push(Event<JobT> e) {
+    e.seq = ++ev_seq_;
+    events_.push(e);
+  }
+
+  /// Create the job object for task ti's release at now_ and mark the
+  /// task active. Policy fills its own fields (budgets etc.) afterwards.
+  JobT* NewJob(std::size_t ti) {
+    TaskRtT& tr = tasks_[ti];
+    auto owned = std::make_unique<JobT>();
+    JobT* j = owned.get();
+    jobs_.push_back(std::move(owned));
+    j->task_idx = ti;
+    j->seq = ++tr.stats.released;
+    j->release_time = now_;
+    j->abs_deadline = now_ + policy().DeadlineOf(ti);
+    j->exec_remaining = SampleExec(ti);
+    tr.active = true;
+    tr.last_release = now_;
+    return j;
+  }
+
+  Time SampleExec(std::size_t ti) {
+    const Time c = policy().WcetOf(ti);
+    switch (kcfg_.exec.kind) {
+      case ExecModel::Kind::kAlwaysWcet:
+        return c;
+      case ExecModel::Kind::kFraction:
+        return std::max<Time>(
+            1, static_cast<Time>(kcfg_.exec.fraction *
+                                 static_cast<double>(c)));
+      case ExecModel::Kind::kUniform: {
+        std::uniform_real_distribution<double> d(kcfg_.exec.lo_fraction,
+                                                 kcfg_.exec.hi_fraction);
+        return std::max<Time>(
+            1, static_cast<Time>(d(rng_) * static_cast<double>(c)));
+      }
+    }
+    return c;
+  }
+
+  /// Next inter-arrival distance: exactly T (periodic) or T plus a
+  /// uniform sporadic slack.
+  Time SampleInterArrival(std::size_t ti) {
+    const Time t = policy().PeriodOf(ti);
+    if (kcfg_.arrivals.kind == ArrivalModel::Kind::kPeriodic) return t;
+    std::uniform_real_distribution<double> d(
+        0.0, kcfg_.arrivals.max_delay_fraction);
+    return t + static_cast<Time>(d(arrival_rng_) * static_cast<double>(t));
+  }
+
+  void Trace(trace::EventKind k, std::uint32_t core, const JobT* j,
+             trace::OverheadKind ovh = trace::OverheadKind::kNone,
+             Time dur = 0, Time at = -1) {
+    if (rec_ == nullptr || !rec_->enabled()) return;
+    trace::Event e;
+    e.time = at < 0 ? now_ : at;
+    e.core = core;
+    e.kind = k;
+    e.overhead = ovh;
+    if (j != nullptr) {
+      e.task = policy().TaskIdOf(j->task_idx);
+      e.job = j->seq;
+    }
+    e.duration = dur;
+    rec_->record(e);
+  }
+
+  void AccountOverhead(std::uint32_t c, trace::OverheadKind kind, Time dur) {
+    CoreStats& s = result_.cores[c];
+    switch (kind) {
+      case trace::OverheadKind::kRls: s.overhead_rls += dur; break;
+      case trace::OverheadKind::kSch: s.overhead_sch += dur; break;
+      case trace::OverheadKind::kCnt1: s.overhead_cnt1 += dur; break;
+      case trace::OverheadKind::kCnt2: s.overhead_cnt2 += dur; break;
+      default: break;
+    }
+  }
+
+  /// Burn `cost` of core time starting no earlier than now_, tagged for
+  /// the stats/trace, and (re)arm the overhead-end event. `who` labels the
+  /// trace event (defaults to whichever job the core is holding).
+  void BurnOverhead(std::uint32_t c, trace::OverheadKind kind, Time cost,
+                    const JobT* who = nullptr) {
+    Core& core = cores_[c];
+    const Time base = std::max(now_, core.busy_until);
+    if (cost > 0) {
+      if (who == nullptr) {
+        who = core.running != nullptr ? core.running : core.pending_start;
+      }
+      Trace(trace::EventKind::kOverheadBegin, c, who, kind, cost, base);
+      AccountOverhead(c, kind, cost);
+    }
+    core.busy_until = base + cost;
+    ++core.epoch;
+    Push(Event<JobT>{.t = core.busy_until, .kind = EvKind::kOverheadEnd,
+                     .core = c, .epoch = core.epoch});
+  }
+
+  /// Suspend the running job mid-segment: book its progress, invalidate
+  /// the armed segment end, leave the core in the overhead state.
+  void SuspendRunning(std::uint32_t c) {
+    Core& core = cores_[c];
+    JobT* j = core.running;
+    assert(core.state == CoreState::kExec && j != nullptr);
+    const Time progress = now_ - core.seg_start;
+    j->charge(progress);
+    result_.cores[c].busy_exec += progress;
+    ++core.epoch;  // invalidate the armed segment-end
+    core.state = CoreState::kOvh;
+  }
+
+  /// Completion bookkeeping shared by both engines: response-time stats,
+  /// deadline check, optional halt-on-first-miss.
+  void RecordCompletion(std::uint32_t c, JobT* j) {
+    TaskRtT& tr = tasks_[j->task_idx];
+    Trace(trace::EventKind::kFinish, c, j);
+    ++tr.stats.completed;
+    const Time response = now_ - j->release_time;
+    tr.stats.max_response = std::max(tr.stats.max_response, response);
+    tr.response_sum += static_cast<double>(response);
+    if (now_ > j->abs_deadline) {
+      ++tr.stats.deadline_misses;
+      ++result_.total_misses;
+      Trace(trace::EventKind::kDeadlineMiss, c, j);
+      if (kcfg_.stop_on_first_miss) halted_ = true;
+    }
+  }
+
+  SimResult Finalize() {
+    result_.simulated = std::min(now_, kcfg_.horizon);
+    // Unfinished jobs whose deadline already passed are misses too. The
+    // in-flight job's ACTUAL release is tracked (not reconstructed from
+    // next_release, which would be off by the slack under sporadic
+    // arrivals and undercount end-of-horizon misses).
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      TaskRtT& tr = tasks_[i];
+      if (tr.active) {
+        if (tr.last_release + policy().DeadlineOf(i) <= kcfg_.horizon) {
+          ++tr.stats.deadline_misses;
+          ++result_.total_misses;
+        }
+      }
+      if (tr.stats.completed > 0) {
+        tr.stats.avg_response =
+            tr.response_sum / static_cast<double>(tr.stats.completed);
+      }
+      result_.tasks.push_back(tr.stats);
+    }
+    policy().CollectQueueStats(result_);
+    return std::move(result_);
+  }
+
+  KernelConfig kcfg_;
+  trace::Recorder* rec_;
+  std::vector<Core> cores_;
+  std::vector<TaskRtT> tasks_;
+  std::vector<std::unique_ptr<JobT>> jobs_;
+  std::priority_queue<Event<JobT>, std::vector<Event<JobT>>,
+                      EventLater<JobT>>
+      events_;
+  std::mt19937_64 rng_;
+  std::mt19937_64 arrival_rng_;
+  Time now_ = 0;
+  std::uint64_t ev_seq_ = 0;
+  bool halted_ = false;
+  SimResult result_;
+};
+
+}  // namespace kernel
+}  // namespace sps::sim

@@ -1,0 +1,383 @@
+// The queue-concept conformance suite: ONE behavioural contract
+// (containers/queue_traits.hpp), typed-tested against all four backend
+// adapters — plus the differential simulations proving the contract is
+// strong enough that whole scheduler runs are bit-identical across
+// backends (the tentpole acceptance criterion).
+
+#include "containers/queue_traits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "overhead/model.hpp"
+#include "partition/placement.hpp"
+#include "partition/spa.hpp"
+#include "rt/generator.hpp"
+#include "rt/task.hpp"
+#include "sim/engine.hpp"
+#include "sim/global_engine.hpp"
+
+namespace sps::containers {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Typed conformance suite
+// ---------------------------------------------------------------------------
+
+template <typename Q>
+class QueueConcept : public ::testing::Test {};
+
+using AllBackends =
+    ::testing::Types<BinomialHeapQueue<std::uint64_t, int>,
+                     PairingHeapQueue<std::uint64_t, int>,
+                     RbTreeQueue<std::uint64_t, int>,
+                     SortedVectorStableQueue<std::uint64_t, int>>;
+TYPED_TEST_SUITE(QueueConcept, AllBackends);
+
+// Compile-time: every backend models the concept, in both roles.
+static_assert(ReadyQueueFor<BinomialHeapQueue<std::uint64_t, int>,
+                            std::uint64_t, int>);
+static_assert(ReadyQueueFor<PairingHeapQueue<std::uint64_t, int>,
+                            std::uint64_t, int>);
+static_assert(SleepQueueFor<RbTreeQueue<std::uint64_t, int>, std::uint64_t,
+                            int>);
+static_assert(SleepQueueFor<SortedVectorStableQueue<std::uint64_t, int>,
+                            std::uint64_t, int>);
+
+TYPED_TEST(QueueConcept, StartsEmpty) {
+  TypeParam q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.validate());
+  EXPECT_EQ(q.counters().total(), 0u);
+}
+
+TYPED_TEST(QueueConcept, PopMinDrainsInKeyOrder) {
+  TypeParam q;
+  for (std::uint64_t k : {5u, 2u, 9u, 1u, 7u, 3u, 8u}) {
+    q.push(k, static_cast<int>(k) * 10);
+  }
+  EXPECT_EQ(q.min_key(), 1u);
+  EXPECT_EQ(q.min_value(), 10);
+  std::uint64_t last = 0;
+  while (!q.empty()) {
+    auto [k, v] = q.pop_min();
+    EXPECT_GT(k, last);
+    EXPECT_EQ(v, static_cast<int>(k) * 10);
+    last = k;
+    EXPECT_TRUE(q.validate());
+  }
+}
+
+TYPED_TEST(QueueConcept, FifoAmongEqualKeys) {
+  TypeParam q;
+  // Interleave two key classes; each class must drain in insertion order.
+  q.push(5, 1);
+  q.push(3, 100);
+  q.push(5, 2);
+  q.push(3, 200);
+  q.push(5, 3);
+  EXPECT_EQ(q.pop_min().second, 100);
+  EXPECT_EQ(q.pop_min().second, 200);
+  EXPECT_EQ(q.pop_min().second, 1);
+  EXPECT_EQ(q.pop_min().second, 2);
+  EXPECT_EQ(q.pop_min().second, 3);
+}
+
+TYPED_TEST(QueueConcept, MinPeeksAgreeWithPop) {
+  TypeParam q;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 50; ++i) q.push(rng() % 100, i);
+  while (!q.empty()) {
+    const std::uint64_t k = q.min_key();
+    const int v = q.min_value();
+    auto [pk, pv] = q.pop_min();
+    EXPECT_EQ(pk, k);
+    EXPECT_EQ(pv, v);
+  }
+}
+
+TYPED_TEST(QueueConcept, EraseByHandleKeepsOtherHandlesValid) {
+  TypeParam q;
+  std::vector<typename TypeParam::handle> handles;
+  for (int i = 0; i < 32; ++i) {
+    handles.push_back(q.push(static_cast<std::uint64_t>(i), i));
+  }
+  // Erase every third element THROUGH ITS HANDLE — the queue must keep
+  // every other handle valid (this is what breaks naive positional
+  // handles, and what the BinomialHeap relocation hooks exist for).
+  for (int i = 0; i < 32; i += 3) {
+    EXPECT_EQ(q.erase(handles[static_cast<std::size_t>(i)]), i);
+    EXPECT_TRUE(q.validate());
+  }
+  // Erase a few of the survivors too, out of order.
+  EXPECT_EQ(q.erase(handles[7]), 7);
+  EXPECT_EQ(q.erase(handles[31]), 31);
+  // The rest must drain in exact key order.
+  std::vector<int> expected;
+  for (int i = 0; i < 32; ++i) {
+    if (i % 3 != 0 && i != 7 && i != 31) expected.push_back(i);
+  }
+  std::vector<int> drained;
+  while (!q.empty()) drained.push_back(q.pop_min().second);
+  EXPECT_EQ(drained, expected);
+}
+
+TYPED_TEST(QueueConcept, CountersTrackEveryOperation) {
+  TypeParam q;
+  q.push(1, 10);
+  q.push(2, 20);
+  auto h3 = q.push(3, 30);
+  (void)q.pop_min();  // pops key 1; h3 stays valid
+  (void)q.erase(h3);
+  const QueueOpCounters& c = q.counters();
+  EXPECT_EQ(c.pushes, 3u);
+  EXPECT_EQ(c.pops, 1u);
+  EXPECT_EQ(c.erases, 1u);
+  EXPECT_EQ(c.total(), 5u);
+}
+
+TYPED_TEST(QueueConcept, RandomizedAgainstReferenceModel) {
+  // Reference: a flat list of live (key, seq, value) records; expected
+  // min = smallest (key, seq). Exercises push / pop_min / erase-by-handle
+  // interleaved, checking values and structural validity throughout.
+  struct Ref {
+    std::uint64_t key;
+    std::uint64_t seq;
+    int value;
+    typename TypeParam::handle h;
+  };
+  TypeParam q;
+  std::vector<Ref> live;
+  std::mt19937_64 rng(1234);
+  std::uint64_t seq = 0;
+  int next_value = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const auto r = rng() % 10;
+    if (r < 5 || live.empty()) {
+      const std::uint64_t key = rng() % 50;
+      const int v = next_value++;
+      live.push_back(Ref{key, ++seq, v, q.push(key, v)});
+    } else if (r < 8) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < live.size(); ++i) {
+        if (live[i].key < live[best].key ||
+            (live[i].key == live[best].key &&
+             live[i].seq < live[best].seq)) {
+          best = i;
+        }
+      }
+      EXPECT_EQ(q.min_key(), live[best].key);
+      auto [k, v] = q.pop_min();
+      EXPECT_EQ(k, live[best].key);
+      EXPECT_EQ(v, live[best].value);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(best));
+    } else {
+      const std::size_t victim = rng() % live.size();
+      EXPECT_EQ(q.erase(live[victim].h), live[victim].value);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    ASSERT_TRUE(q.validate());
+    ASSERT_EQ(q.size(), live.size());
+  }
+}
+
+TEST(QueueBackendEnum, ParseRoundTrips) {
+  for (QueueBackend b : kAllQueueBackends) {
+    QueueBackend out;
+    EXPECT_TRUE(ParseQueueBackend(to_string(b), out));
+    EXPECT_EQ(out, b);
+  }
+  QueueBackend out = QueueBackend::kRbTree;
+  EXPECT_FALSE(ParseQueueBackend("std::map", out));
+  EXPECT_EQ(out, QueueBackend::kRbTree);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace sps::containers
+
+// ---------------------------------------------------------------------------
+// Differential simulations: identical SimResult across queue backends
+// ---------------------------------------------------------------------------
+
+namespace sps::sim {
+namespace {
+
+using containers::QueueBackend;
+using containers::kAllQueueBackends;
+using partition::kNormalPriorityBase;
+using rt::MakeTask;
+
+void ExpectSameResult(const SimResult& a, const SimResult& b,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.total_misses, b.total_misses);
+  EXPECT_EQ(a.total_migrations, b.total_migrations);
+  EXPECT_EQ(a.total_preemptions, b.total_preemptions);
+  EXPECT_EQ(a.simulated, b.simulated);
+  // The operation SEQUENCE is policy-determined, so even the op counters
+  // must agree backend-to-backend.
+  EXPECT_EQ(a.ready_ops, b.ready_ops);
+  EXPECT_EQ(a.sleep_ops, b.sleep_ops);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    SCOPED_TRACE("task " + std::to_string(i));
+    EXPECT_EQ(a.tasks[i].released, b.tasks[i].released);
+    EXPECT_EQ(a.tasks[i].completed, b.tasks[i].completed);
+    EXPECT_EQ(a.tasks[i].deadline_misses, b.tasks[i].deadline_misses);
+    EXPECT_EQ(a.tasks[i].shed, b.tasks[i].shed);
+    EXPECT_EQ(a.tasks[i].preemptions, b.tasks[i].preemptions);
+    EXPECT_EQ(a.tasks[i].migrations, b.tasks[i].migrations);
+    EXPECT_EQ(a.tasks[i].max_response, b.tasks[i].max_response);
+    EXPECT_DOUBLE_EQ(a.tasks[i].avg_response, b.tasks[i].avg_response);
+  }
+  ASSERT_EQ(a.cores.size(), b.cores.size());
+  for (std::size_t c = 0; c < a.cores.size(); ++c) {
+    SCOPED_TRACE("core " + std::to_string(c));
+    EXPECT_EQ(a.cores[c].busy_exec, b.cores[c].busy_exec);
+    EXPECT_EQ(a.cores[c].overhead_rls, b.cores[c].overhead_rls);
+    EXPECT_EQ(a.cores[c].overhead_sch, b.cores[c].overhead_sch);
+    EXPECT_EQ(a.cores[c].overhead_cnt1, b.cores[c].overhead_cnt1);
+    EXPECT_EQ(a.cores[c].overhead_cnt2, b.cores[c].overhead_cnt2);
+    EXPECT_EQ(a.cores[c].cpmd_charged, b.cores[c].cpmd_charged);
+    EXPECT_EQ(a.cores[c].context_switches, b.cores[c].context_switches);
+  }
+}
+
+/// A 2-core partition with preemptions, a split (migrating) task, and
+/// equal-priority FIFO contention — every queue code path the engine has.
+partition::Partition DifferentialPartition() {
+  partition::Partition p;
+  p.num_cores = 2;
+  {
+    partition::PlacedTask split;  // elevated split task over both cores
+    split.task = MakeTask(0, Millis(4), Millis(10));
+    split.parts = {{0, Millis(2), 0}, {1, Millis(2), 0}};
+    p.tasks.push_back(split);
+  }
+  auto normal = [](rt::TaskId id, Time c, Time t, partition::CoreId core,
+                   rt::Priority prio) {
+    partition::PlacedTask pt;
+    pt.task = MakeTask(id, c, t);
+    pt.parts = {{core, c, prio + kNormalPriorityBase}};
+    return pt;
+  };
+  p.tasks.push_back(normal(1, Millis(3), Millis(15), 0, 1));
+  p.tasks.push_back(normal(2, Millis(5), Millis(40), 0, 2));
+  p.tasks.push_back(normal(3, Millis(2), Millis(12), 1, 1));
+  p.tasks.push_back(normal(4, Millis(6), Millis(35), 1, 2));
+  return p;
+}
+
+TEST(DifferentialSim, PartitionedIdenticalAcrossReadyBackends) {
+  const partition::Partition p = DifferentialPartition();
+  SimConfig cfg;
+  cfg.horizon = Millis(500);
+  cfg.overheads = overhead::OverheadModel::Zero();
+  cfg.ready_backend = QueueBackend::kBinomialHeap;
+  const SimResult baseline = Simulate(p, cfg);
+  EXPECT_GT(baseline.total_migrations, 0u);  // the split task migrates
+  EXPECT_GT(baseline.ready_ops.total(), 0u);
+  for (QueueBackend b : kAllQueueBackends) {
+    cfg.ready_backend = b;
+    ExpectSameResult(baseline, Simulate(p, cfg),
+                     std::string("ready=") +
+                         std::string(containers::to_string(b)));
+  }
+}
+
+TEST(DifferentialSim, PartitionedIdenticalAcrossSleepBackends) {
+  const partition::Partition p = DifferentialPartition();
+  SimConfig cfg;
+  cfg.horizon = Millis(500);
+  cfg.overheads = overhead::OverheadModel::Zero();
+  const SimResult baseline = Simulate(p, cfg);
+  for (QueueBackend b : kAllQueueBackends) {
+    cfg.sleep_backend = b;
+    ExpectSameResult(baseline, Simulate(p, cfg),
+                     std::string("sleep=") +
+                         std::string(containers::to_string(b)));
+  }
+}
+
+TEST(DifferentialSim, PartitionedIdenticalWithOverheadsAndSporadics) {
+  // Stronger than the acceptance criterion: overhead charging is
+  // model-based (costs don't depend on the container), so results stay
+  // identical even with the paper's overheads and sporadic arrivals.
+  const partition::Partition p = DifferentialPartition();
+  SimConfig cfg;
+  cfg.horizon = Millis(400);
+  cfg.overheads = overhead::OverheadModel::PaperCoreI7();
+  cfg.arrivals.kind = ArrivalModel::Kind::kSporadicUniformDelay;
+  cfg.exec.kind = ExecModel::Kind::kUniform;
+  const SimResult baseline = Simulate(p, cfg);
+  for (QueueBackend rb : kAllQueueBackends) {
+    for (QueueBackend sb : kAllQueueBackends) {
+      cfg.ready_backend = rb;
+      cfg.sleep_backend = sb;
+      ExpectSameResult(baseline, Simulate(p, cfg),
+                       std::string("ready=") +
+                           std::string(containers::to_string(rb)) +
+                           " sleep=" +
+                           std::string(containers::to_string(sb)));
+    }
+  }
+}
+
+TEST(DifferentialSim, GeneratedWorkloadIdenticalAcrossBackends) {
+  // A bigger, generator-produced workload through a real partitioner —
+  // whatever structure SPA2 emits must stay backend-invariant too.
+  rt::GeneratorConfig gen;
+  gen.num_tasks = 20;
+  gen.total_utilization = 3.4;
+  rt::Rng rng(99);
+  const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+  partition::SpaConfig scfg;
+  scfg.num_cores = 4;
+  scfg.preassign_heavy = true;
+  const auto pr = partition::SpaPartition(ts, scfg);
+  ASSERT_TRUE(pr.success);
+
+  SimConfig cfg;
+  cfg.horizon = Millis(300);
+  cfg.overheads = overhead::OverheadModel::Zero();
+  const SimResult baseline = Simulate(pr.partition, cfg);
+  for (QueueBackend b : kAllQueueBackends) {
+    cfg.ready_backend = b;
+    cfg.sleep_backend = b;
+    ExpectSameResult(baseline, Simulate(pr.partition, cfg),
+                     std::string("both=") +
+                         std::string(containers::to_string(b)));
+  }
+}
+
+TEST(DifferentialSim, GlobalIdenticalAcrossBackends) {
+  rt::TaskSet ts;
+  // Dhall-style contention: m tiny tasks + one heavy task on m cores.
+  ts.add(MakeTask(0, Millis(1), Millis(10)));
+  ts.add(MakeTask(1, Millis(1), Millis(10)));
+  ts.add(MakeTask(2, Millis(1), Millis(10)));
+  ts.add(MakeTask(3, Millis(8), Millis(11)));
+  rt::AssignRateMonotonic(ts);
+  for (GlobalPolicy pol : {GlobalPolicy::kGlobalRm, GlobalPolicy::kGlobalEdf}) {
+    GlobalSimConfig cfg;
+    cfg.num_cores = 3;
+    cfg.horizon = Millis(300);
+    cfg.policy = pol;
+    cfg.overheads = overhead::OverheadModel::Zero();
+    const SimResult baseline = SimulateGlobal(ts, cfg);
+    for (QueueBackend b : kAllQueueBackends) {
+      cfg.ready_backend = b;
+      cfg.sleep_backend = b;
+      ExpectSameResult(baseline, SimulateGlobal(ts, cfg),
+                       std::string("global both=") +
+                           std::string(containers::to_string(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sps::sim
