@@ -18,6 +18,15 @@
 // Expected outcome: at N = 4..64 all structures are within small constant
 // factors — the paper's design is not load-bearing on the container
 // choice, the log-N costs stay in the microsecond band regardless.
+//
+// A third tier joined with the kernel's EventQueue slot: BM_SimLarge_*
+// runs a 16-core partition end-to-end per EVENT-queue backend — the DES
+// throughput hot path the ROADMAP flags at large core counts, where the
+// bucketed calendar queue is the contender. After the google-benchmark
+// pass, a batch sweep (sim/batch.hpp, SPS_JOBS workers) re-runs every
+// role x backend combination once and writes BENCH_queues.json —
+// wall-clock, dispatched events/sec, and per-backend op counts — so the
+// perf trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
@@ -27,11 +36,14 @@
 #include <random>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "containers/queue_traits.hpp"
 #include "overhead/model.hpp"
 #include "partition/spa.hpp"
 #include "rt/generator.hpp"
+#include "sim/batch.hpp"
 #include "sim/engine.hpp"
+#include "util/json_writer.hpp"
 
 namespace {
 
@@ -127,51 +139,87 @@ BENCHMARK(BM_Sleep_PairingHeap)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 // ---- Tier 2: whole simulations per backend --------------------------------
 
-/// A fixed, reproducible workload: 24 tasks at 85% of 4 cores, SPA2
-/// partition (split tasks included), paper overheads, 200 ms horizon.
+/// A fixed, reproducible SPA2 workload (split tasks included), paper
+/// overheads. Fails loudly on rejection rather than benchmark garbage.
+partition::Partition MakeAblationPartition(unsigned cores,
+                                           std::size_t tasks,
+                                           double norm_util,
+                                           std::uint64_t seed) {
+  rt::GeneratorConfig gen;
+  gen.num_tasks = tasks;
+  gen.total_utilization = norm_util * cores;
+  rt::Rng rng(seed);
+  const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+  partition::SpaConfig cfg;
+  cfg.num_cores = cores;
+  cfg.model = overhead::OverheadModel::PaperCoreI7();
+  cfg.preassign_heavy = true;
+  auto pr = partition::SpaPartition(ts, cfg);
+  if (!pr.success) {
+    std::fprintf(stderr,
+                 "ablation workload (m=%u, n=%zu) rejected by SPA2: %s\n",
+                 cores, tasks, pr.failure_reason.c_str());
+    std::abort();
+  }
+  return pr.partition;
+}
+
+/// The paper-scale workload: 24 tasks at 85% of 4 cores, 200 ms horizon.
 const partition::Partition& AblationPartition() {
-  static const partition::Partition p = [] {
-    rt::GeneratorConfig gen;
-    gen.num_tasks = 24;
-    gen.total_utilization = 0.85 * 4;
-    rt::Rng rng(12345);
-    const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
-    partition::SpaConfig cfg;
-    cfg.num_cores = 4;
-    cfg.model = overhead::OverheadModel::PaperCoreI7();
-    cfg.preassign_heavy = true;
-    auto pr = partition::SpaPartition(ts, cfg);
-    if (!pr.success) {
-      // pr.partition is meaningless on rejection; fail loudly rather
-      // than benchmark garbage.
-      std::fprintf(stderr, "ablation workload rejected by SPA2: %s\n",
-                   pr.failure_reason.c_str());
-      std::abort();
-    }
-    return pr.partition;
-  }();
+  static const partition::Partition p =
+      MakeAblationPartition(4, 24, 0.85, 12345);
   return p;
 }
 
-void SimEndToEnd(benchmark::State& state, QueueBackend ready,
-                 QueueBackend sleep) {
-  const partition::Partition& p = AblationPartition();
-  sim::SimConfig cfg;
-  cfg.horizon = Millis(200);
-  cfg.overheads = overhead::OverheadModel::PaperCoreI7();
-  cfg.ready_backend = ready;
-  cfg.sleep_backend = sleep;
+/// The large-core-count workload for the EVENT-queue tier: 16 cores keep
+/// ~4x the events in flight, which is where the event queue dominates.
+const partition::Partition& LargeAblationPartition() {
+  static const partition::Partition p =
+      MakeAblationPartition(16, 96, 0.80, 777);
+  return p;
+}
+
+/// 64 cores / 384 tasks: the event population where bucketed O(1)
+/// calendar access should clear the O(log n) heaps (JSON sweep only —
+/// too slow for a registered google-benchmark).
+const partition::Partition& HugeAblationPartition() {
+  static const partition::Partition p =
+      MakeAblationPartition(64, 384, 0.75, 777);
+  return p;
+}
+
+void SimWithConfig(benchmark::State& state, const partition::Partition& p,
+                   const sim::SimConfig& cfg) {
   std::uint64_t queue_ops = 0;
   Time simulated = 0;
   for (auto _ : state) {
     const sim::SimResult r = Simulate(p, cfg);
     benchmark::DoNotOptimize(r.total_misses);
-    queue_ops += r.ready_ops.total() + r.sleep_ops.total();
+    queue_ops += r.ready_ops.total() + r.sleep_ops.total() +
+                 r.event_ops.total();
     simulated += r.simulated;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(queue_ops));
   state.counters["sim_ms_per_iter"] = benchmark::Counter(
       ToMillis(simulated) / static_cast<double>(state.iterations()));
+}
+
+void SimEndToEnd(benchmark::State& state, QueueBackend ready,
+                 QueueBackend sleep) {
+  sim::SimConfig cfg;
+  cfg.horizon = Millis(200);
+  cfg.overheads = overhead::OverheadModel::PaperCoreI7();
+  cfg.ready_backend = ready;
+  cfg.sleep_backend = sleep;
+  SimWithConfig(state, AblationPartition(), cfg);
+}
+
+void SimLargeWithEventBackend(benchmark::State& state, QueueBackend event) {
+  sim::SimConfig cfg;
+  cfg.horizon = Millis(200);
+  cfg.overheads = overhead::OverheadModel::PaperCoreI7();
+  cfg.event_backend = event;
+  SimWithConfig(state, LargeAblationPartition(), cfg);
 }
 
 // Ready-queue sweep (sleep fixed at the paper's RB tree) and sleep-queue
@@ -199,14 +247,119 @@ void BM_Sim_Sleep_Binomial(benchmark::State& s) {
 void BM_Sim_Sleep_Pairing(benchmark::State& s) {
   SimEndToEnd(s, QueueBackend::kBinomialHeap, QueueBackend::kPairingHeap);
 }
+void BM_Sim_Ready_Calendar(benchmark::State& s) {
+  SimEndToEnd(s, QueueBackend::kCalendar, QueueBackend::kRbTree);
+}
+void BM_Sim_Sleep_Calendar(benchmark::State& s) {
+  SimEndToEnd(s, QueueBackend::kBinomialHeap, QueueBackend::kCalendar);
+}
 BENCHMARK(BM_Sim_Ready_Binomial);
 BENCHMARK(BM_Sim_Ready_Pairing);
 BENCHMARK(BM_Sim_Ready_RbTree);
 BENCHMARK(BM_Sim_Ready_SortedVector);
+BENCHMARK(BM_Sim_Ready_Calendar);
 BENCHMARK(BM_Sim_Sleep_SortedVector);
 BENCHMARK(BM_Sim_Sleep_Binomial);
 BENCHMARK(BM_Sim_Sleep_Pairing);
+BENCHMARK(BM_Sim_Sleep_Calendar);
+
+// ---- Tier 3: the EVENT queue at the largest core count --------------------
+// The acceptance headline: the calendar event queue vs the binomial-heap
+// default on the 16-core workload.
+
+void BM_SimLarge_Event_Binomial(benchmark::State& s) {
+  SimLargeWithEventBackend(s, QueueBackend::kBinomialHeap);
+}
+void BM_SimLarge_Event_Pairing(benchmark::State& s) {
+  SimLargeWithEventBackend(s, QueueBackend::kPairingHeap);
+}
+void BM_SimLarge_Event_RbTree(benchmark::State& s) {
+  SimLargeWithEventBackend(s, QueueBackend::kRbTree);
+}
+void BM_SimLarge_Event_Calendar(benchmark::State& s) {
+  SimLargeWithEventBackend(s, QueueBackend::kCalendar);
+}
+BENCHMARK(BM_SimLarge_Event_Binomial);
+BENCHMARK(BM_SimLarge_Event_Pairing);
+BENCHMARK(BM_SimLarge_Event_RbTree);
+BENCHMARK(BM_SimLarge_Event_Calendar);
+
+// ---- BENCH_queues.json: one batch sweep over every role x backend ---------
+
+using sps::bench::EnvInt;
+
+void AppendSweep(util::JsonWriter& json, const char* workload,
+                 const partition::Partition& p,
+                 const std::vector<sim::BatchVariant>& variants,
+                 unsigned jobs) {
+  // Best-of-reps wall time per variant: one-shot runs are too noisy to
+  // track a perf trajectory across PRs.
+  const int reps = std::max(1, EnvInt("SPS_REPS", 5));
+  auto runs = sim::RunConfigSweep(p, variants, {.jobs = jobs});
+  for (int rep = 1; rep < reps; ++rep) {
+    const auto again = sim::RunConfigSweep(p, variants, {.jobs = jobs});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      runs[i].wall_seconds =
+          std::min(runs[i].wall_seconds, again[i].wall_seconds);
+    }
+  }
+  for (const sim::BatchRun& run : runs) {
+    json.BeginObject();
+    json.Key("workload").Value(workload);
+    json.Key("variant").Value(run.name);
+    json.Key("wall_s").Value(run.wall_seconds);
+    // Dispatched events per wall second — the DES throughput number.
+    json.Key("events_per_sec")
+        .Value(static_cast<double>(run.result.event_ops.pops) /
+               run.wall_seconds);
+    json.Key("ready_ops").Value(run.result.ready_ops.total());
+    json.Key("sleep_ops").Value(run.result.sleep_ops.total());
+    json.Key("event_ops").Value(run.result.event_ops.total());
+    json.Key("misses").Value(run.result.total_misses);
+    json.EndObject();
+  }
+}
+
+void WriteQueuesJson() {
+  // jobs=1 by default: per-variant wall times stay honest on a loaded
+  // machine; raise SPS_JOBS to trade timing fidelity for speed.
+  const auto jobs = static_cast<unsigned>(std::max(1, EnvInt("SPS_JOBS", 1)));
+  sim::SimConfig base;
+  base.horizon = Millis(200);
+  base.overheads = overhead::OverheadModel::PaperCoreI7();
+
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("ablation_queues");
+  json.Key("jobs").Value(jobs);
+  json.Key("runs").BeginArray();
+  for (const sim::QueueRole role :
+       {sim::QueueRole::kReady, sim::QueueRole::kSleep,
+        sim::QueueRole::kEvent}) {
+    AppendSweep(json, "m4", AblationPartition(),
+                sim::BackendVariants(base, role), jobs);
+  }
+  // The headline tier: event backends at the largest core counts.
+  AppendSweep(json, "m16", LargeAblationPartition(),
+              sim::BackendVariants(base, sim::QueueRole::kEvent), jobs);
+  AppendSweep(json, "m64", HugeAblationPartition(),
+              sim::BackendVariants(base, sim::QueueRole::kEvent), jobs);
+  json.EndArray();
+  json.EndObject();
+  if (!json.WriteFile("BENCH_queues.json")) {
+    std::fprintf(stderr, "could not write BENCH_queues.json\n");
+    std::exit(1);
+  }
+  std::printf("wrote BENCH_queues.json\n");
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteQueuesJson();
+  return 0;
+}

@@ -11,26 +11,33 @@
 // splitting is very low, and its effect on the system schedulability is
 // very small").
 //
-// Environment knobs: SPS_SETS (task sets per grid point, default 40),
-// SPS_TASKS (tasks per set, default 16).
+// Since the batch harness landed, the sweep is PARALLEL: thousands of
+// independent task-set evaluations distributed over a worker pool, with
+// per-(point, set) seeds so the result is bit-identical at any thread
+// count. This bench runs the with-overheads sweep twice — --jobs=1 and
+// --jobs=N — asserts the results agree bit-for-bit, and writes the
+// wall-clock comparison to BENCH_acceptance.json (the perf trajectory
+// the CI tracks across PRs).
+//
+// Knobs: --jobs=N (default: SPS_JOBS env, else one per hardware thread),
+// SPS_SETS (task sets per grid point, default 100), SPS_TASKS (tasks per
+// set, default 16).
 
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
 
+#include "bench_common.hpp"
 #include "exp/acceptance.hpp"
 #include "overhead/model.hpp"
+#include "util/json_writer.hpp"
 
 using namespace sps;
+using sps::bench::EnvInt;
 
 namespace {
 
-int EnvInt(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atoi(v) : fallback;
-}
-
-void RunSweep(const char* title, const overhead::OverheadModel& model,
-              int sets, int tasks) {
+exp::AcceptanceConfig MakeConfig(const overhead::OverheadModel& model,
+                                 int sets, int tasks, unsigned jobs) {
   exp::AcceptanceConfig cfg;
   cfg.num_cores = 4;  // the paper's quad-core Core-i7
   cfg.num_tasks = static_cast<std::size_t>(tasks);
@@ -39,7 +46,23 @@ void RunSweep(const char* title, const overhead::OverheadModel& model,
   cfg.model = model;
   cfg.algorithms = {exp::Algo::kFfd, exp::Algo::kWfd, exp::Algo::kSpa1,
                     exp::Algo::kSpa2};
-  const exp::AcceptanceResult res = exp::RunAcceptance(cfg);
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+bool SameResult(const exp::AcceptanceResult& a,
+                const exp::AcceptanceResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (a.points[i].norm_util != b.points[i].norm_util) return false;
+    if (a.points[i].acceptance != b.points[i].acceptance) return false;
+    if (a.points[i].mean_splits != b.points[i].mean_splits) return false;
+  }
+  return true;
+}
+
+void PrintSweep(const char* title, const exp::AcceptanceResult& res,
+                int sets, int tasks) {
   std::printf("--- %s (m=4, n=%d, %d sets/point) ---\n%s\n", title, tasks,
               sets, res.Table().c_str());
   const auto w = res.WeightedAcceptance();
@@ -49,21 +72,84 @@ void RunSweep(const char* title, const overhead::OverheadModel& model,
   std::printf("csv:\n%s\n", res.Csv().c_str());
 }
 
+double Seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = 1;
+  if (!bench::ParseJobs(argc, argv, jobs)) return 2;
+
   std::printf("=== E5: acceptance ratio — FP-TS vs FFD vs WFD ===\n\n");
   const int sets = EnvInt("SPS_SETS", 100);
   const int tasks = EnvInt("SPS_TASKS", 16);
 
-  RunSweep("WITH measured overheads (paper Core-i7 model, N-aware)",
-           overhead::OverheadModel::PaperCoreI7(), sets, tasks);
-  RunSweep("zero overheads (theoretical)",
-           overhead::OverheadModel::Zero(), sets, tasks);
+  // The with-overheads sweep, serial then parallel: the timed pair of
+  // the throughput headline, and the determinism check in one.
+  const auto model = overhead::OverheadModel::PaperCoreI7();
+  exp::AcceptanceConfig cfg = MakeConfig(model, sets, tasks, 1);
+  const auto s0 = std::chrono::steady_clock::now();
+  const exp::AcceptanceResult serial = exp::RunAcceptance(cfg);
+  const auto s1 = std::chrono::steady_clock::now();
+
+  cfg.jobs = jobs;
+  const auto p0 = std::chrono::steady_clock::now();
+  const exp::AcceptanceResult parallel = exp::RunAcceptance(cfg);
+  const auto p1 = std::chrono::steady_clock::now();
+
+  const bool identical = SameResult(serial, parallel);
+  const double wall_serial = Seconds(s0, s1);
+  const double wall_parallel = Seconds(p0, p1);
+  std::printf("jobs=1: %.3fs   jobs=%u: %.3fs   speedup: %.2fx   "
+              "bit-identical: %s\n\n",
+              wall_serial, jobs, wall_parallel,
+              wall_serial / wall_parallel, identical ? "yes" : "NO");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FATAL: parallel sweep diverged from the serial one\n");
+    return 1;
+  }
+
+  PrintSweep("WITH measured overheads (paper Core-i7 model, N-aware)",
+             parallel, sets, tasks);
+
+  exp::AcceptanceConfig zcfg =
+      MakeConfig(overhead::OverheadModel::Zero(), sets, tasks, jobs);
+  const exp::AcceptanceResult zero = exp::RunAcceptance(zcfg);
+  PrintSweep("zero overheads (theoretical)", zero, sets, tasks);
 
   std::printf("Shape check: FP-TS columns dominate FFD/WFD at every point; "
               "partitioned acceptance collapses above ~0.9 normalized "
               "utilization while FP-TS keeps accepting; the with-overheads "
               "table is only marginally below the theoretical one.\n");
+
+  const auto w = parallel.WeightedAcceptance();
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("acceptance_ratio");
+  json.Key("cores").Value(4);
+  json.Key("tasks_per_set").Value(tasks);
+  json.Key("sets_per_point").Value(sets);
+  json.Key("grid_points")
+      .Value(static_cast<std::uint64_t>(cfg.norm_util_points.size()));
+  json.Key("jobs").Value(jobs);
+  json.Key("wall_serial_s").Value(wall_serial);
+  json.Key("wall_parallel_s").Value(wall_parallel);
+  json.Key("speedup").Value(wall_serial / wall_parallel);
+  json.Key("bit_identical").Value(identical);
+  json.Key("weighted_acceptance").BeginObject();
+  for (std::size_t ai = 0; ai < cfg.algorithms.size(); ++ai) {
+    json.Key(exp::ToString(cfg.algorithms[ai])).Value(w[ai]);
+  }
+  json.EndObject();
+  json.EndObject();
+  if (!json.WriteFile("BENCH_acceptance.json")) {
+    std::fprintf(stderr, "could not write BENCH_acceptance.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_acceptance.json\n");
   return 0;
 }

@@ -1,0 +1,38 @@
+#pragma once
+// Shared knob parsing for the standalone bench binaries: the SPS_* env
+// integers and the --jobs=N flag (one implementation so the benches
+// cannot drift on the jobs-resolution rules).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace sps::bench {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// Resolve the job count: SPS_JOBS env overridden by a --jobs=N flag,
+/// default (and the meaning of 0) one thread per hardware thread.
+/// Returns false (after printing the offender) on any other argument.
+inline bool ParseJobs(int argc, char** argv, unsigned& jobs) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  jobs = static_cast<unsigned>(EnvInt("SPS_JOBS", static_cast<int>(hw)));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (only --jobs=N)\n",
+                   argv[i]);
+      return false;
+    }
+  }
+  if (jobs == 0) jobs = hw;
+  return true;
+}
+
+}  // namespace sps::bench

@@ -8,29 +8,26 @@
 // few microseconds against millisecond periods, so even an order of
 // magnitude more overhead barely moves acceptance.
 //
-// Environment knobs: SPS_SETS (default 30), SPS_TASKS (default 16).
+// Environment knobs: SPS_SETS (default 30), SPS_TASKS (default 16),
+// SPS_JOBS / --jobs=N (default: one per hardware thread) — the sweep is
+// re-hosted on the parallel acceptance harness; results are identical
+// for any job count (per-(point, set) seeds).
 
 #include <cstdio>
-#include <cstdlib>
 
+#include "bench_common.hpp"
 #include "exp/acceptance.hpp"
 #include "overhead/model.hpp"
 
 using namespace sps;
+using sps::bench::EnvInt;
 
-namespace {
-
-int EnvInt(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atoi(v) : fallback;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== E6: overhead sensitivity of the FP-TS advantage ===\n\n");
   const int sets = EnvInt("SPS_SETS", 50);
   const int tasks = EnvInt("SPS_TASKS", 16);
+  unsigned jobs = 1;
+  if (!bench::ParseJobs(argc, argv, jobs)) return 2;
 
   std::printf("%8s | %8s %8s %8s | %10s\n", "scale", "FFD", "WFD",
               "FP-TS", "gap(TS-FFD)");
@@ -44,6 +41,7 @@ int main() {
     cfg.sets_per_point = sets;
     cfg.model = overhead::OverheadModel::PaperScaled(scale);
     cfg.algorithms = {exp::Algo::kFfd, exp::Algo::kWfd, exp::Algo::kSpa2};
+    cfg.jobs = jobs;
     const exp::AcceptanceResult res = exp::RunAcceptance(cfg);
     const auto w = res.WeightedAcceptance();
     std::printf("%7.1fx | %8.3f %8.3f %8.3f | %+10.3f\n", scale, w[0],

@@ -7,15 +7,24 @@
 //   sps_cli [--algo=spa2|spa1|ffd|wfd|bfd|edf-ffd|edf-wm]
 //           [--cores=4] [--tasks=16] [--util=0.85] [--seed=1]
 //           [--overheads=paper|zero|calibrated] [--scale=1.0]
-//           [--sim-ms=2000] [--sporadic] [--trace]
-//           [--ready-queue=binomial|pairing|rbtree|vector]
-//           [--sleep-queue=rbtree|vector|binomial|pairing]
+//           [--sim-ms=2000] [--trace]
+//           [--arrivals=periodic|sporadic|jittered|bursty] [--sporadic]
+//           [--ready-queue=binomial|pairing|rbtree|vector|calendar]
+//           [--sleep-queue=...] [--event-queue=...]
+//           [--acceptance] [--sets=50] [--jobs=N]
+//
+// --acceptance switches from the single-run mode to the paper's
+// acceptance-ratio sweep (exp/acceptance.*) over the default utilization
+// grid, parallelized over --jobs threads (0 = one per hardware thread;
+// results are bit-identical for every value).
 //
 // Examples:
 //   ./build/examples/sps_cli --algo=spa2 --util=0.95
 //   ./build/examples/sps_cli --algo=edf-wm --tasks=24 --sim-ms=5000
 //   ./build/examples/sps_cli --algo=ffd --overheads=zero --trace
-//   ./build/examples/sps_cli --ready-queue=pairing --sleep-queue=vector
+//   ./build/examples/sps_cli --ready-queue=pairing --event-queue=calendar
+//   ./build/examples/sps_cli --arrivals=bursty --util=0.7
+//   ./build/examples/sps_cli --acceptance --jobs=0 --sets=100
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +32,7 @@
 #include <string>
 
 #include "containers/queue_traits.hpp"
+#include "exp/acceptance.hpp"
 #include "overhead/calibrate.hpp"
 #include "overhead/model.hpp"
 #include "partition/binpack.hpp"
@@ -46,11 +56,16 @@ struct Options {
   std::string overheads = "paper";
   double scale = 1.0;
   Time sim_ms = Millis(2000);
-  bool sporadic = false;
+  std::string arrivals = "periodic";
   bool trace = false;
+  bool acceptance = false;
+  int sets = 50;
+  unsigned jobs = 1;
   containers::QueueBackend ready_queue =
       containers::QueueBackend::kBinomialHeap;
   containers::QueueBackend sleep_queue = containers::QueueBackend::kRbTree;
+  containers::QueueBackend event_queue =
+      containers::QueueBackend::kBinomialHeap;
 };
 
 bool ParseArg(const char* arg, Options& o) {
@@ -82,9 +97,43 @@ bool ParseArg(const char* arg, Options& o) {
   if (const char* v = value("--sleep-queue")) {
     return parse_backend(v, o.sleep_queue);
   }
-  if (std::strcmp(arg, "--sporadic") == 0) { o.sporadic = true; return true; }
+  if (const char* v = value("--event-queue")) {
+    return parse_backend(v, o.event_queue);
+  }
+  if (const char* v = value("--arrivals")) { o.arrivals = v; return true; }
+  if (const char* v = value("--sets")) { o.sets = std::atoi(v); return true; }
+  if (const char* v = value("--jobs")) {
+    o.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    return true;
+  }
+  if (std::strcmp(arg, "--sporadic") == 0) {
+    o.arrivals = "sporadic";
+    return true;
+  }
+  if (std::strcmp(arg, "--acceptance") == 0) {
+    o.acceptance = true;
+    return true;
+  }
   if (std::strcmp(arg, "--trace") == 0) { o.trace = true; return true; }
   return false;
+}
+
+bool ParseArrivals(const std::string& name, sim::ArrivalModel& out) {
+  if (name == "periodic") {
+    out.kind = sim::ArrivalModel::Kind::kPeriodic;
+  } else if (name == "sporadic") {
+    out.kind = sim::ArrivalModel::Kind::kSporadicUniformDelay;
+  } else if (name == "jittered") {
+    out.kind = sim::ArrivalModel::Kind::kJittered;
+  } else if (name == "bursty") {
+    out.kind = sim::ArrivalModel::Kind::kBursty;
+  } else {
+    std::fprintf(stderr, "unknown --arrivals=%s (periodic|sporadic|"
+                         "jittered|bursty)\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
 }
 
 partition::PartitionResult RunAlgo(const Options& o, const rt::TaskSet& ts,
@@ -148,6 +197,27 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (o.acceptance) {
+    exp::AcceptanceConfig acfg;
+    acfg.num_cores = o.cores;
+    acfg.num_tasks = o.tasks;
+    acfg.norm_util_points = exp::AcceptanceConfig::DefaultGrid();
+    acfg.sets_per_point = o.sets;
+    acfg.seed = o.seed;
+    acfg.model = model;
+    acfg.jobs = o.jobs;
+    std::printf("acceptance sweep: m=%u, n=%zu, %d sets/point, jobs=%u\n\n",
+                o.cores, o.tasks, o.sets, o.jobs);
+    const exp::AcceptanceResult res = exp::RunAcceptance(acfg);
+    std::printf("%s\n", res.Table().c_str());
+    const auto w = res.WeightedAcceptance();
+    for (std::size_t ai = 0; ai < acfg.algorithms.size(); ++ai) {
+      std::printf("weighted %-12s %.3f\n",
+                  exp::ToString(acfg.algorithms[ai]), w[ai]);
+    }
+    return 0;
+  }
+
   rt::GeneratorConfig gen;
   gen.num_tasks = o.tasks;
   gen.total_utilization = o.util * o.cores;
@@ -170,19 +240,21 @@ int main(int argc, char** argv) {
   sim::SimConfig cfg;
   cfg.horizon = o.sim_ms;
   cfg.overheads = model;
-  if (o.sporadic) {
-    cfg.arrivals.kind = sim::ArrivalModel::Kind::kSporadicUniformDelay;
-  }
+  if (!ParseArrivals(o.arrivals, cfg.arrivals)) return 2;
   cfg.record_trace = o.trace;
   cfg.ready_backend = o.ready_queue;
   cfg.sleep_backend = o.sleep_queue;
+  cfg.event_backend = o.event_queue;
   trace::Recorder rec(o.trace);
   const sim::SimResult r = Simulate(pr.partition, cfg, &rec);
-  std::printf("queues: ready=%s (%llu ops) sleep=%s (%llu ops)\n",
+  std::printf("queues: ready=%s (%llu ops) sleep=%s (%llu ops) "
+              "event=%s (%llu ops)\n",
               std::string(containers::to_string(o.ready_queue)).c_str(),
               static_cast<unsigned long long>(r.ready_ops.total()),
               std::string(containers::to_string(o.sleep_queue)).c_str(),
-              static_cast<unsigned long long>(r.sleep_ops.total()));
+              static_cast<unsigned long long>(r.sleep_ops.total()),
+              std::string(containers::to_string(o.event_queue)).c_str(),
+              static_cast<unsigned long long>(r.event_ops.total()));
   std::printf("%s\n", r.summary().c_str());
   if (o.trace) {
     trace::GanttOptions gopt;

@@ -1,0 +1,32 @@
+#pragma once
+// Per-queue-instance operation counts, shared by every KeyedMinQueue
+// backend (split out of queue_traits.hpp so standalone containers can
+// count without pulling in the whole adapter layer). The paper's Table 1
+// prices individual queue operations; multiplying these counts by per-op
+// costs reproduces the queue-manipulation share of a whole simulation's
+// overhead, and the ablation benches report them as throughput
+// denominators.
+
+#include <cstdint>
+
+namespace sps::containers {
+
+struct QueueOpCounters {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t erases = 0;
+
+  [[nodiscard]] std::uint64_t total() const { return pushes + pops + erases; }
+
+  QueueOpCounters& operator+=(const QueueOpCounters& o) {
+    pushes += o.pushes;
+    pops += o.pops;
+    erases += o.erases;
+    return *this;
+  }
+
+  friend bool operator==(const QueueOpCounters&,
+                         const QueueOpCounters&) = default;
+};
+
+}  // namespace sps::containers

@@ -46,33 +46,13 @@
 #include <vector>
 
 #include "containers/binomial_heap.hpp"
+#include "containers/calendar_queue.hpp"
+#include "containers/op_counters.hpp"
 #include "containers/pairing_heap.hpp"
 #include "containers/rb_tree.hpp"
 #include "containers/sorted_vector_queue.hpp"
 
 namespace sps::containers {
-
-/// Per-instance operation counts. The paper's Table 1 prices individual
-/// queue operations; multiplying these counts by per-op costs reproduces
-/// the queue-manipulation share of a whole simulation's overhead, and the
-/// ablation benches report them as throughput denominators.
-struct QueueOpCounters {
-  std::uint64_t pushes = 0;
-  std::uint64_t pops = 0;
-  std::uint64_t erases = 0;
-
-  [[nodiscard]] std::uint64_t total() const { return pushes + pops + erases; }
-
-  QueueOpCounters& operator+=(const QueueOpCounters& o) {
-    pushes += o.pushes;
-    pops += o.pops;
-    erases += o.erases;
-    return *this;
-  }
-
-  friend bool operator==(const QueueOpCounters&,
-                         const QueueOpCounters&) = default;
-};
 
 /// The uniform queue contract (see header comment for semantics).
 template <typename Q>
@@ -416,6 +396,7 @@ enum class QueueBackend : std::uint8_t {
   kPairingHeap,    ///< LITMUS^RT-style contender
   kRbTree,         ///< the paper's sleep-queue choice
   kSortedVector,   ///< contiguous-memory contender (small N)
+  kCalendar,       ///< bucketed calendar queue (event-queue fast path)
 };
 
 inline constexpr QueueBackend kAllQueueBackends[] = {
@@ -423,6 +404,7 @@ inline constexpr QueueBackend kAllQueueBackends[] = {
     QueueBackend::kPairingHeap,
     QueueBackend::kRbTree,
     QueueBackend::kSortedVector,
+    QueueBackend::kCalendar,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(QueueBackend b) {
@@ -431,6 +413,7 @@ inline constexpr QueueBackend kAllQueueBackends[] = {
     case QueueBackend::kPairingHeap: return "pairing";
     case QueueBackend::kRbTree: return "rbtree";
     case QueueBackend::kSortedVector: return "vector";
+    case QueueBackend::kCalendar: return "calendar";
   }
   return "?";
 }
@@ -469,6 +452,10 @@ template <typename K, typename V, typename L>
 struct QueueBackendSelector<QueueBackend::kSortedVector, K, V, L> {
   using type = SortedVectorStableQueue<K, V, L>;
 };
+template <typename K, typename V, typename L>
+struct QueueBackendSelector<QueueBackend::kCalendar, K, V, L> {
+  using type = CalendarQueue<K, V, L>;
+};
 
 template <QueueBackend B, typename Key, typename Value,
           typename Less = std::less<Key>>
@@ -489,6 +476,9 @@ decltype(auto) WithQueueBackend(QueueBackend b, Fn&& fn) {
     case QueueBackend::kSortedVector:
       return fn(std::integral_constant<QueueBackend,
                                        QueueBackend::kSortedVector>{});
+    case QueueBackend::kCalendar:
+      return fn(
+          std::integral_constant<QueueBackend, QueueBackend::kCalendar>{});
     case QueueBackend::kBinomialHeap:
     default:
       return fn(std::integral_constant<QueueBackend,
@@ -501,5 +491,6 @@ static_assert(KeyedMinQueue<BinomialHeapQueue<std::uint64_t, void*>>);
 static_assert(KeyedMinQueue<PairingHeapQueue<std::uint64_t, void*>>);
 static_assert(KeyedMinQueue<RbTreeQueue<std::uint64_t, void*>>);
 static_assert(KeyedMinQueue<SortedVectorStableQueue<std::uint64_t, void*>>);
+static_assert(KeyedMinQueue<CalendarQueue<std::uint64_t, void*>>);
 
 }  // namespace sps::containers

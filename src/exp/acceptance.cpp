@@ -1,9 +1,12 @@
 #include "exp/acceptance.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "partition/binpack.hpp"
 #include "partition/spa.hpp"
+#include "sim/batch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sps::exp {
 
@@ -48,7 +51,9 @@ partition::PartitionResult RunAlgorithm(Algo a, const rt::TaskSet& ts,
 
 std::vector<double> AcceptanceConfig::DefaultGrid() {
   std::vector<double> g;
-  for (double u = 0.60; u <= 1.0 + 1e-9; u += 0.025) g.push_back(u);
+  for (int i = 600; i <= 1000; i += 25) {
+    g.push_back(static_cast<double>(i) / 1000.0);
+  }
   return g;
 }
 
@@ -56,48 +61,68 @@ AcceptanceResult RunAcceptance(const AcceptanceConfig& cfg) {
   AcceptanceResult result;
   result.config = cfg;
 
-  rt::GeneratorConfig gen;
-  gen.num_tasks = cfg.num_tasks;
-  gen.max_task_utilization = cfg.max_task_utilization;
-  gen.period_min = cfg.period_min;
-  gen.period_max = cfg.period_max;
+  const std::size_t npoints = cfg.norm_util_points.size();
+  const std::size_t nsets = static_cast<std::size_t>(
+      std::max(0, cfg.sets_per_point));
+  const std::size_t nalgo = cfg.algorithms.size();
 
-  for (const double point : cfg.norm_util_points) {
-    AcceptancePoint ap;
-    ap.norm_util = point;
-    ap.acceptance.assign(cfg.algorithms.size(), 0.0);
-    gen.total_utilization = point * cfg.num_cores;
+  // One (point, set) pair is one unit of parallel work; every unit owns
+  // an RNG derived from its coordinates and writes only its own slots,
+  // so the sweep is bit-identical for any job count.
+  std::vector<std::uint8_t> accepted(npoints * nsets * nalgo, 0);
+  std::vector<std::uint32_t> spa_accepts(npoints * nsets, 0);
+  std::vector<std::uint32_t> spa_splits(npoints * nsets, 0);
 
-    unsigned spa_accepts = 0;
-    unsigned spa_split_sum = 0;
+  util::ParallelFor(cfg.jobs, npoints * nsets, [&](std::size_t u) {
+    const std::size_t pi = u / nsets;
+    const std::size_t si = u % nsets;
 
-    // One RNG per grid point, seeded from (seed, point index), so points
-    // are independent and the whole sweep is reproducible.
-    rt::Rng rng(cfg.seed ^
-                (0x9e3779b97f4a7c15ull *
-                 static_cast<std::uint64_t>(&point - cfg.norm_util_points.data() + 1)));
+    rt::GeneratorConfig gen;
+    gen.num_tasks = cfg.num_tasks;
+    gen.max_task_utilization = cfg.max_task_utilization;
+    gen.period_min = cfg.period_min;
+    gen.period_max = cfg.period_max;
+    gen.total_utilization = cfg.norm_util_points[pi] * cfg.num_cores;
 
-    for (int s = 0; s < cfg.sets_per_point; ++s) {
-      const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
-      for (std::size_t ai = 0; ai < cfg.algorithms.size(); ++ai) {
-        const partition::PartitionResult pr =
-            RunAlgorithm(cfg.algorithms[ai], ts, cfg.num_cores, cfg.model);
-        if (pr.success) {
-          ap.acceptance[ai] += 1.0;
-          if (cfg.algorithms[ai] == Algo::kSpa1 ||
-              cfg.algorithms[ai] == Algo::kSpa2) {
-            ++spa_accepts;
-            spa_split_sum += pr.partition.num_split_tasks();
-          }
+    rt::Rng rng(sim::DeriveSeed(cfg.seed, pi, si));
+    const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+    for (std::size_t ai = 0; ai < nalgo; ++ai) {
+      const partition::PartitionResult pr =
+          RunAlgorithm(cfg.algorithms[ai], ts, cfg.num_cores, cfg.model);
+      if (pr.success) {
+        accepted[u * nalgo + ai] = 1;
+        if (cfg.algorithms[ai] == Algo::kSpa1 ||
+            cfg.algorithms[ai] == Algo::kSpa2) {
+          ++spa_accepts[u];
+          spa_splits[u] += static_cast<std::uint32_t>(
+              pr.partition.num_split_tasks());
         }
       }
     }
-    for (double& acc : ap.acceptance) {
-      acc /= static_cast<double>(cfg.sets_per_point);
+  });
+
+  for (std::size_t pi = 0; pi < npoints; ++pi) {
+    AcceptancePoint ap;
+    ap.norm_util = cfg.norm_util_points[pi];
+    ap.acceptance.assign(nalgo, 0.0);
+    std::uint64_t point_spa_accepts = 0;
+    std::uint64_t point_spa_splits = 0;
+    for (std::size_t si = 0; si < nsets; ++si) {
+      const std::size_t u = pi * nsets + si;
+      for (std::size_t ai = 0; ai < nalgo; ++ai) {
+        ap.acceptance[ai] += accepted[u * nalgo + ai];
+      }
+      point_spa_accepts += spa_accepts[u];
+      point_spa_splits += spa_splits[u];
     }
-    if (spa_accepts > 0) {
-      ap.mean_splits = static_cast<double>(spa_split_sum) /
-                       static_cast<double>(spa_accepts);
+    if (nsets > 0) {
+      for (double& acc : ap.acceptance) {
+        acc /= static_cast<double>(nsets);
+      }
+    }
+    if (point_spa_accepts > 0) {
+      ap.mean_splits = static_cast<double>(point_spa_splits) /
+                       static_cast<double>(point_spa_accepts);
     }
     result.points.push_back(std::move(ap));
   }

@@ -1,0 +1,96 @@
+#include "sim/batch.hpp"
+
+#include <chrono>
+
+#include "util/thread_pool.hpp"
+
+namespace sps::sim {
+
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t a,
+                         std::uint64_t b) {
+  // splitmix64 finalizer over a coordinate-mixed state. The +1 offsets
+  // keep (0, 0) from collapsing onto the bare base seed.
+  std::uint64_t z = base;
+  z += 0x9e3779b97f4a7c15ull * (a + 1);
+  z += 0xd1b54a32d192ed03ull * (b + 1);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ull;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z;
+}
+
+std::vector<BatchRun> RunConfigSweep(const partition::Partition& p,
+                                     const std::vector<BatchVariant>& variants,
+                                     const BatchOptions& opt) {
+  std::vector<BatchRun> out(variants.size());
+  util::ParallelFor(opt.jobs, variants.size(), [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    SimResult r = Simulate(p, variants[i].cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    out[i].name = variants[i].name;
+    out[i].result = std::move(r);
+    out[i].wall_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+  });
+  return out;
+}
+
+std::vector<BatchVariant> OverheadScaleVariants(
+    const SimConfig& base, const std::vector<double>& scales) {
+  std::vector<BatchVariant> v;
+  v.reserve(scales.size());
+  for (const double s : scales) {
+    BatchVariant bv;
+    bv.name = "scale=" + std::to_string(s);
+    bv.cfg = base;
+    bv.cfg.overheads.scale = s;
+    v.push_back(std::move(bv));
+  }
+  return v;
+}
+
+std::vector<BatchVariant> ExecFractionVariants(
+    const SimConfig& base, const std::vector<double>& fractions) {
+  std::vector<BatchVariant> v;
+  v.reserve(fractions.size());
+  for (const double f : fractions) {
+    BatchVariant bv;
+    bv.name = "exec=" + std::to_string(f);
+    bv.cfg = base;
+    bv.cfg.exec.kind = ExecModel::Kind::kFraction;
+    bv.cfg.exec.fraction = f;
+    v.push_back(std::move(bv));
+  }
+  return v;
+}
+
+const char* ToString(QueueRole role) {
+  switch (role) {
+    case QueueRole::kReady: return "ready";
+    case QueueRole::kSleep: return "sleep";
+    case QueueRole::kEvent: return "event";
+  }
+  return "?";
+}
+
+std::vector<BatchVariant> BackendVariants(const SimConfig& base,
+                                          QueueRole role) {
+  std::vector<BatchVariant> v;
+  for (const containers::QueueBackend b : containers::kAllQueueBackends) {
+    BatchVariant bv;
+    bv.name = std::string(ToString(role)) + "=" +
+              std::string(containers::to_string(b));
+    bv.cfg = base;
+    switch (role) {
+      case QueueRole::kReady: bv.cfg.ready_backend = b; break;
+      case QueueRole::kSleep: bv.cfg.sleep_backend = b; break;
+      case QueueRole::kEvent: bv.cfg.event_backend = b; break;
+    }
+    v.push_back(std::move(bv));
+  }
+  return v;
+}
+
+}  // namespace sps::sim

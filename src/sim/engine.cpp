@@ -65,7 +65,8 @@ class Engine final
          trace::Recorder* rec)
       : Base(kernel::KernelConfig{p.num_cores, cfg.horizon, cfg.overheads,
                                   cfg.exec, cfg.arrivals,
-                                  cfg.stop_on_first_miss},
+                                  cfg.stop_on_first_miss,
+                                  cfg.event_backend},
              p.tasks.size(), rec),
         p_(p) {
     for (std::size_t i = 0; i < p.tasks.size(); ++i) {

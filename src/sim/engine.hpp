@@ -56,6 +56,10 @@ struct SimConfig {
   containers::QueueBackend ready_backend =
       containers::QueueBackend::kBinomialHeap;
   containers::QueueBackend sleep_backend = containers::QueueBackend::kRbTree;
+  /// Backend of the kernel's EVENT queue (the DES throughput hot path;
+  /// the calendar queue is the large-core-count contender).
+  containers::QueueBackend event_backend =
+      containers::QueueBackend::kBinomialHeap;
 };
 
 /// Run the partition under the config. The trace recorder (optional) gets

@@ -49,7 +49,8 @@ class GlobalEngine final
                trace::Recorder* rec)
       : Base(kernel::KernelConfig{cfg.num_cores, cfg.horizon, cfg.overheads,
                                   cfg.exec, cfg.arrivals,
-                                  cfg.stop_on_first_miss},
+                                  cfg.stop_on_first_miss,
+                                  cfg.event_backend},
              ts.size(), rec),
         ts_(ts), gpolicy_(cfg.policy) {
     for (std::size_t i = 0; i < ts.size(); ++i) {

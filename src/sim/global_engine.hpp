@@ -51,6 +51,8 @@ struct GlobalSimConfig {
   containers::QueueBackend ready_backend =
       containers::QueueBackend::kBinomialHeap;
   containers::QueueBackend sleep_backend = containers::QueueBackend::kRbTree;
+  containers::QueueBackend event_backend =
+      containers::QueueBackend::kBinomialHeap;
 };
 
 /// Run the task set under global scheduling. Requires assigned priorities

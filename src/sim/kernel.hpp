@@ -20,11 +20,16 @@
 // (how execution progress is booked — the partitioned engine also burns
 // the split-subtask budget, the global engine only the remaining WCET).
 //
-// Queue backends are template parameters OF THE ENGINES, not of the
-// kernel: the kernel never touches a ready/sleep queue directly — it
-// only prices their operations through the OverheadModel. Engines
-// instantiate their queues from containers/queue_traits.hpp and select
-// the backend at runtime (SimConfig::ready_backend / sleep_backend).
+// Ready/sleep queue backends are template parameters OF THE ENGINES,
+// not of the kernel: the kernel never touches a ready/sleep queue
+// directly — it only prices their operations through the OverheadModel.
+// Engines instantiate their queues from containers/queue_traits.hpp and
+// select the backend at runtime (SimConfig::ready_backend /
+// sleep_backend). The EVENT queue is the kernel's own and is a third
+// runtime-selectable slot (KernelConfig::event_backend): any
+// KeyedMinQueue backend keyed by the packed (t, kind-rank) event key,
+// type-erased behind EventQueueBase so the engines' instantiation count
+// stays ready x sleep.
 //
 // This header also hosts the public simulation types shared by both
 // engines (ExecModel, ArrivalModel, TaskStats, CoreStats, SimResult);
@@ -34,7 +39,6 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <random>
 #include <string>
 #include <vector>
@@ -66,10 +70,31 @@ struct ExecModel {
 /// analysis' worst case); kSporadicUniformDelay adds a uniform random
 /// slack of up to `max_delay_fraction * T` to each inter-arrival, the
 /// usual way to exercise non-critical-instant behaviour.
+///
+/// Scenario-diversity kinds (ROADMAP):
+///   kJittered — releases stay on the nominal k*T grid but each is
+///   displaced by an independent uniform jitter in [0, jitter_fraction*T]
+///   (release_k = k*T + j_k). No long-term drift; consecutive releases
+///   may be closer than T (interrupt-latency-style jitter), which the
+///   engines absorb through their overrun/shed paths.
+///   kBursty — runs of releases at the MINIMUM inter-arrival T (a burst)
+///   separated by idle gaps: each inter-arrival is T with probability
+///   burst_prob, else T * (1 + uniform(0, burst_gap_fraction)).
 struct ArrivalModel {
-  enum class Kind { kPeriodic, kSporadicUniformDelay };
+  enum class Kind {
+    kPeriodic,
+    kSporadicUniformDelay,
+    kJittered,
+    kBursty,
+  };
   Kind kind = Kind::kPeriodic;
   double max_delay_fraction = 0.2;
+  /// kJittered: jitter bound as a fraction of the period.
+  double jitter_fraction = 0.1;
+  /// kBursty: probability the next inter-arrival continues a burst.
+  double burst_prob = 0.5;
+  /// kBursty: max idle gap between bursts, as a fraction of the period.
+  double burst_gap_fraction = 1.0;
   std::uint64_t seed = 2;
 };
 
@@ -107,6 +132,9 @@ struct SimResult {
   /// SEQUENCE is fixed by the scheduling policy, only per-op cost varies.
   containers::QueueOpCounters ready_ops;
   containers::QueueOpCounters sleep_ops;
+  /// Operation counts of the kernel's own event queue (same invariance:
+  /// the event sequence is fixed by the policy, not the backend).
+  containers::QueueOpCounters event_ops;
 
   [[nodiscard]] Time total_overhead() const;
   [[nodiscard]] std::string summary() const;
@@ -131,6 +159,11 @@ enum class EvKind : std::uint8_t {
   kOverheadEnd = 3,       // core finished its overhead window (core, epoch)
 };
 
+/// Number of EvKind values. EventKey packs the kind into 2 bits and
+/// static_asserts against this count — when adding an event kind, bump
+/// it here and widen the EventKey shift.
+inline constexpr unsigned kNumEvKinds = 4;
+
 template <typename JobT>
 struct Event {
   Time t = 0;
@@ -142,16 +175,70 @@ struct Event {
   JobT* job = nullptr;
 };
 
+/// The event queue's ordering is (t, kind-rank, insertion order). Every
+/// KeyedMinQueue backend is FIFO among equal keys and the kernel pushes
+/// events in seq order, so packing (t, kind) into one integer key gives
+/// exactly that total order on every backend — which makes the EVENT
+/// queue a policy slot selectable at runtime like the ready/sleep queues
+/// (KernelConfig::event_backend), with bit-identical results across all
+/// of them. Packing needs t < 2^61 (an ~73-year horizon in ns).
 template <typename JobT>
-struct EventLater {
-  bool operator()(const Event<JobT>& a, const Event<JobT>& b) const {
-    if (a.t != b.t) return a.t > b.t;
-    if (a.kind != b.kind) {
-      return static_cast<int>(a.kind) > static_cast<int>(b.kind);
-    }
-    return a.seq > b.seq;
-  }
+[[nodiscard]] inline std::uint64_t EventKey(const Event<JobT>& e) {
+  static_assert(kNumEvKinds <= 4,
+                "EventKey packs EvKind into 2 bits; widen the shift when "
+                "adding event kinds");
+  assert(e.t >= 0 && static_cast<std::uint64_t>(e.t) < (1ull << 61));
+  return (static_cast<std::uint64_t>(e.t) << 2) |
+         static_cast<std::uint64_t>(e.kind);
+}
+
+/// Type-erased event queue: one virtual hop per operation buys runtime
+/// backend selection WITHOUT multiplying the engines' template
+/// instantiations by another backend axis (ready x sleep x event would
+/// be 125 engine instantiations each; this keeps it at ready x sleep).
+template <typename JobT>
+class EventQueueBase {
+ public:
+  virtual ~EventQueueBase() = default;
+  virtual void push(std::uint64_t key, const Event<JobT>& e) = 0;
+  virtual Event<JobT> pop_min() = 0;
+  [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual const containers::QueueOpCounters& counters()
+      const = 0;
 };
+
+template <typename JobT, typename Q>
+class EventQueueImpl final : public EventQueueBase<JobT> {
+  static_assert(
+      containers::ReadyQueueFor<Q, std::uint64_t, Event<JobT>>);
+
+ public:
+  void push(std::uint64_t key, const Event<JobT>& e) override {
+    q_.push(key, e);
+  }
+  Event<JobT> pop_min() override { return q_.pop_min().second; }
+  [[nodiscard]] bool empty() const override { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const override { return q_.size(); }
+  [[nodiscard]] const containers::QueueOpCounters& counters()
+      const override {
+    return q_.counters();
+  }
+
+ private:
+  Q q_;
+};
+
+template <typename JobT>
+std::unique_ptr<EventQueueBase<JobT>> MakeEventQueue(
+    containers::QueueBackend b) {
+  return containers::WithQueueBackend(
+      b, [](auto tag) -> std::unique_ptr<EventQueueBase<JobT>> {
+        using Q = containers::QueueOf<decltype(tag)::value, std::uint64_t,
+                                      Event<JobT>>;
+        return std::make_unique<EventQueueImpl<JobT, Q>>();
+      });
+}
 
 /// Common per-job state. Engines derive and add policy state (split
 /// budgets, last-run core, ...) plus a charge(progress) method booking
@@ -170,6 +257,7 @@ struct TaskRunBase {
   bool active = false;
   Time next_release = 0;  ///< nominal release of the NEXT job
   Time last_release = 0;  ///< actual release of the in-flight job
+  Time last_jitter = 0;   ///< displacement of the previous release (kJittered)
   TaskStats stats;
   double response_sum = 0.0;
 };
@@ -182,6 +270,10 @@ struct KernelConfig {
   ExecModel exec;
   ArrivalModel arrivals;
   bool stop_on_first_miss = false;
+  /// Backend of the kernel's event queue (runtime-selectable policy
+  /// slot, like the engines' ready/sleep backends).
+  containers::QueueBackend event_backend =
+      containers::QueueBackend::kBinomialHeap;
 };
 
 template <typename Policy, typename JobT, typename TaskRtT, typename PerCoreT>
@@ -190,9 +282,8 @@ class KernelBase {
   /// Boot the policy, drain the event queue up to the horizon, finalize.
   SimResult Run() {
     policy().Boot();
-    while (!events_.empty() && !halted_) {
-      const Event<JobT> ev = events_.top();
-      events_.pop();
+    while (!events_->empty() && !halted_) {
+      const Event<JobT> ev = events_->pop_min();
       if (ev.t > kcfg_.horizon) break;
       now_ = ev.t;
       policy().Dispatch(ev);
@@ -216,6 +307,7 @@ class KernelBase {
   KernelBase(const KernelConfig& kcfg, std::size_t num_tasks,
              trace::Recorder* rec)
       : kcfg_(kcfg), rec_(rec), cores_(kcfg.num_cores), tasks_(num_tasks),
+        events_(MakeEventQueue<JobT>(kcfg.event_backend)),
         rng_(kcfg.exec.seed), arrival_rng_(kcfg.arrivals.seed) {
     result_.cores.resize(kcfg.num_cores);
   }
@@ -225,7 +317,7 @@ class KernelBase {
 
   void Push(Event<JobT> e) {
     e.seq = ++ev_seq_;
-    events_.push(e);
+    events_->push(EventKey(e), e);
   }
 
   /// Create the job object for task ti's release at now_ and mark the
@@ -264,14 +356,41 @@ class KernelBase {
     return c;
   }
 
-  /// Next inter-arrival distance: exactly T (periodic) or T plus a
-  /// uniform sporadic slack.
+  /// Next inter-arrival distance per the arrival model (see ArrivalModel
+  /// for the semantics of each kind).
   Time SampleInterArrival(std::size_t ti) {
     const Time t = policy().PeriodOf(ti);
-    if (kcfg_.arrivals.kind == ArrivalModel::Kind::kPeriodic) return t;
-    std::uniform_real_distribution<double> d(
-        0.0, kcfg_.arrivals.max_delay_fraction);
-    return t + static_cast<Time>(d(arrival_rng_) * static_cast<double>(t));
+    switch (kcfg_.arrivals.kind) {
+      case ArrivalModel::Kind::kPeriodic:
+        return t;
+      case ArrivalModel::Kind::kSporadicUniformDelay: {
+        std::uniform_real_distribution<double> d(
+            0.0, kcfg_.arrivals.max_delay_fraction);
+        return t +
+               static_cast<Time>(d(arrival_rng_) * static_cast<double>(t));
+      }
+      case ArrivalModel::Kind::kJittered: {
+        // release_k = k*T + j_k: the gap is T + j_k - j_{k-1}, so jitter
+        // is bounded around the nominal grid and never accumulates.
+        std::uniform_real_distribution<double> d(
+            0.0, kcfg_.arrivals.jitter_fraction);
+        const Time j =
+            static_cast<Time>(d(arrival_rng_) * static_cast<double>(t));
+        TaskRtT& tr = tasks_[ti];
+        const Time gap = t + j - tr.last_jitter;
+        tr.last_jitter = j;
+        return std::max<Time>(1, gap);
+      }
+      case ArrivalModel::Kind::kBursty: {
+        std::uniform_real_distribution<double> d(0.0, 1.0);
+        if (d(arrival_rng_) < kcfg_.arrivals.burst_prob) return t;
+        std::uniform_real_distribution<double> g(
+            0.0, kcfg_.arrivals.burst_gap_fraction);
+        return t +
+               static_cast<Time>(g(arrival_rng_) * static_cast<double>(t));
+      }
+    }
+    return t;
   }
 
   void Trace(trace::EventKind k, std::uint32_t core, const JobT* j,
@@ -372,6 +491,7 @@ class KernelBase {
       }
       result_.tasks.push_back(tr.stats);
     }
+    result_.event_ops = events_->counters();
     policy().CollectQueueStats(result_);
     return std::move(result_);
   }
@@ -381,9 +501,7 @@ class KernelBase {
   std::vector<Core> cores_;
   std::vector<TaskRtT> tasks_;
   std::vector<std::unique_ptr<JobT>> jobs_;
-  std::priority_queue<Event<JobT>, std::vector<Event<JobT>>,
-                      EventLater<JobT>>
-      events_;
+  std::unique_ptr<EventQueueBase<JobT>> events_;
   std::mt19937_64 rng_;
   std::mt19937_64 arrival_rng_;
   Time now_ = 0;

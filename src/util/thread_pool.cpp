@@ -1,0 +1,126 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace sps::util {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (num_threads == 0) num_threads = hw;
+  // Guard against nonsense from CLI/env parsing (e.g. --jobs=-1 wrapped
+  // to ~4e9): more workers than 4x the hardware never helps a
+  // compute-bound sweep and thread spawning would die trying.
+  num_threads = std::min(num_threads, 4 * hw);
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    std::function<void()> oneoff;
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || !oneoffs_.empty() ||
+               (current_ != nullptr && batch_gen_ != seen_gen);
+      });
+      if (stop_) return;
+      if (!oneoffs_.empty()) {
+        oneoff = std::move(oneoffs_.back());
+        oneoffs_.pop_back();
+      } else {
+        // Join the in-flight batch exactly once per generation. The
+        // attached count keeps the caller from destroying the batch
+        // while this worker still holds the pointer.
+        seen_gen = batch_gen_;
+        batch = current_;
+        ++attached_;
+      }
+    }
+    if (oneoff) {
+      oneoff();  // packaged_task: exceptions land in the future
+      continue;
+    }
+    RunIndices(*batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --attached_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunIndices(Batch& b) {
+  for (;;) {
+    const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b.end) return;
+    try {
+      (*b.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!b.first_error) b.first_error = std::current_exception();
+    }
+    // Count attempts (success or not): the batch is done when every
+    // index has RUN, which is what the drain guarantee means.
+    b.completed.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  Batch b;
+  b.body = &body;
+  b.end = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = &b;
+    ++batch_gen_;
+  }
+  work_cv_.notify_all();
+  RunIndices(b);  // the caller is a worker too
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return attached_ == 0 &&
+             b.completed.load(std::memory_order_acquire) == n;
+    });
+    current_ = nullptr;  // late-waking workers see no batch
+  }
+  if (b.first_error) std::rethrow_exception(b.first_error);
+}
+
+void ParallelFor(unsigned jobs, std::size_t n,
+                 const std::function<void(std::size_t)>& body) {
+  if (jobs == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // `jobs` counts TOTAL threads working; the caller is one of them.
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(jobs - 1);
+  pool.ParallelFor(n, body);
+}
+
+}  // namespace sps::util

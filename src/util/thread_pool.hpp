@@ -1,0 +1,114 @@
+#pragma once
+// Fixed worker thread pool for the batch-experiment harness (DESIGN.md
+// §8). Two entry points:
+//
+//   * ParallelFor(n, body) — the steady-state path the experiment
+//     drivers use. ONE shared batch descriptor lives on the caller's
+//     stack; workers (and the calling thread, which participates) claim
+//     indices with an atomic fetch-add. No queue nodes, no closures, no
+//     futures — zero per-index allocation, so a sweep of thousands of
+//     task-set simulations schedules work at the cost of one atomic op
+//     each.
+//   * Submit(f) — convenience futures for one-off tasks (allocates a
+//     shared task state; not the hot path).
+//
+// Exception semantics: a throwing ParallelFor body never abandons the
+// batch — every remaining index still runs (the pool DRAINS), then the
+// FIRST captured exception is rethrown on the caller. This is what makes
+// a 10'000-simulation sweep abortable without leaving detached workers
+// touching dead stack frames.
+//
+// Determinism contract: ParallelFor promises nothing about index order —
+// callers must write results only into per-index slots. Every harness
+// built on top (sim/batch.*, exp/acceptance.*) derives per-unit RNG
+// seeds so outputs are bit-identical for ANY thread count, including 0.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sps::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers (0 = one per hardware thread). The pool
+  /// is fixed-size for its lifetime; workers sleep when idle.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (the calling thread additionally participates in
+  /// ParallelFor, so total concurrency is num_threads() + 1).
+  [[nodiscard]] unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Run body(i) for every i in [0, n); returns when all n completed.
+  /// The calling thread participates. See header: drains on exceptions,
+  /// rethrows the first one; body must only write per-index state.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t)>& body);
+
+  /// One-off task with a future (allocates; not the steady-state path).
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      oneoffs_.push_back([task] { (*task)(); });
+    }
+    work_cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  /// One in-flight ParallelFor. Lives on the submitting caller's stack;
+  /// `attached` (guarded by mu_) keeps it alive until every worker that
+  /// saw it has let go.
+  struct Batch {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t end = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::exception_ptr first_error;  ///< guarded by mu_
+  };
+
+  void WorkerLoop();
+  /// Claim and run indices until the batch is exhausted.
+  void RunIndices(Batch& b);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: new batch / one-off / stop
+  std::condition_variable done_cv_;  ///< caller: batch fully finished
+  std::vector<std::function<void()>> oneoffs_;
+  Batch* current_ = nullptr;
+  std::uint64_t batch_gen_ = 0;  ///< bumped per batch so workers join once
+  std::size_t attached_ = 0;     ///< workers currently inside current_
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run body over [0, n) with `jobs` total threads of concurrency:
+/// jobs == 1 runs inline (no pool, no synchronization), jobs == 0 uses
+/// one thread per hardware thread. Results are identical for any value —
+/// the serial path IS the specification of the parallel one. Spins up a
+/// TRANSIENT pool per call (microseconds — noise next to any experiment
+/// sweep); hold a ThreadPool yourself if that ever shows up.
+void ParallelFor(unsigned jobs, std::size_t n,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace sps::util

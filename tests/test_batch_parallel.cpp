@@ -1,0 +1,212 @@
+// The threading/determinism contract of the batch harness (DESIGN.md
+// §8): the thread pool distributes but never reorders observable
+// results, exceptions drain instead of abandoning workers, and every
+// experiment driver built on the pool is bit-identical for any job
+// count — the serial run is the specification of the parallel one.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/acceptance.hpp"
+#include "overhead/model.hpp"
+#include "partition/spa.hpp"
+#include "rt/generator.hpp"
+#include "sim/batch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  util::ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.ParallelFor(100, [&](std::size_t i) {
+      sum += static_cast<std::uint64_t>(i);
+    });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPool, DrainsUnderExceptions) {
+  // A throwing body must not abandon the batch: every other index still
+  // runs, and the first exception is rethrown on the caller.
+  util::ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(kN,
+                       [&](std::size_t i) {
+                         ++ran;
+                         if (i % 100 == 7) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), kN);  // the pool drained
+  // ... and the pool is still serviceable afterwards.
+  std::atomic<std::size_t> again{0};
+  pool.ParallelFor(64, [&](std::size_t) { ++again; });
+  EXPECT_EQ(again.load(), 64u);
+}
+
+TEST(ThreadPool, SubmitReturnsFutures) {
+  util::ThreadPool pool(2);
+  auto a = pool.Submit([] { return 21 * 2; });
+  auto b = pool.Submit([] { return std::string("ok"); });
+  EXPECT_EQ(a.get(), 42);
+  EXPECT_EQ(b.get(), "ok");
+  auto boom = pool.Submit([]() -> int { throw std::logic_error("x"); });
+  EXPECT_THROW(boom.get(), std::logic_error);
+}
+
+TEST(ThreadPool, FreeFunctionSerialAndZeroJobs) {
+  // jobs=1 must run inline; jobs=0 sizes from the hardware.
+  std::vector<int> order;
+  util::ParallelFor(1, 5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // unsynchronized: inline only
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  std::atomic<int> n{0};
+  util::ParallelFor(0, 100, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// Seed derivation
+// ---------------------------------------------------------------------------
+
+TEST(DeriveSeed, CoordinatesDecorrelate) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t p = 0; p < 20; ++p) {
+    for (std::uint64_t s = 0; s < 50; ++s) {
+      seen.insert(sim::DeriveSeed(123, p, s));
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions on a realistic grid
+  // Pure function of its inputs, sensitive to each.
+  EXPECT_EQ(sim::DeriveSeed(1, 2, 3), sim::DeriveSeed(1, 2, 3));
+  EXPECT_NE(sim::DeriveSeed(1, 2, 3), sim::DeriveSeed(2, 2, 3));
+  EXPECT_NE(sim::DeriveSeed(1, 2, 3), sim::DeriveSeed(1, 3, 2));
+}
+
+// ---------------------------------------------------------------------------
+// RunAcceptance: identical results at any job count
+// ---------------------------------------------------------------------------
+
+exp::AcceptanceConfig SmallAcceptanceConfig() {
+  exp::AcceptanceConfig cfg;
+  cfg.num_cores = 2;
+  cfg.num_tasks = 8;
+  cfg.norm_util_points = {0.7, 0.85, 0.95};
+  cfg.sets_per_point = 12;
+  cfg.model = overhead::OverheadModel::PaperCoreI7();
+  cfg.algorithms = {exp::Algo::kFfd, exp::Algo::kSpa2};
+  return cfg;
+}
+
+void ExpectSameAcceptance(const exp::AcceptanceResult& a,
+                          const exp::AcceptanceResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    SCOPED_TRACE("point " + std::to_string(i));
+    EXPECT_EQ(a.points[i].norm_util, b.points[i].norm_util);
+    EXPECT_EQ(a.points[i].acceptance, b.points[i].acceptance);
+    EXPECT_EQ(a.points[i].mean_splits, b.points[i].mean_splits);
+  }
+}
+
+TEST(BatchParallel, AcceptanceIdenticalAcrossJobCounts) {
+  exp::AcceptanceConfig cfg = SmallAcceptanceConfig();
+  cfg.jobs = 1;
+  const exp::AcceptanceResult serial = exp::RunAcceptance(cfg);
+  cfg.jobs = 8;
+  const exp::AcceptanceResult parallel = exp::RunAcceptance(cfg);
+  ExpectSameAcceptance(serial, parallel);
+}
+
+TEST(BatchParallel, AcceptanceProducesNontrivialResults) {
+  exp::AcceptanceConfig cfg = SmallAcceptanceConfig();
+  cfg.jobs = 4;
+  const exp::AcceptanceResult res = exp::RunAcceptance(cfg);
+  ASSERT_EQ(res.points.size(), 3u);
+  // Low-utilization acceptance dominates high-utilization acceptance.
+  for (std::size_t ai = 0; ai < cfg.algorithms.size(); ++ai) {
+    EXPECT_GE(res.points[0].acceptance[ai] + 1e-12,
+              res.points[2].acceptance[ai]);
+  }
+  // Something was accepted at the easy point.
+  const double total = std::accumulate(res.points[0].acceptance.begin(),
+                                       res.points[0].acceptance.end(), 0.0);
+  EXPECT_GT(total, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// RunConfigSweep: the batch driver equals direct Simulate calls
+// ---------------------------------------------------------------------------
+
+partition::Partition SweepPartition() {
+  rt::GeneratorConfig gen;
+  gen.num_tasks = 12;
+  gen.total_utilization = 1.4;
+  rt::Rng rng(7);
+  const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+  partition::SpaConfig cfg;
+  cfg.num_cores = 2;
+  cfg.preassign_heavy = true;
+  const auto pr = partition::SpaPartition(ts, cfg);
+  EXPECT_TRUE(pr.success);
+  return pr.partition;
+}
+
+TEST(BatchParallel, ConfigSweepMatchesDirectSimulation) {
+  const partition::Partition p = SweepPartition();
+  sim::SimConfig base;
+  base.horizon = Millis(250);
+  base.overheads = overhead::OverheadModel::PaperCoreI7();
+
+  auto variants = sim::BackendVariants(base, sim::QueueRole::kEvent);
+  const auto extra = sim::OverheadScaleVariants(base, {0.0, 2.0});
+  variants.insert(variants.end(), extra.begin(), extra.end());
+
+  const auto serial = sim::RunConfigSweep(p, variants, {.jobs = 1});
+  const auto parallel = sim::RunConfigSweep(p, variants, {.jobs = 6});
+  ASSERT_EQ(serial.size(), variants.size());
+  ASSERT_EQ(parallel.size(), variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    SCOPED_TRACE(variants[i].name);
+    const sim::SimResult direct = Simulate(p, variants[i].cfg);
+    for (const auto* run : {&serial[i], &parallel[i]}) {
+      EXPECT_EQ(run->name, variants[i].name);
+      EXPECT_EQ(run->result.total_misses, direct.total_misses);
+      EXPECT_EQ(run->result.total_preemptions, direct.total_preemptions);
+      EXPECT_EQ(run->result.total_migrations, direct.total_migrations);
+      EXPECT_EQ(run->result.ready_ops, direct.ready_ops);
+      EXPECT_EQ(run->result.sleep_ops, direct.sleep_ops);
+      EXPECT_EQ(run->result.event_ops, direct.event_ops);
+      EXPECT_GE(run->wall_seconds, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sps

@@ -1,0 +1,116 @@
+// CalendarQueue-specific tests: the bucket-resizing policy and the
+// event-queue access pattern (monotonically advancing minimum). The
+// behavioural contract itself is covered by the typed conformance suite
+// in test_queue_concept.cpp — this file exercises what is unique to the
+// calendar structure.
+
+#include "containers/calendar_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sps::containers {
+namespace {
+
+TEST(CalendarQueue, GrowsAndShrinksWithSize) {
+  CalendarQueue<std::uint64_t, int> q;
+  const std::size_t initial = q.num_buckets();
+  std::vector<CalendarQueue<std::uint64_t, int>::handle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(q.push(static_cast<std::uint64_t>(i) * 1000, i));
+  }
+  EXPECT_GE(q.num_buckets(), 512u);  // grow threshold: size > 2 * buckets
+  ASSERT_TRUE(q.validate());
+  while (!q.empty()) q.pop_min();
+  EXPECT_EQ(q.num_buckets(), initial);  // shrank all the way back
+  EXPECT_TRUE(q.validate());
+}
+
+TEST(CalendarQueue, WidthTracksKeySpacing) {
+  // 1024 keys spaced 1e6 apart: after the growth resizes, the width must
+  // land near the average spacing (one element per bucket-day), far from
+  // the initial width of 1.
+  CalendarQueue<std::uint64_t, int> q;
+  for (int i = 0; i < 1024; ++i) {
+    q.push(static_cast<std::uint64_t>(i) * 1'000'000, i);
+  }
+  EXPECT_GE(q.bucket_width(), 500'000u);
+  EXPECT_LE(q.bucket_width(), 2'000'000u);
+  EXPECT_TRUE(q.validate());
+  // Drain in order — bucket hopping must not lose the total order.
+  std::uint64_t last = 0;
+  while (!q.empty()) {
+    auto [k, v] = q.pop_min();
+    EXPECT_GE(k, last);
+    last = k;
+  }
+}
+
+TEST(CalendarQueue, EventPatternHoldAndAdvance) {
+  // The kernel's pattern: a near-constant population whose keys advance
+  // monotonically (pop the earliest event, schedule a later one).
+  CalendarQueue<std::uint64_t, std::size_t> q;
+  std::mt19937_64 rng(42);
+  std::uint64_t now = 0;
+  for (std::size_t i = 0; i < 64; ++i) q.push(rng() % 10'000, i);
+  for (int step = 0; step < 20'000; ++step) {
+    auto [t, id] = q.pop_min();
+    EXPECT_GE(t, now);
+    now = t;
+    q.push(now + 1 + rng() % 10'000, id);
+    ASSERT_EQ(q.size(), 64u);
+  }
+  EXPECT_TRUE(q.validate());
+}
+
+TEST(CalendarQueue, SparseKeysFallBackToDirectSearch) {
+  // Width adapted to dense keys, then only very distant keys remain: the
+  // day scan finds nothing in a whole bucket round and must fall back to
+  // a direct search instead of spinning.
+  CalendarQueue<std::uint64_t, int> q;
+  for (int i = 0; i < 64; ++i) q.push(static_cast<std::uint64_t>(i), i);
+  auto far = q.push(1ull << 40, -1);
+  (void)far;
+  for (int i = 0; i < 64; ++i) q.pop_min();
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.min_value(), -1);
+  EXPECT_EQ(q.pop_min().first, 1ull << 40);
+  EXPECT_TRUE(q.validate());
+}
+
+TEST(CalendarQueue, PushBelowTheScanFloorIsFound) {
+  // Pops advance the scan floor; a later push BELOW it (a "past" key)
+  // must still surface first — the cursor has to jump back.
+  CalendarQueue<std::uint64_t, int> q;
+  for (int i = 10; i < 20; ++i) q.push(static_cast<std::uint64_t>(i * 100), i);
+  (void)q.pop_min();  // floor is now at day(1000)
+  q.push(5, -5);      // far below the floor
+  EXPECT_EQ(q.min_value(), -5);
+  EXPECT_EQ(q.pop_min().second, -5);
+  EXPECT_TRUE(q.validate());
+}
+
+TEST(CalendarQueue, CacheSurvivesInterleavedEraseAndPush) {
+  // Regression: a push after a cache-invalidating erase must not install
+  // a non-minimal node as the cached minimum.
+  CalendarQueue<std::uint64_t, int> q;
+  q.push(10, 1);
+  auto h = q.push(20, 2);
+  q.push(30, 3);
+  q.erase(h);      // invalidates nothing visible, keeps min at 10
+  q.push(40, 4);   // must NOT become the cached min
+  EXPECT_EQ(q.min_key(), 10u);
+  (void)q.pop_min();  // clears the cache
+  q.push(50, 5);      // cache empty + non-minimal push
+  EXPECT_EQ(q.min_key(), 30u);
+  EXPECT_EQ(q.pop_min().second, 3);
+  EXPECT_EQ(q.pop_min().second, 4);
+  EXPECT_EQ(q.pop_min().second, 5);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace sps::containers

@@ -34,7 +34,8 @@ using AllBackends =
     ::testing::Types<BinomialHeapQueue<std::uint64_t, int>,
                      PairingHeapQueue<std::uint64_t, int>,
                      RbTreeQueue<std::uint64_t, int>,
-                     SortedVectorStableQueue<std::uint64_t, int>>;
+                     SortedVectorStableQueue<std::uint64_t, int>,
+                     CalendarQueue<std::uint64_t, int>>;
 TYPED_TEST_SUITE(QueueConcept, AllBackends);
 
 // Compile-time: every backend models the concept, in both roles.
@@ -45,6 +46,10 @@ static_assert(ReadyQueueFor<PairingHeapQueue<std::uint64_t, int>,
 static_assert(SleepQueueFor<RbTreeQueue<std::uint64_t, int>, std::uint64_t,
                             int>);
 static_assert(SleepQueueFor<SortedVectorStableQueue<std::uint64_t, int>,
+                            std::uint64_t, int>);
+static_assert(ReadyQueueFor<CalendarQueue<std::uint64_t, int>,
+                            std::uint64_t, int>);
+static_assert(SleepQueueFor<CalendarQueue<std::uint64_t, int>,
                             std::uint64_t, int>);
 
 TYPED_TEST(QueueConcept, StartsEmpty) {
@@ -219,9 +224,10 @@ void ExpectSameResult(const SimResult& a, const SimResult& b,
   EXPECT_EQ(a.total_preemptions, b.total_preemptions);
   EXPECT_EQ(a.simulated, b.simulated);
   // The operation SEQUENCE is policy-determined, so even the op counters
-  // must agree backend-to-backend.
+  // must agree backend-to-backend — including the kernel's event queue.
   EXPECT_EQ(a.ready_ops, b.ready_ops);
   EXPECT_EQ(a.sleep_ops, b.sleep_ops);
+  EXPECT_EQ(a.event_ops, b.event_ops);
   ASSERT_EQ(a.tasks.size(), b.tasks.size());
   for (std::size_t i = 0; i < a.tasks.size(); ++i) {
     SCOPED_TRACE("task " + std::to_string(i));
@@ -351,6 +357,45 @@ TEST(DifferentialSim, GeneratedWorkloadIdenticalAcrossBackends) {
     ExpectSameResult(baseline, Simulate(pr.partition, cfg),
                      std::string("both=") +
                          std::string(containers::to_string(b)));
+  }
+}
+
+TEST(DifferentialSim, PartitionedIdenticalAcrossEventBackends) {
+  // The kernel's EVENT queue is the third policy slot: every backend
+  // must produce the same simulation, overheads and sporadics included.
+  const partition::Partition p = DifferentialPartition();
+  SimConfig cfg;
+  cfg.horizon = Millis(400);
+  cfg.overheads = overhead::OverheadModel::PaperCoreI7();
+  cfg.arrivals.kind = ArrivalModel::Kind::kSporadicUniformDelay;
+  const SimResult baseline = Simulate(p, cfg);
+  EXPECT_GT(baseline.event_ops.total(), 0u);
+  for (QueueBackend b : kAllQueueBackends) {
+    cfg.event_backend = b;
+    ExpectSameResult(baseline, Simulate(p, cfg),
+                     std::string("event=") +
+                         std::string(containers::to_string(b)));
+  }
+}
+
+TEST(DifferentialSim, IdenticalAcrossEventBackendsUnderJitterAndBursts) {
+  // The scenario-diversity arrival models go through the same kernel
+  // sampling path — backend invariance must hold there too.
+  const partition::Partition p = DifferentialPartition();
+  for (const ArrivalModel::Kind kind :
+       {ArrivalModel::Kind::kJittered, ArrivalModel::Kind::kBursty}) {
+    SimConfig cfg;
+    cfg.horizon = Millis(300);
+    cfg.arrivals.kind = kind;
+    const SimResult baseline = Simulate(p, cfg);
+    EXPECT_GT(baseline.tasks.at(0).released, 1u);
+    for (QueueBackend b : kAllQueueBackends) {
+      cfg.event_backend = b;
+      cfg.ready_backend = b;
+      ExpectSameResult(baseline, Simulate(p, cfg),
+                       std::string("arrivals+event=") +
+                           std::string(containers::to_string(b)));
+    }
   }
 }
 
