@@ -1,0 +1,208 @@
+// E7 — single-run speed (DESIGN.md §9): how fast is ONE big simulation,
+// end-to-end, under the PR-3 kernel changes? Four configurations of the
+// SAME workload, bit-identity enforced between them:
+//
+//   serial_pr2_kernel   type-erased event queue + unique_ptr-per-release
+//                       job allocation — the PR-2 hot path, kept behind
+//                       SimConfig::{force_dynamic_event_queue,job_arena}
+//                       precisely for this A/B;
+//   serial_dynamic      type-erased event queue, arena-recycled jobs
+//                       (isolates the allocation win);
+//   serial              the devirtualized default path (static event
+//                       queue + job arena) — what every default-config
+//                       simulation now runs on;
+//   sharded             the per-core parallel runner (shards=0: one
+//                       worker per hardware thread).
+//
+// Workloads are the queue-ablation partitions at m=16 and m=64 — the
+// scales where the ROADMAP flagged single-run latency as the remaining
+// serial bottleneck. Wall times are best-of-SPS_REPS; results land in
+// BENCH_single_run.json, which tools/check_bench_regression.py compares
+// (ratio-wise, per workload) against bench/baselines/.
+//
+// The bench FAILS (non-zero exit) if any configuration's SimResult
+// deviates from the serial default's — the determinism contract is
+// checked on every perf run, not only in ctest.
+//
+// NOTE on expectations: the sharded runner only pays off when the
+// machine has cores to spare AND the partition's split-task coupling is
+// sparse (DESIGN.md §9). On a single-hardware-thread host it degrades
+// to the serial schedule plus round overhead — the JSON records
+// hardware_threads so the trajectory is interpretable.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "overhead/model.hpp"
+#include "partition/spa.hpp"
+#include "rt/generator.hpp"
+#include "sim/engine.hpp"
+#include "util/json_writer.hpp"
+
+namespace {
+
+using namespace sps;
+
+partition::Partition MakeWorkload(unsigned cores, std::size_t tasks,
+                                  double norm_util, std::uint64_t seed) {
+  rt::GeneratorConfig gen;
+  gen.num_tasks = tasks;
+  gen.total_utilization = norm_util * cores;
+  rt::Rng rng(seed);
+  const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+  partition::SpaConfig cfg;
+  cfg.num_cores = cores;
+  cfg.model = overhead::OverheadModel::PaperCoreI7();
+  cfg.preassign_heavy = true;
+  auto pr = partition::SpaPartition(ts, cfg);
+  if (!pr.success) {
+    std::fprintf(stderr, "workload (m=%u, n=%zu) rejected: %s\n", cores,
+                 tasks, pr.failure_reason.c_str());
+    std::abort();
+  }
+  return pr.partition;
+}
+
+struct Variant {
+  const char* name;
+  sim::SimConfig cfg;
+};
+
+std::vector<Variant> Variants(Time horizon) {
+  sim::SimConfig base;
+  base.horizon = horizon;
+  base.overheads = overhead::OverheadModel::PaperCoreI7();
+
+  Variant pr2{"serial_pr2_kernel", base};
+  pr2.cfg.force_dynamic_event_queue = true;
+  pr2.cfg.job_arena = false;
+
+  Variant dyn{"serial_dynamic", base};
+  dyn.cfg.force_dynamic_event_queue = true;
+
+  Variant serial{"serial", base};
+
+  Variant sharded{"sharded", base};
+  sharded.cfg.shards = 0;  // one worker per hardware thread
+
+  return {pr2, dyn, serial, sharded};
+}
+
+/// The fields the differential tests compare, flattened for equality.
+bool SameResult(const sim::SimResult& a, const sim::SimResult& b) {
+  if (a.total_misses != b.total_misses ||
+      a.total_migrations != b.total_migrations ||
+      a.total_preemptions != b.total_preemptions ||
+      a.simulated != b.simulated || !(a.ready_ops == b.ready_ops) ||
+      !(a.sleep_ops == b.sleep_ops) || !(a.event_ops == b.event_ops) ||
+      a.tasks.size() != b.tasks.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    if (a.tasks[i].released != b.tasks[i].released ||
+        a.tasks[i].completed != b.tasks[i].completed ||
+        a.tasks[i].deadline_misses != b.tasks[i].deadline_misses ||
+        a.tasks[i].max_response != b.tasks[i].max_response ||
+        a.tasks[i].avg_response != b.tasks[i].avg_response) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Measured {
+  std::string name;
+  double wall_s = 0.0;
+  sim::SimResult result;
+};
+
+bool RunWorkload(util::JsonWriter& json, const char* label,
+                 const partition::Partition& p, Time horizon, int reps) {
+  std::vector<Measured> out;
+  for (const Variant& v : Variants(horizon)) {
+    Measured m;
+    m.name = v.name;
+    m.wall_s = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      sim::SimResult r = sim::Simulate(p, v.cfg);
+      const auto t1 = std::chrono::steady_clock::now();
+      m.wall_s = std::min(m.wall_s,
+                          std::chrono::duration<double>(t1 - t0).count());
+      m.result = std::move(r);
+    }
+    out.push_back(std::move(m));
+  }
+
+  // Bit-identity across every configuration (the serial default is the
+  // specification).
+  const Measured* serial = nullptr;
+  for (const Measured& m : out) {
+    if (m.name == "serial") serial = &m;
+  }
+  bool ok = true;
+  for (const Measured& m : out) {
+    if (!SameResult(serial->result, m.result)) {
+      std::fprintf(stderr, "FAIL %s: %s deviates from serial\n", label,
+                   m.name.c_str());
+      ok = false;
+    }
+  }
+
+  for (const Measured& m : out) {
+    json.BeginObject();
+    json.Key("workload").Value(label);
+    json.Key("variant").Value(m.name);
+    json.Key("wall_s").Value(m.wall_s);
+    json.Key("events_per_sec")
+        .Value(static_cast<double>(m.result.event_ops.pops) / m.wall_s);
+    json.Key("speedup_vs_serial").Value(serial->wall_s / m.wall_s);
+    json.Key("misses").Value(m.result.total_misses);
+    json.EndObject();
+    std::printf("  %-18s %-18s %8.3f ms  %10.0f ev/s  x%.2f\n", label,
+                m.name.c_str(), m.wall_s * 1e3,
+                static_cast<double>(m.result.event_ops.pops) / m.wall_s,
+                serial->wall_s / m.wall_s);
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  using sps::bench::EnvInt;
+  const int reps = std::max(1, EnvInt("SPS_REPS", 5));
+  const Time horizon = Millis(std::max(1, EnvInt("SPS_HORIZON_MS", 200)));
+
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("single_run");
+  json.Key("hardware_threads")
+      .Value(static_cast<std::uint64_t>(
+          std::max(1u, std::thread::hardware_concurrency())));
+  json.Key("reps").Value(static_cast<std::uint64_t>(reps));
+  json.Key("runs").BeginArray();
+
+  std::printf("single-run speed (best of %d reps, horizon %.0f ms)\n", reps,
+              ToMillis(horizon));
+  bool ok = RunWorkload(json, "m16", MakeWorkload(16, 96, 0.80, 777),
+                        horizon, reps);
+  ok = RunWorkload(json, "m64", MakeWorkload(64, 384, 0.75, 777), horizon,
+                   reps) &&
+       ok;
+
+  json.EndArray();
+  json.EndObject();
+  if (!json.WriteFile("BENCH_single_run.json")) {
+    std::fprintf(stderr, "could not write BENCH_single_run.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_single_run.json\n");
+  return ok ? 0 : 1;
+}

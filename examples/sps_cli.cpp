@@ -10,13 +10,20 @@
 //           [--sim-ms=2000] [--trace]
 //           [--arrivals=periodic|sporadic|jittered|bursty] [--sporadic]
 //           [--ready-queue=binomial|pairing|rbtree|vector|calendar]
-//           [--sleep-queue=...] [--event-queue=...]
-//           [--acceptance] [--sets=50] [--jobs=N]
+//           [--sleep-queue=...] [--event-queue=...] [--shards=N]
+//           [--acceptance] [--acceptance-validate] [--sets=50] [--jobs=N]
 //
 // --acceptance switches from the single-run mode to the paper's
 // acceptance-ratio sweep (exp/acceptance.*) over the default utilization
 // grid, parallelized over --jobs threads (0 = one per hardware thread;
-// results are bit-identical for every value).
+// results are bit-identical for every value). --acceptance-validate
+// additionally SIMULATES every accepted partition (horizon --sim-ms)
+// and reports the fraction that run without a deadline miss.
+//
+// --shards=N runs the per-core sharded simulator with N total threads
+// (this process counts as one; 0 = one per hardware thread) for
+// single-run mode and the validation simulations; results are
+// bit-identical to --shards=1.
 //
 // Examples:
 //   ./build/examples/sps_cli --algo=spa2 --util=0.95
@@ -24,7 +31,10 @@
 //   ./build/examples/sps_cli --algo=ffd --overheads=zero --trace
 //   ./build/examples/sps_cli --ready-queue=pairing --event-queue=calendar
 //   ./build/examples/sps_cli --arrivals=bursty --util=0.7
+//   ./build/examples/sps_cli --cores=16 --tasks=96 --shards=0
 //   ./build/examples/sps_cli --acceptance --jobs=0 --sets=100
+//   ./build/examples/sps_cli --acceptance --acceptance-validate \
+//       --sim-ms=200 --sets=20
 
 #include <cstdio>
 #include <cstdlib>
@@ -59,8 +69,10 @@ struct Options {
   std::string arrivals = "periodic";
   bool trace = false;
   bool acceptance = false;
+  bool acceptance_validate = false;
   int sets = 50;
   unsigned jobs = 1;
+  unsigned shards = 1;
   containers::QueueBackend ready_queue =
       containers::QueueBackend::kBinomialHeap;
   containers::QueueBackend sleep_queue = containers::QueueBackend::kRbTree;
@@ -106,12 +118,21 @@ bool ParseArg(const char* arg, Options& o) {
     o.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     return true;
   }
+  if (const char* v = value("--shards")) {
+    o.shards = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    return true;
+  }
   if (std::strcmp(arg, "--sporadic") == 0) {
     o.arrivals = "sporadic";
     return true;
   }
   if (std::strcmp(arg, "--acceptance") == 0) {
     o.acceptance = true;
+    return true;
+  }
+  if (std::strcmp(arg, "--acceptance-validate") == 0) {
+    o.acceptance = true;
+    o.acceptance_validate = true;
     return true;
   }
   if (std::strcmp(arg, "--trace") == 0) { o.trace = true; return true; }
@@ -206,8 +227,18 @@ int main(int argc, char** argv) {
     acfg.seed = o.seed;
     acfg.model = model;
     acfg.jobs = o.jobs;
-    std::printf("acceptance sweep: m=%u, n=%zu, %d sets/point, jobs=%u\n\n",
-                o.cores, o.tasks, o.sets, o.jobs);
+    if (o.acceptance_validate) {
+      acfg.validate_by_simulation = true;
+      acfg.validate_sim.horizon = o.sim_ms;
+      if (!ParseArrivals(o.arrivals, acfg.validate_sim.arrivals)) return 2;
+      acfg.validate_sim.ready_backend = o.ready_queue;
+      acfg.validate_sim.sleep_backend = o.sleep_queue;
+      acfg.validate_sim.event_backend = o.event_queue;
+      acfg.validate_sim.shards = o.shards;
+    }
+    std::printf("acceptance sweep: m=%u, n=%zu, %d sets/point, jobs=%u%s\n\n",
+                o.cores, o.tasks, o.sets, o.jobs,
+                o.acceptance_validate ? ", validating by simulation" : "");
     const exp::AcceptanceResult res = exp::RunAcceptance(acfg);
     std::printf("%s\n", res.Table().c_str());
     const auto w = res.WeightedAcceptance();
@@ -245,6 +276,7 @@ int main(int argc, char** argv) {
   cfg.ready_backend = o.ready_queue;
   cfg.sleep_backend = o.sleep_queue;
   cfg.event_backend = o.event_queue;
+  cfg.shards = o.shards;
   trace::Recorder rec(o.trace);
   const sim::SimResult r = Simulate(pr.partition, cfg, &rec);
   std::printf("queues: ready=%s (%llu ops) sleep=%s (%llu ops) "

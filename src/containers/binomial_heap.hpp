@@ -29,6 +29,8 @@
 #include <functional>
 #include <utility>
 
+#include "util/arena.hpp"
+
 namespace sps::containers {
 
 /// Default (no-op) relocation hooks for BinomialHeap.
@@ -63,7 +65,8 @@ class BinomialHeap {
   BinomialHeap(BinomialHeap&& other) noexcept
       : head_(std::exchange(other.head_, nullptr)),
         size_(std::exchange(other.size_, 0)),
-        cmp_(std::move(other.cmp_)) {}
+        cmp_(std::move(other.cmp_)),
+        arena_(std::move(other.arena_)) {}
 
   BinomialHeap& operator=(BinomialHeap&& other) noexcept {
     if (this != &other) {
@@ -71,6 +74,7 @@ class BinomialHeap {
       head_ = std::exchange(other.head_, nullptr);
       size_ = std::exchange(other.size_, 0);
       cmp_ = std::move(other.cmp_);
+      arena_ = std::move(other.arena_);
     }
     return *this;
   }
@@ -82,7 +86,7 @@ class BinomialHeap {
 
   /// Insert a value; returns a handle usable with erase().
   handle push(T value) {
-    Node* n = new Node(std::move(value));
+    Node* n = arena_.create(std::move(value));
     Hooks::moved(n->value, n);
     head_ = merge_root_lists(head_, n);
     consolidate();
@@ -164,7 +168,7 @@ class BinomialHeap {
     detach_root(root);
     absorb_children(root);
     T out = std::move(root->value);
-    delete root;
+    arena_.destroy(root);
     --size_;
     return out;
   }
@@ -282,11 +286,11 @@ class BinomialHeap {
     return d == 0;
   }
 
-  static void destroy_tree_list(Node* n) noexcept {
+  void destroy_tree_list(Node* n) noexcept {
     while (n != nullptr) {
       Node* next = n->sibling;
       destroy_tree_list(n->child);
-      delete n;
+      arena_.destroy(n);
       n = next;
     }
   }
@@ -294,6 +298,9 @@ class BinomialHeap {
   Node* head_ = nullptr;
   std::size_t size_ = 0;
   [[no_unique_address]] Compare cmp_{};
+  /// Node storage: slab/free-list arena (util/arena.hpp) — push/pop churn
+  /// at a steady queue size never touches the global allocator.
+  util::SlabArena<Node> arena_;
 };
 
 }  // namespace sps::containers

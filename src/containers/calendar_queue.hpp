@@ -26,12 +26,16 @@
 // O(n) but amortize against the Ω(n) pushes/pops between thresholds.
 //
 // pop_min scans days forward from the last-known minimum day (a floor
-// maintained on every push of a smaller key). If a whole round of
-// buckets holds nothing — the queue is sparse relative to its width —
-// it falls back to a direct scan and jumps the cursor to the true
-// minimum, the classical remedy for width mis-estimation. The found
-// minimum is cached until a smaller push / pop / erase invalidates it,
-// so min_key()/min_value()/pop_min() triples cost one search.
+// maintained on every push of a smaller key). The scan is lazy about
+// empty buckets (PR 3): the queue tracks its non-empty bucket count,
+// every node inspected during the day scan feeds a running "best seen"
+// candidate, and the moment all non-empty buckets have been visited the
+// candidate IS the minimum — so a sparse population (width
+// mis-estimation, the classical calendar failure mode) costs at most
+// one partial round instead of a full empty round PLUS a second
+// direct-search rescan as before. The found minimum is cached until a
+// smaller push / pop / erase invalidates it, so
+// min_key()/min_value()/pop_min() triples cost one search.
 //
 // Keys must be non-negative integers (days are key/width); the scheduler
 // keys all qualify: priorities, absolute deadlines, wake-up times, and
@@ -47,6 +51,7 @@
 #include <vector>
 
 #include "containers/op_counters.hpp"
+#include "util/arena.hpp"
 
 namespace sps::containers {
 
@@ -75,9 +80,19 @@ class CalendarQueue {
   CalendarQueue& operator=(const CalendarQueue&) = delete;
   CalendarQueue(CalendarQueue&&) noexcept = default;
 
+  ~CalendarQueue() {
+    for (Node* head : buckets_) {
+      for (Node* n = head; n != nullptr;) {
+        Node* next = n->next;
+        arena_.destroy(n);
+        n = next;
+      }
+    }
+  }
+
   handle push(Key key, Value value) {
     if constexpr (std::is_signed_v<Key>) assert(key >= 0);
-    Node* n = AcquireNode();
+    Node* n = arena_.create();
     n->key = key;
     n->seq = ++seq_;
     n->value = std::move(value);
@@ -110,7 +125,7 @@ class CalendarQueue {
     --size_;
     ++counters_.pops;
     std::pair<Key, Value> out{m->key, std::move(m->value)};
-    ReleaseNode(m);
+    arena_.destroy(m);
     MaybeShrink();
     return out;
   }
@@ -122,7 +137,7 @@ class CalendarQueue {
     --size_;
     ++counters_.erases;
     Value out = std::move(h->value);
-    ReleaseNode(h);
+    arena_.destroy(h);
     MaybeShrink();
     return out;
   }
@@ -131,8 +146,10 @@ class CalendarQueue {
 
   [[nodiscard]] bool validate() const {
     std::size_t counted = 0;
+    std::size_t counted_nonempty = 0;
     const Node* true_min = nullptr;
     for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      if (buckets_[b] != nullptr) ++counted_nonempty;
       for (const Node* n = buckets_[b]; n != nullptr; n = n->next) {
         if constexpr (std::is_signed_v<Key>) {
           if (n->key < 0) return false;
@@ -149,6 +166,7 @@ class CalendarQueue {
       }
     }
     if (counted != size_) return false;
+    if (counted_nonempty != nonempty_buckets_) return false;
     if (min_node_ != nullptr && min_node_ != true_min) return false;
     return width_ >= 1;
   }
@@ -176,6 +194,7 @@ class CalendarQueue {
 
   void Link(Node* n) {
     Node*& head = buckets_[BucketOf(n->key)];
+    if (head == nullptr) ++nonempty_buckets_;
     n->prev = nullptr;
     n->next = head;
     if (head != nullptr) head->prev = n;
@@ -186,47 +205,58 @@ class CalendarQueue {
     if (n->prev != nullptr) {
       n->prev->next = n->next;
     } else {
-      buckets_[BucketOf(n->key)] = n->next;
+      Node*& head = buckets_[BucketOf(n->key)];
+      head = n->next;
+      if (head == nullptr) --nonempty_buckets_;
     }
     if (n->next != nullptr) n->next->prev = n->prev;
     n->prev = n->next = nullptr;
   }
 
-  /// Locate (and cache) the minimum: scan days forward from the floor;
-  /// if a full bucket round is empty, direct-search and jump the cursor.
+  static bool Before(const Node* a, const Node* b) {
+    return a->key < b->key || (a->key == b->key && a->seq < b->seq);
+  }
+
+  /// Locate (and cache) the minimum: scan days forward from the floor,
+  /// lazily with respect to empty buckets. Every node inspected on the
+  /// way feeds a running best-seen candidate and a count of non-empty
+  /// buckets visited; the moment that count reaches the queue's
+  /// non-empty total, the candidate is the true minimum — a sparse
+  /// population (keys spread far beyond one bucket round) resolves in
+  /// one partial pass, where the pre-PR-3 scan walked a full empty
+  /// round and then re-scanned every bucket from scratch.
   Node* FindMin() const {
     assert(size_ > 0);
     if (min_node_ != nullptr) return min_node_;
+    const std::size_t nb = buckets_.size();
+    Node* best_seen = nullptr;
+    std::size_t nonempty_seen = 0;
     std::uint64_t d = cur_day_;
-    for (std::size_t round = 0; round < buckets_.size(); ++round, ++d) {
-      Node* best = nullptr;
-      for (Node* n = buckets_[d % buckets_.size()]; n != nullptr;
-           n = n->next) {
-        if (DayOf(n->key) != d) continue;
-        if (best == nullptr || n->key < best->key ||
-            (n->key == best->key && n->seq < best->seq)) {
-          best = n;
-        }
-      }
-      if (best != nullptr) {
-        cur_day_ = d;
-        min_node_ = best;
-        return best;
-      }
-    }
-    // Sparse relative to the current width: one direct scan, then jump.
-    Node* best = nullptr;
-    for (Node* head : buckets_) {
+    for (std::size_t visited = 0; visited < nb; ++visited, ++d) {
+      Node* head = buckets_[d % nb];
+      if (head == nullptr) continue;
+      ++nonempty_seen;
+      Node* day_best = nullptr;
       for (Node* n = head; n != nullptr; n = n->next) {
-        if (best == nullptr || n->key < best->key ||
-            (n->key == best->key && n->seq < best->seq)) {
-          best = n;
+        if (DayOf(n->key) == d &&
+            (day_best == nullptr || Before(n, day_best))) {
+          day_best = n;
         }
+        if (best_seen == nullptr || Before(n, best_seen)) best_seen = n;
       }
+      if (day_best != nullptr) {
+        // Nothing lives on a day in [cur_day_, d) — those days' buckets
+        // were all visited at exactly their day — so this is the min.
+        cur_day_ = d;
+        min_node_ = day_best;
+        return day_best;
+      }
+      if (nonempty_seen == nonempty_buckets_) break;  // seen every node
     }
-    cur_day_ = DayOf(best->key);
-    min_node_ = best;
-    return best;
+    // Sparse: every live node was inspected above; jump to the best.
+    cur_day_ = DayOf(best_seen->key);
+    min_node_ = best_seen;
+    return best_seen;
   }
 
   void MaybeShrink() {
@@ -263,34 +293,22 @@ class CalendarQueue {
                                     static_cast<Key>(nodes.size())) +
                        Key{1};
     buckets_.assign(new_buckets, nullptr);
+    nonempty_buckets_ = 0;  // Link() recounts as it re-buckets
     for (Node* n : nodes) Link(n);
     cur_day_ = nodes.empty() ? 0 : DayOf(lo);
     // min_node_ still points at a live node; the cache stays valid.
   }
 
-  Node* AcquireNode() {
-    if (free_.empty()) {
-      auto chunk = std::make_unique<Node[]>(kChunk);
-      for (std::size_t i = 0; i < kChunk; ++i) free_.push_back(&chunk[i]);
-      chunks_.push_back(std::move(chunk));
-    }
-    Node* n = free_.back();
-    free_.pop_back();
-    return n;
-  }
-
-  void ReleaseNode(Node* n) { free_.push_back(n); }
-
-  static constexpr std::size_t kChunk = 64;
-
   std::vector<Node*> buckets_;
   Key width_ = 1;
   std::size_t size_ = 0;
+  std::size_t nonempty_buckets_ = 0;  ///< buckets with a non-null head
   std::uint64_t seq_ = 0;
   mutable std::uint64_t cur_day_ = 0;  ///< no live element has a smaller day
   mutable Node* min_node_ = nullptr;   ///< cached minimum (lazy)
-  std::vector<std::unique_ptr<Node[]>> chunks_;
-  std::vector<Node*> free_;
+  /// Node storage: slab/free-list arena (util/arena.hpp); nodes never
+  /// move, so the node pointer stays a stable handle.
+  util::SlabArena<Node> arena_;
   QueueOpCounters counters_;
 };
 

@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/arena.hpp"
+
 namespace sps::containers {
 
 template <typename T, typename Compare = std::less<T>>
@@ -43,7 +45,8 @@ class PairingHeap {
   PairingHeap(PairingHeap&& other) noexcept
       : root_(std::exchange(other.root_, nullptr)),
         size_(std::exchange(other.size_, 0)),
-        cmp_(std::move(other.cmp_)) {}
+        cmp_(std::move(other.cmp_)),
+        arena_(std::move(other.arena_)) {}
 
   ~PairingHeap() { clear(); }
 
@@ -51,7 +54,7 @@ class PairingHeap {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
   handle push(T value) {
-    Node* n = new Node(std::move(value));
+    Node* n = arena_.create(std::move(value));
     root_ = (root_ == nullptr) ? n : meld(root_, n);
     ++size_;
     return n;
@@ -68,7 +71,7 @@ class PairingHeap {
     root_ = merge_pairs(old->child);
     if (root_ != nullptr) root_->prev = nullptr;
     T out = std::move(old->value);
-    delete old;
+    arena_.destroy(old);
     --size_;
     return out;
   }
@@ -84,7 +87,7 @@ class PairingHeap {
       root_ = meld(root_, sub);
     }
     T out = std::move(h->value);
-    delete h;
+    arena_.destroy(h);
     --size_;
     return out;
   }
@@ -164,16 +167,19 @@ class PairingHeap {
     return true;
   }
 
-  static void destroy(Node* n) noexcept {
+  void destroy(Node* n) noexcept {
     if (n == nullptr) return;
     destroy(n->child);
     destroy(n->sibling);
-    delete n;
+    arena_.destroy(n);
   }
 
   Node* root_ = nullptr;
   std::size_t size_ = 0;
   [[no_unique_address]] Compare cmp_{};
+  /// Node storage: slab/free-list arena (util/arena.hpp) — push/pop churn
+  /// at a steady queue size never touches the global allocator.
+  util::SlabArena<Node> arena_;
 };
 
 }  // namespace sps::containers

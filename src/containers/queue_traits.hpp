@@ -51,6 +51,7 @@
 #include "containers/pairing_heap.hpp"
 #include "containers/rb_tree.hpp"
 #include "containers/sorted_vector_queue.hpp"
+#include "util/arena.hpp"
 
 namespace sps::containers {
 
@@ -113,35 +114,6 @@ struct SeqEntryLess {
   }
 };
 
-/// Chunked free-list allocator for the boxing adapters' handle Slots.
-/// Queue churn in a simulation is constant push/pop at a near-steady
-/// size, so after warm-up every acquire is a free-list pop — no global
-/// allocator traffic on the scheduling (and calibration-timed) hot
-/// paths. Slot storage is stable for the arena's lifetime; a released
-/// slot keeps its (moved-from) contents until reuse. Slots must be
-/// default-constructible and assignable.
-template <typename Slot>
-class SlotArena {
- public:
-  Slot* acquire() {
-    if (free_.empty()) {
-      auto chunk = std::make_unique<Slot[]>(kChunk);
-      for (std::size_t i = 0; i < kChunk; ++i) free_.push_back(&chunk[i]);
-      chunks_.push_back(std::move(chunk));
-    }
-    Slot* s = free_.back();
-    free_.pop_back();
-    return s;
-  }
-
-  void release(Slot* s) { free_.push_back(s); }
-
- private:
-  static constexpr std::size_t kChunk = 64;
-  std::vector<std::unique_ptr<Slot[]>> chunks_;
-  std::vector<Slot*> free_;
-};
-
 }  // namespace detail
 
 /// BinomialHeap behind the queue concept. The binomial heap relocates
@@ -174,9 +146,13 @@ class BinomialHeapQueue {
   BinomialHeapQueue& operator=(const BinomialHeapQueue&) = delete;
   BinomialHeapQueue(BinomialHeapQueue&&) noexcept = default;
 
+  ~BinomialHeapQueue() {
+    // Drain so the slot boxes are returned before their arena goes.
+    while (!heap_.empty()) arena_.destroy(heap_.pop().extra);
+  }
+
   handle push(Key key, Value value) {
-    Slot* slot = arena_.acquire();
-    slot->node = nullptr;
+    Slot* slot = arena_.create();
     heap_.push(Entry{std::move(key), ++seq_, std::move(value), slot});
     ++counters_.pushes;
     return slot;
@@ -189,7 +165,7 @@ class BinomialHeapQueue {
 
   std::pair<Key, Value> pop_min() {
     Entry e = heap_.pop();
-    arena_.release(e.extra);
+    arena_.destroy(e.extra);
     ++counters_.pops;
     return {std::move(e.key), std::move(e.value)};
   }
@@ -198,7 +174,7 @@ class BinomialHeapQueue {
     assert(h != nullptr && h->node != nullptr);
     Entry e = heap_.erase(static_cast<typename Heap::Node*>(h->node));
     assert(e.extra == h);
-    arena_.release(h);
+    arena_.destroy(h);
     ++counters_.erases;
     return std::move(e.value);
   }
@@ -208,7 +184,7 @@ class BinomialHeapQueue {
 
  private:
   Heap heap_;
-  detail::SlotArena<Slot> arena_;
+  util::SlabArena<Slot> arena_;
   std::uint64_t seq_ = 0;
   QueueOpCounters counters_;
 };
@@ -340,10 +316,13 @@ class SortedVectorStableQueue {
   SortedVectorStableQueue& operator=(const SortedVectorStableQueue&) = delete;
   SortedVectorStableQueue(SortedVectorStableQueue&&) noexcept = default;
 
+  ~SortedVectorStableQueue() {
+    // Drain so the slot boxes are returned before their arena goes.
+    while (!base_.empty()) arena_.destroy(base_.pop_min().second);
+  }
+
   handle push(Key key, Value value) {
-    Slot* slot = arena_.acquire();
-    slot->key = key;
-    slot->value = std::move(value);
+    Slot* slot = arena_.create(Slot{key, std::move(value)});
     base_.insert(std::move(key), slot);
     ++counters_.pushes;
     return slot;
@@ -359,7 +338,7 @@ class SortedVectorStableQueue {
   std::pair<Key, Value> pop_min() {
     auto [key, slot] = base_.pop_min();
     std::pair<Key, Value> out{std::move(key), std::move(slot->value)};
-    arena_.release(slot);
+    arena_.destroy(slot);
     ++counters_.pops;
     return out;
   }
@@ -370,7 +349,7 @@ class SortedVectorStableQueue {
     assert(found);
     (void)found;
     Value out = std::move(h->value);
-    arena_.release(h);
+    arena_.destroy(h);
     ++counters_.erases;
     return out;
   }
@@ -380,7 +359,7 @@ class SortedVectorStableQueue {
 
  private:
   Base base_;
-  detail::SlotArena<Slot> arena_;
+  util::SlabArena<Slot> arena_;
   QueueOpCounters counters_;
 };
 

@@ -25,6 +25,8 @@
 #include <functional>
 #include <utility>
 
+#include "util/arena.hpp"
+
 namespace sps::containers {
 
 template <typename Key, typename T, typename Compare = std::less<Key>>
@@ -51,26 +53,28 @@ class RbTree {
   /// Stable identifier for an inserted element.
   using handle = Node*;
 
-  RbTree() : nil_(new Node()), root_(nil_) {}
-  explicit RbTree(Compare cmp) : nil_(new Node()), root_(nil_),
-                                 cmp_(std::move(cmp)) {}
+  RbTree() : nil_(arena_.create()), root_(nil_) {}
+  explicit RbTree(Compare cmp)
+      : cmp_(std::move(cmp)), nil_(arena_.create()), root_(nil_) {}
 
   RbTree(const RbTree&) = delete;
   RbTree& operator=(const RbTree&) = delete;
 
   RbTree(RbTree&& other) noexcept
-      : nil_(std::exchange(other.nil_, nullptr)),
+      : cmp_(std::move(other.cmp_)),
+        arena_(std::move(other.arena_)),
+        nil_(std::exchange(other.nil_, nullptr)),
         root_(std::exchange(other.root_, nullptr)),
-        size_(std::exchange(other.size_, 0)),
-        cmp_(std::move(other.cmp_)) {
-    // Re-arm the moved-from tree so it stays usable.
-    other.nil_ = new Node();
+        size_(std::exchange(other.size_, 0)) {
+    // Re-arm the moved-from tree (fresh arena, fresh sentinel) so it
+    // stays usable.
+    other.nil_ = other.arena_.create();
     other.root_ = other.nil_;
   }
 
   ~RbTree() {
     clear();
-    delete nil_;
+    if (nil_ != nullptr) arena_.destroy(nil_);
   }
 
   [[nodiscard]] bool empty() const noexcept { return root_ == nil_; }
@@ -78,7 +82,7 @@ class RbTree {
 
   /// Insert (key, value); duplicates allowed, placed after equal keys.
   handle insert(Key key, T value) {
-    Node* z = new Node(std::move(key), std::move(value), nil_);
+    Node* z = arena_.create(std::move(key), std::move(value), nil_);
     Node* y = nil_;
     Node* x = root_;
     while (x != nil_) {
@@ -280,7 +284,7 @@ class RbTree {
       y->left->parent = y;
       y->color = z->color;
     }
-    delete z;
+    arena_.destroy(z);
     --size_;
     if (y_original == Color::kBlack) erase_fixup(x);
     nil_->parent = nil_;  // scrub any sentinel-parent left by the fixup
@@ -347,7 +351,7 @@ class RbTree {
     if (n == nil_) return;
     destroy_subtree(n->left);
     destroy_subtree(n->right);
-    delete n;
+    arena_.destroy(n);
   }
 
   /// Returns black height of the subtree, or -1 on any invariant violation.
@@ -366,10 +370,14 @@ class RbTree {
     return lh + (n->color == Color::kBlack ? 1 : 0);
   }
 
+  [[no_unique_address]] Compare cmp_{};
+  /// Node storage: slab/free-list arena (util/arena.hpp); also hosts the
+  /// nil sentinel. Declared before nil_/root_ — the constructors carve
+  /// the sentinel out of it.
+  util::SlabArena<Node> arena_;
   Node* nil_;
   Node* root_;
   std::size_t size_ = 0;
-  [[no_unique_address]] Compare cmp_{};
 };
 
 }  // namespace sps::containers

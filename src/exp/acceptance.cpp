@@ -70,6 +70,7 @@ AcceptanceResult RunAcceptance(const AcceptanceConfig& cfg) {
   // an RNG derived from its coordinates and writes only its own slots,
   // so the sweep is bit-identical for any job count.
   std::vector<std::uint8_t> accepted(npoints * nsets * nalgo, 0);
+  std::vector<std::uint8_t> sim_ok(npoints * nsets * nalgo, 0);
   std::vector<std::uint32_t> spa_accepts(npoints * nsets, 0);
   std::vector<std::uint32_t> spa_splits(npoints * nsets, 0);
 
@@ -97,6 +98,27 @@ AcceptanceResult RunAcceptance(const AcceptanceConfig& cfg) {
           spa_splits[u] += static_cast<std::uint32_t>(
               pr.partition.num_split_tasks());
         }
+        if (cfg.validate_by_simulation) {
+          // Execute the accepted placement through the batch layer. The
+          // unit already runs on a pool worker, so the inner sweep stays
+          // serial; simulation seeds derive from unit coordinates in a
+          // range DISJOINT from the generator streams (whose first
+          // coordinate is a point index < npoints <= npoints*nsets), so
+          // validation is deterministic, jobs-invariant, and never
+          // correlated with any cell's task-set generation.
+          sim::SimConfig scfg = cfg.validate_sim;
+          scfg.overheads = cfg.model;
+          const std::uint64_t vcoord = npoints * nsets + u;
+          scfg.exec.seed = sim::DeriveSeed(cfg.seed, vcoord, ai);
+          scfg.arrivals.seed =
+              sim::DeriveSeed(cfg.seed, vcoord, nalgo + ai);
+          const std::vector<sim::BatchRun> runs = sim::RunConfigSweep(
+              pr.partition,
+              {{std::string(ToString(cfg.algorithms[ai])), scfg}},
+              {.jobs = 1});
+          sim_ok[u * nalgo + ai] =
+              runs.front().result.total_misses == 0 ? 1 : 0;
+        }
       }
     }
   });
@@ -105,15 +127,26 @@ AcceptanceResult RunAcceptance(const AcceptanceConfig& cfg) {
     AcceptancePoint ap;
     ap.norm_util = cfg.norm_util_points[pi];
     ap.acceptance.assign(nalgo, 0.0);
+    std::vector<std::uint64_t> point_sim_ok(nalgo, 0);
     std::uint64_t point_spa_accepts = 0;
     std::uint64_t point_spa_splits = 0;
     for (std::size_t si = 0; si < nsets; ++si) {
       const std::size_t u = pi * nsets + si;
       for (std::size_t ai = 0; ai < nalgo; ++ai) {
         ap.acceptance[ai] += accepted[u * nalgo + ai];
+        point_sim_ok[ai] += sim_ok[u * nalgo + ai];
       }
       point_spa_accepts += spa_accepts[u];
       point_spa_splits += spa_splits[u];
+    }
+    if (cfg.validate_by_simulation) {
+      ap.sim_validated.assign(nalgo, 1.0);
+      for (std::size_t ai = 0; ai < nalgo; ++ai) {
+        if (ap.acceptance[ai] > 0) {
+          ap.sim_validated[ai] = static_cast<double>(point_sim_ok[ai]) /
+                                 ap.acceptance[ai];
+        }
+      }
     }
     if (nsets > 0) {
       for (double& acc : ap.acceptance) {
@@ -136,7 +169,14 @@ std::string AcceptanceResult::Table() const {
     std::snprintf(buf, sizeof(buf), "%12s", ToString(a));
     out += buf;
   }
-  out += "   mean-splits\n";
+  out += "   mean-splits";
+  if (config.validate_by_simulation) {
+    for (const Algo a : config.algorithms) {
+      std::snprintf(buf, sizeof(buf), "  sim:%-8s", ToString(a));
+      out += buf;
+    }
+  }
+  out += "\n";
   for (const AcceptancePoint& p : points) {
     std::snprintf(buf, sizeof(buf), "%9.3f ", p.norm_util);
     out += buf;
@@ -144,8 +184,13 @@ std::string AcceptanceResult::Table() const {
       std::snprintf(buf, sizeof(buf), "%12.3f", a);
       out += buf;
     }
-    std::snprintf(buf, sizeof(buf), "   %8.2f\n", p.mean_splits);
+    std::snprintf(buf, sizeof(buf), "   %8.2f", p.mean_splits);
     out += buf;
+    for (const double v : p.sim_validated) {
+      std::snprintf(buf, sizeof(buf), "  %12.3f", v);
+      out += buf;
+    }
+    out += "\n";
   }
   return out;
 }
@@ -156,7 +201,14 @@ std::string AcceptanceResult::Csv() const {
     out += ",";
     out += ToString(a);
   }
-  out += ",mean_splits\n";
+  out += ",mean_splits";
+  if (config.validate_by_simulation) {
+    for (const Algo a : config.algorithms) {
+      out += ",sim_";
+      out += ToString(a);
+    }
+  }
+  out += "\n";
   char buf[64];
   for (const AcceptancePoint& p : points) {
     std::snprintf(buf, sizeof(buf), "%.4f", p.norm_util);
@@ -165,8 +217,13 @@ std::string AcceptanceResult::Csv() const {
       std::snprintf(buf, sizeof(buf), ",%.4f", a);
       out += buf;
     }
-    std::snprintf(buf, sizeof(buf), ",%.3f\n", p.mean_splits);
+    std::snprintf(buf, sizeof(buf), ",%.3f", p.mean_splits);
     out += buf;
+    for (const double v : p.sim_validated) {
+      std::snprintf(buf, sizeof(buf), ",%.4f", v);
+      out += buf;
+    }
+    out += "\n";
   }
   return out;
 }

@@ -6,21 +6,6 @@
 
 namespace sps::sim {
 
-std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t a,
-                         std::uint64_t b) {
-  // splitmix64 finalizer over a coordinate-mixed state. The +1 offsets
-  // keep (0, 0) from collapsing onto the bare base seed.
-  std::uint64_t z = base;
-  z += 0x9e3779b97f4a7c15ull * (a + 1);
-  z += 0xd1b54a32d192ed03ull * (b + 1);
-  z ^= z >> 30;
-  z *= 0xbf58476d1ce4e5b9ull;
-  z ^= z >> 27;
-  z *= 0x94d049bb133111ebull;
-  z ^= z >> 31;
-  return z;
-}
-
 std::vector<BatchRun> RunConfigSweep(const partition::Partition& p,
                                      const std::vector<BatchVariant>& variants,
                                      const BatchOptions& opt) {

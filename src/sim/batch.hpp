@@ -20,6 +20,7 @@
 #include "containers/queue_traits.hpp"
 #include "partition/placement.hpp"
 #include "sim/engine.hpp"
+#include "util/rng.hpp"
 
 namespace sps::sim {
 
@@ -27,9 +28,14 @@ namespace sps::sim {
 /// finalizer). Used as DeriveSeed(seed, point, set) by the acceptance
 /// harness and DeriveSeed(seed, variant, rep) by batch sweeps: distinct
 /// coordinates give decorrelated streams, and the mapping is pure — the
-/// thread that runs a unit never matters.
-[[nodiscard]] std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t a,
-                                       std::uint64_t b);
+/// thread that runs a unit never matters. (The implementation lives in
+/// util/rng.hpp since PR 3, where the simulation kernel's per-task RNG
+/// streams share it; this alias keeps the established call sites.)
+[[nodiscard]] inline std::uint64_t DeriveSeed(std::uint64_t base,
+                                              std::uint64_t a,
+                                              std::uint64_t b) {
+  return util::DeriveSeed(base, a, b);
+}
 
 /// One named configuration of the sweep.
 struct BatchVariant {

@@ -4,8 +4,11 @@
 #include <cassert>
 #include <cstdio>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "sim/kernel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sps::sim {
 
@@ -13,6 +16,14 @@ namespace {
 
 using containers::QueueBackend;
 using partition::PlacedTask;
+
+/// Width of the EDF ready-key task-index tie-break (CurKey): task
+/// indices are packed into 10 bits below the absolute deadline. EDF
+/// partitions with more tasks would alias indices — equal-deadline
+/// order would fall back to insertion FIFO, which is interleaving-
+/// dependent — so the sharded runner declines them (serial fallback in
+/// Dispatch) rather than quietly lose bit-identity.
+inline constexpr std::size_t kEdfTieBreakTasks = 1024;
 
 struct Job : kernel::JobBase {
   Time budget_remaining = 0;  ///< current subtask's budget left
@@ -28,7 +39,7 @@ struct Job : kernel::JobBase {
 };
 
 template <typename SleepQ>
-struct TaskRt : kernel::TaskRunBase {
+struct TaskRt : kernel::TaskRunBase<Job> {
   const PlacedTask* pt = nullptr;
   typename SleepQ::handle sleep_handle = nullptr;
 };
@@ -44,30 +55,35 @@ struct PerCoreQueues {
 /// The semi-partitioned scheduling policy, hosted on the shared kernel.
 /// ReadyQ orders jobs by scheduling key (fixed priority under FP, the
 /// absolute window deadline under EDF; FIFO among ties). SleepQ orders
-/// inactive tasks by wake-up time.
-template <typename ReadyQ, typename SleepQ>
+/// inactive tasks by wake-up time. EventQ is the kernel's event-queue
+/// policy: the static (devirtualized) default or the dynamic slot for
+/// --event-queue overrides (DESIGN.md §9).
+template <typename ReadyQ, typename SleepQ, typename EventQ>
 class Engine final
-    : public kernel::KernelBase<Engine<ReadyQ, SleepQ>, Job, TaskRt<SleepQ>,
-                                PerCoreQueues<ReadyQ, SleepQ>> {
+    : public kernel::KernelBase<Engine<ReadyQ, SleepQ, EventQ>, Job,
+                                TaskRt<SleepQ>, PerCoreQueues<ReadyQ, SleepQ>,
+                                EventQ> {
   static_assert(containers::ReadyQueueFor<ReadyQ, std::uint64_t, Job*>);
   static_assert(containers::SleepQueueFor<SleepQ, Time, std::size_t>);
 
  public:
-  using Base = kernel::KernelBase<Engine<ReadyQ, SleepQ>, Job,
-                                  TaskRt<SleepQ>, PerCoreQueues<ReadyQ, SleepQ>>;
+  using Base = kernel::KernelBase<Engine<ReadyQ, SleepQ, EventQ>, Job,
+                                  TaskRt<SleepQ>,
+                                  PerCoreQueues<ReadyQ, SleepQ>, EventQ>;
   friend Base;
   using Ev = kernel::Event<Job>;
   using EvKind = kernel::EvKind;
   using CoreState = kernel::CoreState;
   using Core = typename Base::Core;
+  using ShardContext = typename Base::ShardContext;
 
   Engine(const partition::Partition& p, const SimConfig& cfg,
-         trace::Recorder* rec)
+         trace::Recorder* rec, const ShardContext* shard = nullptr)
       : Base(kernel::KernelConfig{p.num_cores, cfg.horizon, cfg.overheads,
                                   cfg.exec, cfg.arrivals,
                                   cfg.stop_on_first_miss,
-                                  cfg.event_backend},
-             p.tasks.size(), rec),
+                                  cfg.event_backend, cfg.job_arena},
+             p.tasks.size(), rec, shard),
         p_(p) {
     for (std::size_t i = 0; i < p.tasks.size(); ++i) {
       tasks_[i].pt = &p.tasks[i];
@@ -80,22 +96,32 @@ class Engine final
     }
   }
 
+  using Base::BootShard;
+  using Base::CollectShardInto;
+  using Base::DrainMailbox;
+  using Base::FinalizeTasksInto;
+  using Base::NextEventKey;
   using Base::Run;
+  using Base::RunWindow;
 
  private:
   using Base::cores_;
   using Base::kcfg_;
+  using Base::lane_;
   using Base::now_;
   using Base::result_;
+  using Base::router_;
   using Base::tasks_;
 
   // ---- kernel policy hooks ----------------------------------------------
 
   void Boot() {
     // All tasks start in their first core's sleep queue, waking at t=0
-    // (synchronous release — the critical instant).
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    // (synchronous release — the critical instant). A shard boots only
+    // the tasks whose first core is its own lane.
+    for (std::size_t i = 0; i < p_.tasks.size(); ++i) {
       const partition::CoreId c = FirstCore(i);
+      if (router_ != nullptr && c != lane_) continue;
       tasks_[i].sleep_handle = cores_[c].sleep.push(0, i);
       tasks_[i].next_release = 0;
       this->Push(Ev{.t = 0, .kind = EvKind::kTimer, .core = c,
@@ -110,6 +136,19 @@ class Engine final
       case EvKind::kSegmentEnd: OnSegmentEnd(ev); break;
       case EvKind::kMigrationArrival: OnMigrationArrival(ev); break;
     }
+  }
+
+  /// Cross-lane delivery hook: a remote finish's wake-up timer
+  /// materializes the sleep-queue entry HERE, on the queue's owning
+  /// lane — in the serial engine FinishJob pushes it directly. Same
+  /// push/erase counts either way; the sleep queue is write-only
+  /// bookkeeping (never popped), so the result cannot differ.
+  void OnDeliver(const Ev& ev) {
+    if (ev.kind != EvKind::kTimer) return;
+    assert(FirstCore(ev.task_idx) == lane_);
+    TaskRt<SleepQ>& tr = tasks_[ev.task_idx];
+    assert(tr.sleep_handle == nullptr);
+    tr.sleep_handle = cores_[lane_].sleep.push(ev.t, ev.task_idx);
   }
 
   Time WcetOf(std::size_t ti) const { return TaskOf(ti).wcet; }
@@ -133,8 +172,12 @@ class Engine final
   const rt::Task& TaskOf(std::size_t ti) const { return tasks_[ti].pt->task; }
 
   /// Ready-queue ordering key of the job's CURRENT subtask: fixed
-  /// priority under FP; absolute window deadline under EDF (a split
-  /// part's window end, the task deadline for normal tasks).
+  /// priority under FP (unique per core — Partition::valid enforces it);
+  /// under EDF the absolute window deadline, tie-broken by task index.
+  /// The deterministic EDF tie-break (vs. PR-2's arrival-order FIFO)
+  /// makes the ready order a pure function of job state, independent of
+  /// the event interleaving — required for shard-count invariance and a
+  /// common choice in real EDF schedulers.
   std::uint64_t CurKey(const Job* j) const {
     const auto& part = tasks_[j->task_idx].pt->parts[j->part];
     if (p_.policy == partition::SchedPolicy::kFixedPriority) {
@@ -142,7 +185,17 @@ class Engine final
     }
     const Time rel = part.rel_deadline > 0 ? part.rel_deadline
                                            : TaskOf(j->task_idx).deadline;
-    return static_cast<std::uint64_t>(j->release_time + rel);
+    const Time d = j->release_time + rel;
+    // The 10-bit shift narrows the representable deadline to 2^53 ns
+    // (~104 days — far past any simulation here). Saturate rather than
+    // silently wrap: deadlines at or past the cap all map to the
+    // maximum key and order FIFO among themselves.
+    const std::uint64_t capped = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(d), (1ull << 53) - 1);
+    // Aliased indices (> kEdfTieBreakTasks tasks) only ever run serial
+    // (Dispatch declines to shard them), where FIFO ties are fine.
+    return (capped << 10) | (static_cast<std::uint64_t>(j->task_idx) &
+                             (kEdfTieBreakTasks - 1));
   }
 
   /// Suspend execution (if any), account progress, queue a scheduling
@@ -177,7 +230,7 @@ class Engine final
     core.sleep.erase(tr.sleep_handle);
     tr.sleep_handle = nullptr;
 
-    Job* j = this->NewJob(ti);
+    Job* j = this->NewJob(ti, c);
     // The LAST subtask (or a normal task) runs to completion — its budget
     // is never enforced (the paper's tail subtasks finish, not migrate).
     j->budget_remaining = tr.pt->parts.size() > 1 ? tr.pt->parts[0].budget
@@ -330,8 +383,15 @@ class Engine final
                   trace::OverheadKind::kNone, 0, wake);
     }
     tr.next_release = wake;
-    tr.sleep_handle = cores_[first].sleep.push(wake, j->task_idx);
     tr.active = false;
+    if (this->IsRemoteLane(first)) {
+      // Sharded cross-lane finish: the sleep-queue entry is created on
+      // delivery of the timer event by the owning lane (OnDeliver) —
+      // this lane must not touch a remote core's queues.
+      assert(tr.sleep_handle == nullptr);
+    } else {
+      tr.sleep_handle = cores_[first].sleep.push(wake, j->task_idx);
+    }
     this->Push(Ev{.t = wake, .kind = EvKind::kTimer, .core = first,
                   .task_idx = j->task_idx});
 
@@ -387,6 +447,161 @@ class Engine final
   std::vector<std::size_t> n_of_core_;
 };
 
+/// The default backend combination runs with the event queue inlined
+/// into the kernel (no virtual dispatch on the per-event hot path).
+using DefaultReadyQ = containers::BinomialHeapQueue<std::uint64_t, Job*>;
+using DefaultSleepQ = containers::RbTreeQueue<Time, std::size_t>;
+using StaticEventQ =
+    kernel::StaticEventQueue<Job, QueueBackend::kBinomialHeap>;
+using DynamicEventQ = kernel::DynamicEventQueue<Job>;
+
+/// Which cores can push cross-lane events INTO core c (DESIGN.md §9).
+/// In a semi-partitioned system the only cross-core edges are the split
+/// pipeline (part i's core -> part i+1's core: migration arrivals) and
+/// the return to the first core's sleep queue (any part core can be the
+/// finisher -> timer wake-ups on the first core).
+std::vector<std::vector<std::uint32_t>> SenderLanes(
+    const partition::Partition& p) {
+  std::vector<std::vector<std::uint32_t>> senders(p.num_cores);
+  auto add = [&](partition::CoreId to, partition::CoreId from) {
+    if (to == from) return;
+    std::vector<std::uint32_t>& v = senders[to];
+    if (std::find(v.begin(), v.end(), from) == v.end()) v.push_back(from);
+  };
+  for (const PlacedTask& pt : p.tasks) {
+    if (pt.parts.size() < 2) continue;
+    const partition::CoreId first = pt.parts[0].core;
+    for (std::size_t i = 0; i < pt.parts.size(); ++i) {
+      add(first, pt.parts[i].core);
+      if (i + 1 < pt.parts.size()) {
+        add(pt.parts[i + 1].core, pt.parts[i].core);
+      }
+    }
+  }
+  return senders;
+}
+
+/// One simulation, sharded per core over the shared worker pool
+/// (DESIGN.md §9). Alternates two barrier-separated phases: every lane
+/// drains its mailbox and publishes the key of its next event, then
+/// every lane dispatches events up to the minimum published key of its
+/// sender lanes (a lane dispatching packed key K can only emit keys >=
+/// K+1 cross-lane, so nothing that orders before the bound can still
+/// arrive). Bit-identical to the serial engine by construction: per-task
+/// RNG streams, deterministic mailbox ordering, unique ready keys.
+template <typename ReadyQ, typename SleepQ, typename EventQ>
+SimResult RunSharded(const partition::Partition& p, const SimConfig& cfg,
+                     unsigned threads) {
+  using Eng = Engine<ReadyQ, SleepQ, EventQ>;
+  const std::size_t m = p.num_cores;
+
+  kernel::ShardRouter<Job> router(m);
+  std::vector<TaskRt<SleepQ>> tasks(p.tasks.size());
+  std::vector<std::unique_ptr<Eng>> shards;
+  shards.reserve(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    const typename Eng::ShardContext ctx{
+        static_cast<std::uint32_t>(c), &router, tasks.data(), tasks.size()};
+    shards.push_back(std::make_unique<Eng>(p, cfg, nullptr, &ctx));
+  }
+  const std::vector<std::vector<std::uint32_t>> senders = SenderLanes(p);
+
+  // Honor the requested width: SimConfig::shards caps TOTAL worker
+  // threads (caller included). The shared pool serves full-width runs;
+  // a narrower request gets a transient pool of its own (thread spawn
+  // is microseconds against a whole-simulation run).
+  std::unique_ptr<util::ThreadPool> own_pool;
+  util::ThreadPool* pool = &util::SharedPool();
+  if (threads - 1 < pool->num_threads()) {
+    own_pool = std::make_unique<util::ThreadPool>(threads - 1);
+    pool = own_pool.get();
+  }
+  pool->ParallelFor(m, [&](std::size_t c) { shards[c]->BootShard(); });
+
+  const std::uint64_t horizon_key_max =
+      (static_cast<std::uint64_t>(cfg.horizon) << kernel::kEvKindBits) |
+      ((1u << kernel::kEvKindBits) - 1);
+  std::vector<std::uint64_t> next_key(m, Eng::kNoEventKey);
+  std::vector<std::uint64_t> bound(m, Eng::kNoEventKey);
+  for (;;) {
+    // Phase 1: deliver cross-lane events, publish every lane's clock.
+    pool->ParallelFor(m, [&](std::size_t c) {
+      shards[c]->DrainMailbox();
+      next_key[c] = shards[c]->NextEventKey();
+    });
+    // All mailboxes are empty here (deliveries only happen in phase 2),
+    // so once every lane's next event is beyond the horizon nothing can
+    // ever be dispatched again.
+    if (*std::min_element(next_key.begin(), next_key.end()) >
+        horizon_key_max) {
+      break;
+    }
+    // Earliest key each lane could still DISPATCH — its own queue, or a
+    // chain of incoming emissions (each cross-lane hop adds at least one
+    // rank). The transitive closure matters: a lane whose own queue is
+    // quiet can still receive a migration and emit a wake-up back, so
+    // its raw queue minimum alone is NOT a valid send bound. Fixpoint a
+    // la Bellman-Ford; converges in <= m passes (keys only decrease,
+    // each pass relaxes one more hop).
+    bound.assign(next_key.begin(), next_key.end());
+    for (std::size_t pass = 0; pass < m; ++pass) {
+      bool changed = false;
+      for (std::size_t c = 0; c < m; ++c) {
+        for (const std::uint32_t s : senders[c]) {
+          const std::uint64_t via = bound[s] == Eng::kNoEventKey
+                                        ? Eng::kNoEventKey
+                                        : bound[s] + 1;
+          if (via < bound[c]) {
+            bound[c] = via;
+            changed = true;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    // Phase 2: each lane advances through its safe window — every key
+    // strictly below anything its senders could still emit. The global
+    // minimum holder always qualifies, so every round makes progress.
+    pool->ParallelFor(m, [&](std::size_t c) {
+      std::uint64_t safe = Eng::kNoEventKey;
+      for (const std::uint32_t s : senders[c]) {
+        safe = std::min(safe, bound[s]);
+      }
+      shards[c]->RunWindow(safe);
+    });
+  }
+
+  SimResult out;
+  out.cores.resize(m);
+  for (std::size_t c = 0; c < m; ++c) shards[c]->CollectShardInto(out);
+  shards[0]->FinalizeTasksInto(out);
+  return out;
+}
+
+template <typename ReadyQ, typename SleepQ, typename EventQ>
+SimResult Dispatch(const partition::Partition& p, const SimConfig& cfg,
+                   trace::Recorder* recorder) {
+  const unsigned threads =
+      cfg.shards == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                      : cfg.shards;
+  // Sharding needs multiple lanes and forbids the two globally-coupled
+  // features (trace stream, halt-on-first-miss); everything else falls
+  // back to the classic serial loop — same results either way. EDF
+  // partitions beyond the CurKey tie-break width also stay serial: with
+  // aliased task indices the ready order would degrade to insertion
+  // FIFO, which is interleaving-dependent.
+  const bool tracing =
+      cfg.record_trace || (recorder != nullptr && recorder->enabled());
+  const bool edf_alias = p.policy == partition::SchedPolicy::kEdf &&
+                         p.tasks.size() > kEdfTieBreakTasks;
+  if (threads > 1 && p.num_cores > 1 && !tracing &&
+      !cfg.stop_on_first_miss && !edf_alias) {
+    return RunSharded<ReadyQ, SleepQ, EventQ>(p, cfg, threads);
+  }
+  Engine<ReadyQ, SleepQ, EventQ> engine(p, cfg, recorder);
+  return engine.Run();
+}
+
 }  // namespace
 
 Time SimResult::total_overhead() const {
@@ -426,14 +641,23 @@ std::string SimResult::summary() const {
 
 SimResult Simulate(const partition::Partition& p, const SimConfig& cfg,
                    trace::Recorder* recorder) {
+  // The default backend combination takes the fully-devirtualized
+  // kernel; any override keeps the runtime-selected (type-erased) event
+  // slot so the instantiation count stays ready x sleep + 1.
+  if (!cfg.force_dynamic_event_queue &&
+      cfg.ready_backend == QueueBackend::kBinomialHeap &&
+      cfg.sleep_backend == QueueBackend::kRbTree &&
+      cfg.event_backend == QueueBackend::kBinomialHeap) {
+    return Dispatch<DefaultReadyQ, DefaultSleepQ, StaticEventQ>(p, cfg,
+                                                                recorder);
+  }
   return containers::WithQueueBackend(cfg.ready_backend, [&](auto rb) {
     return containers::WithQueueBackend(cfg.sleep_backend, [&](auto sb) {
       using ReadyQ =
           containers::QueueOf<decltype(rb)::value, std::uint64_t, Job*>;
       using SleepQ = containers::QueueOf<decltype(sb)::value, Time,
                                          std::size_t>;
-      Engine<ReadyQ, SleepQ> engine(p, cfg, recorder);
-      return engine.Run();
+      return Dispatch<ReadyQ, SleepQ, DynamicEventQ>(p, cfg, recorder);
     });
   });
 }

@@ -57,9 +57,24 @@ struct SimConfig {
       containers::QueueBackend::kBinomialHeap;
   containers::QueueBackend sleep_backend = containers::QueueBackend::kRbTree;
   /// Backend of the kernel's EVENT queue (the DES throughput hot path;
-  /// the calendar queue is the large-core-count contender).
+  /// the calendar queue is the large-core-count contender). The default
+  /// backend runs DEVIRTUALIZED (inlined into the kernel); any override
+  /// goes through the type-erased runtime slot (DESIGN.md §9).
   containers::QueueBackend event_backend =
       containers::QueueBackend::kBinomialHeap;
+  /// Worker threads for the per-core sharded run of ONE simulation
+  /// (DESIGN.md §9): 1 = the classic serial event loop, 0 = one thread
+  /// per hardware thread, N = exactly N total threads (the caller
+  /// counts as one). Results are BIT-IDENTICAL for every value
+  /// (tests/test_queue_concept.cpp); runs that record a trace, stop on
+  /// first miss, or schedule EDF sets past the tie-break width fall
+  /// back to serial.
+  unsigned shards = 1;
+  /// Bench A/B knobs (bench_single_run): force the type-erased event
+  /// queue even for the default backend / restore PR-2's per-release
+  /// job allocation. Not for normal use.
+  bool force_dynamic_event_queue = false;
+  bool job_arena = true;
 };
 
 /// Run the partition under the config. The trace recorder (optional) gets

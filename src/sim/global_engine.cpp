@@ -19,7 +19,7 @@ struct GJob : kernel::JobBase {
 };
 
 template <typename SleepQ>
-struct GTaskRt : kernel::TaskRunBase {
+struct GTaskRt : kernel::TaskRunBase<GJob> {
   typename SleepQ::handle sleep_handle = nullptr;
 };
 
@@ -28,17 +28,21 @@ struct NoPerCoreQueues {};
 
 /// The global scheduling policy, hosted on the shared kernel. One ReadyQ
 /// (keyed by RM priority or absolute deadline) and one SleepQ (keyed by
-/// next release) serve all cores.
-template <typename ReadyQ, typename SleepQ>
+/// next release) serve all cores. EventQ as in the partitioned engine:
+/// devirtualized for the default backend combination, type-erased for
+/// runtime overrides. (This engine never shards — its queues are
+/// globally shared, the exact coupling semi-partitioning removes.)
+template <typename ReadyQ, typename SleepQ, typename EventQ>
 class GlobalEngine final
-    : public kernel::KernelBase<GlobalEngine<ReadyQ, SleepQ>, GJob,
-                                GTaskRt<SleepQ>, NoPerCoreQueues> {
+    : public kernel::KernelBase<GlobalEngine<ReadyQ, SleepQ, EventQ>, GJob,
+                                GTaskRt<SleepQ>, NoPerCoreQueues, EventQ> {
   static_assert(containers::ReadyQueueFor<ReadyQ, std::uint64_t, GJob*>);
   static_assert(containers::SleepQueueFor<SleepQ, Time, std::size_t>);
 
  public:
-  using Base = kernel::KernelBase<GlobalEngine<ReadyQ, SleepQ>, GJob,
-                                  GTaskRt<SleepQ>, NoPerCoreQueues>;
+  using Base = kernel::KernelBase<GlobalEngine<ReadyQ, SleepQ, EventQ>,
+                                  GJob, GTaskRt<SleepQ>, NoPerCoreQueues,
+                                  EventQ>;
   friend Base;
   using Ev = kernel::Event<GJob>;
   using EvKind = kernel::EvKind;
@@ -71,7 +75,7 @@ class GlobalEngine final
   // ---- kernel policy hooks ----------------------------------------------
 
   void Boot() {
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    for (std::size_t i = 0; i < this->NumTasks(); ++i) {
       tasks_[i].sleep_handle = sleep_.push(0, i);
       tasks_[i].next_release = 0;
       this->Push(Ev{.t = 0, .kind = EvKind::kTimer, .task_idx = i});
@@ -187,14 +191,15 @@ class GlobalEngine final
     sleep_.erase(tr.sleep_handle);
     tr.sleep_handle = nullptr;
 
-    GJob* j = this->NewJob(ti);
+    // Release interrupt runs on a fixed per-task core (which also hosts
+    // the task's recycled job slot).
+    const auto irq_core =
+        static_cast<std::uint32_t>(ts_[ti].id % kcfg_.num_cores);
+    GJob* j = this->NewJob(ti, irq_core);
     tr.next_release = now_ + this->SampleInterArrival(ti);
     this->Push(Ev{.t = tr.next_release, .kind = EvKind::kTimer,
                   .task_idx = ti});
 
-    // Release interrupt runs on a fixed per-task core.
-    const auto irq_core =
-        static_cast<std::uint32_t>(ts_[ti].id % kcfg_.num_cores);
     this->Trace(trace::EventKind::kRelease, irq_core, j);
     ready_.push(KeyOf(j), j);
     if (cores_[irq_core].state == CoreState::kExec) {
@@ -284,13 +289,26 @@ class GlobalEngine final
 
 SimResult SimulateGlobal(const rt::TaskSet& ts, const GlobalSimConfig& cfg,
                          trace::Recorder* recorder) {
+  using containers::QueueBackend;
+  if (cfg.ready_backend == QueueBackend::kBinomialHeap &&
+      cfg.sleep_backend == QueueBackend::kRbTree &&
+      cfg.event_backend == QueueBackend::kBinomialHeap) {
+    // Default combination: devirtualized event queue (DESIGN.md §9).
+    using ReadyQ = containers::BinomialHeapQueue<std::uint64_t, GJob*>;
+    using SleepQ = containers::RbTreeQueue<Time, std::size_t>;
+    using EventQ =
+        kernel::StaticEventQueue<GJob, QueueBackend::kBinomialHeap>;
+    GlobalEngine<ReadyQ, SleepQ, EventQ> engine(ts, cfg, recorder);
+    return engine.Run();
+  }
   return containers::WithQueueBackend(cfg.ready_backend, [&](auto rb) {
     return containers::WithQueueBackend(cfg.sleep_backend, [&](auto sb) {
       using ReadyQ =
           containers::QueueOf<decltype(rb)::value, std::uint64_t, GJob*>;
       using SleepQ = containers::QueueOf<decltype(sb)::value, Time,
                                          std::size_t>;
-      GlobalEngine<ReadyQ, SleepQ> engine(ts, cfg, recorder);
+      GlobalEngine<ReadyQ, SleepQ, kernel::DynamicEventQueue<GJob>> engine(
+          ts, cfg, recorder);
       return engine.Run();
     });
   });

@@ -7,12 +7,14 @@
 // bookkeeping, completion statistics, and end-of-run finalization.
 //
 // The kernel is policy-based (CRTP): an engine derives from
-// KernelBase<Engine, Job, TaskRt, PerCore> and supplies
+// KernelBase<Engine, Job, TaskRt, PerCore, EventQueueT> and supplies
 //
 //   Boot()                    initial releases / timers
 //   Dispatch(event)           event handlers (the scheduling POLICY:
 //                             where jobs queue, who preempts whom, how
 //                             split budgets migrate)
+//   OnDeliver(event)          cross-shard delivery hook (sharded runs;
+//                             default no-op)
 //   WcetOf / PeriodOf / DeadlineOf / TaskIdOf(task_idx)
 //   CollectQueueStats(result) fold per-queue op counters into the result
 //
@@ -23,13 +25,36 @@
 // Ready/sleep queue backends are template parameters OF THE ENGINES,
 // not of the kernel: the kernel never touches a ready/sleep queue
 // directly — it only prices their operations through the OverheadModel.
-// Engines instantiate their queues from containers/queue_traits.hpp and
-// select the backend at runtime (SimConfig::ready_backend /
-// sleep_backend). The EVENT queue is the kernel's own and is a third
-// runtime-selectable slot (KernelConfig::event_backend): any
-// KeyedMinQueue backend keyed by the packed (t, kind-rank) event key,
-// type-erased behind EventQueueBase so the engines' instantiation count
-// stays ready x sleep.
+// The kernel's own EVENT queue is the EventQueueT template parameter,
+// with two implementations (DESIGN.md §9):
+//
+//   * StaticEventQueue<JobT, B> — the concrete backend inlined into the
+//     kernel, zero virtual dispatch on the per-event hot path. The
+//     engines instantiate it for the DEFAULT backend combination, which
+//     is what every simulation that does not override --event-queue
+//     runs on.
+//   * DynamicEventQueue<JobT> — the PR-2 type-erased slot (one virtual
+//     hop per op) kept for runtime `--event-queue` overrides, so the
+//     engines' instantiation count stays ready x sleep instead of
+//     gaining a full third axis.
+//
+// Hot-path memory (DESIGN.md §9): job objects live in per-core
+// SlabArenas and are RECYCLED — a task's dead job is destroyed and its
+// slot reused when the next release of that task is created, on the
+// same core — so a run of millions of events performs O(1) steady-state
+// allocations (KernelConfig::job_arena=false keeps the PR-2
+// unique_ptr-per-release pattern for the bench_single_run A/B).
+//
+// Determinism & sharding: all random sampling draws from PER-TASK
+// SplitMix64 streams seeded by (config seed, task index) — never from a
+// shared generator whose draw order would depend on the global event
+// interleaving. That makes the event-processing order across DIFFERENT
+// cores immaterial, which is what lets the sharded runner
+// (sim/engine.cpp, SimConfig::shards) execute each core's event loop
+// concurrently and still produce bit-identical SimResults: a shard only
+// processes an event once every potential sender shard can no longer
+// emit anything that would order before it (conservative sender-clock
+// windows, DESIGN.md §9).
 //
 // This header also hosts the public simulation types shared by both
 // engines (ExecModel, ArrivalModel, TaskStats, CoreStats, SimResult);
@@ -39,6 +64,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <random>
 #include <string>
 #include <vector>
@@ -48,6 +74,8 @@
 #include "rt/task.hpp"
 #include "rt/time.hpp"
 #include "trace/trace.hpp"
+#include "util/arena.hpp"
+#include "util/rng.hpp"
 
 namespace sps::sim {
 
@@ -133,7 +161,8 @@ struct SimResult {
   containers::QueueOpCounters ready_ops;
   containers::QueueOpCounters sleep_ops;
   /// Operation counts of the kernel's own event queue (same invariance:
-  /// the event sequence is fixed by the policy, not the backend).
+  /// the event sequence is fixed by the policy, not the backend — and,
+  /// since PR 3, not by the shard count either).
   containers::QueueOpCounters event_ops;
 
   [[nodiscard]] Time total_overhead() const;
@@ -152,6 +181,13 @@ enum class CoreState : std::uint8_t { kIdle, kExec, kOvh };
 /// same instant, or the scheduler briefly starts a job it immediately
 /// preempts. The enum value IS the same-instant rank; ties break by
 /// insertion order.
+///
+/// The rank layout is also what gives the sharded runner its lookahead:
+/// only kSegmentEnd (rank 0) dispatches ever emit CROSS-core events
+/// (task finish -> wake timer on the first core; budget exhaustion ->
+/// migration arrival on the next core), and those emissions carry ranks
+/// >= 1 at the same instant or later — so a shard dispatching packed key
+/// K can never emit below K+1 (DESIGN.md §9).
 enum class EvKind : std::uint8_t {
   kSegmentEnd = 0,        // running segment ended (core, epoch)
   kTimer = 1,             // task release (task_idx)
@@ -159,10 +195,11 @@ enum class EvKind : std::uint8_t {
   kOverheadEnd = 3,       // core finished its overhead window (core, epoch)
 };
 
-/// Number of EvKind values. EventKey packs the kind into 2 bits and
-/// static_asserts against this count — when adding an event kind, bump
-/// it here and widen the EventKey shift.
+/// Number of EvKind values. EventKey packs the kind into kEvKindBits
+/// bits and static_asserts against this count — when adding an event
+/// kind, bump it here and widen the shift.
 inline constexpr unsigned kNumEvKinds = 4;
+inline constexpr unsigned kEvKindBits = 2;
 
 template <typename JobT>
 struct Event {
@@ -184,24 +221,32 @@ struct Event {
 /// of them. Packing needs t < 2^61 (an ~73-year horizon in ns).
 template <typename JobT>
 [[nodiscard]] inline std::uint64_t EventKey(const Event<JobT>& e) {
-  static_assert(kNumEvKinds <= 4,
-                "EventKey packs EvKind into 2 bits; widen the shift when "
-                "adding event kinds");
-  assert(e.t >= 0 && static_cast<std::uint64_t>(e.t) < (1ull << 61));
-  return (static_cast<std::uint64_t>(e.t) << 2) |
+  static_assert(kNumEvKinds <= (1u << kEvKindBits),
+                "EventKey packs EvKind into kEvKindBits bits; widen the "
+                "shift when adding event kinds");
+  assert(e.t >= 0 &&
+         static_cast<std::uint64_t>(e.t) < (1ull << (63 - kEvKindBits)));
+  return (static_cast<std::uint64_t>(e.t) << kEvKindBits) |
          static_cast<std::uint64_t>(e.kind);
+}
+
+/// Time component of a packed event key.
+[[nodiscard]] inline Time EventKeyTime(std::uint64_t key) {
+  return static_cast<Time>(key >> kEvKindBits);
 }
 
 /// Type-erased event queue: one virtual hop per operation buys runtime
 /// backend selection WITHOUT multiplying the engines' template
-/// instantiations by another backend axis (ready x sleep x event would
-/// be 125 engine instantiations each; this keeps it at ready x sleep).
+/// instantiations by another backend axis. Since PR 3 this is only the
+/// OVERRIDE path (--event-queue); the default backend runs through
+/// StaticEventQueue below with no virtual dispatch.
 template <typename JobT>
 class EventQueueBase {
  public:
   virtual ~EventQueueBase() = default;
   virtual void push(std::uint64_t key, const Event<JobT>& e) = 0;
   virtual Event<JobT> pop_min() = 0;
+  [[nodiscard]] virtual std::uint64_t min_key() const = 0;
   [[nodiscard]] virtual bool empty() const = 0;
   [[nodiscard]] virtual std::size_t size() const = 0;
   [[nodiscard]] virtual const containers::QueueOpCounters& counters()
@@ -218,6 +263,9 @@ class EventQueueImpl final : public EventQueueBase<JobT> {
     q_.push(key, e);
   }
   Event<JobT> pop_min() override { return q_.pop_min().second; }
+  [[nodiscard]] std::uint64_t min_key() const override {
+    return q_.min_key();
+  }
   [[nodiscard]] bool empty() const override { return q_.empty(); }
   [[nodiscard]] std::size_t size() const override { return q_.size(); }
   [[nodiscard]] const containers::QueueOpCounters& counters()
@@ -240,6 +288,78 @@ std::unique_ptr<EventQueueBase<JobT>> MakeEventQueue(
       });
 }
 
+/// EventQueueT for runtime-selected backends: the PR-2 type-erased slot.
+template <typename JobT>
+class DynamicEventQueue {
+ public:
+  explicit DynamicEventQueue(containers::QueueBackend b)
+      : q_(MakeEventQueue<JobT>(b)) {}
+  void push(std::uint64_t key, const Event<JobT>& e) { q_->push(key, e); }
+  Event<JobT> pop_min() { return q_->pop_min(); }
+  [[nodiscard]] std::uint64_t min_key() const { return q_->min_key(); }
+  [[nodiscard]] bool empty() const { return q_->empty(); }
+  [[nodiscard]] const containers::QueueOpCounters& counters() const {
+    return q_->counters();
+  }
+
+ private:
+  std::unique_ptr<EventQueueBase<JobT>> q_;
+};
+
+/// EventQueueT for the default backend: the concrete container inlined
+/// into the kernel — every per-event operation devirtualized.
+template <typename JobT, containers::QueueBackend B>
+class StaticEventQueue {
+ public:
+  explicit StaticEventQueue(containers::QueueBackend b) {
+    assert(b == B);
+    (void)b;
+  }
+  void push(std::uint64_t key, const Event<JobT>& e) { q_.push(key, e); }
+  Event<JobT> pop_min() { return q_.pop_min().second; }
+  [[nodiscard]] std::uint64_t min_key() const { return q_.min_key(); }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] const containers::QueueOpCounters& counters() const {
+    return q_.counters();
+  }
+
+ private:
+  containers::QueueOf<B, std::uint64_t, Event<JobT>> q_;
+};
+
+/// Per-lane mailboxes for cross-shard event delivery (DESIGN.md §9).
+/// Senders append under the target's mutex during a processing window;
+/// the owning shard drains at the next window boundary, SORTS the batch
+/// into the deterministic (packed key, task index) order — arrival order
+/// depends on thread timing, the sorted order does not — and only then
+/// feeds its local event queue.
+template <typename JobT>
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t lanes) : boxes_(lanes) {}
+
+  void Deliver(const Event<JobT>& e) {
+    Box& b = boxes_[e.core];
+    std::lock_guard<std::mutex> lock(b.mu);
+    b.in.push_back(e);
+  }
+
+  [[nodiscard]] std::vector<Event<JobT>> Take(std::size_t lane) {
+    Box& b = boxes_[lane];
+    std::lock_guard<std::mutex> lock(b.mu);
+    std::vector<Event<JobT>> out;
+    out.swap(b.in);
+    return out;
+  }
+
+ private:
+  struct Box {
+    std::mutex mu;
+    std::vector<Event<JobT>> in;
+  };
+  std::vector<Box> boxes_;
+};
+
 /// Common per-job state. Engines derive and add policy state (split
 /// budgets, last-run core, ...) plus a charge(progress) method booking
 /// executed time against the job's counters.
@@ -252,7 +372,16 @@ struct JobBase {
 };
 
 /// Common per-task runtime state. Engines derive and add policy state
-/// (placement pointer, sleep-queue handle, ...).
+/// (placement pointer, sleep-queue handle, ...). Templated on the job
+/// type since PR 3 so it can host the task's recycled job slot.
+///
+/// The RNG streams live HERE, not in the kernel: every draw a task ever
+/// makes comes from its own two generators, so the draw sequence is a
+/// pure function of (config seed, task index) — independent of how
+/// events of DIFFERENT tasks interleave, which is both a stronger
+/// determinism statement than PR 2's shared generators and the property
+/// that makes the sharded runner exact (DESIGN.md §9).
+template <typename JobT>
 struct TaskRunBase {
   bool active = false;
   Time next_release = 0;  ///< nominal release of the NEXT job
@@ -260,6 +389,9 @@ struct TaskRunBase {
   Time last_jitter = 0;   ///< displacement of the previous release (kJittered)
   TaskStats stats;
   double response_sum = 0.0;
+  util::SplitMix64 exec_rng;
+  util::SplitMix64 arrival_rng;
+  JobT* last_job = nullptr;  ///< dead job awaiting recycling (job_arena)
 };
 
 /// The engine-independent slice of a simulation config.
@@ -274,22 +406,124 @@ struct KernelConfig {
   /// slot, like the engines' ready/sleep backends).
   containers::QueueBackend event_backend =
       containers::QueueBackend::kBinomialHeap;
+  /// Recycle job objects through per-core slab arenas (the default).
+  /// false restores PR 2's unique_ptr-per-release allocation pattern —
+  /// kept ONLY as the bench_single_run A/B comparison point.
+  bool job_arena = true;
 };
 
-template <typename Policy, typename JobT, typename TaskRtT, typename PerCoreT>
+template <typename Policy, typename JobT, typename TaskRtT, typename PerCoreT,
+          typename EventQueueT = DynamicEventQueue<JobT>>
 class KernelBase {
  public:
   /// Boot the policy, drain the event queue up to the horizon, finalize.
+  /// (The serial path; sharded runs drive BootShard/RunWindow/Collect*
+  /// from sim/engine.cpp instead.)
   SimResult Run() {
     policy().Boot();
-    while (!events_->empty() && !halted_) {
-      const Event<JobT> ev = events_->pop_min();
-      if (ev.t > kcfg_.horizon) break;
+    while (!events_.empty() && !halted_) {
+      if (EventKeyTime(events_.min_key()) > kcfg_.horizon) break;
+      const Event<JobT> ev = events_.pop_min();
       now_ = ev.t;
       policy().Dispatch(ev);
     }
     return Finalize();
   }
+
+  // ---- sharded-run driver interface (DESIGN.md §9) ----------------------
+  // The driver owns one kernel (engine) instance per lane (= core), all
+  // sharing the task-state array, and alternates two phases over a
+  // worker pool: drain mailboxes + publish every lane's next-event key,
+  // then process each lane's events up to its safe bound (the minimum
+  // published key over its sender lanes). Causal safety: a lane
+  // dispatching packed key K only ever emits keys >= K+1 cross-lane, so
+  // events below the bound can no longer arrive.
+
+  /// Sentinel published by a lane whose event queue is empty.
+  static constexpr std::uint64_t kNoEventKey = ~0ull;
+
+  /// Boot only this shard's lane-local releases.
+  void BootShard() { policy().Boot(); }
+
+  /// Move mailbox deliveries into the local event queue (deterministic
+  /// order), running the policy's delivery hook for each.
+  void DrainMailbox() {
+    assert(router_ != nullptr);
+    std::vector<Event<JobT>> in = router_->Take(lane_);
+    if (in.empty()) return;
+    std::sort(in.begin(), in.end(),
+              [](const Event<JobT>& a, const Event<JobT>& b) {
+                const std::uint64_t ka = EventKey(a);
+                const std::uint64_t kb = EventKey(b);
+                if (ka != kb) return ka < kb;
+                return DeliveryRank(a) < DeliveryRank(b);
+              });
+    for (Event<JobT>& ev : in) {
+      policy().OnDeliver(ev);
+      PushLocal(ev);
+    }
+  }
+
+  /// Key of the next local event (the lane's published clock bound).
+  [[nodiscard]] std::uint64_t NextEventKey() const {
+    return events_.empty() ? kNoEventKey : events_.min_key();
+  }
+
+  /// Dispatch local events while their key is within `safe_key` and
+  /// their time within the horizon.
+  void RunWindow(std::uint64_t safe_key) {
+    while (!events_.empty()) {
+      const std::uint64_t k = events_.min_key();
+      if (k > safe_key || EventKeyTime(k) > kcfg_.horizon) break;
+      const Event<JobT> ev = events_.pop_min();
+      now_ = ev.t;
+      policy().Dispatch(ev);
+    }
+  }
+
+  /// Fold this shard's slice into a merged result: its own core row,
+  /// its event/ready/sleep counters, and its clock.
+  void CollectShardInto(SimResult& r) const {
+    r.cores[lane_] = result_.cores[lane_];
+    r.total_misses += result_.total_misses;
+    r.total_migrations += result_.total_migrations;
+    r.total_preemptions += result_.total_preemptions;
+    r.event_ops += events_.counters();
+    policy().CollectQueueStats(r);  // untouched cores contribute zeros
+    r.simulated = std::max(r.simulated, std::min(now_, kcfg_.horizon));
+  }
+
+  /// The per-task half of Finalize (end-of-horizon misses, response
+  /// averages). Shared task state: call on exactly ONE shard, after all
+  /// lanes finished.
+  void FinalizeTasksInto(SimResult& r) {
+    for (std::size_t i = 0; i < num_tasks_; ++i) {
+      TaskRtT& tr = tasks_[i];
+      if (tr.active) {
+        if (tr.last_release + policy().DeadlineOf(i) <= kcfg_.horizon) {
+          ++tr.stats.deadline_misses;
+          ++r.total_misses;
+        }
+      }
+      if (tr.stats.completed > 0) {
+        tr.stats.avg_response =
+            tr.response_sum / static_cast<double>(tr.stats.completed);
+      }
+      r.tasks.push_back(tr.stats);
+    }
+  }
+
+  /// Sharded-run wiring: lane = the one core this kernel instance
+  /// processes, router = the cross-lane mailboxes, tasks = the SHARED
+  /// task-state array (causally partitioned: a task's state is only
+  /// ever touched along its own release->run->migrate->finish event
+  /// chain, whose cross-lane edges all pass through the router).
+  struct ShardContext {
+    std::uint32_t lane = 0;
+    ShardRouter<JobT>* router = nullptr;
+    TaskRtT* tasks = nullptr;
+    std::size_t num_tasks = 0;
+  };
 
  protected:
   /// Per-core run state; PerCoreT adds the policy's per-core queues
@@ -302,31 +536,95 @@ class KernelBase {
     Time busy_until = 0;
     Time seg_start = 0;
     std::uint64_t epoch = 0;  ///< invalidates stale core events
+    /// Job storage of the tasks released on this core (recycled slots;
+    /// see KernelConfig::job_arena). Strictly lane-local in sharded
+    /// runs — arenas are never crossed.
+    util::SlabArena<JobT> job_arena;
   };
 
   KernelBase(const KernelConfig& kcfg, std::size_t num_tasks,
-             trace::Recorder* rec)
-      : kcfg_(kcfg), rec_(rec), cores_(kcfg.num_cores), tasks_(num_tasks),
-        events_(MakeEventQueue<JobT>(kcfg.event_backend)),
-        rng_(kcfg.exec.seed), arrival_rng_(kcfg.arrivals.seed) {
+             trace::Recorder* rec, const ShardContext* shard = nullptr)
+      : kcfg_(kcfg), rec_(rec), cores_(kcfg.num_cores),
+        events_(kcfg.event_backend) {
     result_.cores.resize(kcfg.num_cores);
+    if (shard != nullptr) {
+      assert(shard->num_tasks == num_tasks && shard->tasks != nullptr);
+      assert(!kcfg.stop_on_first_miss &&
+             "sharded runs cannot halt globally on first miss");
+      assert((rec == nullptr || !rec->enabled()) &&
+             "sharded runs do not record traces");
+      lane_ = shard->lane;
+      router_ = shard->router;
+      tasks_ = shard->tasks;
+    } else {
+      tasks_own_.resize(num_tasks);
+      tasks_ = tasks_own_.data();
+    }
+    num_tasks_ = num_tasks;
+    // Per-task RNG streams (see TaskRunBase). Re-seeding shared storage
+    // from every shard is idempotent: the seeds depend only on config
+    // and task index, and all shards are constructed before any runs.
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      tasks_[i].exec_rng = util::SplitMix64(
+          util::DeriveSeed(kcfg.exec.seed, i, 0));
+      tasks_[i].arrival_rng = util::SplitMix64(
+          util::DeriveSeed(kcfg.arrivals.seed, i, 1));
+    }
   }
 
   Policy& policy() { return static_cast<Policy&>(*this); }
   const Policy& policy() const { return static_cast<const Policy&>(*this); }
 
+  /// Cross-shard delivery hook; policies override (the partitioned
+  /// engine materializes deferred sleep-queue entries here).
+  void OnDeliver(const Event<JobT>& /*ev*/) {}
+
+  /// Deterministic mailbox tiebreak among equal packed keys: both
+  /// cross-lane event kinds (timer wake-ups, migration arrivals) are
+  /// per-task and a task has at most one in flight, so the task index
+  /// is a total order.
+  [[nodiscard]] static std::size_t DeliveryRank(const Event<JobT>& e) {
+    return e.kind == EvKind::kMigrationArrival ? e.job->task_idx
+                                               : e.task_idx;
+  }
+
+  [[nodiscard]] bool IsRemoteLane(std::uint32_t core) const {
+    return router_ != nullptr && core != lane_;
+  }
+
+  [[nodiscard]] std::size_t NumTasks() const { return num_tasks_; }
+
   void Push(Event<JobT> e) {
+    if (IsRemoteLane(e.core)) {
+      router_->Deliver(e);  // seq assigned by the receiving lane
+      return;
+    }
+    PushLocal(e);
+  }
+
+  void PushLocal(Event<JobT>& e) {
     e.seq = ++ev_seq_;
-    events_->push(EventKey(e), e);
+    events_.push(EventKey(e), e);
   }
 
   /// Create the job object for task ti's release at now_ and mark the
-  /// task active. Policy fills its own fields (budgets etc.) afterwards.
-  JobT* NewJob(std::size_t ti) {
+  /// task active. `core` is the (fixed) core whose arena hosts the
+  /// task's job slot; the previous (dead) job is recycled here. Policy
+  /// fills its own fields (budgets etc.) afterwards.
+  JobT* NewJob(std::size_t ti, std::uint32_t core) {
     TaskRtT& tr = tasks_[ti];
-    auto owned = std::make_unique<JobT>();
-    JobT* j = owned.get();
-    jobs_.push_back(std::move(owned));
+    JobT* j;
+    if (kcfg_.job_arena) {
+      util::SlabArena<JobT>& arena = cores_[core].job_arena;
+      if (tr.last_job != nullptr) arena.destroy(tr.last_job);
+      j = arena.create();
+      tr.last_job = j;
+    } else {
+      // PR-2 allocation pattern (bench A/B only): one heap allocation
+      // per release, never freed until the run ends.
+      jobs_legacy_.push_back(std::make_unique<JobT>());
+      j = jobs_legacy_.back().get();
+    }
     j->task_idx = ti;
     j->seq = ++tr.stats.released;
     j->release_time = now_;
@@ -350,7 +648,8 @@ class KernelBase {
         std::uniform_real_distribution<double> d(kcfg_.exec.lo_fraction,
                                                  kcfg_.exec.hi_fraction);
         return std::max<Time>(
-            1, static_cast<Time>(d(rng_) * static_cast<double>(c)));
+            1, static_cast<Time>(d(tasks_[ti].exec_rng) *
+                                 static_cast<double>(c)));
       }
     }
     return c;
@@ -360,22 +659,21 @@ class KernelBase {
   /// for the semantics of each kind).
   Time SampleInterArrival(std::size_t ti) {
     const Time t = policy().PeriodOf(ti);
+    util::SplitMix64& rng = tasks_[ti].arrival_rng;
     switch (kcfg_.arrivals.kind) {
       case ArrivalModel::Kind::kPeriodic:
         return t;
       case ArrivalModel::Kind::kSporadicUniformDelay: {
         std::uniform_real_distribution<double> d(
             0.0, kcfg_.arrivals.max_delay_fraction);
-        return t +
-               static_cast<Time>(d(arrival_rng_) * static_cast<double>(t));
+        return t + static_cast<Time>(d(rng) * static_cast<double>(t));
       }
       case ArrivalModel::Kind::kJittered: {
         // release_k = k*T + j_k: the gap is T + j_k - j_{k-1}, so jitter
         // is bounded around the nominal grid and never accumulates.
         std::uniform_real_distribution<double> d(
             0.0, kcfg_.arrivals.jitter_fraction);
-        const Time j =
-            static_cast<Time>(d(arrival_rng_) * static_cast<double>(t));
+        const Time j = static_cast<Time>(d(rng) * static_cast<double>(t));
         TaskRtT& tr = tasks_[ti];
         const Time gap = t + j - tr.last_jitter;
         tr.last_jitter = j;
@@ -383,11 +681,10 @@ class KernelBase {
       }
       case ArrivalModel::Kind::kBursty: {
         std::uniform_real_distribution<double> d(0.0, 1.0);
-        if (d(arrival_rng_) < kcfg_.arrivals.burst_prob) return t;
+        if (d(rng) < kcfg_.arrivals.burst_prob) return t;
         std::uniform_real_distribution<double> g(
             0.0, kcfg_.arrivals.burst_gap_fraction);
-        return t +
-               static_cast<Time>(g(arrival_rng_) * static_cast<double>(t));
+        return t + static_cast<Time>(g(rng) * static_cast<double>(t));
       }
     }
     return t;
@@ -477,21 +774,8 @@ class KernelBase {
     // in-flight job's ACTUAL release is tracked (not reconstructed from
     // next_release, which would be off by the slack under sporadic
     // arrivals and undercount end-of-horizon misses).
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
-      TaskRtT& tr = tasks_[i];
-      if (tr.active) {
-        if (tr.last_release + policy().DeadlineOf(i) <= kcfg_.horizon) {
-          ++tr.stats.deadline_misses;
-          ++result_.total_misses;
-        }
-      }
-      if (tr.stats.completed > 0) {
-        tr.stats.avg_response =
-            tr.response_sum / static_cast<double>(tr.stats.completed);
-      }
-      result_.tasks.push_back(tr.stats);
-    }
-    result_.event_ops = events_->counters();
+    FinalizeTasksInto(result_);
+    result_.event_ops = events_.counters();
     policy().CollectQueueStats(result_);
     return std::move(result_);
   }
@@ -499,11 +783,15 @@ class KernelBase {
   KernelConfig kcfg_;
   trace::Recorder* rec_;
   std::vector<Core> cores_;
-  std::vector<TaskRtT> tasks_;
-  std::vector<std::unique_ptr<JobT>> jobs_;
-  std::unique_ptr<EventQueueBase<JobT>> events_;
-  std::mt19937_64 rng_;
-  std::mt19937_64 arrival_rng_;
+  /// Task run state: owned in serial runs, shared across shards in
+  /// sharded runs (see ShardContext).
+  std::vector<TaskRtT> tasks_own_;
+  TaskRtT* tasks_ = nullptr;
+  std::size_t num_tasks_ = 0;
+  std::vector<std::unique_ptr<JobT>> jobs_legacy_;  ///< job_arena=false only
+  EventQueueT events_;
+  std::uint32_t lane_ = 0;
+  ShardRouter<JobT>* router_ = nullptr;
   Time now_ = 0;
   std::uint64_t ev_seq_ = 0;
   bool halted_ = false;

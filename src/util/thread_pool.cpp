@@ -43,11 +43,11 @@ void ThreadPool::WorkerLoop() {
         oneoffs_.pop_back();
       } else {
         // Join the in-flight batch exactly once per generation. The
-        // attached count keeps the caller from destroying the batch
+        // batch's attach count keeps its caller from destroying it
         // while this worker still holds the pointer.
         seen_gen = batch_gen_;
         batch = current_;
-        ++attached_;
+        ++batch->attached;
       }
     }
     if (oneoff) {
@@ -57,7 +57,7 @@ void ThreadPool::WorkerLoop() {
     RunIndices(*batch);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      --attached_;
+      --batch->attached;
     }
     done_cv_.notify_all();
   }
@@ -99,10 +99,12 @@ void ThreadPool::ParallelFor(
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] {
-      return attached_ == 0 &&
+      return b.attached == 0 &&
              b.completed.load(std::memory_order_acquire) == n;
     });
-    current_ = nullptr;  // late-waking workers see no batch
+    // Retire the batch, but only if a concurrent caller has not already
+    // published its own — their batch must stay joinable.
+    if (current_ == &b) current_ = nullptr;
   }
   if (b.first_error) std::rethrow_exception(b.first_error);
 }
@@ -121,6 +123,16 @@ void ParallelFor(unsigned jobs, std::size_t n,
   }
   ThreadPool pool(jobs - 1);
   pool.ParallelFor(n, body);
+}
+
+ThreadPool& SharedPool() {
+  // At least one worker even on a single-hardware-thread host: callers
+  // (the sharded simulator) are correct for ANY worker count, but a
+  // zero-worker pool would silently run every batch inline and leave
+  // the cross-thread paths untested wherever CI happens to be narrow.
+  static ThreadPool pool(
+      std::max(2u, std::thread::hardware_concurrency()) - 1);
+  return pool;
 }
 
 }  // namespace sps::util

@@ -78,12 +78,17 @@ class ThreadPool {
  private:
   /// One in-flight ParallelFor. Lives on the submitting caller's stack;
   /// `attached` (guarded by mu_) keeps it alive until every worker that
-  /// saw it has let go.
+  /// saw it has let go. The attach count is per-batch so CONCURRENT
+  /// callers don't block on each other's workers: each caller waits
+  /// only for its own batch's stragglers (since PR 3 the sharded
+  /// simulator makes concurrent ParallelFor on the shared pool an
+  /// ordinary occurrence).
   struct Batch {
     const std::function<void(std::size_t)>* body = nullptr;
     std::size_t end = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
+    std::size_t attached = 0;        ///< workers inside; guarded by mu_
     std::exception_ptr first_error;  ///< guarded by mu_
   };
 
@@ -97,7 +102,6 @@ class ThreadPool {
   std::vector<std::function<void()>> oneoffs_;
   Batch* current_ = nullptr;
   std::uint64_t batch_gen_ = 0;  ///< bumped per batch so workers join once
-  std::size_t attached_ = 0;     ///< workers currently inside current_
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };
@@ -110,5 +114,16 @@ class ThreadPool {
 /// sweep); hold a ThreadPool yourself if that ever shows up.
 void ParallelFor(unsigned jobs, std::size_t n,
                  const std::function<void(std::size_t)>& body);
+
+/// Process-wide lazily-created pool with one worker per hardware thread
+/// minus one (the caller of ParallelFor participates, so total
+/// concurrency is the hardware). The sharded simulator's round protocol
+/// (DESIGN.md §9) dispatches two small batches per window — spawning a
+/// transient pool per simulation would put thread creation on the
+/// measured path, so those batches run here. Concurrent ParallelFor
+/// calls on this pool are safe (each caller drains its own batch) but
+/// serialize worker help; callers needing guaranteed width should own a
+/// ThreadPool.
+ThreadPool& SharedPool();
 
 }  // namespace sps::util

@@ -93,6 +93,38 @@ TEST(CalendarQueue, PushBelowTheScanFloorIsFound) {
   EXPECT_TRUE(q.validate());
 }
 
+TEST(CalendarQueue, LazyScanDrainsExtremelySparseKeysInOrder) {
+  // PR-3 lazy scan: keys spread over ~2^40 days with an (initially)
+  // tiny width, so almost every day-round is empty. The occupancy-count
+  // early exit must still return the exact (key, seq) order, including
+  // FIFO among duplicated keys, and keep the structure valid. This
+  // drains through the path that previously paid a full empty round
+  // plus a rescan per pop.
+  CalendarQueue<std::uint64_t, int> q;
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t k = (rng() % 64) * (1ull << 40);  // forced dups
+    keys.push_back(k);
+    q.push(k, i);
+    ASSERT_TRUE(q.validate());
+  }
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t last_key = 0;
+  int last_dup_value = -1;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto [k, v] = q.pop_min();
+    EXPECT_EQ(k, keys[i]);
+    if (k == last_key) {
+      EXPECT_GT(v, last_dup_value);  // FIFO among equal keys
+    }
+    last_key = k;
+    last_dup_value = v;
+    ASSERT_TRUE(q.validate());
+  }
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(CalendarQueue, CacheSurvivesInterleavedEraseAndPush) {
   // Regression: a push after a cache-invalidating erase must not install
   // a non-minimal node as the cached minimum.

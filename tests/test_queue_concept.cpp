@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "overhead/model.hpp"
+#include "partition/edf_wm.hpp"
 #include "partition/placement.hpp"
 #include "partition/spa.hpp"
 #include "rt/generator.hpp"
@@ -397,6 +398,112 @@ TEST(DifferentialSim, IdenticalAcrossEventBackendsUnderJitterAndBursts) {
                            std::string(containers::to_string(b)));
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-vs-serial differentials: the per-core parallel runner
+// (SimConfig::shards, DESIGN.md §9) is bit-identical to the classic
+// serial event loop — per backend, per arrival model, with overheads
+// and random execution times, for FP and EDF(-WM) partitions alike.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedSim, IdenticalToSerialAcrossBackendsAndArrivals) {
+  const partition::Partition p = DifferentialPartition();
+  for (const ArrivalModel::Kind kind :
+       {ArrivalModel::Kind::kPeriodic,
+        ArrivalModel::Kind::kSporadicUniformDelay,
+        ArrivalModel::Kind::kJittered, ArrivalModel::Kind::kBursty}) {
+    for (QueueBackend b : kAllQueueBackends) {
+      SimConfig cfg;
+      cfg.horizon = Millis(300);
+      cfg.overheads = overhead::OverheadModel::PaperCoreI7();
+      cfg.exec.kind = ExecModel::Kind::kUniform;
+      cfg.arrivals.kind = kind;
+      cfg.ready_backend = b;
+      cfg.sleep_backend = b;
+      cfg.event_backend = b;
+      cfg.shards = 1;
+      const SimResult serial = Simulate(p, cfg);
+      EXPECT_GT(serial.total_migrations, 0u);
+      for (const unsigned shards : {2u, 0u}) {
+        cfg.shards = shards;
+        ExpectSameResult(
+            serial, Simulate(p, cfg),
+            std::string("sharded backend=") +
+                std::string(containers::to_string(b)) + " arrivals=" +
+                std::to_string(static_cast<int>(kind)) + " shards=" +
+                std::to_string(shards));
+      }
+    }
+  }
+}
+
+TEST(ShardedSim, IdenticalToSerialOnGeneratedSpa2Workload) {
+  // A generator-produced 4-core SPA2 partition — whatever split
+  // structure SPA2 emits, the sharded run must reproduce the serial one
+  // exactly, devirtualized default backends included.
+  rt::GeneratorConfig gen;
+  gen.num_tasks = 24;
+  gen.total_utilization = 3.4;
+  rt::Rng rng(2024);
+  const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+  partition::SpaConfig scfg;
+  scfg.num_cores = 4;
+  scfg.preassign_heavy = true;
+  const auto pr = partition::SpaPartition(ts, scfg);
+  ASSERT_TRUE(pr.success);
+
+  SimConfig cfg;
+  cfg.horizon = Millis(400);
+  cfg.overheads = overhead::OverheadModel::PaperCoreI7();
+  cfg.exec.kind = ExecModel::Kind::kUniform;
+  cfg.arrivals.kind = ArrivalModel::Kind::kSporadicUniformDelay;
+  const SimResult serial = Simulate(pr.partition, cfg);
+  cfg.shards = 0;
+  ExpectSameResult(serial, Simulate(pr.partition, cfg),
+                   "sharded generated SPA2");
+}
+
+TEST(ShardedSim, IdenticalToSerialUnderEdfWmWindows) {
+  // EDF-WM split windows are THE cross-core coupling the window-barrier
+  // protocol exists for; jittered arrivals stress the shed/overrun
+  // paths on top.
+  rt::GeneratorConfig gen;
+  gen.num_tasks = 16;
+  gen.total_utilization = 3.2;
+  rt::Rng rng(77);
+  const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+  partition::EdfPartitionConfig ecfg;
+  ecfg.num_cores = 4;
+  const auto pr = partition::EdfWm(ts, ecfg);
+  ASSERT_TRUE(pr.success) << pr.failure_reason;
+
+  SimConfig cfg;
+  cfg.horizon = Millis(400);
+  cfg.overheads = overhead::OverheadModel::PaperCoreI7();
+  cfg.arrivals.kind = ArrivalModel::Kind::kJittered;
+  const SimResult serial = Simulate(pr.partition, cfg);
+  for (const unsigned shards : {2u, 0u}) {
+    SimConfig scfg2 = cfg;
+    scfg2.shards = shards;
+    ExpectSameResult(serial, Simulate(pr.partition, scfg2),
+                     "sharded EDF-WM shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ShardedSim, FallsBackToSerialWhenTracing) {
+  // Trace recording is serial-only; shards>1 must transparently fall
+  // back (and still produce the identical result).
+  const partition::Partition p = DifferentialPartition();
+  SimConfig cfg;
+  cfg.horizon = Millis(100);
+  const SimResult plain = Simulate(p, cfg);
+  cfg.shards = 4;
+  cfg.record_trace = true;
+  trace::Recorder rec(true);
+  const SimResult traced = Simulate(p, cfg, &rec);
+  ExpectSameResult(plain, traced, "traced fallback");
+  EXPECT_FALSE(rec.events().empty());
 }
 
 TEST(DifferentialSim, GlobalIdenticalAcrossBackends) {

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Perf-regression smoke over the BENCH_*.json records.
+
+Compares a freshly produced bench JSON against the committed baseline in
+bench/baselines/ and fails (exit 1) when a variant regressed by more
+than the tolerance.
+
+The comparison is RATIO-based, not absolute: CI runners and developer
+machines differ in raw speed by integer factors, so absolute wall-clock
+thresholds would be pure noise. Instead, within each workload every
+variant's wall time is normalized by the workload's reference variant
+(the variant literally named "serial" if present, else the first one
+recorded), and the normalized ratios are compared baseline-vs-current.
+That catches the regressions this repo actually cares about — "the
+devirtualized path lost its edge over the type-erased one", "sharding
+got slower relative to serial" — on any machine.
+
+The check is one-sided: getting FASTER relative to the reference never
+fails (a beefier CI runner makes the sharded variants look better, which
+is fine). Variants present in only one of the files are reported but do
+not fail the check (benches gain and lose variants across PRs).
+
+Usage:
+  check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.25]
+
+Expected JSON shape (what util/json_writer.hpp emits from the benches):
+  { ..., "runs": [ {"workload": "...", "variant": "...",
+                    "wall_s": 1.23, ...}, ... ] }
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = doc.get("runs", [])
+    by_workload = {}
+    for r in runs:
+        if "wall_s" not in r:
+            continue
+        by_workload.setdefault(r["workload"], []).append(r)
+    return by_workload
+
+
+def reference_wall(entries):
+    for r in entries:
+        if r["variant"] == "serial":
+            return r["wall_s"]
+    return entries[0]["wall_s"]
+
+
+def ratios(by_workload):
+    out = {}
+    for workload, entries in by_workload.items():
+        ref = reference_wall(entries)
+        if ref <= 0:
+            continue
+        for r in entries:
+            out[(workload, r["variant"])] = r["wall_s"] / ref
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative slowdown vs baseline (0.25 = 25%%)")
+    args = ap.parse_args()
+
+    current = ratios(load_runs(args.current))
+    baseline = ratios(load_runs(args.baseline))
+
+    failures = []
+    for key, base_ratio in sorted(baseline.items()):
+        if key not in current:
+            print(f"note: {key[0]}/{key[1]} in baseline only (skipped)")
+            continue
+        cur_ratio = current[key]
+        limit = base_ratio * (1.0 + args.tolerance)
+        status = "OK "
+        if cur_ratio > limit:
+            status = "FAIL"
+            failures.append(key)
+        print(f"{status} {key[0]:12s} {key[1]:20s} "
+              f"baseline x{base_ratio:6.3f}  current x{cur_ratio:6.3f}  "
+              f"limit x{limit:6.3f}")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"note: {key[0]}/{key[1]} is new (no baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance", file=sys.stderr)
+        return 1
+    print("\nperf smoke clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
