@@ -45,9 +45,8 @@ int main() {
   sim::SimConfig cfg;
   cfg.horizon = Millis(20);
   cfg.overheads = overhead::OverheadModel::PaperCoreI7();
-  cfg.record_trace = true;
-  trace::Recorder rec;
-  const sim::SimResult r = Simulate(p, cfg, &rec);
+  cfg.record_trace = true;  // canonical trace lands in r.trace_events
+  const sim::SimResult r = Simulate(p, cfg);
 
   // The Figure-1 moment is tau1's release at t = 10ms, mid-tau2.
   std::printf("Scenario: tau2 (C=9ms, T=40ms) executing; tau1 (C=2ms, "
@@ -56,7 +55,7 @@ int main() {
               "20us CPMD.\n\n");
 
   std::printf("--- event log around the preemption (9.9ms .. 13ms) ---\n%s\n",
-              trace::RenderEventLog(rec.events(), Millis(9.9), Millis(13))
+              trace::RenderEventLog(r.trace_events, Millis(9.9), Millis(13))
                   .c_str());
 
   std::printf("--- overhead segments after the release at b = 10ms ---\n");
@@ -65,7 +64,7 @@ int main() {
                           "d..e  cnt1 (context store/load)"};
   int seg = 0;
   Time preempt_end = 0;
-  for (const trace::Event& e : rec.events()) {
+  for (const trace::Event& e : r.trace_events) {
     if (e.time < Millis(10)) continue;
     if (e.kind == trace::EventKind::kOverheadBegin && seg < 3) {
       std::printf("  %-50s %6.2f us\n", labels[seg], ToMicros(e.duration));
@@ -82,7 +81,7 @@ int main() {
   // reload.
   std::printf("--- finish path after tau1 completes (f..i + cache) ---\n");
   bool after_finish = false;
-  for (const trace::Event& e : rec.events()) {
+  for (const trace::Event& e : r.trace_events) {
     if (e.kind == trace::EventKind::kFinish && e.task == 1 &&
         e.time > Millis(10)) {
       after_finish = true;
@@ -97,7 +96,7 @@ int main() {
   }
 
   std::printf("\n--- Gantt (0..20ms, '#' = scheduler overhead) ---\n%s\n",
-              trace::RenderGantt(rec.events(),
+              trace::RenderGantt(r.trace_events,
                                  {.start = 0, .end = Millis(20),
                                   .columns = 100, .num_cores = 1})
                   .c_str());

@@ -9,10 +9,19 @@
 //   serial_dynamic      type-erased event queue, arena-recycled jobs
 //                       (isolates the allocation win);
 //   serial              the devirtualized default path (static event
-//                       queue + job arena) — what every default-config
-//                       simulation now runs on;
+//                       queue + job arena + NullSink) — what every
+//                       default-config simulation now runs on;
 //   sharded             the per-core parallel runner (shards=0: one
-//                       worker per hardware thread).
+//                       worker per hardware thread);
+//   serial_traced       serial with the RecordSink (trace + metrics
+//                       recording, DESIGN.md §10) — the
+//                       NullSink-vs-recording A/B;
+//   sharded_traced      the sharded runner with per-lane RecordSinks and
+//                       the post-run canonical merge.
+//
+// On top of the SimResult bit-identity check, the two traced variants'
+// merged traces are compared BYTE-FOR-BYTE (the §10 determinism
+// contract re-proved on every perf run).
 //
 // Workloads are the queue-ablation partitions at m=16 and m=64 — the
 // scales where the ROADMAP flagged single-run latency as the remaining
@@ -43,6 +52,7 @@
 #include "partition/spa.hpp"
 #include "rt/generator.hpp"
 #include "sim/engine.hpp"
+#include "trace/gantt.hpp"
 #include "util/json_writer.hpp"
 
 namespace {
@@ -91,7 +101,16 @@ std::vector<Variant> Variants(Time horizon) {
   Variant sharded{"sharded", base};
   sharded.cfg.shards = 0;  // one worker per hardware thread
 
-  return {pr2, dyn, serial, sharded};
+  Variant traced{"serial_traced", base};
+  traced.cfg.record_trace = true;
+  traced.cfg.record_metrics = true;
+
+  Variant sharded_traced{"sharded_traced", base};
+  sharded_traced.cfg.shards = 0;
+  sharded_traced.cfg.record_trace = true;
+  sharded_traced.cfg.record_metrics = true;
+
+  return {pr2, dyn, serial, sharded, traced, sharded_traced};
 }
 
 /// The fields the differential tests compare, flattened for equality.
@@ -151,6 +170,33 @@ bool RunWorkload(util::JsonWriter& json, const char* label,
     if (!SameResult(serial->result, m.result)) {
       std::fprintf(stderr, "FAIL %s: %s deviates from serial\n", label,
                    m.name.c_str());
+      ok = false;
+    }
+  }
+  // Byte-identity of the canonical traces and equality of the metrics
+  // across serial and sharded recording (DESIGN.md §10).
+  const Measured* traced = nullptr;
+  const Measured* sharded_traced = nullptr;
+  for (const Measured& m : out) {
+    if (m.name == "serial_traced") traced = &m;
+    if (m.name == "sharded_traced") sharded_traced = &m;
+  }
+  if (traced != nullptr && sharded_traced != nullptr) {
+    if (traced->result.trace_events.empty()) {
+      std::fprintf(stderr, "FAIL %s: traced run recorded no events\n",
+                   label);
+      ok = false;
+    }
+    if (trace::ToCsv(traced->result.trace_events) !=
+        trace::ToCsv(sharded_traced->result.trace_events)) {
+      std::fprintf(stderr,
+                   "FAIL %s: sharded trace deviates from serial trace\n",
+                   label);
+      ok = false;
+    }
+    if (!(traced->result.metrics == sharded_traced->result.metrics)) {
+      std::fprintf(stderr,
+                   "FAIL %s: sharded metrics deviate from serial\n", label);
       ok = false;
     }
   }

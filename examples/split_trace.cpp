@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "obs/report.hpp"
 #include "overhead/model.hpp"
 #include "partition/placement.hpp"
 #include "partition/verify.hpp"
@@ -48,12 +49,15 @@ int main() {
   sim::SimConfig cfg;
   cfg.horizon = Millis(40);  // two periods of the split task
   cfg.overheads = model;
+  // The observability sink (DESIGN.md §10) delivers the canonical trace
+  // and the streaming metrics in the SimResult itself; no recorder
+  // object, and the same two flags work under --shards in sps_cli.
   cfg.record_trace = true;
-  trace::Recorder rec;
-  const sim::SimResult r = Simulate(p, cfg, &rec);
+  cfg.record_metrics = true;
+  const sim::SimResult r = Simulate(p, cfg);
 
   std::printf("--- first period: the split task's journey ---\n");
-  for (const trace::Event& e : rec.events()) {
+  for (const trace::Event& e : r.trace_events) {
     if (e.time > Millis(20)) break;
     if (e.task != 0 && e.kind != trace::EventKind::kMigrateIn) continue;
     if (e.kind == trace::EventKind::kOverheadBegin ||
@@ -64,12 +68,15 @@ int main() {
   }
 
   std::printf("\n--- Gantt (40ms; tau0 = '0' hopping between cores) ---\n%s",
-              trace::RenderGantt(rec.events(),
+              trace::RenderGantt(r.trace_events,
                                  {.start = 0, .end = Millis(40),
                                   .columns = 110, .num_cores = 3})
                   .c_str());
 
   std::printf("\n--- stats ---\n%s", r.summary().c_str());
+  const obs::MetricsReport rep = obs::BuildMetricsReport(r);
+  std::printf("\n--- per-core occupancy (busy+overhead+idle == span) ---\n%s",
+              rep.CoreCsv().c_str());
   std::printf("\nNote the paper's semantics: budget exhaustion on core 0/1 "
               "inserts tau0 into the NEXT core's ready queue "
               "(MIGRATE_OUT/MIGRATE_IN pairs); the tail finish on core 2 "

@@ -7,7 +7,8 @@
 //   sps_cli [--algo=spa2|spa1|ffd|wfd|bfd|edf-ffd|edf-wm]
 //           [--cores=4] [--tasks=16] [--util=0.85] [--seed=1]
 //           [--overheads=paper|zero|calibrated] [--scale=1.0]
-//           [--sim-ms=2000] [--trace]
+//           [--sim-ms=2000] [--trace] [--metrics]
+//           [--trace-out=FILE.json] [--metrics-out=FILE.json]
 //           [--arrivals=periodic|sporadic|jittered|bursty] [--sporadic]
 //           [--ready-queue=binomial|pairing|rbtree|vector|calendar]
 //           [--sleep-queue=...] [--event-queue=...] [--shards=N]
@@ -23,7 +24,16 @@
 // --shards=N runs the per-core sharded simulator with N total threads
 // (this process counts as one; 0 = one per hardware thread) for
 // single-run mode and the validation simulations; results are
-// bit-identical to --shards=1.
+// bit-identical to --shards=1 — including traces and metrics
+// (DESIGN.md §10), so every observability flag composes with --shards.
+//
+// Observability (DESIGN.md §10):
+//   --trace             record the scheduler event stream, print Gantt
+//   --trace-out=F.json  write the trace as Perfetto-loadable JSON
+//                       (open at ui.perfetto.dev); implies recording
+//   --metrics           record streaming metrics, print the per-task /
+//                       per-core report tables
+//   --metrics-out=F.json  write the MetricsReport JSON; implies --metrics
 //
 // Examples:
 //   ./build/examples/sps_cli --algo=spa2 --util=0.95
@@ -35,6 +45,8 @@
 //   ./build/examples/sps_cli --acceptance --jobs=0 --sets=100
 //   ./build/examples/sps_cli --acceptance --acceptance-validate \
 //       --sim-ms=200 --sets=20
+//   ./build/examples/sps_cli --cores=8 --tasks=48 --shards=0 \
+//       --trace-out=run.json --metrics-out=metrics.json
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +55,8 @@
 
 #include "containers/queue_traits.hpp"
 #include "exp/acceptance.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/report.hpp"
 #include "overhead/calibrate.hpp"
 #include "overhead/model.hpp"
 #include "partition/binpack.hpp"
@@ -52,6 +66,7 @@
 #include "rt/generator.hpp"
 #include "sim/engine.hpp"
 #include "trace/gantt.hpp"
+#include "util/json_writer.hpp"
 
 using namespace sps;
 
@@ -68,6 +83,9 @@ struct Options {
   Time sim_ms = Millis(2000);
   std::string arrivals = "periodic";
   bool trace = false;
+  bool metrics = false;
+  std::string trace_out;
+  std::string metrics_out;
   bool acceptance = false;
   bool acceptance_validate = false;
   int sets = 50;
@@ -136,6 +154,16 @@ bool ParseArg(const char* arg, Options& o) {
     return true;
   }
   if (std::strcmp(arg, "--trace") == 0) { o.trace = true; return true; }
+  if (std::strcmp(arg, "--metrics") == 0) { o.metrics = true; return true; }
+  if (const char* v = value("--trace-out")) {
+    o.trace_out = v;
+    return true;
+  }
+  if (const char* v = value("--metrics-out")) {
+    o.metrics_out = v;
+    o.metrics = true;
+    return true;
+  }
   return false;
 }
 
@@ -272,13 +300,13 @@ int main(int argc, char** argv) {
   cfg.horizon = o.sim_ms;
   cfg.overheads = model;
   if (!ParseArrivals(o.arrivals, cfg.arrivals)) return 2;
-  cfg.record_trace = o.trace;
+  cfg.record_trace = o.trace || !o.trace_out.empty();
+  cfg.record_metrics = o.metrics;
   cfg.ready_backend = o.ready_queue;
   cfg.sleep_backend = o.sleep_queue;
   cfg.event_backend = o.event_queue;
   cfg.shards = o.shards;
-  trace::Recorder rec(o.trace);
-  const sim::SimResult r = Simulate(pr.partition, cfg, &rec);
+  const sim::SimResult r = Simulate(pr.partition, cfg);
   std::printf("queues: ready=%s (%llu ops) sleep=%s (%llu ops) "
               "event=%s (%llu ops)\n",
               std::string(containers::to_string(o.ready_queue)).c_str(),
@@ -292,7 +320,30 @@ int main(int argc, char** argv) {
     trace::GanttOptions gopt;
     gopt.end = std::min<Time>(o.sim_ms, Millis(100));
     gopt.columns = 110;
-    std::printf("%s", trace::RenderGantt(rec.events(), gopt).c_str());
+    std::printf("%s", trace::RenderGantt(r.trace_events, gopt).c_str());
+  }
+  if (!o.trace_out.empty()) {
+    if (!obs::WritePerfettoJson(r.trace_events, o.trace_out,
+                                {.num_cores = o.cores})) {
+      std::fprintf(stderr, "could not write %s\n", o.trace_out.c_str());
+      return 2;
+    }
+    std::printf("wrote Perfetto trace (%zu events) to %s — open at "
+                "ui.perfetto.dev\n",
+                r.trace_events.size(), o.trace_out.c_str());
+  }
+  if (o.metrics) {
+    const obs::MetricsReport rep = obs::BuildMetricsReport(r);
+    std::printf("\n--- metrics report (span %.1fms) ---\n%s\n%s",
+                ToMillis(rep.span), rep.TaskCsv().c_str(),
+                rep.CoreCsv().c_str());
+    if (!o.metrics_out.empty()) {
+      if (!util::WriteTextFile(o.metrics_out, rep.ToJson())) {
+        std::fprintf(stderr, "could not write %s\n", o.metrics_out.c_str());
+        return 2;
+      }
+      std::printf("wrote metrics report to %s\n", o.metrics_out.c_str());
+    }
   }
   return r.total_misses == 0 ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "partition/binpack.hpp"
 #include "partition/spa.hpp"
 #include "sim/batch.hpp"
@@ -73,6 +74,16 @@ AcceptanceResult RunAcceptance(const AcceptanceConfig& cfg) {
   std::vector<std::uint8_t> sim_ok(npoints * nsets * nalgo, 0);
   std::vector<std::uint32_t> spa_accepts(npoints * nsets, 0);
   std::vector<std::uint32_t> spa_splits(npoints * nsets, 0);
+  // Per-unit streaming-metrics slices (validate_by_simulation): the
+  // cell's response histogram (all tasks merged) and worst tardiness.
+  // Fixed-size per-cell storage, merged per point after the joins —
+  // the same own-slot discipline that keeps the sweep jobs-invariant.
+  std::vector<obs::LogHistogram> resp_hist;
+  std::vector<Time> max_tard;
+  if (cfg.validate_by_simulation) {
+    resp_hist.resize(npoints * nsets * nalgo);
+    max_tard.assign(npoints * nsets * nalgo, 0);
+  }
 
   util::ParallelFor(cfg.jobs, npoints * nsets, [&](std::size_t u) {
     const std::size_t pi = u / nsets;
@@ -108,6 +119,7 @@ AcceptanceResult RunAcceptance(const AcceptanceConfig& cfg) {
           // correlated with any cell's task-set generation.
           sim::SimConfig scfg = cfg.validate_sim;
           scfg.overheads = cfg.model;
+          scfg.record_metrics = true;  // per-point aggregation below
           const std::uint64_t vcoord = npoints * nsets + u;
           scfg.exec.seed = sim::DeriveSeed(cfg.seed, vcoord, ai);
           scfg.arrivals.seed =
@@ -116,8 +128,14 @@ AcceptanceResult RunAcceptance(const AcceptanceConfig& cfg) {
               pr.partition,
               {{std::string(ToString(cfg.algorithms[ai])), scfg}},
               {.jobs = 1});
-          sim_ok[u * nalgo + ai] =
-              runs.front().result.total_misses == 0 ? 1 : 0;
+          const sim::SimResult& vr = runs.front().result;
+          sim_ok[u * nalgo + ai] = vr.total_misses == 0 ? 1 : 0;
+          obs::LogHistogram& h = resp_hist[u * nalgo + ai];
+          Time& tard = max_tard[u * nalgo + ai];
+          for (const obs::TaskMetrics& tm : vr.metrics.tasks) {
+            h += tm.response;
+            tard = std::max(tard, tm.max_tardiness);
+          }
         }
       }
     }
@@ -141,11 +159,21 @@ AcceptanceResult RunAcceptance(const AcceptanceConfig& cfg) {
     }
     if (cfg.validate_by_simulation) {
       ap.sim_validated.assign(nalgo, 1.0);
+      ap.sim_p99_response.assign(nalgo, 0);
+      ap.sim_max_tardiness.assign(nalgo, 0);
       for (std::size_t ai = 0; ai < nalgo; ++ai) {
         if (ap.acceptance[ai] > 0) {
           ap.sim_validated[ai] = static_cast<double>(point_sim_ok[ai]) /
                                  ap.acceptance[ai];
         }
+        obs::LogHistogram merged;
+        for (std::size_t si = 0; si < nsets; ++si) {
+          const std::size_t u = pi * nsets + si;
+          merged += resp_hist[u * nalgo + ai];
+          ap.sim_max_tardiness[ai] = std::max(
+              ap.sim_max_tardiness[ai], max_tard[u * nalgo + ai]);
+        }
+        ap.sim_p99_response[ai] = merged.Quantile(0.99);
       }
     }
     if (nsets > 0) {
@@ -175,6 +203,10 @@ std::string AcceptanceResult::Table() const {
       std::snprintf(buf, sizeof(buf), "  sim:%-8s", ToString(a));
       out += buf;
     }
+    for (const Algo a : config.algorithms) {
+      std::snprintf(buf, sizeof(buf), "  p99ms:%-6s", ToString(a));
+      out += buf;
+    }
   }
   out += "\n";
   for (const AcceptancePoint& p : points) {
@@ -188,6 +220,10 @@ std::string AcceptanceResult::Table() const {
     out += buf;
     for (const double v : p.sim_validated) {
       std::snprintf(buf, sizeof(buf), "  %12.3f", v);
+      out += buf;
+    }
+    for (const Time t : p.sim_p99_response) {
+      std::snprintf(buf, sizeof(buf), "  %12.2f", ToMillis(t));
       out += buf;
     }
     out += "\n";
@@ -207,6 +243,14 @@ std::string AcceptanceResult::Csv() const {
       out += ",sim_";
       out += ToString(a);
     }
+    for (const Algo a : config.algorithms) {
+      out += ",p99_response_ms_";
+      out += ToString(a);
+    }
+    for (const Algo a : config.algorithms) {
+      out += ",max_tardiness_us_";
+      out += ToString(a);
+    }
   }
   out += "\n";
   char buf[64];
@@ -221,6 +265,14 @@ std::string AcceptanceResult::Csv() const {
     out += buf;
     for (const double v : p.sim_validated) {
       std::snprintf(buf, sizeof(buf), ",%.4f", v);
+      out += buf;
+    }
+    for (const Time t : p.sim_p99_response) {
+      std::snprintf(buf, sizeof(buf), ",%.3f", ToMillis(t));
+      out += buf;
+    }
+    for (const Time t : p.sim_max_tardiness) {
+      std::snprintf(buf, sizeof(buf), ",%.1f", ToMicros(t));
       out += buf;
     }
     out += "\n";

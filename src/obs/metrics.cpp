@@ -1,0 +1,28 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace sps::obs {
+
+Time LogHistogram::Quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile sample, 1-based, nearest-rank definition:
+  // ceil(q*n), clamped into [1, n] (the float product can overshoot n).
+  const std::uint64_t rank = std::min<std::uint64_t>(
+      n, std::max<std::uint64_t>(
+             1, static_cast<std::uint64_t>(
+                    std::ceil(q * static_cast<double>(n)))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return i == 0 ? 0 : static_cast<Time>(1ull << i);
+    }
+  }
+  return static_cast<Time>(1ull << (kHistBuckets - 1));
+}
+
+}  // namespace sps::obs

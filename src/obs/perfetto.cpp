@@ -1,0 +1,171 @@
+#include "obs/perfetto.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "util/json_writer.hpp"
+
+namespace sps::obs {
+
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+
+/// Timestamps: the trace-event format counts in microseconds (doubles);
+/// our nanosecond integers convert exactly for every horizon this
+/// simulator runs (2^53 ns-as-µs headroom).
+double Us(Time t) { return static_cast<double>(t) / 1e3; }
+
+std::string TaskLabel(const Event& e) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "tau%u job%llu", e.task,
+                static_cast<unsigned long long>(e.job));
+  return buf;
+}
+
+/// True for the kinds that terminate the currently-open execution slice
+/// on their core: the job left the CPU (preempt / finish / migrate out),
+/// the core entered an overhead window (a release interrupt suspends the
+/// running job before any PREEMPT event is recorded), or went idle.
+bool ClosesExecSlice(EventKind k) {
+  switch (k) {
+    case EventKind::kPreempt:
+    case EventKind::kFinish:
+    case EventKind::kMigrateOut:
+    case EventKind::kOverheadBegin:
+    case EventKind::kIdle:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* InstantName(EventKind k) {
+  switch (k) {
+    case EventKind::kRelease: return "release";
+    case EventKind::kDeadlineMiss: return "DEADLINE MISS";
+    case EventKind::kMigrateOut: return "migrate out";
+    case EventKind::kMigrateIn: return "migrate in";
+    case EventKind::kJobShed: return "job shed";
+    default: return nullptr;
+  }
+}
+
+struct OpenSlice {
+  bool open = false;
+  Time start = 0;
+  Event ev;  // the kStart that opened it
+};
+
+void EmitSlice(util::JsonWriter& j, const char* name, const char* cat,
+               unsigned core, Time t0, Time t1) {
+  j.BeginObject();
+  j.Key("name").Value(name);
+  j.Key("cat").Value(cat);
+  j.Key("ph").Value("X");
+  j.Key("ts").Value(Us(t0));
+  j.Key("dur").Value(Us(t1 - t0));
+  j.Key("pid").Value(0);
+  j.Key("tid").Value(core);
+  j.EndObject();
+}
+
+}  // namespace
+
+std::string ToPerfettoJson(const std::vector<Event>& events,
+                           const PerfettoOptions& opt) {
+  unsigned cores = opt.num_cores;
+  Time last_time = 0;
+  for (const Event& e : events) {
+    cores = std::max(cores, e.core + 1);
+    last_time = std::max(last_time, e.time + e.duration);
+  }
+  if (cores == 0) cores = 1;
+
+  util::JsonWriter j;
+  j.BeginObject();
+  j.Key("displayTimeUnit").Value("ms");
+  j.Key("traceEvents").BeginArray();
+
+  // Track metadata: name the process and one thread per core.
+  j.BeginObject();
+  j.Key("name").Value("process_name");
+  j.Key("ph").Value("M");
+  j.Key("pid").Value(0);
+  j.Key("args").BeginObject().Key("name").Value(opt.process_name).EndObject();
+  j.EndObject();
+  for (unsigned c = 0; c < cores; ++c) {
+    char name[24];
+    std::snprintf(name, sizeof(name), "core %u", c);
+    j.BeginObject();
+    j.Key("name").Value("thread_name");
+    j.Key("ph").Value("M");
+    j.Key("pid").Value(0);
+    j.Key("tid").Value(c);
+    j.Key("args").BeginObject().Key("name").Value(name).EndObject();
+    j.EndObject();
+  }
+
+  // Execution slices are reconstructed per core: a kStart opens one; the
+  // next closing kind on that core ends it. Overhead slices carry their
+  // duration directly. Everything else becomes an instant.
+  std::vector<OpenSlice> open(cores);
+  for (const Event& e : events) {
+    OpenSlice& slice = open[e.core];
+    if (slice.open && ClosesExecSlice(e.kind) && e.time >= slice.start) {
+      if (e.time > slice.start) {
+        EmitSlice(j, TaskLabel(slice.ev).c_str(), "exec", e.core,
+                  slice.start, e.time);
+      }
+      slice.open = false;
+    }
+    switch (e.kind) {
+      case EventKind::kStart:
+        slice.open = true;
+        slice.start = e.time;
+        slice.ev = e;
+        break;
+      case EventKind::kOverheadBegin:
+        if (e.duration > 0) {
+          EmitSlice(j, trace::ToString(e.overhead), "overhead", e.core,
+                    e.time, e.time + e.duration);
+        }
+        break;
+      default:
+        if (const char* name = InstantName(e.kind)) {
+          j.BeginObject();
+          j.Key("name").Value(name);
+          j.Key("cat").Value("sched");
+          j.Key("ph").Value("i");
+          j.Key("s").Value("t");
+          j.Key("ts").Value(Us(e.time));
+          j.Key("pid").Value(0);
+          j.Key("tid").Value(e.core);
+          j.Key("args").BeginObject().Key("task").Value(TaskLabel(e))
+              .EndObject();
+          j.EndObject();
+        }
+        break;
+    }
+  }
+  // Close slices still running when the trace ends.
+  for (unsigned c = 0; c < cores; ++c) {
+    if (open[c].open && last_time > open[c].start) {
+      EmitSlice(j, TaskLabel(open[c].ev).c_str(), "exec", c, open[c].start,
+                last_time);
+    }
+  }
+
+  j.EndArray();
+  j.EndObject();
+  return j.str();
+}
+
+bool WritePerfettoJson(const std::vector<Event>& events,
+                       const std::string& path, const PerfettoOptions& opt) {
+  return util::WriteTextFile(path, ToPerfettoJson(events, opt));
+}
+
+}  // namespace sps::obs

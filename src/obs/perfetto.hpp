@@ -1,0 +1,37 @@
+#pragma once
+// Chrome trace-event exporter (DESIGN.md §10): turns a simulator trace
+// into the JSON array format that Perfetto (ui.perfetto.dev) and
+// chrome://tracing load directly — one named track per core, execution
+// and overhead slices as complete ("X") events, scheduler happenings
+// (release / deadline miss / migration / shed) as instants. The third
+// way to look at a run, next to the ASCII Gantt and the CSV dump
+// (trace/gantt.hpp), and the one that survives zooming into a
+// million-event trace.
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace sps::obs {
+
+struct PerfettoOptions {
+  /// Number of core tracks to declare; 0 = infer from the events.
+  unsigned num_cores = 0;
+  /// Process name shown in the UI.
+  std::string process_name = "sps simulation";
+};
+
+/// Serialize the (dispatch-ordered) event stream to Chrome trace-event
+/// JSON. Deterministic: a byte-identical event stream yields a
+/// byte-identical document (golden-file tested).
+[[nodiscard]] std::string ToPerfettoJson(
+    const std::vector<trace::Event>& events,
+    const PerfettoOptions& opt = {});
+
+/// Convenience: serialize and write to `path`. Returns success.
+[[nodiscard]] bool WritePerfettoJson(const std::vector<trace::Event>& events,
+                                     const std::string& path,
+                                     const PerfettoOptions& opt = {});
+
+}  // namespace sps::obs

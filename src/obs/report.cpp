@@ -1,0 +1,154 @@
+#include "obs/report.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+#include "util/json_writer.hpp"
+
+namespace sps::obs {
+
+MetricsReport BuildMetricsReport(const sim::SimResult& r) {
+  assert(r.metrics.enabled() &&
+         "BuildMetricsReport needs a run with record_metrics");
+  MetricsReport rep;
+  rep.span = r.metrics.span;
+  rep.total_misses = r.total_misses;
+
+  rep.tasks.reserve(r.tasks.size());
+  for (std::size_t i = 0; i < r.tasks.size(); ++i) {
+    const sim::TaskStats& s = r.tasks[i];
+    const TaskMetrics& m = r.metrics.tasks[i];
+    MetricsReport::TaskRow row;
+    row.id = s.id;
+    row.released = s.released;
+    row.completed = s.completed;
+    row.deadline_misses = s.deadline_misses;
+    row.shed = s.shed;
+    row.preemptions = s.preemptions;
+    row.migrations = s.migrations;
+    row.max_response = s.max_response;
+    row.avg_response = s.avg_response;
+    row.p50_response = m.response.Quantile(0.50);
+    row.p99_response = m.response.Quantile(0.99);
+    row.max_tardiness = m.max_tardiness;
+    row.response = m.response;
+    row.tardiness = m.tardiness;
+    rep.tasks.push_back(std::move(row));
+  }
+
+  rep.cores.reserve(r.cores.size());
+  for (std::size_t c = 0; c < r.cores.size(); ++c) {
+    const sim::CoreStats& s = r.cores[c];
+    const CoreMetrics& m = r.metrics.cores[c];
+    MetricsReport::CoreRow row;
+    row.core = static_cast<std::uint32_t>(c);
+    row.busy = m.busy;
+    row.overhead = m.overhead;
+    row.idle = m.idle;
+    row.cpmd = s.cpmd_charged;
+    row.context_switches = s.context_switches;
+    rep.cores.push_back(row);
+  }
+  return rep;
+}
+
+namespace {
+
+void HistJson(util::JsonWriter& j, const char* key, const LogHistogram& h) {
+  j.Key(key).BeginArray();
+  // Trailing zero buckets are elided; consumers index from bucket 0.
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    if (h.buckets[i] != 0) last = i + 1;
+  }
+  for (std::size_t i = 0; i < last; ++i) j.Value(h.buckets[i]);
+  j.EndArray();
+}
+
+}  // namespace
+
+std::string MetricsReport::ToJson() const {
+  util::JsonWriter j;
+  j.BeginObject();
+  j.Key("span_ns").Value(static_cast<std::int64_t>(span));
+  j.Key("total_misses").Value(total_misses);
+  j.Key("hist_bucket_ns").Value("bucket i counts values in [2^(i-1), 2^i)");
+  j.Key("tasks").BeginArray();
+  for (const TaskRow& t : tasks) {
+    j.BeginObject();
+    j.Key("id").Value(static_cast<std::uint64_t>(t.id));
+    j.Key("released").Value(t.released);
+    j.Key("completed").Value(t.completed);
+    j.Key("deadline_misses").Value(t.deadline_misses);
+    j.Key("shed").Value(t.shed);
+    j.Key("preemptions").Value(t.preemptions);
+    j.Key("migrations").Value(t.migrations);
+    j.Key("max_response_ns").Value(static_cast<std::int64_t>(t.max_response));
+    j.Key("avg_response_ns").Value(t.avg_response);
+    j.Key("p50_response_ns").Value(static_cast<std::int64_t>(t.p50_response));
+    j.Key("p99_response_ns").Value(static_cast<std::int64_t>(t.p99_response));
+    j.Key("max_tardiness_ns")
+        .Value(static_cast<std::int64_t>(t.max_tardiness));
+    HistJson(j, "response_hist", t.response);
+    HistJson(j, "tardiness_hist", t.tardiness);
+    j.EndObject();
+  }
+  j.EndArray();
+  j.Key("cores").BeginArray();
+  for (const CoreRow& c : cores) {
+    j.BeginObject();
+    j.Key("core").Value(c.core);
+    j.Key("busy_ns").Value(static_cast<std::int64_t>(c.busy));
+    j.Key("overhead_ns").Value(static_cast<std::int64_t>(c.overhead));
+    j.Key("idle_ns").Value(static_cast<std::int64_t>(c.idle));
+    j.Key("cpmd_ns").Value(static_cast<std::int64_t>(c.cpmd));
+    j.Key("context_switches").Value(c.context_switches);
+    j.EndObject();
+  }
+  j.EndArray();
+  j.EndObject();
+  return j.str();
+}
+
+std::string MetricsReport::TaskCsv() const {
+  std::string out =
+      "task,released,completed,deadline_misses,shed,preemptions,"
+      "migrations,max_response_ns,avg_response_ns,p50_response_ns,"
+      "p99_response_ns,max_tardiness_ns\n";
+  char buf[256];
+  for (const TaskRow& t : tasks) {
+    std::snprintf(buf, sizeof(buf),
+                  "%u,%llu,%llu,%llu,%llu,%llu,%llu,%lld,%.1f,%lld,%lld,"
+                  "%lld\n",
+                  t.id, static_cast<unsigned long long>(t.released),
+                  static_cast<unsigned long long>(t.completed),
+                  static_cast<unsigned long long>(t.deadline_misses),
+                  static_cast<unsigned long long>(t.shed),
+                  static_cast<unsigned long long>(t.preemptions),
+                  static_cast<unsigned long long>(t.migrations),
+                  static_cast<long long>(t.max_response), t.avg_response,
+                  static_cast<long long>(t.p50_response),
+                  static_cast<long long>(t.p99_response),
+                  static_cast<long long>(t.max_tardiness));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsReport::CoreCsv() const {
+  std::string out =
+      "core,busy_ns,overhead_ns,idle_ns,cpmd_ns,context_switches\n";
+  char buf[160];
+  for (const CoreRow& c : cores) {
+    std::snprintf(buf, sizeof(buf), "%u,%lld,%lld,%lld,%lld,%llu\n", c.core,
+                  static_cast<long long>(c.busy),
+                  static_cast<long long>(c.overhead),
+                  static_cast<long long>(c.idle),
+                  static_cast<long long>(c.cpmd),
+                  static_cast<unsigned long long>(c.context_switches));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sps::obs

@@ -4,9 +4,12 @@
 #include <cassert>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "obs/sink.hpp"
+#include "obs/trace_buffer.hpp"
 #include "sim/kernel.hpp"
 #include "util/thread_pool.hpp"
 
@@ -18,12 +21,13 @@ using containers::QueueBackend;
 using partition::PlacedTask;
 
 /// Width of the EDF ready-key task-index tie-break (CurKey): task
-/// indices are packed into 10 bits below the absolute deadline. EDF
-/// partitions with more tasks would alias indices — equal-deadline
+/// indices are packed into 16 bits below the absolute deadline (widened
+/// from 10 in PR 4 so realistically sized sets never hit the limit).
+/// EDF partitions with more tasks would alias indices — equal-deadline
 /// order would fall back to insertion FIFO, which is interleaving-
 /// dependent — so the sharded runner declines them (serial fallback in
 /// Dispatch) rather than quietly lose bit-identity.
-inline constexpr std::size_t kEdfTieBreakTasks = 1024;
+inline constexpr std::size_t kEdfTieBreakTasks = 1u << 16;
 
 struct Job : kernel::JobBase {
   Time budget_remaining = 0;  ///< current subtask's budget left
@@ -57,19 +61,22 @@ struct PerCoreQueues {
 /// absolute window deadline under EDF; FIFO among ties). SleepQ orders
 /// inactive tasks by wake-up time. EventQ is the kernel's event-queue
 /// policy: the static (devirtualized) default or the dynamic slot for
-/// --event-queue overrides (DESIGN.md §9).
-template <typename ReadyQ, typename SleepQ, typename EventQ>
+/// --event-queue overrides (DESIGN.md §9). Sink is the observability
+/// policy (DESIGN.md §10): obs::NullSink unless the run records a trace
+/// or metrics.
+template <typename ReadyQ, typename SleepQ, typename EventQ, typename Sink>
 class Engine final
-    : public kernel::KernelBase<Engine<ReadyQ, SleepQ, EventQ>, Job,
+    : public kernel::KernelBase<Engine<ReadyQ, SleepQ, EventQ, Sink>, Job,
                                 TaskRt<SleepQ>, PerCoreQueues<ReadyQ, SleepQ>,
-                                EventQ> {
+                                EventQ, Sink> {
   static_assert(containers::ReadyQueueFor<ReadyQ, std::uint64_t, Job*>);
   static_assert(containers::SleepQueueFor<SleepQ, Time, std::size_t>);
 
  public:
-  using Base = kernel::KernelBase<Engine<ReadyQ, SleepQ, EventQ>, Job,
+  using Base = kernel::KernelBase<Engine<ReadyQ, SleepQ, EventQ, Sink>, Job,
                                   TaskRt<SleepQ>,
-                                  PerCoreQueues<ReadyQ, SleepQ>, EventQ>;
+                                  PerCoreQueues<ReadyQ, SleepQ>, EventQ,
+                                  Sink>;
   friend Base;
   using Ev = kernel::Event<Job>;
   using EvKind = kernel::EvKind;
@@ -78,12 +85,13 @@ class Engine final
   using ShardContext = typename Base::ShardContext;
 
   Engine(const partition::Partition& p, const SimConfig& cfg,
-         trace::Recorder* rec, const ShardContext* shard = nullptr)
+         const ShardContext* shard = nullptr)
       : Base(kernel::KernelConfig{p.num_cores, cfg.horizon, cfg.overheads,
                                   cfg.exec, cfg.arrivals,
                                   cfg.stop_on_first_miss,
-                                  cfg.event_backend, cfg.job_arena},
-             p.tasks.size(), rec, shard),
+                                  cfg.event_backend, cfg.job_arena,
+                                  cfg.record_trace, cfg.record_metrics},
+             p.tasks.size(), shard),
         p_(p) {
     for (std::size_t i = 0; i < p.tasks.size(); ++i) {
       tasks_[i].pt = &p.tasks[i];
@@ -99,12 +107,17 @@ class Engine final
   using Base::BootShard;
   using Base::CollectShardInto;
   using Base::DrainMailbox;
+  using Base::FinalizeShardObservability;
   using Base::FinalizeTasksInto;
+  using Base::halted;
   using Base::NextEventKey;
   using Base::Run;
   using Base::RunWindow;
+  using Base::sink;
 
  private:
+  using Base::CoreAt;
+  using Base::CoreStatsAt;
   using Base::cores_;
   using Base::kcfg_;
   using Base::lane_;
@@ -122,7 +135,7 @@ class Engine final
     for (std::size_t i = 0; i < p_.tasks.size(); ++i) {
       const partition::CoreId c = FirstCore(i);
       if (router_ != nullptr && c != lane_) continue;
-      tasks_[i].sleep_handle = cores_[c].sleep.push(0, i);
+      tasks_[i].sleep_handle = CoreAt(c).sleep.push(0, i);
       tasks_[i].next_release = 0;
       this->Push(Ev{.t = 0, .kind = EvKind::kTimer, .core = c,
                     .task_idx = i});
@@ -148,7 +161,7 @@ class Engine final
     assert(FirstCore(ev.task_idx) == lane_);
     TaskRt<SleepQ>& tr = tasks_[ev.task_idx];
     assert(tr.sleep_handle == nullptr);
-    tr.sleep_handle = cores_[lane_].sleep.push(ev.t, ev.task_idx);
+    tr.sleep_handle = CoreAt(lane_).sleep.push(ev.t, ev.task_idx);
   }
 
   Time WcetOf(std::size_t ti) const { return TaskOf(ti).wcet; }
@@ -186,22 +199,22 @@ class Engine final
     const Time rel = part.rel_deadline > 0 ? part.rel_deadline
                                            : TaskOf(j->task_idx).deadline;
     const Time d = j->release_time + rel;
-    // The 10-bit shift narrows the representable deadline to 2^53 ns
-    // (~104 days — far past any simulation here). Saturate rather than
+    // The 16-bit shift narrows the representable deadline to 2^48 ns
+    // (~3.3 days — far past any simulation here). Saturate rather than
     // silently wrap: deadlines at or past the cap all map to the
     // maximum key and order FIFO among themselves.
     const std::uint64_t capped = std::min<std::uint64_t>(
-        static_cast<std::uint64_t>(d), (1ull << 53) - 1);
+        static_cast<std::uint64_t>(d), (1ull << 48) - 1);
     // Aliased indices (> kEdfTieBreakTasks tasks) only ever run serial
     // (Dispatch declines to shard them), where FIFO ties are fine.
-    return (capped << 10) | (static_cast<std::uint64_t>(j->task_idx) &
+    return (capped << 16) | (static_cast<std::uint64_t>(j->task_idx) &
                              (kEdfTieBreakTasks - 1));
   }
 
   /// Suspend execution (if any), account progress, queue a scheduling
   /// decision after `cost` of overhead.
   void InterruptCore(std::uint32_t c, trace::OverheadKind kind, Time cost) {
-    Core& core = cores_[c];
+    Core& core = CoreAt(c);
     if (core.state == CoreState::kExec) {
       this->SuspendRunning(c);
     }
@@ -222,7 +235,7 @@ class Engine final
     const std::size_t ti = ev.task_idx;
     TaskRt<SleepQ>& tr = tasks_[ti];
     const std::uint32_t c = ev.core;
-    Core& core = cores_[c];
+    Core& core = CoreAt(c);
     assert(!tr.active && tr.sleep_handle != nullptr);
 
     // The timer handler removes the task from this core's sleep queue and
@@ -246,7 +259,7 @@ class Engine final
   }
 
   void OnOverheadEnd(const Ev& ev) {
-    Core& core = cores_[ev.core];
+    Core& core = CoreAt(ev.core);
     if (ev.epoch != core.epoch || core.state != CoreState::kOvh) return;
 
     if (core.pending_start != nullptr) {
@@ -276,7 +289,7 @@ class Engine final
   /// current one on preemption, charge the corresponding costs, and leave
   /// the winner in pending_start for the post-overhead switch-in.
   void MakeSchedulingDecision(std::uint32_t c) {
-    Core& core = cores_[c];
+    Core& core = CoreAt(c);
     const std::size_t n = n_of_core_[c];
     const bool have_top = !core.ready.empty();
 
@@ -294,7 +307,7 @@ class Engine final
         Job* top = core.ready.pop_min().second;
         core.ready.push(run_key, preempted);
         core.pending_start = top;
-        ++result_.cores[c].context_switches;
+        ++CoreStatsAt(c).context_switches;
         this->BurnOverhead(c, trace::OverheadKind::kSch,
                            kcfg_.overheads.sched_overhead(n, true));
         this->BurnOverhead(c, trace::OverheadKind::kCnt1,
@@ -309,7 +322,7 @@ class Engine final
     } else if (have_top) {
       Job* top = core.ready.pop_min().second;
       core.pending_start = top;
-      ++result_.cores[c].context_switches;
+      ++CoreStatsAt(c).context_switches;
       this->BurnOverhead(c, trace::OverheadKind::kSch,
                          kcfg_.overheads.sched_overhead(n, false));
       this->BurnOverhead(c, trace::OverheadKind::kCnt1,
@@ -321,7 +334,7 @@ class Engine final
   }
 
   void StartSegment(std::uint32_t c) {
-    Core& core = cores_[c];
+    Core& core = CoreAt(c);
     Job* j = core.running;
     assert(j != nullptr);
     if (j->cpmd_pending > 0) {
@@ -334,7 +347,7 @@ class Engine final
       if (j->budget_remaining < kTimeNever / 2) {
         j->budget_remaining += j->cpmd_pending;
       }
-      result_.cores[c].cpmd_charged += j->cpmd_pending;
+      CoreStatsAt(c).cpmd_charged += j->cpmd_pending;
       this->Trace(trace::EventKind::kOverheadBegin, c, j,
                   trace::OverheadKind::kCache, j->cpmd_pending);
       j->cpmd_pending = 0;
@@ -349,12 +362,10 @@ class Engine final
   }
 
   void OnSegmentEnd(const Ev& ev) {
-    Core& core = cores_[ev.core];
+    Core& core = CoreAt(ev.core);
     if (ev.epoch != core.epoch || core.state != CoreState::kExec) return;
     Job* j = core.running;
-    const Time progress = now_ - core.seg_start;
-    j->charge(progress);
-    result_.cores[ev.core].busy_exec += progress;
+    this->BookProgress(ev.core, j);
 
     if (j->exec_remaining <= 0) {
       FinishJob(ev.core, j);
@@ -364,7 +375,7 @@ class Engine final
   }
 
   void FinishJob(std::uint32_t c, Job* j) {
-    Core& core = cores_[c];
+    Core& core = CoreAt(c);
     TaskRt<SleepQ>& tr = tasks_[j->task_idx];
 
     this->RecordCompletion(c, j);
@@ -390,7 +401,7 @@ class Engine final
       // this lane must not touch a remote core's queues.
       assert(tr.sleep_handle == nullptr);
     } else {
-      tr.sleep_handle = cores_[first].sleep.push(wake, j->task_idx);
+      tr.sleep_handle = CoreAt(first).sleep.push(wake, j->task_idx);
     }
     this->Push(Ev{.t = wake, .kind = EvKind::kTimer, .core = first,
                   .task_idx = j->task_idx});
@@ -406,7 +417,7 @@ class Engine final
   }
 
   void MigrateJob(std::uint32_t c, Job* j) {
-    Core& core = cores_[c];
+    Core& core = CoreAt(c);
     const PlacedTask& pt = *tasks_[j->task_idx].pt;
     assert(j->part + 1 < pt.parts.size());
 
@@ -435,7 +446,7 @@ class Engine final
 
   void OnMigrationArrival(const Ev& ev) {
     Job* j = ev.job;
-    Core& dest = cores_[ev.core];
+    Core& dest = CoreAt(ev.core);
     this->Trace(trace::EventKind::kMigrateIn, ev.core, j);
     dest.ready.push(CurKey(j), j);
     // The insert was paid by the source core; the destination only runs
@@ -454,6 +465,8 @@ using DefaultSleepQ = containers::RbTreeQueue<Time, std::size_t>;
 using StaticEventQ =
     kernel::StaticEventQueue<Job, QueueBackend::kBinomialHeap>;
 using DynamicEventQ = kernel::DynamicEventQueue<Job>;
+using obs::NullSink;
+using obs::RecordSink;
 
 /// Which cores can push cross-lane events INTO core c (DESIGN.md §9).
 /// In a semi-partitioned system the only cross-core edges are the split
@@ -488,11 +501,18 @@ std::vector<std::vector<std::uint32_t>> SenderLanes(
 /// sender lanes (a lane dispatching packed key K can only emit keys >=
 /// K+1 cross-lane, so nothing that orders before the bound can still
 /// arrive). Bit-identical to the serial engine by construction: per-task
-/// RNG streams, deterministic mailbox ordering, unique ready keys.
-template <typename ReadyQ, typename SleepQ, typename EventQ>
-SimResult RunSharded(const partition::Partition& p, const SimConfig& cfg,
-                     unsigned threads) {
-  using Eng = Engine<ReadyQ, SleepQ, EventQ>;
+/// RNG streams, deterministic mailbox ordering, unique ready keys —
+/// and, with a recording sink, the per-lane trace buffers merge into
+/// the byte-identical canonical trace (DESIGN.md §10).
+///
+/// Returns nullopt when a stop_on_first_miss run observed a miss: the
+/// per-lane halt flags are aggregated at the drain barrier, the sharded
+/// attempt is abandoned (lanes have over-processed past the miss), and
+/// the caller reruns serially for the exact serial halt point.
+template <typename ReadyQ, typename SleepQ, typename EventQ, typename Sink>
+std::optional<SimResult> RunSharded(const partition::Partition& p,
+                                    const SimConfig& cfg, unsigned threads) {
+  using Eng = Engine<ReadyQ, SleepQ, EventQ, Sink>;
   const std::size_t m = p.num_cores;
 
   kernel::ShardRouter<Job> router(m);
@@ -502,7 +522,7 @@ SimResult RunSharded(const partition::Partition& p, const SimConfig& cfg,
   for (std::size_t c = 0; c < m; ++c) {
     const typename Eng::ShardContext ctx{
         static_cast<std::uint32_t>(c), &router, tasks.data(), tasks.size()};
-    shards.push_back(std::make_unique<Eng>(p, cfg, nullptr, &ctx));
+    shards.push_back(std::make_unique<Eng>(p, cfg, &ctx));
   }
   const std::vector<std::vector<std::uint32_t>> senders = SenderLanes(p);
 
@@ -529,6 +549,15 @@ SimResult RunSharded(const partition::Partition& p, const SimConfig& cfg,
       shards[c]->DrainMailbox();
       next_key[c] = shards[c]->NextEventKey();
     });
+    // Stop-on-first-miss: each lane raises its halt flag inside the
+    // processing window; the flags are read here, at the barrier. The
+    // over-processed sharded state cannot reproduce the serial halt
+    // point, so the whole attempt is discarded.
+    if (cfg.stop_on_first_miss) {
+      for (std::size_t c = 0; c < m; ++c) {
+        if (shards[c]->halted()) return std::nullopt;
+      }
+    }
     // All mailboxes are empty here (deliveries only happen in phase 2),
     // so once every lane's next event is beyond the horizon nothing can
     // ever be dispatched again.
@@ -575,30 +604,61 @@ SimResult RunSharded(const partition::Partition& p, const SimConfig& cfg,
   out.cores.resize(m);
   for (std::size_t c = 0; c < m; ++c) shards[c]->CollectShardInto(out);
   shards[0]->FinalizeTasksInto(out);
+
+  // Observability merge (DESIGN.md §10): close every lane's streams,
+  // k-way-merge the stamped trace buffers into the canonical sequence,
+  // and fold the per-lane metrics (task histograms sum; each lane owns
+  // exactly its core's occupancy row). All merging is commutative or
+  // stamp-ordered, so the output is byte-identical to the serial run's.
+  if constexpr (Sink::kActive) {
+    for (std::size_t c = 0; c < m; ++c) {
+      shards[c]->FinalizeShardObservability();
+    }
+    if (cfg.record_trace) {
+      std::vector<const obs::TraceBuffer*> bufs;
+      bufs.reserve(m);
+      for (std::size_t c = 0; c < m; ++c) {
+        bufs.push_back(&shards[c]->sink().buffer());
+      }
+      out.trace_events = obs::MergeTraceBuffers(bufs);
+    }
+    if (cfg.record_metrics) {
+      obs::RunMetrics merged;
+      merged.tasks.resize(tasks.size());
+      merged.cores.resize(m);
+      for (std::size_t c = 0; c < m; ++c) {
+        const obs::RunMetrics& lane = shards[c]->sink().run_metrics();
+        merged.cores[c] = lane.cores[0];
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+          merged.tasks[i] += lane.tasks[i];
+        }
+        merged.span = lane.span;  // == horizon on every lane
+      }
+      out.metrics = std::move(merged);
+    }
+  }
   return out;
 }
 
-template <typename ReadyQ, typename SleepQ, typename EventQ>
-SimResult Dispatch(const partition::Partition& p, const SimConfig& cfg,
-                   trace::Recorder* recorder) {
+template <typename ReadyQ, typename SleepQ, typename EventQ, typename Sink>
+SimResult Dispatch(const partition::Partition& p, const SimConfig& cfg) {
   const unsigned threads =
       cfg.shards == 0 ? std::max(1u, std::thread::hardware_concurrency())
                       : cfg.shards;
-  // Sharding needs multiple lanes and forbids the two globally-coupled
-  // features (trace stream, halt-on-first-miss); everything else falls
-  // back to the classic serial loop — same results either way. EDF
-  // partitions beyond the CurKey tie-break width also stay serial: with
-  // aliased task indices the ready order would degrade to insertion
-  // FIFO, which is interleaving-dependent.
-  const bool tracing =
-      cfg.record_trace || (recorder != nullptr && recorder->enabled());
+  // Sharding needs multiple lanes. Since PR 4 trace recording, metrics,
+  // and stop-on-first-miss all shard (the first two via per-lane sinks,
+  // the last optimistically — a detected miss falls back to the exact
+  // serial halt below). Only EDF partitions beyond the CurKey tie-break
+  // width stay serial: with aliased task indices the ready order would
+  // degrade to insertion FIFO, which is interleaving-dependent.
   const bool edf_alias = p.policy == partition::SchedPolicy::kEdf &&
                          p.tasks.size() > kEdfTieBreakTasks;
-  if (threads > 1 && p.num_cores > 1 && !tracing &&
-      !cfg.stop_on_first_miss && !edf_alias) {
-    return RunSharded<ReadyQ, SleepQ, EventQ>(p, cfg, threads);
+  if (threads > 1 && p.num_cores > 1 && !edf_alias) {
+    std::optional<SimResult> r =
+        RunSharded<ReadyQ, SleepQ, EventQ, Sink>(p, cfg, threads);
+    if (r.has_value()) return *std::move(r);
   }
-  Engine<ReadyQ, SleepQ, EventQ> engine(p, cfg, recorder);
+  Engine<ReadyQ, SleepQ, EventQ, Sink> engine(p, cfg);
   return engine.Run();
 }
 
@@ -641,25 +701,46 @@ std::string SimResult::summary() const {
 
 SimResult Simulate(const partition::Partition& p, const SimConfig& cfg,
                    trace::Recorder* recorder) {
+  // A non-null enabled recorder is the legacy way to ask for a trace.
+  SimConfig ecfg = cfg;
+  if (recorder != nullptr && recorder->enabled()) ecfg.record_trace = true;
+  const bool recording = ecfg.record_trace || ecfg.record_metrics;
+
   // The default backend combination takes the fully-devirtualized
   // kernel; any override keeps the runtime-selected (type-erased) event
-  // slot so the instantiation count stays ready x sleep + 1.
-  if (!cfg.force_dynamic_event_queue &&
-      cfg.ready_backend == QueueBackend::kBinomialHeap &&
-      cfg.sleep_backend == QueueBackend::kRbTree &&
-      cfg.event_backend == QueueBackend::kBinomialHeap) {
-    return Dispatch<DefaultReadyQ, DefaultSleepQ, StaticEventQ>(p, cfg,
-                                                                recorder);
-  }
-  return containers::WithQueueBackend(cfg.ready_backend, [&](auto rb) {
-    return containers::WithQueueBackend(cfg.sleep_backend, [&](auto sb) {
-      using ReadyQ =
-          containers::QueueOf<decltype(rb)::value, std::uint64_t, Job*>;
-      using SleepQ = containers::QueueOf<decltype(sb)::value, Time,
-                                         std::size_t>;
-      return Dispatch<ReadyQ, SleepQ, DynamicEventQ>(p, cfg, recorder);
+  // slot so the instantiation count stays ready x sleep + 1. The sink
+  // doubles that only at compile time: at run time a simulation is
+  // either all-NullSink (every hook compiled away — the perf-guarded
+  // default) or recording.
+  SimResult r = [&]() -> SimResult {
+    if (!ecfg.force_dynamic_event_queue &&
+        ecfg.ready_backend == QueueBackend::kBinomialHeap &&
+        ecfg.sleep_backend == QueueBackend::kRbTree &&
+        ecfg.event_backend == QueueBackend::kBinomialHeap) {
+      return recording
+                 ? Dispatch<DefaultReadyQ, DefaultSleepQ, StaticEventQ,
+                            RecordSink>(p, ecfg)
+                 : Dispatch<DefaultReadyQ, DefaultSleepQ, StaticEventQ,
+                            NullSink>(p, ecfg);
+    }
+    return containers::WithQueueBackend(ecfg.ready_backend, [&](auto rb) {
+      return containers::WithQueueBackend(ecfg.sleep_backend, [&](auto sb) {
+        using ReadyQ =
+            containers::QueueOf<decltype(rb)::value, std::uint64_t, Job*>;
+        using SleepQ = containers::QueueOf<decltype(sb)::value, Time,
+                                           std::size_t>;
+        return recording
+                   ? Dispatch<ReadyQ, SleepQ, DynamicEventQ, RecordSink>(
+                         p, ecfg)
+                   : Dispatch<ReadyQ, SleepQ, DynamicEventQ, NullSink>(
+                         p, ecfg);
+      });
     });
-  });
+  }();
+  if (recorder != nullptr && recorder->enabled()) {
+    for (const trace::Event& e : r.trace_events) recorder->record(e);
+  }
+  return r;
 }
 
 }  // namespace sps::sim

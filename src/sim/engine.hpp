@@ -47,9 +47,23 @@ struct SimConfig {
   overhead::OverheadModel overheads = overhead::OverheadModel::Zero();
   ExecModel exec = {};
   ArrivalModel arrivals = {};
+  /// Record the scheduler event stream (DESIGN.md §10). The canonical
+  /// trace lands in SimResult::trace_events — byte-identical for every
+  /// shard count (sharded lanes record into per-lane buffers merged by
+  /// the deterministic stamped k-way merge).
   bool record_trace = false;
+  /// Record streaming metrics (SimResult::metrics): per-task log2
+  /// response/tardiness histograms, per-core busy/overhead/idle wall
+  /// accounting. Alloc-free accumulation, shard-invariant like the
+  /// trace. obs::BuildMetricsReport turns the result into an exportable
+  /// JSON/CSV report.
+  bool record_metrics = false;
   /// Stop the run at the first deadline miss (the validation experiments
-  /// assert none happen; leaving it false measures all misses).
+  /// assert none happen; leaving it false measures all misses). Sharded
+  /// runs proceed optimistically and, if any lane observes a miss (the
+  /// per-window flag checked at the drain barrier), rerun serially for
+  /// the exact serial halt point — identical results either way, and the
+  /// expensive path only triggers when the validated property FAILED.
   bool stop_on_first_miss = false;
   /// Queue backends (DESIGN.md §6 ablation): which container implements
   /// each per-core queue. Defaults are the paper's choices.
@@ -66,9 +80,9 @@ struct SimConfig {
   /// (DESIGN.md §9): 1 = the classic serial event loop, 0 = one thread
   /// per hardware thread, N = exactly N total threads (the caller
   /// counts as one). Results are BIT-IDENTICAL for every value
-  /// (tests/test_queue_concept.cpp); runs that record a trace, stop on
-  /// first miss, or schedule EDF sets past the tie-break width fall
-  /// back to serial.
+  /// (tests/test_queue_concept.cpp) — including recorded traces and
+  /// metrics (DESIGN.md §10). Only EDF sets past the (now 16-bit)
+  /// tie-break width still fall back to serial.
   unsigned shards = 1;
   /// Bench A/B knobs (bench_single_run): force the type-erased event
   /// queue even for the default backend / restore PR-2's per-release
@@ -77,8 +91,10 @@ struct SimConfig {
   bool job_arena = true;
 };
 
-/// Run the partition under the config. The trace recorder (optional) gets
-/// the full scheduler event stream.
+/// Run the partition under the config. The canonical trace / metrics
+/// land in SimResult (record_trace / record_metrics). A non-null enabled
+/// recorder is a convenience alias for record_trace: it receives a copy
+/// of SimResult::trace_events after the run.
 SimResult Simulate(const partition::Partition& p, const SimConfig& cfg,
                    trace::Recorder* recorder = nullptr);
 

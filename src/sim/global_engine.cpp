@@ -30,32 +30,40 @@ struct NoPerCoreQueues {};
 /// (keyed by RM priority or absolute deadline) and one SleepQ (keyed by
 /// next release) serve all cores. EventQ as in the partitioned engine:
 /// devirtualized for the default backend combination, type-erased for
-/// runtime overrides. (This engine never shards — its queues are
-/// globally shared, the exact coupling semi-partitioning removes.)
-template <typename ReadyQ, typename SleepQ, typename EventQ>
+/// runtime overrides; Sink likewise (NullSink unless the run records a
+/// trace or metrics, DESIGN.md §10). (This engine never shards — its
+/// queues are globally shared, the exact coupling semi-partitioning
+/// removes.)
+template <typename ReadyQ, typename SleepQ, typename EventQ, typename Sink>
 class GlobalEngine final
-    : public kernel::KernelBase<GlobalEngine<ReadyQ, SleepQ, EventQ>, GJob,
-                                GTaskRt<SleepQ>, NoPerCoreQueues, EventQ> {
+    : public kernel::KernelBase<GlobalEngine<ReadyQ, SleepQ, EventQ, Sink>,
+                                GJob, GTaskRt<SleepQ>, NoPerCoreQueues,
+                                EventQ, Sink> {
   static_assert(containers::ReadyQueueFor<ReadyQ, std::uint64_t, GJob*>);
   static_assert(containers::SleepQueueFor<SleepQ, Time, std::size_t>);
 
  public:
-  using Base = kernel::KernelBase<GlobalEngine<ReadyQ, SleepQ, EventQ>,
+  using Base = kernel::KernelBase<GlobalEngine<ReadyQ, SleepQ, EventQ, Sink>,
                                   GJob, GTaskRt<SleepQ>, NoPerCoreQueues,
-                                  EventQ>;
+                                  EventQ, Sink>;
   friend Base;
   using Ev = kernel::Event<GJob>;
   using EvKind = kernel::EvKind;
   using CoreState = kernel::CoreState;
   using Core = typename Base::Core;
 
-  GlobalEngine(const rt::TaskSet& ts, const GlobalSimConfig& cfg,
-               trace::Recorder* rec)
-      : Base(kernel::KernelConfig{cfg.num_cores, cfg.horizon, cfg.overheads,
-                                  cfg.exec, cfg.arrivals,
-                                  cfg.stop_on_first_miss,
-                                  cfg.event_backend},
-             ts.size(), rec),
+  GlobalEngine(const rt::TaskSet& ts, const GlobalSimConfig& cfg)
+      : Base(kernel::KernelConfig{.num_cores = cfg.num_cores,
+                                  .horizon = cfg.horizon,
+                                  .overheads = cfg.overheads,
+                                  .exec = cfg.exec,
+                                  .arrivals = cfg.arrivals,
+                                  .stop_on_first_miss =
+                                      cfg.stop_on_first_miss,
+                                  .event_backend = cfg.event_backend,
+                                  .record_trace = cfg.record_trace,
+                                  .record_metrics = cfg.record_metrics},
+             ts.size()),
         ts_(ts), gpolicy_(cfg.policy) {
     for (std::size_t i = 0; i < ts.size(); ++i) {
       tasks_[i].stats.id = ts[i].id;
@@ -66,6 +74,8 @@ class GlobalEngine final
   using Base::Run;
 
  private:
+  using Base::CoreAt;
+  using Base::CoreStatsAt;
   using Base::cores_;
   using Base::kcfg_;
   using Base::now_;
@@ -115,11 +125,11 @@ class GlobalEngine final
   void Reschedule() {
     // Fill idle cores.
     for (std::uint32_t c = 0; c < kcfg_.num_cores && !ready_.empty(); ++c) {
-      Core& core = cores_[c];
+      Core& core = CoreAt(c);
       if (core.state == CoreState::kIdle && core.pending_start == nullptr) {
         core.pending_start = ready_.pop_min().second;
         core.state = CoreState::kOvh;
-        ++result_.cores[c].context_switches;
+        ++CoreStatsAt(c).context_switches;
         this->BurnOverhead(c, trace::OverheadKind::kSch,
                            kcfg_.overheads.sched_overhead(n_queue_, false));
         this->BurnOverhead(c, trace::OverheadKind::kCnt1,
@@ -132,7 +142,7 @@ class GlobalEngine final
       int worst = -1;
       std::uint64_t worst_key = 0;
       for (std::uint32_t c = 0; c < kcfg_.num_cores; ++c) {
-        const Core& core = cores_[c];
+        const Core& core = CoreAt(c);
         const GJob* occupant = core.running != nullptr ? core.running
                                                        : core.pending_start;
         if (occupant == nullptr) continue;
@@ -149,7 +159,7 @@ class GlobalEngine final
   }
 
   void PreemptCore(std::uint32_t c) {
-    Core& core = cores_[c];
+    Core& core = CoreAt(c);
     GJob* victim = core.running != nullptr ? core.running
                                            : core.pending_start;
     if (core.state == CoreState::kExec) this->SuspendRunning(c);
@@ -163,7 +173,7 @@ class GlobalEngine final
 
     core.pending_start = ready_.pop_min().second;
     core.state = CoreState::kOvh;
-    ++result_.cores[c].context_switches;
+    ++CoreStatsAt(c).context_switches;
     this->BurnOverhead(c, trace::OverheadKind::kSch,
                        kcfg_.overheads.sched_overhead(n_queue_, true));
     this->BurnOverhead(c, trace::OverheadKind::kCnt1,
@@ -202,10 +212,10 @@ class GlobalEngine final
 
     this->Trace(trace::EventKind::kRelease, irq_core, j);
     ready_.push(KeyOf(j), j);
-    if (cores_[irq_core].state == CoreState::kExec) {
+    if (CoreAt(irq_core).state == CoreState::kExec) {
       this->SuspendRunning(irq_core);
-      cores_[irq_core].pending_start = cores_[irq_core].running;
-      cores_[irq_core].running = nullptr;
+      CoreAt(irq_core).pending_start = CoreAt(irq_core).running;
+      CoreAt(irq_core).running = nullptr;
     }
     this->BurnOverhead(irq_core, trace::OverheadKind::kRls,
                        kcfg_.overheads.release_overhead(n_queue_), j);
@@ -213,7 +223,7 @@ class GlobalEngine final
   }
 
   void OnOvhEnd(std::uint32_t c, std::uint64_t epoch) {
-    Core& core = cores_[c];
+    Core& core = CoreAt(c);
     if (epoch != core.epoch || core.state != CoreState::kOvh) return;
     if (core.pending_start != nullptr) {
       core.running = core.pending_start;
@@ -227,7 +237,7 @@ class GlobalEngine final
   }
 
   void StartSegment(std::uint32_t c) {
-    Core& core = cores_[c];
+    Core& core = CoreAt(c);
     GJob* j = core.running;
     if (j->resume_pending) {
       const bool migrated = j->last_core >= 0 &&
@@ -240,7 +250,7 @@ class GlobalEngine final
       }
       if (cpmd > 0) {
         j->exec_remaining += cpmd;
-        result_.cores[c].cpmd_charged += cpmd;
+        CoreStatsAt(c).cpmd_charged += cpmd;
         this->Trace(trace::EventKind::kOverheadBegin, c, j,
                     trace::OverheadKind::kCache, cpmd);
       }
@@ -257,12 +267,10 @@ class GlobalEngine final
   }
 
   void OnSegEnd(std::uint32_t c, std::uint64_t epoch) {
-    Core& core = cores_[c];
+    Core& core = CoreAt(c);
     if (epoch != core.epoch || core.state != CoreState::kExec) return;
     GJob* j = core.running;
-    const Time progress = now_ - core.seg_start;
-    j->charge(progress);
-    result_.cores[c].busy_exec += progress;
+    this->BookProgress(c, j);
     assert(j->exec_remaining <= 0);
 
     GTaskRt<SleepQ>& tr = tasks_[j->task_idx];
@@ -290,28 +298,48 @@ class GlobalEngine final
 SimResult SimulateGlobal(const rt::TaskSet& ts, const GlobalSimConfig& cfg,
                          trace::Recorder* recorder) {
   using containers::QueueBackend;
-  if (cfg.ready_backend == QueueBackend::kBinomialHeap &&
-      cfg.sleep_backend == QueueBackend::kRbTree &&
-      cfg.event_backend == QueueBackend::kBinomialHeap) {
-    // Default combination: devirtualized event queue (DESIGN.md §9).
-    using ReadyQ = containers::BinomialHeapQueue<std::uint64_t, GJob*>;
-    using SleepQ = containers::RbTreeQueue<Time, std::size_t>;
-    using EventQ =
-        kernel::StaticEventQueue<GJob, QueueBackend::kBinomialHeap>;
-    GlobalEngine<ReadyQ, SleepQ, EventQ> engine(ts, cfg, recorder);
-    return engine.Run();
-  }
-  return containers::WithQueueBackend(cfg.ready_backend, [&](auto rb) {
-    return containers::WithQueueBackend(cfg.sleep_backend, [&](auto sb) {
-      using ReadyQ =
-          containers::QueueOf<decltype(rb)::value, std::uint64_t, GJob*>;
-      using SleepQ = containers::QueueOf<decltype(sb)::value, Time,
-                                         std::size_t>;
-      GlobalEngine<ReadyQ, SleepQ, kernel::DynamicEventQueue<GJob>> engine(
-          ts, cfg, recorder);
+  // As in the partitioned Simulate: the recorder is the legacy way to
+  // ask for a trace; the sink instantiation splits null/recording.
+  GlobalSimConfig ecfg = cfg;
+  if (recorder != nullptr && recorder->enabled()) ecfg.record_trace = true;
+  const bool recording = ecfg.record_trace || ecfg.record_metrics;
+
+  auto run = [&]<typename ReadyQ, typename SleepQ,
+                 typename EventQ>() -> SimResult {
+    if (recording) {
+      GlobalEngine<ReadyQ, SleepQ, EventQ, obs::RecordSink> engine(ts, ecfg);
       return engine.Run();
+    }
+    GlobalEngine<ReadyQ, SleepQ, EventQ, obs::NullSink> engine(ts, ecfg);
+    return engine.Run();
+  };
+
+  SimResult r = [&]() -> SimResult {
+    if (ecfg.ready_backend == QueueBackend::kBinomialHeap &&
+        ecfg.sleep_backend == QueueBackend::kRbTree &&
+        ecfg.event_backend == QueueBackend::kBinomialHeap) {
+      // Default combination: devirtualized event queue (DESIGN.md §9).
+      using ReadyQ = containers::BinomialHeapQueue<std::uint64_t, GJob*>;
+      using SleepQ = containers::RbTreeQueue<Time, std::size_t>;
+      using EventQ =
+          kernel::StaticEventQueue<GJob, QueueBackend::kBinomialHeap>;
+      return run.template operator()<ReadyQ, SleepQ, EventQ>();
+    }
+    return containers::WithQueueBackend(ecfg.ready_backend, [&](auto rb) {
+      return containers::WithQueueBackend(ecfg.sleep_backend, [&](auto sb) {
+        using ReadyQ =
+            containers::QueueOf<decltype(rb)::value, std::uint64_t, GJob*>;
+        using SleepQ = containers::QueueOf<decltype(sb)::value, Time,
+                                           std::size_t>;
+        return run.template
+            operator()<ReadyQ, SleepQ, kernel::DynamicEventQueue<GJob>>();
+      });
     });
-  });
+  }();
+  if (recorder != nullptr && recorder->enabled()) {
+    for (const trace::Event& e : r.trace_events) recorder->record(e);
+  }
+  return r;
 }
 
 }  // namespace sps::sim

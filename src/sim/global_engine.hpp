@@ -46,6 +46,10 @@ struct GlobalSimConfig {
   ArrivalModel arrivals = {};
   GlobalPolicy policy = GlobalPolicy::kGlobalRm;
   bool record_trace = false;
+  /// Streaming metrics, as in SimConfig (DESIGN.md §10): per-task
+  /// response/tardiness histograms + per-core busy/overhead/idle rows in
+  /// SimResult::metrics.
+  bool record_metrics = false;
   bool stop_on_first_miss = false;
   /// Queue backends (DESIGN.md §6 ablation), as in SimConfig.
   containers::QueueBackend ready_backend =

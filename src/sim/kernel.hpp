@@ -56,6 +56,14 @@
 // emit anything that would order before it (conservative sender-clock
 // windows, DESIGN.md §9).
 //
+// Observability (DESIGN.md §10): the kernel's third policy slot is the
+// SINK (obs/sink.hpp) — obs::NullSink compiles every trace/metrics hook
+// away (the default, perf-guarded path), obs::RecordSink appends stamped
+// trace events to a lane-local arena buffer and accumulates streaming
+// metrics, which is what lets SHARDED runs record traces and metrics
+// (merged deterministically afterwards) instead of falling back to the
+// serial loop.
+//
 // This header also hosts the public simulation types shared by both
 // engines (ExecModel, ArrivalModel, TaskStats, CoreStats, SimResult);
 // sim/engine.hpp re-exports them, so existing includes keep working.
@@ -70,6 +78,9 @@
 #include <vector>
 
 #include "containers/queue_traits.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace_buffer.hpp"
 #include "overhead/model.hpp"
 #include "rt/task.hpp"
 #include "rt/time.hpp"
@@ -164,6 +175,14 @@ struct SimResult {
   /// the event sequence is fixed by the policy, not the backend — and,
   /// since PR 3, not by the shard count either).
   containers::QueueOpCounters event_ops;
+  /// Canonical trace of the run (SimConfig::record_trace): the stamped,
+  /// deterministically merged event stream — byte-identical for every
+  /// shard count and backend (DESIGN.md §10). Empty when not recording.
+  std::vector<trace::Event> trace_events;
+  /// Streaming metrics (SimConfig::record_metrics): per-task response /
+  /// tardiness histograms and per-core busy/overhead/idle accounting.
+  /// Empty (metrics.enabled() == false) when not recording.
+  obs::RunMetrics metrics;
 
   [[nodiscard]] Time total_overhead() const;
   [[nodiscard]] std::string summary() const;
@@ -410,10 +429,16 @@ struct KernelConfig {
   /// false restores PR 2's unique_ptr-per-release allocation pattern —
   /// kept ONLY as the bench_single_run A/B comparison point.
   bool job_arena = true;
+  /// Observability switches (DESIGN.md §10). Only honored when the
+  /// engine is instantiated with a recording sink; the NullSink
+  /// instantiation ignores them by construction.
+  bool record_trace = false;
+  bool record_metrics = false;
 };
 
 template <typename Policy, typename JobT, typename TaskRtT, typename PerCoreT,
-          typename EventQueueT = DynamicEventQueue<JobT>>
+          typename EventQueueT = DynamicEventQueue<JobT>,
+          typename SinkT = obs::NullSink>
 class KernelBase {
  public:
   /// Boot the policy, drain the event queue up to the horizon, finalize.
@@ -425,6 +450,7 @@ class KernelBase {
       if (EventKeyTime(events_.min_key()) > kcfg_.horizon) break;
       const Event<JobT> ev = events_.pop_min();
       now_ = ev.t;
+      BeginDispatch(ev);
       policy().Dispatch(ev);
     }
     return Finalize();
@@ -470,21 +496,36 @@ class KernelBase {
   }
 
   /// Dispatch local events while their key is within `safe_key` and
-  /// their time within the horizon.
+  /// their time within the horizon. A lane that records a miss under
+  /// stop_on_first_miss stops dispatching; the driver observes the flag
+  /// at the next barrier and abandons the sharded attempt (the exact
+  /// halt point is a serial-order property — see RunSharded).
   void RunWindow(std::uint64_t safe_key) {
-    while (!events_.empty()) {
+    while (!events_.empty() && !halted_) {
       const std::uint64_t k = events_.min_key();
       if (k > safe_key || EventKeyTime(k) > kcfg_.horizon) break;
       const Event<JobT> ev = events_.pop_min();
       now_ = ev.t;
+      BeginDispatch(ev);
       policy().Dispatch(ev);
     }
   }
 
+  /// Whether this lane halted on a deadline miss (stop_on_first_miss).
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  /// Close this lane's observability streams (exec tail at the horizon,
+  /// trailing idle). Sharded driver only; the serial path does the same
+  /// inside Finalize.
+  void FinalizeShardObservability() { FinalizeObservability(); }
+
+  /// The lane's sink, for the driver's post-run trace/metrics merge.
+  [[nodiscard]] const SinkT& sink() const { return sink_; }
+
   /// Fold this shard's slice into a merged result: its own core row,
   /// its event/ready/sleep counters, and its clock.
   void CollectShardInto(SimResult& r) const {
-    r.cores[lane_] = result_.cores[lane_];
+    r.cores[lane_] = CoreStatsAt(lane_);
     r.total_misses += result_.total_misses;
     r.total_migrations += result_.total_migrations;
     r.total_preemptions += result_.total_preemptions;
@@ -543,16 +584,25 @@ class KernelBase {
   };
 
   KernelBase(const KernelConfig& kcfg, std::size_t num_tasks,
-             trace::Recorder* rec, const ShardContext* shard = nullptr)
-      : kcfg_(kcfg), rec_(rec), cores_(kcfg.num_cores),
-        events_(kcfg.event_backend) {
-    result_.cores.resize(kcfg.num_cores);
+             const ShardContext* shard = nullptr)
+      : kcfg_(kcfg),
+        // A sharded lane materializes run state for its OWN core only —
+        // one Core (queues + arenas) and one CoreStats row instead of
+        // all m of them, which is what keeps whole-system construction
+        // at O(m) instead of the O(m^2) the ROADMAP flagged. The
+        // core_slot_mask_ below folds every core index to slot 0 in
+        // shard mode (lane-local accesses only — asserted) and is the
+        // identity in serial mode, keeping the hot path branch-free.
+        cores_(shard != nullptr ? 1 : kcfg.num_cores),
+        events_(kcfg.event_backend),
+        core_slot_mask_(shard != nullptr ? 0u : ~0u),
+        sink_(obs::SinkConfig{kcfg.record_trace, kcfg.record_metrics,
+                              num_tasks, kcfg.num_cores, shard != nullptr,
+                              shard != nullptr ? shard->lane : 0,
+                              kcfg.horizon}) {
+    result_.cores.resize(shard != nullptr ? 1 : kcfg.num_cores);
     if (shard != nullptr) {
       assert(shard->num_tasks == num_tasks && shard->tasks != nullptr);
-      assert(!kcfg.stop_on_first_miss &&
-             "sharded runs cannot halt globally on first miss");
-      assert((rec == nullptr || !rec->enabled()) &&
-             "sharded runs do not record traces");
       lane_ = shard->lane;
       router_ = shard->router;
       tasks_ = shard->tasks;
@@ -574,6 +624,39 @@ class KernelBase {
 
   Policy& policy() { return static_cast<Policy&>(*this); }
   const Policy& policy() const { return static_cast<const Policy&>(*this); }
+
+  /// Per-core run state of core `c`. In sharded mode only the lane's own
+  /// core exists (slot 0); the mask makes the common serial case a plain
+  /// index with no branch.
+  Core& CoreAt(std::uint32_t c) {
+    assert(core_slot_mask_ == ~0u || c == lane_);
+    return cores_[c & core_slot_mask_];
+  }
+  const Core& CoreAt(std::uint32_t c) const {
+    assert(core_slot_mask_ == ~0u || c == lane_);
+    return cores_[c & core_slot_mask_];
+  }
+  CoreStats& CoreStatsAt(std::uint32_t c) {
+    assert(core_slot_mask_ == ~0u || c == lane_);
+    return result_.cores[c & core_slot_mask_];
+  }
+  const CoreStats& CoreStatsAt(std::uint32_t c) const {
+    assert(core_slot_mask_ == ~0u || c == lane_);
+    return result_.cores[c & core_slot_mask_];
+  }
+
+  /// Stamp the upcoming dispatch for the recording sink (trace merge
+  /// determinism, obs/trace_buffer.hpp). Compiled away under NullSink.
+  void BeginDispatch(const Event<JobT>& e) {
+    if constexpr (SinkT::kActive) {
+      const bool core_keyed = e.kind == EvKind::kSegmentEnd ||
+                              e.kind == EvKind::kOverheadEnd;
+      sink_.BeginDispatch(EventKey(e), core_keyed,
+                          core_keyed ? e.core : DeliveryRank(e));
+    } else {
+      (void)e;
+    }
+  }
 
   /// Cross-shard delivery hook; policies override (the partitioned
   /// engine materializes deferred sleep-queue entries here).
@@ -615,7 +698,7 @@ class KernelBase {
     TaskRtT& tr = tasks_[ti];
     JobT* j;
     if (kcfg_.job_arena) {
-      util::SlabArena<JobT>& arena = cores_[core].job_arena;
+      util::SlabArena<JobT>& arena = CoreAt(core).job_arena;
       if (tr.last_job != nullptr) arena.destroy(tr.last_job);
       j = arena.create();
       tr.last_job = j;
@@ -693,22 +776,26 @@ class KernelBase {
   void Trace(trace::EventKind k, std::uint32_t core, const JobT* j,
              trace::OverheadKind ovh = trace::OverheadKind::kNone,
              Time dur = 0, Time at = -1) {
-    if (rec_ == nullptr || !rec_->enabled()) return;
-    trace::Event e;
-    e.time = at < 0 ? now_ : at;
-    e.core = core;
-    e.kind = k;
-    e.overhead = ovh;
-    if (j != nullptr) {
-      e.task = policy().TaskIdOf(j->task_idx);
-      e.job = j->seq;
+    if constexpr (!SinkT::kActive) {
+      (void)k; (void)core; (void)j; (void)ovh; (void)dur; (void)at;
+    } else {
+      if (!sink_.tracing()) return;
+      trace::Event e;
+      e.time = at < 0 ? now_ : at;
+      e.core = core;
+      e.kind = k;
+      e.overhead = ovh;
+      if (j != nullptr) {
+        e.task = policy().TaskIdOf(j->task_idx);
+        e.job = j->seq;
+      }
+      e.duration = dur;
+      sink_.Record(e);
     }
-    e.duration = dur;
-    rec_->record(e);
   }
 
   void AccountOverhead(std::uint32_t c, trace::OverheadKind kind, Time dur) {
-    CoreStats& s = result_.cores[c];
+    CoreStats& s = CoreStatsAt(c);
     switch (kind) {
       case trace::OverheadKind::kRls: s.overhead_rls += dur; break;
       case trace::OverheadKind::kSch: s.overhead_sch += dur; break;
@@ -723,7 +810,7 @@ class KernelBase {
   /// trace event (defaults to whichever job the core is holding).
   void BurnOverhead(std::uint32_t c, trace::OverheadKind kind, Time cost,
                     const JobT* who = nullptr) {
-    Core& core = cores_[c];
+    Core& core = CoreAt(c);
     const Time base = std::max(now_, core.busy_until);
     if (cost > 0) {
       if (who == nullptr) {
@@ -731,6 +818,7 @@ class KernelBase {
       }
       Trace(trace::EventKind::kOverheadBegin, c, who, kind, cost, base);
       AccountOverhead(c, kind, cost);
+      sink_.OnOverhead(c, base, cost);
     }
     core.busy_until = base + cost;
     ++core.epoch;
@@ -738,15 +826,26 @@ class KernelBase {
                      .core = c, .epoch = core.epoch});
   }
 
+  /// Book the running segment's progress [seg_start, now_] against the
+  /// job and the core's stats, and feed the metrics stream. The single
+  /// place execution time is accounted (both engines' segment-end
+  /// handlers and SuspendRunning go through here).
+  Time BookProgress(std::uint32_t c, JobT* j) {
+    Core& core = CoreAt(c);
+    const Time progress = now_ - core.seg_start;
+    j->charge(progress);
+    CoreStatsAt(c).busy_exec += progress;
+    sink_.OnExec(c, core.seg_start, now_);
+    return progress;
+  }
+
   /// Suspend the running job mid-segment: book its progress, invalidate
   /// the armed segment end, leave the core in the overhead state.
   void SuspendRunning(std::uint32_t c) {
-    Core& core = cores_[c];
+    Core& core = CoreAt(c);
     JobT* j = core.running;
     assert(core.state == CoreState::kExec && j != nullptr);
-    const Time progress = now_ - core.seg_start;
-    j->charge(progress);
-    result_.cores[c].busy_exec += progress;
+    BookProgress(c, j);
     ++core.epoch;  // invalidate the armed segment-end
     core.state = CoreState::kOvh;
   }
@@ -760,11 +859,32 @@ class KernelBase {
     const Time response = now_ - j->release_time;
     tr.stats.max_response = std::max(tr.stats.max_response, response);
     tr.response_sum += static_cast<double>(response);
+    sink_.OnCompletion(j->task_idx, response, now_ - j->abs_deadline);
     if (now_ > j->abs_deadline) {
       ++tr.stats.deadline_misses;
       ++result_.total_misses;
       Trace(trace::EventKind::kDeadlineMiss, c, j);
       if (kcfg_.stop_on_first_miss) halted_ = true;
+    }
+  }
+
+  /// Close the observability streams for this kernel's local cores: the
+  /// in-flight execution segment is booked up to the horizon (it has no
+  /// segment-end event inside the horizon, so BookProgress never sees
+  /// it), then the sink fills trailing idle. No-op under NullSink.
+  void FinalizeObservability() {
+    if constexpr (SinkT::kActive) {
+      if (!sink_.metrics()) return;
+      for (std::uint32_t c = 0; c < kcfg_.num_cores; ++c) {
+        if (router_ != nullptr && c != lane_) continue;
+        Core& core = CoreAt(c);
+        if (core.state == CoreState::kExec && core.running != nullptr) {
+          const Time end =
+              std::min(halted_ ? now_ : kcfg_.horizon, kcfg_.horizon);
+          if (end > core.seg_start) sink_.OnExec(c, core.seg_start, end);
+        }
+      }
+      sink_.CloseSpan(halted_);
     }
   }
 
@@ -777,11 +897,17 @@ class KernelBase {
     FinalizeTasksInto(result_);
     result_.event_ops = events_.counters();
     policy().CollectQueueStats(result_);
+    FinalizeObservability();
+    if constexpr (SinkT::kActive) {
+      if (sink_.tracing()) {
+        result_.trace_events = obs::MergeTraceBuffers({&sink_.buffer()});
+      }
+      if (sink_.metrics()) result_.metrics = sink_.TakeMetrics();
+    }
     return std::move(result_);
   }
 
   KernelConfig kcfg_;
-  trace::Recorder* rec_;
   std::vector<Core> cores_;
   /// Task run state: owned in serial runs, shared across shards in
   /// sharded runs (see ShardContext).
@@ -790,6 +916,10 @@ class KernelBase {
   std::size_t num_tasks_ = 0;
   std::vector<std::unique_ptr<JobT>> jobs_legacy_;  ///< job_arena=false only
   EventQueueT events_;
+  /// Folds core indices to the local slot: identity in serial mode, 0 in
+  /// shard mode (the lane materializes only its own core's state).
+  std::uint32_t core_slot_mask_ = ~0u;
+  SinkT sink_;
   std::uint32_t lane_ = 0;
   ShardRouter<JobT>* router_ = nullptr;
   Time now_ = 0;

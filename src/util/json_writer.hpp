@@ -13,6 +13,19 @@
 
 namespace sps::util {
 
+/// Write `body` plus a trailing newline to `path`; returns success. The
+/// one write-and-verify implementation behind every text artifact the
+/// tools emit (bench JSON, Perfetto documents, metrics reports).
+[[nodiscard]] inline bool WriteTextFile(const std::string& path,
+                                        const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+      std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
 class JsonWriter {
  public:
   JsonWriter& BeginObject() {
@@ -84,12 +97,7 @@ class JsonWriter {
 
   /// Write to `path` (with a trailing newline); returns success.
   [[nodiscard]] bool WriteFile(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    const bool ok =
-        std::fwrite(out_.data(), 1, out_.size(), f) == out_.size() &&
-        std::fputc('\n', f) != EOF;
-    return std::fclose(f) == 0 && ok;
+    return WriteTextFile(path, out_);
   }
 
  private:

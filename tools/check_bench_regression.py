@@ -15,13 +15,22 @@ That catches the regressions this repo actually cares about — "the
 devirtualized path lost its edge over the type-erased one", "sharding
 got slower relative to serial" — on any machine.
 
-The check is one-sided: getting FASTER relative to the reference never
-fails (a beefier CI runner makes the sharded variants look better, which
-is fine). Variants present in only one of the files are reported but do
-not fail the check (benches gain and lose variants across PRs).
+The check is one-sided by default: getting FASTER relative to the
+reference never fails (a beefier CI runner makes the sharded variants
+look better, which is fine). --two-sided [PATTERN] also fails when a
+matching variant's ratio DROPS beyond tolerance — which is how a
+slowdown of the reference variant itself (the NullSink hot path, whose
+ratio to itself is always 1.0) becomes visible: the other serial
+variants' ratios shrink in unison. PATTERN (fnmatch, default '*')
+should exclude variants whose ratio legitimately depends on the
+machine — e.g. '--two-sided "serial*"' guards the serial kernel-path
+family while letting the sharded variants enjoy multi-core runners.
+Variants present in only one of the files are reported but do not fail
+the check (benches gain and lose variants across PRs).
 
 Usage:
   check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.25]
+                            [--two-sided [PATTERN]]
 
 Expected JSON shape (what util/json_writer.hpp emits from the benches):
   { ..., "runs": [ {"workload": "...", "variant": "...",
@@ -29,6 +38,7 @@ Expected JSON shape (what util/json_writer.hpp emits from the benches):
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -69,6 +79,12 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed relative slowdown vs baseline (0.25 = 25%%)")
+    ap.add_argument("--two-sided", nargs="?", const="*", default=None,
+                    metavar="PATTERN",
+                    help="also fail when a matching variant's ratio "
+                         "IMPROVES beyond tolerance (catches the reference "
+                         "variant itself slowing down); fnmatch pattern, "
+                         "default '*'")
     args = ap.parse_args()
 
     current = ratios(load_runs(args.current))
@@ -81,8 +97,11 @@ def main():
             continue
         cur_ratio = current[key]
         limit = base_ratio * (1.0 + args.tolerance)
+        floor = base_ratio / (1.0 + args.tolerance)
+        two_sided = (args.two_sided is not None
+                     and fnmatch.fnmatch(key[1], args.two_sided))
         status = "OK "
-        if cur_ratio > limit:
+        if cur_ratio > limit or (two_sided and cur_ratio < floor):
             status = "FAIL"
             failures.append(key)
         print(f"{status} {key[0]:12s} {key[1]:20s} "
