@@ -1,0 +1,379 @@
+// E8 — online admission control (DESIGN.md §11): what does ONE admission
+// decision cost while the system keeps running, and what would the
+// offline alternative pay?
+//
+//   1) SCALING: per-admit cost at resident-set sizes N = 64..384 on 16
+//      cores. Variant "oracle" re-partitions the whole resident set +
+//      candidate from scratch (EdfWm — the only offline answer to "does
+//      this fit"), variant "incremental" asks the admission controller
+//      (one placement step against the cached per-core state, probed as
+//      admit+leave cycles so the resident size stays pinned at N). The
+//      acceptance criterion of the PR: incremental per-admit cost stays
+//      roughly FLAT as N grows while the oracle's grows — the JSON
+//      records both so the trajectory is checkable.
+//
+//   2) MIXED STREAM: the default ADMIT/LEAVE mix replayed through the
+//      incremental controller (fallback on) vs an oracle that decides
+//      every ADMIT by a from-scratch EdfWm on ITS OWN surviving set.
+//      The bench FAILS if the two acceptance ratios diverge by more
+//      than SPS_ONLINE_TOL_PCT percent (integer, default 2) — the
+//      incremental path must not buy its speed with meaningfully worse
+//      decisions. Churn per admit is reported alongside.
+//
+//   3) JOBS-INVARIANCE: a batch of streams replayed with jobs=1 and
+//      jobs=8 (validation simulations included) must be bit-identical —
+//      the §8 determinism contract, enforced on every perf run.
+//
+// Wall times are best-of-SPS_REPS; results land in BENCH_online.json
+// ("oracle" is each workload's reference variant, so
+// tools/check_bench_regression.py flags the incremental path losing its
+// edge as a ratio INCREASE).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "online/controller.hpp"
+#include "online/workload_stream.hpp"
+#include "overhead/model.hpp"
+#include "partition/edf_wm.hpp"
+#include "rt/taskset.hpp"
+#include "util/json_writer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sps;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic small task (the scaling phase wants hundreds resident).
+rt::Task TinyTask(rt::TaskId id, std::uint64_t seed) {
+  util::SplitMix64 rng(util::DeriveSeed(seed, id, 17));
+  const Time periods[] = {Millis(20), Millis(50), Millis(100), Millis(200)};
+  const Time period = periods[rng() % 4];
+  // u in [0.015, 0.035]
+  const double u = 0.015 + 0.020 * (static_cast<double>(rng() % 1000) / 999.0);
+  const Time wcet = std::max<Time>(
+      1, static_cast<Time>(u * static_cast<double>(period)));
+  return rt::MakeTask(id, wcet, period);
+}
+
+struct ScalingRow {
+  std::size_t resident = 0;
+  double oracle_wall = 0.0;
+  double incr_wall = 0.0;
+  int probes = 0;
+};
+
+ScalingRow RunScaling(std::size_t n_resident, int probes, int reps,
+                      unsigned cores) {
+  ScalingRow row;
+  row.resident = n_resident;
+  row.probes = probes;
+
+  online::ControllerConfig cfg;
+  cfg.admission.num_cores = cores;
+  cfg.repartition_fallback = false;
+  online::Controller ctrl(cfg);
+  std::vector<rt::Task> resident;
+  for (std::size_t i = 0; i < n_resident; ++i) {
+    const rt::Task t = TinyTask(static_cast<rt::TaskId>(i), 11);
+    if (ctrl.Admit(t).accepted) resident.push_back(t);
+  }
+  if (ctrl.resident() != n_resident) {
+    std::fprintf(stderr,
+                 "FAIL scaling setup: only %zu of %zu residents admitted\n",
+                 ctrl.resident(), n_resident);
+    std::exit(1);
+  }
+
+  // Incremental: admit+leave cycles keep the resident size pinned at N.
+  // A single incremental decision is MICROSECONDS — far below wall-clock
+  // noise — so each measured rep runs `cycles` passes over the probe set
+  // and the recorded wall is normalized back to the probe count, putting
+  // the measurement in the same milliseconds regime as the oracle's.
+  // One unmeasured warm-up pass first: the first probes at a fresh size
+  // pay allocator/cache cold starts that would skew the growth ratios.
+  const int cycles = std::max(1, 2000 / probes);
+  for (int p = 0; p < probes; ++p) {
+    const rt::Task probe =
+        TinyTask(static_cast<rt::TaskId>(1000000 + p), 23);
+    if (ctrl.Admit(probe).accepted) ctrl.Leave(probe.id);
+  }
+  row.incr_wall = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = Now();
+    for (int cy = 0; cy < cycles; ++cy) {
+      for (int p = 0; p < probes; ++p) {
+        const rt::Task probe =
+            TinyTask(static_cast<rt::TaskId>(1000000 + p), 23);
+        if (ctrl.Admit(probe).accepted) ctrl.Leave(probe.id);
+      }
+    }
+    row.incr_wall =
+        std::min(row.incr_wall, (Now() - t0) / static_cast<double>(cycles));
+  }
+
+  // Oracle: a from-scratch repartition of resident + probe per decision
+  // (one unmeasured warm-up run first, as above).
+  partition::EdfPartitionConfig ecfg;
+  ecfg.num_cores = cores;
+  {
+    std::vector<rt::Task> tasks = resident;
+    tasks.push_back(TinyTask(1000000, 23));
+    (void)partition::EdfWm(rt::TaskSet(std::move(tasks)), ecfg);
+  }
+  row.oracle_wall = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = Now();
+    for (int p = 0; p < probes; ++p) {
+      std::vector<rt::Task> tasks = resident;
+      tasks.push_back(TinyTask(static_cast<rt::TaskId>(1000000 + p), 23));
+      const rt::TaskSet ts(std::move(tasks));
+      if (!partition::EdfWm(ts, ecfg).success) {
+        std::fprintf(stderr, "FAIL scaling: oracle rejected a probe at "
+                             "N=%zu\n",
+                     n_resident);
+        std::exit(1);
+      }
+    }
+    row.oracle_wall = std::min(row.oracle_wall, Now() - t0);
+  }
+  return row;
+}
+
+struct MixedRow {
+  double incr_wall = 0.0;
+  double oracle_wall = 0.0;
+  double incr_acceptance = 0.0;
+  double oracle_acceptance = 0.0;
+  double churn_per_admit = 0.0;
+  std::uint64_t decisions = 0;
+};
+
+MixedRow RunMixed(const online::WorkloadStream& stream, unsigned cores,
+                  int reps) {
+  MixedRow row;
+  online::ReplayConfig rcfg;
+  rcfg.controller.admission.num_cores = cores;
+
+  row.incr_wall = 1e100;
+  online::ReplayResult res;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = Now();
+    res = online::ReplayStream(stream, rcfg);
+    row.incr_wall = std::min(row.incr_wall, Now() - t0);
+  }
+  row.incr_acceptance = res.acceptance_ratio();
+  row.decisions = res.admits + res.rejects;
+  row.churn_per_admit =
+      res.admits > 0 ? static_cast<double>(res.churn.total()) /
+                           static_cast<double>(res.admits)
+                     : 0.0;
+
+  // Oracle: EdfWm from scratch on its own surviving set per ADMIT.
+  partition::EdfPartitionConfig ecfg;
+  ecfg.num_cores = cores;
+  row.oracle_wall = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = Now();
+    std::vector<rt::Task> surviving;
+    std::uint64_t admits = 0, rejects = 0;
+    for (const online::Request& r : stream.requests()) {
+      if (r.kind == online::RequestKind::kAdmit) {
+        std::vector<rt::Task> probe = surviving;
+        probe.push_back(r.task);
+        if (partition::EdfWm(rt::TaskSet(std::move(probe)), ecfg)
+                .success) {
+          surviving.push_back(r.task);
+          ++admits;
+        } else {
+          ++rejects;
+        }
+      } else {
+        std::erase_if(surviving, [&](const rt::Task& t) {
+          return t.id == r.id;
+        });
+      }
+    }
+    row.oracle_wall = std::min(row.oracle_wall, Now() - t0);
+    row.oracle_acceptance =
+        admits + rejects == 0
+            ? 1.0
+            : static_cast<double>(admits) /
+                  static_cast<double>(admits + rejects);
+  }
+  return row;
+}
+
+bool CheckJobsInvariance() {
+  std::vector<online::WorkloadStream> streams;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    online::StreamConfig scfg;
+    scfg.num_admits = 32;
+    scfg.seed = 500 + s;
+    streams.push_back(online::GenerateStream(scfg));
+  }
+  online::ReplayConfig rcfg;
+  rcfg.controller.admission.num_cores = 4;
+  rcfg.controller.admission.model = overhead::OverheadModel::PaperCoreI7();
+  rcfg.validate_by_simulation = true;
+  rcfg.validate_sim.horizon = Millis(100);
+  const auto serial = online::ReplayBatch(streams, rcfg, 1);
+  const auto wide = online::ReplayBatch(streams, rcfg, 8);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    if (!(serial[i].epochs == wide[i].epochs) ||
+        serial[i].admits != wide[i].admits ||
+        serial[i].rejects != wide[i].rejects ||
+        !(serial[i].churn == wide[i].churn) ||
+        serial[i].final_partition.summary() !=
+            wide[i].final_partition.summary()) {
+      std::fprintf(stderr,
+                   "FAIL jobs-invariance: stream %zu diverges between "
+                   "jobs=1 and jobs=8\n",
+                   i);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using sps::bench::EnvInt;
+  const int reps = std::max(1, EnvInt("SPS_REPS", 3));
+  const int probes = std::max(1, EnvInt("SPS_ONLINE_PROBES", 12));
+  const double tol =
+      std::max(0.0, EnvInt("SPS_ONLINE_TOL_PCT", 2) / 100.0);
+  const unsigned cores = 16;
+
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("online_admission");
+  json.Key("hardware_threads")
+      .Value(static_cast<std::uint64_t>(
+          std::max(1u, std::thread::hardware_concurrency())));
+  json.Key("reps").Value(static_cast<std::uint64_t>(reps));
+  json.Key("runs").BeginArray();
+
+  bool ok = true;
+
+  // ---- 1) per-admit scaling --------------------------------------------
+  std::printf("per-admit cost vs resident size (m=%u, %d probes, best of "
+              "%d)\n",
+              cores, probes, reps);
+  const std::size_t sizes[] = {64, 128, 256, 384};
+  double first_incr = 0.0, last_incr = 0.0;
+  double first_oracle = 0.0, last_oracle = 0.0;
+  for (const std::size_t n : sizes) {
+    const ScalingRow row = RunScaling(n, probes, reps, cores);
+    const double incr_per = row.incr_wall / row.probes;
+    const double oracle_per = row.oracle_wall / row.probes;
+    if (n == sizes[0]) {
+      first_incr = incr_per;
+      first_oracle = oracle_per;
+    }
+    last_incr = incr_per;
+    last_oracle = oracle_per;
+    char label[32];
+    std::snprintf(label, sizeof(label), "admit_res%zu", n);
+    // "oracle" first: it is the reference variant of the ratio check.
+    json.BeginObject();
+    json.Key("workload").Value(label);
+    json.Key("variant").Value("oracle");
+    json.Key("wall_s").Value(row.oracle_wall);
+    json.Key("admits_per_sec").Value(row.probes / row.oracle_wall);
+    json.EndObject();
+    json.BeginObject();
+    json.Key("workload").Value(label);
+    json.Key("variant").Value("incremental");
+    json.Key("wall_s").Value(row.incr_wall);
+    json.Key("admits_per_sec").Value(row.probes / row.incr_wall);
+    json.EndObject();
+    std::printf("  N=%4zu  incremental %9.1f us/admit (%9.0f adm/s)   "
+                "oracle %9.1f us/admit (%7.0f adm/s)   x%.0f\n",
+                n, incr_per * 1e6, 1.0 / incr_per, oracle_per * 1e6,
+                1.0 / oracle_per, oracle_per / incr_per);
+  }
+  // The asymptotic claim, enforced with noise headroom: across a 6x
+  // resident-set growth the incremental per-admit cost must grow less
+  // than HALF as much as the oracle's (observed: ~x1.2 vs ~x6-7.5, so
+  // the 2x margin tolerates a badly-timed scheduler hiccup on a CI
+  // runner without ever letting "incremental became as super-linear as
+  // the oracle" through).
+  const double incr_growth = last_incr / std::max(first_incr, 1e-12);
+  const double oracle_growth = last_oracle / std::max(first_oracle, 1e-12);
+  std::printf("  growth %zu->%zu: incremental x%.2f, oracle x%.2f\n",
+              sizes[0], sizes[3], incr_growth, oracle_growth);
+  if (incr_growth >= 0.5 * oracle_growth) {
+    std::fprintf(stderr, "FAIL scaling: incremental per-admit cost grew "
+                         "x%.2f >= half the oracle's x%.2f\n",
+                 incr_growth, oracle_growth);
+    ok = false;
+  }
+
+  // ---- 2) mixed stream: acceptance vs the oracle ------------------------
+  online::StreamConfig scfg;  // the "default stream mix"
+  scfg.num_admits = static_cast<std::size_t>(
+      std::max(1, EnvInt("SPS_ONLINE_REQUESTS", 160)));
+  const online::WorkloadStream stream = online::GenerateStream(scfg);
+  const MixedRow mixed = RunMixed(stream, 4, reps);
+  std::printf("\nmixed stream (m=4, %zu requests, %llu admit decisions)\n",
+              stream.size(),
+              static_cast<unsigned long long>(mixed.decisions));
+  std::printf("  incremental: %.3f acceptance, %6.2f ms, %.3f churn/admit\n",
+              mixed.incr_acceptance, mixed.incr_wall * 1e3,
+              mixed.churn_per_admit);
+  std::printf("  oracle:      %.3f acceptance, %6.2f ms\n",
+              mixed.oracle_acceptance, mixed.oracle_wall * 1e3);
+  json.BeginObject();
+  json.Key("workload").Value("mixed_stream");
+  json.Key("variant").Value("oracle");
+  json.Key("wall_s").Value(mixed.oracle_wall);
+  json.Key("acceptance").Value(mixed.oracle_acceptance);
+  json.EndObject();
+  json.BeginObject();
+  json.Key("workload").Value("mixed_stream");
+  json.Key("variant").Value("incremental");
+  json.Key("wall_s").Value(mixed.incr_wall);
+  json.Key("acceptance").Value(mixed.incr_acceptance);
+  json.Key("churn_per_admit").Value(mixed.churn_per_admit);
+  json.EndObject();
+  if (std::abs(mixed.incr_acceptance - mixed.oracle_acceptance) > tol) {
+    std::fprintf(stderr,
+                 "FAIL acceptance: incremental %.3f vs oracle %.3f "
+                 "diverges beyond %.2f\n",
+                 mixed.incr_acceptance, mixed.oracle_acceptance, tol);
+    ok = false;
+  }
+
+  // ---- 3) jobs-invariance ----------------------------------------------
+  if (CheckJobsInvariance()) {
+    std::printf("\njobs-invariance: replay batches bit-identical for "
+                "jobs=1 and jobs=8\n");
+  } else {
+    ok = false;
+  }
+
+  json.EndArray();
+  json.EndObject();
+  std::string err;
+  if (!util::WriteTextFile("BENCH_online.json", json.str(), &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_online.json\n");
+  return ok ? 0 : 1;
+}

@@ -13,6 +13,21 @@
 //           [--ready-queue=binomial|pairing|rbtree|vector|calendar]
 //           [--sleep-queue=...] [--event-queue=...] [--shards=N]
 //           [--acceptance] [--acceptance-validate] [--sets=50] [--jobs=N]
+//           [--online] [--online-requests=128] [--online-leave=0.5]
+//           [--online-epoch-ms=1000] [--online-place=ff|wf|spa]
+//           [--online-policy=edf|fp] [--online-no-split]
+//           [--online-no-fallback] [--online-unsplit] [--online-validate]
+//           [--stream-in=FILE] [--stream-out=FILE]
+//
+// --online switches to the ONLINE ADMISSION mode (DESIGN.md §11): a
+// timestamped ADMIT/LEAVE request stream (generated from --seed, or
+// loaded with --stream-in) is replayed through the incremental admission
+// controller on --cores cores, reporting per-epoch admits / rejects /
+// churn and the final placement. --online-validate simulates the
+// partition standing at every epoch boundary (horizon --sim-ms) and
+// reports its deadline misses. --stream-out saves the request trace for
+// replay elsewhere; with --trace-out the per-epoch churn / resident /
+// utilization series are written as Perfetto counter tracks.
 //
 // --acceptance switches from the single-run mode to the paper's
 // acceptance-ratio sweep (exp/acceptance.*) over the default utilization
@@ -56,6 +71,8 @@
 #include "containers/queue_traits.hpp"
 #include "exp/acceptance.hpp"
 #include "obs/perfetto.hpp"
+#include "online/controller.hpp"
+#include "online/workload_stream.hpp"
 #include "obs/report.hpp"
 #include "overhead/calibrate.hpp"
 #include "overhead/model.hpp"
@@ -91,6 +108,18 @@ struct Options {
   int sets = 50;
   unsigned jobs = 1;
   unsigned shards = 1;
+  bool online = false;
+  std::size_t online_requests = 128;
+  double online_leave = 0.5;
+  Time online_epoch = Millis(1000);
+  std::string online_place = "ff";
+  std::string online_policy = "edf";
+  bool online_split = true;
+  bool online_fallback = true;
+  bool online_unsplit = false;
+  bool online_validate = false;
+  std::string stream_in;
+  std::string stream_out;
   containers::QueueBackend ready_queue =
       containers::QueueBackend::kBinomialHeap;
   containers::QueueBackend sleep_queue = containers::QueueBackend::kRbTree;
@@ -151,6 +180,62 @@ bool ParseArg(const char* arg, Options& o) {
   if (std::strcmp(arg, "--acceptance-validate") == 0) {
     o.acceptance = true;
     o.acceptance_validate = true;
+    return true;
+  }
+  if (std::strcmp(arg, "--online") == 0) { o.online = true; return true; }
+  if (const char* v = value("--online-requests")) {
+    o.online = true;
+    o.online_requests = std::strtoul(v, nullptr, 10);
+    return true;
+  }
+  if (const char* v = value("--online-leave")) {
+    o.online = true;
+    o.online_leave = std::strtod(v, nullptr);
+    return true;
+  }
+  if (const char* v = value("--online-epoch-ms")) {
+    o.online = true;
+    o.online_epoch = Millis(std::strtod(v, nullptr));
+    return true;
+  }
+  if (const char* v = value("--online-place")) {
+    o.online = true;
+    o.online_place = v;
+    return true;
+  }
+  if (const char* v = value("--online-policy")) {
+    o.online = true;
+    o.online_policy = v;
+    return true;
+  }
+  if (std::strcmp(arg, "--online-no-split") == 0) {
+    o.online = true;
+    o.online_split = false;
+    return true;
+  }
+  if (std::strcmp(arg, "--online-no-fallback") == 0) {
+    o.online = true;
+    o.online_fallback = false;
+    return true;
+  }
+  if (std::strcmp(arg, "--online-unsplit") == 0) {
+    o.online = true;
+    o.online_unsplit = true;
+    return true;
+  }
+  if (std::strcmp(arg, "--online-validate") == 0) {
+    o.online = true;
+    o.online_validate = true;
+    return true;
+  }
+  if (const char* v = value("--stream-in")) {
+    o.online = true;
+    o.stream_in = v;
+    return true;
+  }
+  if (const char* v = value("--stream-out")) {
+    o.online = true;
+    o.stream_out = v;
     return true;
   }
   if (std::strcmp(arg, "--trace") == 0) { o.trace = true; return true; }
@@ -218,6 +303,137 @@ partition::PartitionResult RunAlgo(const Options& o, const rt::TaskSet& ts,
   return r;
 }
 
+int RunOnline(const Options& o, const overhead::OverheadModel& model) {
+  std::string err;
+  online::WorkloadStream stream;
+  if (!o.stream_in.empty()) {
+    if (!online::LoadStream(o.stream_in, stream, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 2;
+    }
+    std::printf("loaded request trace %s: %zu requests (%zu admits)\n",
+                o.stream_in.c_str(), stream.size(), stream.num_admits());
+  } else {
+    online::StreamConfig scfg;
+    scfg.num_admits = o.online_requests;
+    scfg.leave_fraction = o.online_leave;
+    scfg.seed = o.seed;
+    stream = online::GenerateStream(scfg);
+    std::printf("generated stream: %zu requests (%zu admits), seed %llu\n",
+                stream.size(), stream.num_admits(),
+                static_cast<unsigned long long>(o.seed));
+  }
+  if (!o.stream_out.empty()) {
+    if (!online::SaveStream(stream, o.stream_out, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 2;
+    }
+    std::printf("wrote request trace to %s\n", o.stream_out.c_str());
+  }
+
+  online::ReplayConfig rcfg;
+  rcfg.controller.admission.num_cores = o.cores;
+  rcfg.controller.admission.model = model;
+  if (o.online_policy == "edf") {
+    rcfg.controller.admission.policy = partition::SchedPolicy::kEdf;
+  } else if (o.online_policy == "fp") {
+    rcfg.controller.admission.policy = partition::SchedPolicy::kFixedPriority;
+  } else {
+    std::fprintf(stderr, "unknown --online-policy=%s (edf|fp)\n",
+                 o.online_policy.c_str());
+    return 2;
+  }
+  if (o.online_place == "ff") {
+    rcfg.controller.place = online::PlacePolicy::kFirstFit;
+  } else if (o.online_place == "wf") {
+    rcfg.controller.place = online::PlacePolicy::kWorstFit;
+  } else if (o.online_place == "spa") {
+    rcfg.controller.place = online::PlacePolicy::kSpaOrder;
+  } else {
+    std::fprintf(stderr, "unknown --online-place=%s (ff|wf|spa)\n",
+                 o.online_place.c_str());
+    return 2;
+  }
+  rcfg.controller.allow_split = o.online_split;
+  rcfg.controller.repartition_fallback = o.online_fallback;
+  rcfg.controller.unsplit_on_leave = o.online_unsplit;
+  rcfg.epoch = o.online_epoch;
+  rcfg.seed = o.seed;
+  if (o.online_validate) {
+    rcfg.validate_by_simulation = true;
+    rcfg.validate_sim.horizon = o.sim_ms;
+    rcfg.validate_sim.ready_backend = o.ready_queue;
+    rcfg.validate_sim.sleep_backend = o.sleep_queue;
+    rcfg.validate_sim.event_backend = o.event_queue;
+    rcfg.validate_sim.shards = o.shards;
+  }
+
+  std::printf("online replay: m=%u, policy=%s, place=%s%s%s%s\n\n",
+              o.cores, o.online_policy.c_str(),
+              online::ToString(rcfg.controller.place),
+              rcfg.controller.allow_split ? ", split" : "",
+              rcfg.controller.repartition_fallback ? ", fallback" : "",
+              o.online_validate ? ", validating epochs" : "");
+  const online::ReplayResult res = online::ReplayStream(stream, rcfg);
+  std::printf("%s\n", res.Table().c_str());
+  const std::uint64_t decided = res.admits + res.rejects;
+  std::printf("admits %llu / %llu (acceptance %.3f), leaves %llu\n",
+              static_cast<unsigned long long>(res.admits),
+              static_cast<unsigned long long>(decided),
+              res.acceptance_ratio(),
+              static_cast<unsigned long long>(res.leaves));
+  std::printf("churn: %llu moved, %llu split, %llu unsplit "
+              "(%llu repartitions, %.3f churn/admit)\n",
+              static_cast<unsigned long long>(res.churn.moved),
+              static_cast<unsigned long long>(res.churn.split),
+              static_cast<unsigned long long>(res.churn.unsplit),
+              static_cast<unsigned long long>(res.churn.repartitions),
+              res.admits > 0 ? static_cast<double>(res.churn.total()) /
+                                   static_cast<double>(res.admits)
+                             : 0.0);
+  std::printf("admission decisions: %llu O(1) util-rejects, %llu O(n) "
+              "density-accepts, %llu full demand tests\n",
+              static_cast<unsigned long long>(res.admission.util_rejects),
+              static_cast<unsigned long long>(res.admission.density_accepts),
+              static_cast<unsigned long long>(res.admission.full_tests));
+  std::printf("\nfinal placement:\n%s",
+              res.final_partition.summary().c_str());
+
+  if (!o.trace_out.empty()) {
+    // Epoch series as Perfetto counter tracks (stamped at epoch ends).
+    obs::PerfettoOptions popt;
+    popt.num_cores = o.cores;
+    popt.process_name = "sps online replay";
+    popt.counter_tracks = false;  // no scheduler events in this mode
+    obs::CounterSeries churn{"online churn", {}};
+    obs::CounterSeries resident{"resident tasks", {}};
+    obs::CounterSeries util{"total utilization", {}};
+    for (const online::EpochStats& e : res.epochs) {
+      churn.points.emplace_back(e.end,
+                                static_cast<double>(e.churn.total()));
+      resident.points.emplace_back(e.end,
+                                   static_cast<double>(e.resident));
+      util.points.emplace_back(e.end, e.utilization);
+    }
+    popt.extra_counters = {churn, resident, util};
+    if (!obs::WritePerfettoJson({}, o.trace_out, popt, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 2;
+    }
+    std::printf("wrote epoch counter tracks to %s — open at "
+                "ui.perfetto.dev\n",
+                o.trace_out.c_str());
+  }
+
+  std::uint64_t misses = 0;
+  for (const online::EpochStats& e : res.epochs) misses += e.sim_misses;
+  if (o.online_validate) {
+    std::printf("epoch validation: %llu simulated deadline misses\n",
+                static_cast<unsigned long long>(misses));
+  }
+  return misses == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -245,6 +461,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --overheads=%s\n", o.overheads.c_str());
     return 2;
   }
+
+  if (o.online) return RunOnline(o, model);
 
   if (o.acceptance) {
     exp::AcceptanceConfig acfg;
@@ -323,9 +541,10 @@ int main(int argc, char** argv) {
     std::printf("%s", trace::RenderGantt(r.trace_events, gopt).c_str());
   }
   if (!o.trace_out.empty()) {
+    std::string err;
     if (!obs::WritePerfettoJson(r.trace_events, o.trace_out,
-                                {.num_cores = o.cores})) {
-      std::fprintf(stderr, "could not write %s\n", o.trace_out.c_str());
+                                {.num_cores = o.cores}, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
       return 2;
     }
     std::printf("wrote Perfetto trace (%zu events) to %s — open at "
@@ -338,8 +557,9 @@ int main(int argc, char** argv) {
                 ToMillis(rep.span), rep.TaskCsv().c_str(),
                 rep.CoreCsv().c_str());
     if (!o.metrics_out.empty()) {
-      if (!util::WriteTextFile(o.metrics_out, rep.ToJson())) {
-        std::fprintf(stderr, "could not write %s\n", o.metrics_out.c_str());
+      std::string err;
+      if (!util::WriteTextFile(o.metrics_out, rep.ToJson(), &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
         return 2;
       }
       std::printf("wrote metrics report to %s\n", o.metrics_out.c_str());

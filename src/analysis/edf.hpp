@@ -14,6 +14,12 @@
 //     EDF-schedulable on one core iff sum dbf_i(t) <= t for all t up to a
 //     bounded horizon (we use the busy-period / utilization-slack bound,
 //     checking only deadline points — the QPA-style exact test);
+//   * split-task windows are modeled per EDF-WM's ORIGINAL per-window
+//     analysis: window j is a plain sporadic (B_j, T, window length) task
+//     with zero jitter (partition/edf_wm.hpp documents the
+//     assume-guarantee induction that makes this sound). The jitter field
+//     remains for genuinely jittered workloads — it is no longer used to
+//     (doubly, conservatively) widen split-window demand;
 //   * overhead-aware inflation mirroring overhead_aware.hpp: per-job
 //     release, scheduling, context-switch, finish and CPMD charges are
 //     folded into the demand.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <unordered_map>
 #include <vector>
 
 #include "util/json_writer.hpp"
@@ -58,6 +59,90 @@ struct OpenSlice {
   Time start = 0;
   Event ev;  // the kStart that opened it
 };
+
+void EmitCounter(util::JsonWriter& j, const std::string& name, Time t,
+                 double value) {
+  j.BeginObject();
+  j.Key("name").Value(name);
+  j.Key("ph").Value("C");
+  j.Key("ts").Value(Us(t));
+  j.Key("pid").Value(0);
+  j.Key("args").BeginObject().Key("value").Value(value).EndObject();
+  j.EndObject();
+}
+
+/// Derive the per-core counter tracks (header: ready-queue depth and
+/// jobs in flight) in one pass over the events. Pure function of the
+/// stream — the document stays deterministic.
+///
+/// Counts are booked PER TASK: each task remembers the core where its
+/// ready increment / live job is currently booked, and the matching
+/// decrement lands on that core. This keeps the counters exact for the
+/// GLOBAL engine too, whose stream releases on the irq core, starts on
+/// whatever core dispatches, and emits kMigrateIn with no kMigrateOut —
+/// a naive same-core state machine would drift unboundedly there.
+void EmitDerivedCounters(util::JsonWriter& j,
+                         const std::vector<Event>& events, unsigned cores) {
+  std::vector<std::int64_t> ready(cores, 0);
+  std::vector<std::int64_t> jobs(cores, 0);
+  struct Booked {
+    int ready_core = -1;  ///< core holding this task's ready increment
+    int job_core = -1;    ///< core holding this task's live job
+  };
+  std::unordered_map<rt::TaskId, Booked> booked;
+  auto bump = [&](std::vector<std::int64_t>& v, unsigned core, Time t,
+                  int d, const char* what) {
+    v[core] = std::max<std::int64_t>(0, v[core] + d);
+    char name[32];
+    std::snprintf(name, sizeof(name), "%s core%u", what, core);
+    EmitCounter(j, name, t, static_cast<double>(v[core]));
+  };
+  auto move_job = [&](Booked& b, const Event& e) {
+    if (b.job_core == static_cast<int>(e.core)) return;
+    if (b.job_core >= 0) {
+      bump(jobs, static_cast<unsigned>(b.job_core), e.time, -1, "jobs");
+    }
+    bump(jobs, e.core, e.time, +1, "jobs");
+    b.job_core = static_cast<int>(e.core);
+  };
+  for (const Event& e : events) {
+    if (e.core >= cores) continue;
+    Booked& b = booked[e.task];
+    switch (e.kind) {
+      case EventKind::kRelease:
+      case EventKind::kMigrateIn:
+        if (b.ready_core < 0) {
+          bump(ready, e.core, e.time, +1, "ready");
+          b.ready_core = static_cast<int>(e.core);
+        }
+        move_job(b, e);
+        break;
+      case EventKind::kPreempt:
+        if (b.ready_core < 0) {
+          bump(ready, e.core, e.time, +1, "ready");
+          b.ready_core = static_cast<int>(e.core);
+        }
+        break;
+      case EventKind::kStart:
+        if (b.ready_core >= 0) {
+          bump(ready, static_cast<unsigned>(b.ready_core), e.time, -1,
+               "ready");
+          b.ready_core = -1;
+        }
+        move_job(b, e);
+        break;
+      case EventKind::kFinish:
+        if (b.job_core >= 0) {
+          bump(jobs, static_cast<unsigned>(b.job_core), e.time, -1,
+               "jobs");
+          b.job_core = -1;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
 
 void EmitSlice(util::JsonWriter& j, const char* name, const char* cat,
                unsigned core, Time t0, Time t1) {
@@ -158,14 +243,21 @@ std::string ToPerfettoJson(const std::vector<Event>& events,
     }
   }
 
+  // Counter tracks, appended after the slices (Perfetto orders by ts).
+  if (opt.counter_tracks) EmitDerivedCounters(j, events, cores);
+  for (const CounterSeries& s : opt.extra_counters) {
+    for (const auto& [t, v] : s.points) EmitCounter(j, s.name, t, v);
+  }
+
   j.EndArray();
   j.EndObject();
   return j.str();
 }
 
 bool WritePerfettoJson(const std::vector<Event>& events,
-                       const std::string& path, const PerfettoOptions& opt) {
-  return util::WriteTextFile(path, ToPerfettoJson(events, opt));
+                       const std::string& path, const PerfettoOptions& opt,
+                       std::string* error) {
+  return util::WriteTextFile(path, ToPerfettoJson(events, opt), error);
 }
 
 }  // namespace sps::obs

@@ -1,0 +1,124 @@
+#include "online/admission.hpp"
+
+#include <algorithm>
+
+namespace sps::online {
+
+AdmissionState::AdmissionState(const AdmissionConfig& cfg) : cfg_(cfg) {
+  edf_cfg_.num_cores = cfg.num_cores;
+  edf_cfg_.model = cfg.model;
+  edf_cfg_.budget_granularity = cfg.budget_granularity;
+  edf_cfg_.min_budget = cfg.min_budget;
+  fp_cfg_.num_cores = cfg.num_cores;
+  fp_cfg_.admission = cfg.fp_admission;
+  fp_cfg_.model = cfg.model;
+  if (cfg.policy == partition::SchedPolicy::kEdf) {
+    edf_cores_.resize(cfg.num_cores);
+  } else {
+    fp_cores_.resize(cfg.num_cores);
+  }
+}
+
+partition::EdfPlacement AdmissionState::Place(
+    const rt::Task& t, std::span<const unsigned> core_order,
+    bool allow_split) {
+  if (cfg_.policy == partition::SchedPolicy::kEdf) {
+    return partition::PlaceEdfTask(edf_cores_, t, core_order, allow_split,
+                                   edf_cfg_, &stats_);
+  }
+  // Fixed priority: whole-task placement only (splitting in this repo is
+  // the EDF-WM window mechanism; FP splitting is the offline SPA
+  // preassignment, which is not an incremental step).
+  partition::EdfPlacement out;
+  for (const unsigned c : core_order) {
+    if (partition::FpCoreAdmits(fp_cores_[c], t, fp_cfg_, &stats_)) {
+      fp_cores_[c].Commit(t);
+      out.placed = true;
+      out.parts.push_back(partition::SubtaskPlacement{
+          c, t.wcet, t.priority + partition::kNormalPriorityBase, 0});
+      return out;
+    }
+  }
+  return out;
+}
+
+void AdmissionState::Remove(
+    rt::TaskId id, std::span<const partition::SubtaskPlacement> parts) {
+  for (const partition::SubtaskPlacement& p : parts) {
+    if (cfg_.policy == partition::SchedPolicy::kEdf) {
+      edf_cores_[p.core].RemoveTask(id);
+    } else {
+      fp_cores_[p.core].RemoveTask(id);
+    }
+  }
+}
+
+std::vector<AdmissionState::TakenEntry> AdmissionState::TakeEdf(
+    rt::TaskId id, std::span<const partition::SubtaskPlacement> parts) {
+  std::vector<TakenEntry> taken;
+  for (const partition::SubtaskPlacement& p : parts) {
+    partition::EdfCoreState& core = edf_cores_[p.core];
+    for (auto it = core.entries.begin(); it != core.entries.end();) {
+      if (it->id == id) {
+        taken.push_back(TakenEntry{p.core, *it});
+        core.utilization -= static_cast<double>(it->exec) /
+                            static_cast<double>(it->period);
+        it = core.entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (core.entries.empty()) core.utilization = 0.0;
+  }
+  return taken;
+}
+
+void AdmissionState::RestoreEdf(std::span<const TakenEntry> taken) {
+  for (const TakenEntry& t : taken) edf_cores_[t.core].Commit(t.entry);
+}
+
+void AdmissionState::Adopt(const partition::Partition& p) {
+  const partition::AdmitStats kept = stats_;
+  *this = AdmissionState(cfg_);
+  stats_ = kept;
+  for (const partition::PlacedTask& pt : p.tasks) {
+    if (cfg_.policy == partition::SchedPolicy::kEdf) {
+      if (!pt.split()) {
+        edf_cores_[pt.parts[0].core].Commit(partition::MakeEdfEntry(pt.task));
+        continue;
+      }
+      Time window_start = 0;
+      for (std::size_t k = 0; k < pt.parts.size(); ++k) {
+        const partition::SubtaskPlacement& sp = pt.parts[k];
+        const Time window_end =
+            sp.rel_deadline > 0 ? sp.rel_deadline : pt.task.deadline;
+        edf_cores_[sp.core].Commit(partition::MakeEdfWindowEntry(
+            pt.task, sp.budget, window_end - window_start, k == 0,
+            k + 1 == pt.parts.size()));
+        window_start = window_end;
+      }
+    } else {
+      fp_cores_[pt.parts[0].core].Commit(pt.task);
+    }
+  }
+}
+
+double AdmissionState::core_utilization(unsigned c) const {
+  return cfg_.policy == partition::SchedPolicy::kEdf
+             ? edf_cores_[c].utilization
+             : fp_cores_[c].utilization;
+}
+
+std::size_t AdmissionState::entries_on(unsigned c) const {
+  return cfg_.policy == partition::SchedPolicy::kEdf
+             ? edf_cores_[c].entries.size()
+             : fp_cores_[c].tasks.size();
+}
+
+double AdmissionState::total_utilization() const {
+  double u = 0.0;
+  for (unsigned c = 0; c < cfg_.num_cores; ++c) u += core_utilization(c);
+  return u;
+}
+
+}  // namespace sps::online

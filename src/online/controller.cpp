@@ -1,0 +1,354 @@
+#include "online/controller.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "sim/batch.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sps::online {
+
+namespace {
+
+bool SameParts(const std::vector<partition::SubtaskPlacement>& a,
+               const std::vector<partition::SubtaskPlacement>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].core != b[i].core || a[i].budget != b[i].budget ||
+        a[i].local_priority != b[i].local_priority ||
+        a[i].rel_deadline != b[i].rel_deadline) {
+      return false;
+    }
+  }
+  return true;
+}
+
+partition::FitPolicy ToFitPolicy(PlacePolicy p) {
+  switch (p) {
+    case PlacePolicy::kFirstFit: return partition::FitPolicy::kFirstFit;
+    case PlacePolicy::kWorstFit: return partition::FitPolicy::kWorstFit;
+    case PlacePolicy::kSpaOrder: return partition::FitPolicy::kBestFit;
+  }
+  return partition::FitPolicy::kFirstFit;
+}
+
+}  // namespace
+
+const char* ToString(PlacePolicy p) {
+  switch (p) {
+    case PlacePolicy::kFirstFit: return "first-fit";
+    case PlacePolicy::kWorstFit: return "worst-fit";
+    case PlacePolicy::kSpaOrder: return "spa-order";
+  }
+  return "?";
+}
+
+ChurnStats& ChurnStats::operator+=(const ChurnStats& o) {
+  moved += o.moved;
+  split += o.split;
+  unsplit += o.unsplit;
+  repartitions += o.repartitions;
+  return *this;
+}
+
+ChurnStats& ChurnStats::operator-=(const ChurnStats& o) {
+  moved -= o.moved;
+  split -= o.split;
+  unsplit -= o.unsplit;
+  repartitions -= o.repartitions;
+  return *this;
+}
+
+Controller::Controller(const ControllerConfig& cfg)
+    : cfg_(cfg), state_(cfg.admission) {}
+
+std::vector<unsigned> Controller::CoreOrder(
+    const AdmissionState& state) const {
+  std::vector<unsigned> order(state.num_cores());
+  std::iota(order.begin(), order.end(), 0u);
+  if (cfg_.place == PlacePolicy::kFirstFit) return order;
+  std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    return cfg_.place == PlacePolicy::kWorstFit
+               ? state.core_utilization(a) < state.core_utilization(b)
+               : state.core_utilization(a) > state.core_utilization(b);
+  });
+  return order;
+}
+
+AdmitOutcome Controller::Admit(const rt::Task& t) {
+  AdmitOutcome out;
+  if (!t.valid() || placements_.count(t.id) != 0) return out;
+
+  const std::vector<unsigned> order = CoreOrder(state_);
+  const bool allow_split =
+      cfg_.allow_split &&
+      cfg_.admission.policy == partition::SchedPolicy::kEdf;
+  partition::EdfPlacement placed = state_.Place(t, order, allow_split);
+  if (placed.placed) {
+    out.accepted = true;
+    out.parts = static_cast<unsigned>(placed.parts.size());
+    if (out.parts > 1) ++churn_.split;
+    partition::PlacedTask pt;
+    pt.task = t;
+    pt.parts = std::move(placed.parts);
+    placements_.emplace(t.id, std::move(pt));
+    return out;
+  }
+  if (cfg_.repartition_fallback) return FallbackRepartition(t);
+  return out;
+}
+
+AdmitOutcome Controller::FallbackRepartition(const rt::Task& t) {
+  AdmitOutcome out;
+  // O(1) hopelessness guard: no partitioner can place a set whose total
+  // utilization exceeds the core count — skip the offline run entirely.
+  if (state_.total_utilization() + t.utilization() >
+      static_cast<double>(cfg_.admission.num_cores) + 1e-12) {
+    return out;
+  }
+  // Resident set + candidate, in ascending id order (the offline
+  // partitioners impose their own heuristic order internally).
+  std::vector<rt::Task> tasks;
+  tasks.reserve(placements_.size() + 1);
+  for (const auto& [id, pt] : placements_) tasks.push_back(pt.task);
+  tasks.push_back(t);
+  std::sort(tasks.begin(), tasks.end(),
+            [](const rt::Task& a, const rt::Task& b) { return a.id < b.id; });
+  const rt::TaskSet ts(std::move(tasks));
+
+  partition::PartitionResult pr;
+  if (cfg_.admission.policy == partition::SchedPolicy::kEdf) {
+    partition::EdfPartitionConfig ecfg;
+    ecfg.num_cores = cfg_.admission.num_cores;
+    ecfg.model = cfg_.admission.model;
+    ecfg.budget_granularity = cfg_.admission.budget_granularity;
+    ecfg.min_budget = cfg_.admission.min_budget;
+    pr = cfg_.allow_split
+             ? partition::EdfWm(ts, ecfg)
+             : partition::EdfBinPack(ts, ToFitPolicy(cfg_.place), ecfg);
+  } else {
+    partition::BinPackConfig bcfg;
+    bcfg.num_cores = cfg_.admission.num_cores;
+    bcfg.admission = cfg_.admission.fp_admission;
+    bcfg.model = cfg_.admission.model;
+    pr = partition::BinPackDecreasing(ts, ToFitPolicy(cfg_.place), bcfg);
+  }
+  if (!pr.success) return out;
+
+  // Adopted: charge the churn — every RESIDENT task whose placement
+  // changed moved; residents newly split (and the candidate if split)
+  // count as splits.
+  std::unordered_map<rt::TaskId, partition::PlacedTask> next;
+  for (const partition::PlacedTask& pt : pr.partition.tasks) {
+    next.emplace(pt.task.id, pt);
+  }
+  for (const auto& [id, old_pt] : placements_) {
+    const partition::PlacedTask& new_pt = next.at(id);
+    if (!SameParts(old_pt.parts, new_pt.parts)) {
+      ++churn_.moved;
+      if (!old_pt.split() && new_pt.split()) ++churn_.split;
+      if (old_pt.split() && !new_pt.split()) ++churn_.unsplit;
+    }
+  }
+  if (next.at(t.id).split()) ++churn_.split;
+  ++churn_.repartitions;
+
+  state_.Adopt(pr.partition);
+  placements_ = std::move(next);
+  out.accepted = true;
+  out.via_fallback = true;
+  out.parts = static_cast<unsigned>(placements_.at(t.id).parts.size());
+  return out;
+}
+
+bool Controller::Leave(rt::TaskId id) {
+  const auto it = placements_.find(id);
+  if (it == placements_.end()) return false;
+  state_.Remove(id, it->second.parts);
+  placements_.erase(it);
+  if (cfg_.unsplit_on_leave &&
+      cfg_.admission.policy == partition::SchedPolicy::kEdf) {
+    TryUnsplit();
+  }
+  return true;
+}
+
+void Controller::TryUnsplit() {
+  // Deterministic scan: the lowest-id resident split task that now fits
+  // whole somewhere is consolidated (at most one per LEAVE — the freed
+  // capacity is what made this worth probing).
+  std::vector<rt::TaskId> split_ids;
+  for (const auto& [id, pt] : placements_) {
+    if (pt.split()) split_ids.push_back(id);
+  }
+  std::sort(split_ids.begin(), split_ids.end());
+
+  for (const rt::TaskId id : split_ids) {
+    partition::PlacedTask& pt = placements_.at(id);
+    // Probe: would the whole task fit on some core once its own window
+    // reservations are lifted? Lift exactly the task's entries (and the
+    // core order is ranked with them lifted — what the policy should
+    // see), place, and restore on failure: O(task entries), no state
+    // copies.
+    const std::vector<AdmissionState::TakenEntry> taken =
+        state_.TakeEdf(id, pt.parts);
+    const std::vector<unsigned> order = CoreOrder(state_);
+    partition::EdfPlacement whole =
+        state_.Place(pt.task, order, /*allow_split=*/false);
+    if (!whole.placed) {
+      state_.RestoreEdf(taken);
+      continue;
+    }
+    pt.parts = std::move(whole.parts);
+    ++churn_.unsplit;
+    return;
+  }
+}
+
+partition::Partition Controller::CurrentPartition() const {
+  partition::Partition p;
+  p.num_cores = cfg_.admission.num_cores;
+  p.policy = cfg_.admission.policy;
+  p.tasks.reserve(placements_.size());
+  for (const auto& [id, pt] : placements_) p.tasks.push_back(pt);
+  std::sort(p.tasks.begin(), p.tasks.end(),
+            [](const partition::PlacedTask& a,
+               const partition::PlacedTask& b) {
+              return a.task.id < b.task.id;
+            });
+  return p;
+}
+
+// ---- epoch replay ----------------------------------------------------------
+
+namespace {
+
+void CloseEpoch(const Controller& ctrl, const ReplayConfig& cfg,
+                std::size_t epoch_index, Time start, Time end,
+                const ChurnStats& churn_before, EpochStats& e,
+                ReplayResult& out) {
+  e.start = start;
+  e.end = end;
+  e.resident = ctrl.resident();
+  e.utilization = ctrl.total_utilization();
+  ChurnStats delta = ctrl.churn();
+  delta -= churn_before;
+  e.churn = delta;
+  if (cfg.validate_by_simulation && ctrl.resident() > 0) {
+    sim::SimConfig scfg = cfg.validate_sim;
+    scfg.overheads = cfg.controller.admission.model;
+    scfg.exec.seed = util::DeriveSeed(cfg.seed, epoch_index, 0);
+    scfg.arrivals.seed = util::DeriveSeed(cfg.seed, epoch_index, 1);
+    const std::vector<sim::BatchRun> runs = sim::RunConfigSweep(
+        ctrl.CurrentPartition(), {{"epoch", scfg}}, {.jobs = 1});
+    e.validated = true;
+    e.sim_misses = runs.front().result.total_misses;
+  }
+  out.epochs.push_back(e);
+  e = EpochStats{};
+}
+
+}  // namespace
+
+ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg) {
+  ReplayResult out;
+  Controller ctrl(cfg.controller);
+  const Time epoch_len = cfg.epoch > 0 ? cfg.epoch : s.span() + 1;
+  // Idle spans longer than this many empty epochs are compressed: the
+  // skipped epochs produce no rows (nothing happened in them; their
+  // validation would re-simulate an unchanged partition). Bounds the
+  // result against a far-future timestamp in a loaded trace or a tiny
+  // --online-epoch-ms against a long stream.
+  constexpr Time kMaxIdleEpochs = 1024;
+
+  EpochStats cur;
+  ChurnStats churn_before;
+  Time epoch_start = 0;
+  std::size_t epoch_index = 0;
+
+  for (const Request& r : s.requests()) {
+    // (r.at - epoch_start is non-negative: requests are time-sorted and
+    // epoch_start never passes a request — so the subtraction form is
+    // overflow-safe where `epoch_start + epoch_len` is not.)
+    while (r.at - epoch_start >= epoch_len) {
+      CloseEpoch(ctrl, cfg, epoch_index, epoch_start,
+                 epoch_start + epoch_len, churn_before, cur, out);
+      churn_before = ctrl.churn();
+      epoch_start += epoch_len;
+      ++epoch_index;
+      const Time idle_epochs = (r.at - epoch_start) / epoch_len;
+      if (idle_epochs > kMaxIdleEpochs) {
+        epoch_start += idle_epochs * epoch_len;
+        epoch_index += static_cast<std::size_t>(idle_epochs);
+      }
+    }
+    if (r.kind == RequestKind::kAdmit) {
+      if (ctrl.Admit(r.task).accepted) {
+        ++cur.admits;
+        ++out.admits;
+      } else {
+        ++cur.rejects;
+        ++out.rejects;
+      }
+    } else {
+      if (ctrl.Leave(r.id)) {
+        ++cur.leaves;
+        ++out.leaves;
+      }
+    }
+  }
+  // Final epoch; its nominal end can exceed the representable range when
+  // the last request sits near kTimeNever — clamp.
+  const Time final_end = epoch_start > kTimeNever - epoch_len
+                             ? kTimeNever
+                             : epoch_start + epoch_len;
+  CloseEpoch(ctrl, cfg, epoch_index, epoch_start, final_end, churn_before,
+             cur, out);
+
+  out.churn = ctrl.churn();
+  out.admission = ctrl.admission_stats();
+  out.final_partition = ctrl.CurrentPartition();
+  return out;
+}
+
+std::vector<ReplayResult> ReplayBatch(std::span<const WorkloadStream> streams,
+                                      const ReplayConfig& cfg,
+                                      unsigned jobs) {
+  std::vector<ReplayResult> results(streams.size());
+  util::ParallelFor(jobs, streams.size(), [&](std::size_t i) {
+    // Per-stream config: only the validation seed varies, derived from
+    // the stream index — results are pure in (stream, cfg, i), hence
+    // bit-identical for any job count.
+    ReplayConfig c = cfg;
+    c.seed = util::DeriveSeed(cfg.seed, i, 0xB47C4);
+    results[i] = ReplayStream(streams[i], c);
+  });
+  return results;
+}
+
+std::string ReplayResult::Table() const {
+  std::string out =
+      "epoch      [ms, ms)   admit reject leave resident   util"
+      "   moved split unsplit  sim-miss\n";
+  char buf[160];
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    const EpochStats& e = epochs[i];
+    const std::string miss =
+        e.validated ? std::to_string(e.sim_misses) : std::string("-");
+    std::snprintf(buf, sizeof(buf),
+                  "%5zu %7.0f %7.0f %7u %6u %5u %8zu %6.3f %7llu %5llu"
+                  " %7llu %9s\n",
+                  i, ToMillis(e.start), ToMillis(e.end), e.admits,
+                  e.rejects, e.leaves, e.resident, e.utilization,
+                  static_cast<unsigned long long>(e.churn.moved),
+                  static_cast<unsigned long long>(e.churn.split),
+                  static_cast<unsigned long long>(e.churn.unsplit),
+                  miss.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sps::online

@@ -1,0 +1,185 @@
+#pragma once
+// Online admission controller (DESIGN.md §11): the component that turns a
+// stream of ADMIT/LEAVE requests into a continuously valid partition.
+//
+//   * Placement policy slot: first-fit (the EDF-WM default), worst-fit
+//     (load spreading), or SPA ordering (fill the busiest admitting core
+//     first, the paper's fill-one-core-at-a-time spirit). Whole-task
+//     placement first; EDF controllers then try the window-split search.
+//   * Churn accounting: moved / split / unsplit task counts are reported
+//     metrics, not accidents. A plain incremental admit moves nothing; a
+//     full-repartition fallback charges every resident task whose
+//     placement changed.
+//   * Full-repartition fallback: when the incremental step cannot place a
+//     request, the matching OFFLINE partitioner runs on the resident set
+//     plus the candidate. Success adopts the new placement (and pays the
+//     churn); failure rejects the request and leaves the resident system
+//     untouched.
+//   * Epoch replay: requests are folded in timestamp order; at each epoch
+//     boundary the controller snapshots per-epoch stats and can validate
+//     the current partition by actually simulating it through sim/batch
+//     (the PR-3 validate_by_simulation machinery). Batches of independent
+//     streams fan out over util/thread_pool bit-identically for any job
+//     count.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "online/admission.hpp"
+#include "online/workload_stream.hpp"
+#include "partition/placement.hpp"
+#include "sim/engine.hpp"
+
+namespace sps::online {
+
+enum class PlacePolicy {
+  kFirstFit,  ///< lowest-numbered admitting core
+  kWorstFit,  ///< emptiest admitting core (spreads load)
+  kSpaOrder,  ///< fullest admitting core (SPA's fill-up ordering)
+};
+
+const char* ToString(PlacePolicy p);
+
+struct ControllerConfig {
+  AdmissionConfig admission;
+  PlacePolicy place = PlacePolicy::kFirstFit;
+  /// EDF only: allow window-splitting a request that fits nowhere whole.
+  bool allow_split = true;
+  /// Re-partition the resident set + candidate offline when the
+  /// incremental step fails (churn is charged; failure still rejects).
+  bool repartition_fallback = true;
+  /// After a LEAVE, try to consolidate one resident split task onto a
+  /// single core (migration churn down; charged as an unsplit).
+  bool unsplit_on_leave = false;
+};
+
+/// Tasks whose placement changed, split, or consolidated — the online
+/// subsystem's headline cost metric next to acceptance.
+struct ChurnStats {
+  std::uint64_t moved = 0;    ///< resident tasks whose placement changed
+  std::uint64_t split = 0;    ///< tasks split (admission or fallback)
+  std::uint64_t unsplit = 0;  ///< split tasks consolidated onto one core
+  std::uint64_t repartitions = 0;  ///< fallback runs that were adopted
+
+  ChurnStats& operator+=(const ChurnStats& o);
+  ChurnStats& operator-=(const ChurnStats& o);  ///< epoch deltas
+  [[nodiscard]] std::uint64_t total() const {
+    return moved + split + unsplit;
+  }
+  friend bool operator==(const ChurnStats&, const ChurnStats&) = default;
+};
+
+struct AdmitOutcome {
+  bool accepted = false;
+  bool via_fallback = false;  ///< placed by the full repartition
+  unsigned parts = 0;         ///< subtask count of the accepted placement
+};
+
+class Controller {
+ public:
+  explicit Controller(const ControllerConfig& cfg);
+
+  /// Decide one ADMIT. Touches only candidate cores unless the fallback
+  /// runs. Rejection leaves every resident task untouched.
+  AdmitOutcome Admit(const rt::Task& t);
+
+  /// Retire a resident task, reclaiming its capacity on exactly the
+  /// cores it occupied. Returns false (and does nothing) for unknown
+  /// ids.
+  bool Leave(rt::TaskId id);
+
+  /// The resident system as a simulatable/verifiable partition. Tasks
+  /// appear in ascending id order, so equal resident sets compare equal.
+  [[nodiscard]] partition::Partition CurrentPartition() const;
+
+  [[nodiscard]] std::size_t resident() const { return placements_.size(); }
+  [[nodiscard]] double total_utilization() const {
+    return state_.total_utilization();
+  }
+  [[nodiscard]] const ChurnStats& churn() const { return churn_; }
+  [[nodiscard]] const partition::AdmitStats& admission_stats() const {
+    return state_.stats();
+  }
+  [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
+
+ private:
+  /// Placement probe order per the configured policy, ranked by the
+  /// utilizations of `state` (pass the probe copy when testing
+  /// hypothetical states, e.g. TryUnsplit's entries-removed view).
+  std::vector<unsigned> CoreOrder(const AdmissionState& state) const;
+  /// Offline repartition of resident + cand; adopts + charges churn on
+  /// success.
+  AdmitOutcome FallbackRepartition(const rt::Task& t);
+  void TryUnsplit();
+
+  ControllerConfig cfg_;
+  AdmissionState state_;
+  /// id -> current placement (parts) + the task itself.
+  std::unordered_map<rt::TaskId, partition::PlacedTask> placements_;
+  ChurnStats churn_;
+};
+
+// ---- epoch replay ----------------------------------------------------------
+
+struct ReplayConfig {
+  ControllerConfig controller;
+  /// Epoch length; stats snapshot per epoch. 0 = one epoch spanning the
+  /// whole stream.
+  Time epoch = Millis(1000);
+  /// Simulate the partition standing at each epoch boundary through
+  /// sim/batch and record its deadline misses (0 expected — the
+  /// admission analysis is sound).
+  bool validate_by_simulation = false;
+  sim::SimConfig validate_sim;
+  /// Seed for the validation simulations' derived RNG streams.
+  std::uint64_t seed = 20110318;
+};
+
+struct EpochStats {
+  Time start = 0;
+  Time end = 0;
+  std::uint32_t admits = 0;
+  std::uint32_t rejects = 0;
+  std::uint32_t leaves = 0;
+  ChurnStats churn;              ///< churn incurred within this epoch
+  std::size_t resident = 0;      ///< at epoch end
+  double utilization = 0.0;      ///< at epoch end
+  bool validated = false;
+  std::uint64_t sim_misses = 0;
+
+  friend bool operator==(const EpochStats&, const EpochStats&) = default;
+};
+
+struct ReplayResult {
+  std::vector<EpochStats> epochs;
+  std::uint64_t admits = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t leaves = 0;
+  ChurnStats churn;
+  partition::AdmitStats admission;
+  partition::Partition final_partition;
+
+  [[nodiscard]] double acceptance_ratio() const {
+    const std::uint64_t n = admits + rejects;
+    return n == 0 ? 1.0 : static_cast<double>(admits) /
+                              static_cast<double>(n);
+  }
+  /// Fixed-width per-epoch table for the CLI.
+  [[nodiscard]] std::string Table() const;
+};
+
+/// Fold one stream through a fresh controller. Pure in (stream, cfg).
+ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg);
+
+/// Replay independent streams over the worker pool (jobs as in
+/// util::ParallelFor: 1 = serial, 0 = hardware). Stream i's result is
+/// identical for every job count — each replay owns its controller and
+/// derives its validation seeds from (cfg.seed, i).
+std::vector<ReplayResult> ReplayBatch(std::span<const WorkloadStream> streams,
+                                      const ReplayConfig& cfg,
+                                      unsigned jobs = 1);
+
+}  // namespace sps::online

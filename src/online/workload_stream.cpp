@@ -1,0 +1,243 @@
+#include "online/workload_stream.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rt/generator.hpp"
+#include "util/json_writer.hpp"
+#include "util/rng.hpp"
+
+namespace sps::online {
+
+namespace {
+
+/// Axes of the per-request seed derivation — one independent stream per
+/// drawn quantity so adding a draw never shifts any other.
+enum : std::uint64_t {
+  kAxisPeriod = 0,
+  kAxisUtil = 1,
+  kAxisAdmitAt = 2,
+  kAxisLeaves = 3,
+  kAxisLifetime = 4,
+};
+
+double UniformDouble(std::uint64_t seed, double lo, double hi) {
+  util::SplitMix64 rng(seed);
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(rng);
+}
+
+Time UniformTime(std::uint64_t seed, Time lo, Time hi) {
+  util::SplitMix64 rng(seed);
+  std::uniform_int_distribution<Time> d(lo, hi);
+  return d(rng);
+}
+
+std::string PathError(const std::string& path, const char* verb) {
+  return path + ": cannot " + verb + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+WorkloadStream::WorkloadStream(std::vector<Request> reqs)
+    : requests_(std::move(reqs)) {
+  std::stable_sort(requests_.begin(), requests_.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.at < b.at;
+                   });
+}
+
+std::size_t WorkloadStream::num_admits() const {
+  std::size_t n = 0;
+  for (const Request& r : requests_) {
+    if (r.kind == RequestKind::kAdmit) ++n;
+  }
+  return n;
+}
+
+bool WorkloadStream::valid() const {
+  std::unordered_set<rt::TaskId> resident;
+  std::unordered_set<rt::TaskId> ever;
+  Time last = 0;
+  for (const Request& r : requests_) {
+    if (r.at < last) return false;
+    last = r.at;
+    if (r.kind == RequestKind::kAdmit) {
+      if (!r.task.valid() || r.task.id != r.id) return false;
+      if (!ever.insert(r.id).second) return false;  // duplicate admit id
+      resident.insert(r.id);
+    } else {
+      if (resident.erase(r.id) == 0) return false;  // leave without admit
+    }
+  }
+  return true;
+}
+
+Time WorkloadStream::span() const {
+  return requests_.empty() ? 0 : requests_.back().at;
+}
+
+WorkloadStream GenerateStream(const StreamConfig& cfg) {
+  rt::GeneratorConfig gen;
+  gen.period_min = cfg.period_min;
+  gen.period_max = cfg.period_max;
+  gen.period_granularity = cfg.period_granularity;
+
+  std::vector<Request> reqs;
+  reqs.reserve(cfg.num_admits * 2);
+  std::vector<std::pair<Time, rt::TaskId>> dm_order;  // (deadline, id)
+  dm_order.reserve(cfg.num_admits);
+
+  for (std::size_t i = 0; i < cfg.num_admits; ++i) {
+    // Period via the offline generator's recipe, on a per-request stream.
+    rt::Rng prng(util::DeriveSeed(cfg.seed, i, kAxisPeriod));
+    const Time period = rt::DrawPeriod(gen, prng);
+    const double u = UniformDouble(util::DeriveSeed(cfg.seed, i, kAxisUtil),
+                                   cfg.util_min, cfg.util_max);
+    Time wcet =
+        static_cast<Time>(u * static_cast<double>(period) + 0.5);
+    wcet = std::max<Time>(1, std::min(wcet, period));
+
+    Request admit;
+    admit.at = UniformTime(util::DeriveSeed(cfg.seed, i, kAxisAdmitAt), 0,
+                           cfg.span > 0 ? cfg.span - 1 : 0);
+    admit.kind = RequestKind::kAdmit;
+    admit.id = static_cast<rt::TaskId>(i);
+    admit.task = rt::MakeTask(admit.id, wcet, period);
+    dm_order.emplace_back(admit.task.deadline, admit.id);
+    reqs.push_back(admit);
+
+    const double leave_draw = UniformDouble(
+        util::DeriveSeed(cfg.seed, i, kAxisLeaves), 0.0, 1.0);
+    if (leave_draw < cfg.leave_fraction) {
+      Request leave;
+      leave.at =
+          admit.at +
+          UniformTime(util::DeriveSeed(cfg.seed, i, kAxisLifetime),
+                      cfg.min_lifetime, std::max(cfg.min_lifetime,
+                                                 cfg.max_lifetime));
+      leave.kind = RequestKind::kLeave;
+      leave.id = admit.id;
+      reqs.push_back(leave);
+    }
+  }
+
+  // Unique deadline-monotonic priorities over the whole stream (ties by
+  // id), so fixed-priority controllers can consume the tasks directly.
+  std::sort(dm_order.begin(), dm_order.end());
+  std::unordered_map<rt::TaskId, rt::Priority> prio;
+  for (std::size_t rank = 0; rank < dm_order.size(); ++rank) {
+    prio[dm_order[rank].second] = static_cast<rt::Priority>(rank);
+  }
+  for (Request& r : reqs) {
+    if (r.kind == RequestKind::kAdmit) r.task.priority = prio[r.id];
+  }
+
+  return WorkloadStream(std::move(reqs));
+}
+
+WorkloadStream MakeAdmitOnlyStream(const rt::TaskSet& ts,
+                                   const std::vector<std::size_t>& order) {
+  std::vector<Request> reqs;
+  reqs.reserve(order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    Request r;
+    r.at = static_cast<Time>(k);
+    r.kind = RequestKind::kAdmit;
+    r.task = ts[order[k]];
+    r.id = r.task.id;
+    reqs.push_back(r);
+  }
+  return WorkloadStream(std::move(reqs));
+}
+
+bool SaveStream(const WorkloadStream& s, const std::string& path,
+                std::string* error) {
+  // Render the whole trace, then go through the one shared text-file
+  // writer (util::WriteTextFile) for the open/write/close + errno
+  // reporting. Note the writer appends the trailing newline.
+  std::string body = "# sps-online-stream v1";
+  char line[160];
+  for (const Request& r : s.requests()) {
+    if (r.kind == RequestKind::kAdmit) {
+      std::snprintf(line, sizeof(line),
+                    "\nadmit %" PRId64 " %u %" PRId64 " %" PRId64
+                    " %" PRId64 " %u",
+                    r.at, r.id, r.task.wcet, r.task.period,
+                    r.task.deadline, r.task.priority);
+    } else {
+      std::snprintf(line, sizeof(line), "\nleave %" PRId64 " %u", r.at,
+                    r.id);
+    }
+    body += line;
+  }
+  return util::WriteTextFile(path, body, error);
+}
+
+bool LoadStream(const std::string& path, WorkloadStream& out,
+                std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    if (error != nullptr) *error = PathError(path, "open for reading");
+    return false;
+  }
+  std::vector<Request> reqs;
+  char line[256];
+  int lineno = 0;
+  bool ok = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
+    Request r;
+    std::int64_t at = 0, wcet = 0, period = 0, deadline = 0;
+    unsigned id = 0, priority = 0;
+    if (std::sscanf(line,
+                    "admit %" SCNd64 " %u %" SCNd64 " %" SCNd64 " %" SCNd64
+                    " %u",
+                    &at, &id, &wcet, &period, &deadline, &priority) == 6) {
+      r.at = at;
+      r.kind = RequestKind::kAdmit;
+      r.id = id;
+      r.task = rt::Task{.id = id,
+                        .wcet = wcet,
+                        .period = period,
+                        .deadline = deadline,
+                        .priority = priority};
+    } else if (std::sscanf(line, "leave %" SCNd64 " %u", &at, &id) == 2) {
+      r.at = at;
+      r.kind = RequestKind::kLeave;
+      r.id = id;
+    } else {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(lineno) +
+                 ": unparseable request line: " + line;
+      }
+      ok = false;
+      break;
+    }
+    reqs.push_back(r);
+  }
+  if (ok && std::ferror(f) != 0) {
+    if (error != nullptr) *error = PathError(path, "read");
+    ok = false;
+  }
+  std::fclose(f);
+  if (!ok) return false;
+  out = WorkloadStream(std::move(reqs));
+  if (!out.valid()) {
+    if (error != nullptr) {
+      *error = path + ": stream invalid (duplicate admit, leave without "
+                      "admit, or malformed task)";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sps::online

@@ -30,15 +30,42 @@ const char* ToString(AdmissionTest t) {
   return "?";
 }
 
-namespace {
+void FpCoreState::Commit(const rt::Task& t) {
+  tasks.push_back(t);
+  utilization += t.utilization();
+}
 
-struct CoreBin {
-  std::vector<rt::Task> tasks;
-  double utilization = 0.0;
-};
+bool FpCoreState::RemoveTask(rt::TaskId id) {
+  for (auto it = tasks.begin(); it != tasks.end(); ++it) {
+    if (it->id == id) {
+      utilization -= it->utilization();
+      tasks.erase(it);
+      if (tasks.empty()) utilization = 0.0;  // flush float residue
+      return true;
+    }
+  }
+  return false;
+}
 
-bool Admits(const CoreBin& bin, const rt::Task& cand,
-            const BinPackConfig& cfg) {
+AdmitStats& AdmitStats::operator+=(const AdmitStats& o) {
+  util_rejects += o.util_rejects;
+  density_accepts += o.density_accepts;
+  full_tests += o.full_tests;
+  return *this;
+}
+
+bool FpCoreAdmits(const FpCoreState& bin, const rt::Task& cand,
+                  const BinPackConfig& cfg, AdmitStats* stats) {
+  AdmitStats local;
+  AdmitStats& s = stats != nullptr ? *stats : local;
+  // O(1) reject: no FP admission test passes a core over utilization 1
+  // (LL and hyperbolic bounds are below it; RTA diverges past it for
+  // constrained deadlines).
+  if (bin.utilization + cand.utilization() > 1.0 + 1e-12) {
+    ++s.util_rejects;
+    return false;
+  }
+  ++s.full_tests;
   if (cfg.admission != AdmissionTest::kRta) {
     std::vector<double> utils;
     utils.reserve(bin.tasks.size() + 1);
@@ -66,15 +93,13 @@ bool Admits(const CoreBin& bin, const rt::Task& cand,
   return analysis::AnalyzeCoreWithOverheads(entries, cfg.model).schedulable;
 }
 
-}  // namespace
-
 PartitionResult BinPackDecreasing(const rt::TaskSet& ts, FitPolicy policy,
                                   const BinPackConfig& cfg) {
   PartitionResult result;
   result.algorithm = std::string(ToString(policy)) + "/" +
                      ToString(cfg.admission);
 
-  std::vector<CoreBin> bins(cfg.num_cores);
+  std::vector<FpCoreState> bins(cfg.num_cores);
   const std::vector<std::size_t> order = rt::OrderByDecreasingUtilization(ts);
   unsigned next_fit_cursor = 0;
 
@@ -85,7 +110,7 @@ PartitionResult BinPackDecreasing(const rt::TaskSet& ts, FitPolicy policy,
     switch (policy) {
       case FitPolicy::kFirstFit: {
         for (unsigned c = 0; c < cfg.num_cores; ++c) {
-          if (Admits(bins[c], t, cfg)) {
+          if (FpCoreAdmits(bins[c], t, cfg)) {
             chosen = static_cast<int>(c);
             break;
           }
@@ -94,7 +119,7 @@ PartitionResult BinPackDecreasing(const rt::TaskSet& ts, FitPolicy policy,
       }
       case FitPolicy::kNextFit: {
         while (next_fit_cursor < cfg.num_cores) {
-          if (Admits(bins[next_fit_cursor], t, cfg)) {
+          if (FpCoreAdmits(bins[next_fit_cursor], t, cfg)) {
             chosen = static_cast<int>(next_fit_cursor);
             break;
           }
@@ -116,7 +141,7 @@ PartitionResult BinPackDecreasing(const rt::TaskSet& ts, FitPolicy policy,
                          : bins[a].utilization < bins[b].utilization;
             });
         for (unsigned c : core_order) {
-          if (Admits(bins[c], t, cfg)) {
+          if (FpCoreAdmits(bins[c], t, cfg)) {
             chosen = static_cast<int>(c);
             break;
           }
@@ -132,8 +157,7 @@ PartitionResult BinPackDecreasing(const rt::TaskSet& ts, FitPolicy policy,
       result.failure_reason = buf;
       return result;
     }
-    bins[static_cast<unsigned>(chosen)].tasks.push_back(t);
-    bins[static_cast<unsigned>(chosen)].utilization += t.utilization();
+    bins[static_cast<unsigned>(chosen)].Commit(t);
   }
 
   // Assemble the partition (original task order, never split).

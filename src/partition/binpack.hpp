@@ -9,6 +9,7 @@
 // candidate. No task is ever split — that is exactly what semi-partitioned
 // scheduling relaxes.
 
+#include <cstdint>
 #include <string>
 
 #include "overhead/model.hpp"
@@ -53,5 +54,42 @@ inline PartitionResult Ffd(const rt::TaskSet& ts, const BinPackConfig& cfg) {
 inline PartitionResult Wfd(const rt::TaskSet& ts, const BinPackConfig& cfg) {
   return BinPackDecreasing(ts, FitPolicy::kWorstFit, cfg);
 }
+
+// ---- incremental placement machinery ---------------------------------------
+// The per-core bin state + admission test the offline packer iterates,
+// exposed (mirroring partition/edf_wm.hpp's EdfCoreState) so the online
+// admission controller can run one fixed-priority step per ADMIT request.
+
+/// One fixed-priority core: resident whole tasks + cached utilization.
+struct FpCoreState {
+  std::vector<rt::Task> tasks;
+  double utilization = 0.0;
+
+  void Commit(const rt::Task& t);
+  /// Remove the task with this id (if resident); returns true if removed.
+  bool RemoveTask(rt::TaskId id);
+};
+
+/// Counters of how admission decisions were reached, shared by the EDF
+/// and fixed-priority per-core tests (the online bench reports them;
+/// the filters are what keep per-admit cost flat). density_accepts is
+/// EDF-only.
+struct AdmitStats {
+  std::uint64_t util_rejects = 0;     ///< O(1): raw utilization > 1
+  std::uint64_t density_accepts = 0;  ///< O(n): inflated density <= 1 (EDF)
+  std::uint64_t full_tests = 0;       ///< full demand test / RTA / bound
+
+  AdmitStats& operator+=(const AdmitStats& o);
+  [[nodiscard]] std::uint64_t decisions() const {
+    return util_rejects + density_accepts + full_tests;
+  }
+};
+
+/// Would `cand` be schedulable on this core under cfg.admission — exactly
+/// the offline packer's per-core test (utilization bounds, or the
+/// overhead-aware exact RTA with cfg.model charged). Screened by the O(1)
+/// utilization filter (U > 1 cannot pass any of the three tests).
+bool FpCoreAdmits(const FpCoreState& core, const rt::Task& cand,
+                  const BinPackConfig& cfg, AdmitStats* stats = nullptr);
 
 }  // namespace sps::partition

@@ -15,55 +15,6 @@ namespace {
 
 constexpr std::size_t kConservativeQueueSize = 64;
 
-struct EdfCore {
-  std::vector<analysis::EdfCoreEntry> entries;
-  double utilization = 0.0;
-};
-
-analysis::EdfCoreEntry MakeNormal(const rt::Task& t) {
-  analysis::EdfCoreEntry e;
-  e.exec = t.wcet;
-  e.period = t.period;
-  e.deadline = t.deadline;
-  e.kind = static_cast<int>(analysis::EntryKind::kNormal);
-  e.id = t.id;
-  return e;
-}
-
-/// Subtask for window j (0-based) of K: released at window start (jitter
-/// bound = cumulative earlier windows), due at its window end.
-analysis::EdfCoreEntry MakeWindowPart(const rt::Task& t, Time budget,
-                                      Time window_start, Time window_len,
-                                      bool first, bool last) {
-  analysis::EdfCoreEntry e;
-  e.exec = budget;
-  e.period = t.period;
-  e.deadline = window_len;
-  e.jitter = window_start;
-  e.kind = static_cast<int>(
-      last ? analysis::EntryKind::kTail
-           : (first ? analysis::EntryKind::kBodyFirst
-                    : analysis::EntryKind::kBodyMiddle));
-  e.dest_queue_size = kConservativeQueueSize;
-  e.first_core_queue_size = kConservativeQueueSize;
-  e.id = t.id;
-  return e;
-}
-
-bool CoreAdmits(const EdfCore& core, const analysis::EdfCoreEntry& cand,
-                const overhead::OverheadModel& model) {
-  std::vector<analysis::EdfCoreEntry> probe = core.entries;
-  probe.push_back(cand);
-  const auto inflated = analysis::InflateEdfCore(probe, model);
-  return analysis::EdfDemandTest(inflated).schedulable;
-}
-
-void Commit(EdfCore& core, const analysis::EdfCoreEntry& e) {
-  core.entries.push_back(e);
-  core.utilization +=
-      static_cast<double>(e.exec) / static_cast<double>(e.period);
-}
-
 PartitionResult Finish(std::vector<std::vector<SubtaskPlacement>> parts,
                        const rt::TaskSet& ts, unsigned num_cores,
                        const overhead::OverheadModel& model,
@@ -91,20 +42,204 @@ PartitionResult Finish(std::vector<std::vector<SubtaskPlacement>> parts,
 
 }  // namespace
 
+void EdfCoreState::Commit(const analysis::EdfCoreEntry& e) {
+  entries.push_back(e);
+  utilization +=
+      static_cast<double>(e.exec) / static_cast<double>(e.period);
+}
+
+std::size_t EdfCoreState::RemoveTask(rt::TaskId id) {
+  std::size_t removed = 0;
+  for (auto it = entries.begin(); it != entries.end();) {
+    if (it->id == id) {
+      utilization -=
+          static_cast<double>(it->exec) / static_cast<double>(it->period);
+      it = entries.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  if (entries.empty()) utilization = 0.0;  // flush float residue
+  return removed;
+}
+
+analysis::EdfCoreEntry MakeEdfEntry(const rt::Task& t) {
+  analysis::EdfCoreEntry e;
+  e.exec = t.wcet;
+  e.period = t.period;
+  e.deadline = t.deadline;
+  e.kind = static_cast<int>(analysis::EntryKind::kNormal);
+  e.id = t.id;
+  return e;
+}
+
+analysis::EdfCoreEntry MakeEdfWindowEntry(const rt::Task& t, Time budget,
+                                          Time window_len, bool first,
+                                          bool last) {
+  analysis::EdfCoreEntry e;
+  e.exec = budget;
+  e.period = t.period;
+  e.deadline = window_len;
+  // Tightened per-window analysis (header comment): the window reservation
+  // bounds the wandering, so the subtask is a plain sporadic (B, T, D_j)
+  // task — no jitter widening of the dbf.
+  e.jitter = 0;
+  e.kind = static_cast<int>(
+      last ? analysis::EntryKind::kTail
+           : (first ? analysis::EntryKind::kBodyFirst
+                    : analysis::EntryKind::kBodyMiddle));
+  e.dest_queue_size = kConservativeQueueSize;
+  e.first_core_queue_size = kConservativeQueueSize;
+  e.id = t.id;
+  return e;
+}
+
+bool EdfCoreAdmits(const EdfCoreState& core,
+                   const analysis::EdfCoreEntry& cand,
+                   const overhead::OverheadModel& model,
+                   AdmitStats* stats) {
+  AdmitStats local;
+  AdmitStats& s = stats != nullptr ? *stats : local;
+
+  // O(1) reject: raw utilization already over 1 — inflation only adds,
+  // and the demand test opens by rejecting U > 1 (same epsilon).
+  const double cand_util =
+      static_cast<double>(cand.exec) / static_cast<double>(cand.period);
+  if (core.utilization + cand_util > 1.0 + 1e-12) {
+    ++s.util_rejects;
+    return false;
+  }
+
+  std::vector<analysis::EdfCoreEntry> probe = core.entries;
+  probe.push_back(cand);
+  const auto inflated = analysis::InflateEdfCore(probe, model);
+
+  // O(n) accept: for constrained-deadline jitter-free entries, inflated
+  // density sum C'/min(D,T) <= 1 implies dbf(t) <= t everywhere, and an
+  // inflated utilization strictly below 1 keeps the test off its U==1
+  // conservative-cap branch — so the full test would accept.
+  bool jitter_free = true;
+  double density = 0.0;
+  double inflated_util = 0.0;
+  for (const analysis::EdfTask& t : inflated) {
+    jitter_free = jitter_free && t.jitter == 0;
+    const Time d = t.deadline < t.period ? t.deadline : t.period;
+    density += static_cast<double>(t.wcet) / static_cast<double>(d);
+    inflated_util +=
+        static_cast<double>(t.wcet) / static_cast<double>(t.period);
+  }
+  if (jitter_free && density <= 1.0 && inflated_util < 1.0 - 1e-9) {
+    ++s.density_accepts;
+    return true;
+  }
+
+  ++s.full_tests;
+  return analysis::EdfDemandTest(inflated).schedulable;
+}
+
+EdfPlacement PlaceEdfTask(std::vector<EdfCoreState>& cores, const rt::Task& t,
+                          std::span<const unsigned> whole_core_order,
+                          bool allow_split, const EdfPartitionConfig& cfg,
+                          AdmitStats* stats) {
+  EdfPlacement out;
+
+  // 1) Whole task on the first admitting core of the given order.
+  const analysis::EdfCoreEntry whole = MakeEdfEntry(t);
+  for (const unsigned c : whole_core_order) {
+    if (EdfCoreAdmits(cores[c], whole, cfg.model, stats)) {
+      cores[c].Commit(whole);
+      out.placed = true;
+      out.parts.push_back(
+          SubtaskPlacement{static_cast<CoreId>(c), t.wcet, 0, t.deadline});
+      return out;
+    }
+  }
+  if (!allow_split) return out;
+
+  // 2) Window splitting: K equal windows, K = 2..m. Window j may land
+  //    on any core not already used by this task; take the core granting
+  //    the largest admissible budget (binary-searched per core).
+  const unsigned num_cores = static_cast<unsigned>(cores.size());
+  for (unsigned k = 2; k <= num_cores; ++k) {
+    const Time window = t.deadline / k;
+    if (window <= cfg.min_budget) break;
+    std::vector<SubtaskPlacement> trial;
+    std::vector<analysis::EdfCoreEntry> trial_entries;
+    std::vector<unsigned> used;
+    Time remaining = t.wcet;
+    for (unsigned j = 0; j < k && remaining > 0; ++j) {
+      const Time wstart = static_cast<Time>(j) * window;
+      const Time wlen = (j + 1 == k)
+                            ? t.deadline - wstart  // absorb rounding
+                            : window;
+      const bool last_window = (j + 1 == k);
+      const Time want = std::min(remaining, wlen);
+      Time best = 0;
+      unsigned best_core = 0;
+      for (unsigned c = 0; c < num_cores; ++c) {
+        if (std::find(used.begin(), used.end(), c) != used.end()) {
+          continue;
+        }
+        // Largest admissible budget on this core for this window.
+        Time lo = cfg.min_budget;
+        Time hi = want;
+        Time got = 0;
+        while (lo <= hi) {
+          const Time mid_raw = lo + (hi - lo) / 2;
+          const Time mid =
+              std::max(cfg.min_budget,
+                       mid_raw - mid_raw % cfg.budget_granularity);
+          const analysis::EdfCoreEntry e = MakeEdfWindowEntry(
+              t, mid, wlen, j == 0, last_window || mid == remaining);
+          if (EdfCoreAdmits(cores[c], e, cfg.model, stats)) {
+            got = mid;
+            lo = mid + cfg.budget_granularity;
+          } else {
+            hi = mid - cfg.budget_granularity;
+          }
+        }
+        if (got > best) {
+          best = got;
+          best_core = c;
+          if (best == want) break;  // cannot do better
+        }
+      }
+      if (best < cfg.min_budget) continue;  // this window contributes 0
+      const analysis::EdfCoreEntry e = MakeEdfWindowEntry(
+          t, best, wlen, j == 0, last_window || best == remaining);
+      trial_entries.push_back(e);
+      trial.push_back(SubtaskPlacement{best_core, best, 0, wstart + wlen});
+      used.push_back(best_core);
+      remaining -= best;
+    }
+    if (remaining == 0) {
+      // Make the final part's window end exactly at the deadline (valid()
+      // requires it) and commit everything.
+      trial.back().rel_deadline = t.deadline;
+      for (std::size_t i = 0; i < trial.size(); ++i) {
+        cores[trial[i].core].Commit(trial_entries[i]);
+      }
+      out.parts = std::move(trial);
+      out.placed = true;
+      return out;
+    }
+  }
+  return out;
+}
+
 PartitionResult EdfBinPack(const rt::TaskSet& ts, FitPolicy policy,
                            const EdfPartitionConfig& cfg) {
   PartitionResult fail;
   fail.algorithm = std::string("EDF-") + ToString(policy);
 
-  std::vector<EdfCore> cores(cfg.num_cores);
+  std::vector<EdfCoreState> cores(cfg.num_cores);
   std::vector<std::vector<SubtaskPlacement>> parts(ts.size());
   const auto order = rt::OrderByDecreasingUtilization(ts);
   unsigned next_fit_cursor = 0;
 
   for (const std::size_t ti : order) {
     const rt::Task& t = ts[ti];
-    const analysis::EdfCoreEntry cand = MakeNormal(t);
-    int chosen = -1;
     std::vector<unsigned> core_order(cfg.num_cores);
     std::iota(core_order.begin(), core_order.end(), 0u);
     if (policy == FitPolicy::kBestFit || policy == FitPolicy::kWorstFit) {
@@ -116,25 +251,25 @@ PartitionResult EdfBinPack(const rt::TaskSet& ts, FitPolicy policy,
                                     : cores[a].utilization <
                                           cores[b].utilization;
                        });
+    } else if (policy == FitPolicy::kNextFit) {
+      core_order.erase(core_order.begin(),
+                       core_order.begin() + next_fit_cursor);
     }
-    for (const unsigned c : core_order) {
-      if (policy == FitPolicy::kNextFit && c < next_fit_cursor) continue;
-      if (CoreAdmits(cores[c], cand, cfg.model)) {
-        chosen = static_cast<int>(c);
-        break;
-      }
-      if (policy == FitPolicy::kNextFit) ++next_fit_cursor;
-    }
-    if (chosen < 0) {
+    const EdfPlacement placed =
+        PlaceEdfTask(cores, t, core_order, /*allow_split=*/false, cfg);
+    if (!placed.placed) {
       char buf[96];
       std::snprintf(buf, sizeof(buf), "tau%u (u=%.3f) fits no core", t.id,
                     t.utilization());
       fail.failure_reason = buf;
       return fail;
     }
-    Commit(cores[static_cast<unsigned>(chosen)], cand);
-    parts[ti].push_back(SubtaskPlacement{
-        static_cast<CoreId>(chosen), t.wcet, 0, t.deadline});
+    if (policy == FitPolicy::kNextFit) {
+      // Never revisit cores before the one that admitted.
+      next_fit_cursor =
+          std::max(next_fit_cursor, placed.parts.front().core);
+    }
+    parts[ti] = placed.parts;
   }
   return Finish(std::move(parts), ts, cfg.num_cores, cfg.model,
                 fail.algorithm);
@@ -144,96 +279,17 @@ PartitionResult EdfWm(const rt::TaskSet& ts, const EdfPartitionConfig& cfg) {
   PartitionResult fail;
   fail.algorithm = "EDF-WM";
 
-  std::vector<EdfCore> cores(cfg.num_cores);
+  std::vector<EdfCoreState> cores(cfg.num_cores);
   std::vector<std::vector<SubtaskPlacement>> parts(ts.size());
   const auto order = rt::OrderByDecreasingUtilization(ts);
+  std::vector<unsigned> first_fit(cfg.num_cores);
+  std::iota(first_fit.begin(), first_fit.end(), 0u);
 
   for (const std::size_t ti : order) {
     const rt::Task& t = ts[ti];
-
-    // 1) Whole task, first fit.
-    bool placed = false;
-    const analysis::EdfCoreEntry whole = MakeNormal(t);
-    for (unsigned c = 0; c < cfg.num_cores && !placed; ++c) {
-      if (CoreAdmits(cores[c], whole, cfg.model)) {
-        Commit(cores[c], whole);
-        parts[ti].push_back(SubtaskPlacement{c, t.wcet, 0, t.deadline});
-        placed = true;
-      }
-    }
-    if (placed) continue;
-
-    // 2) Window splitting: K equal windows, K = 2..m. Window j may land
-    //    on any core not already used by this task; take the first core
-    //    whose demand test admits the needed budget (or the largest
-    //    admissible budget, binary-searched).
-    for (unsigned k = 2; k <= cfg.num_cores && !placed; ++k) {
-      const Time window = t.deadline / k;
-      if (window <= cfg.min_budget) break;
-      std::vector<SubtaskPlacement> trial;
-      std::vector<analysis::EdfCoreEntry> trial_entries;
-      std::vector<unsigned> used;
-      Time remaining = t.wcet;
-      for (unsigned j = 0; j < k && remaining > 0; ++j) {
-        const Time wstart = static_cast<Time>(j) * window;
-        const Time wlen = (j + 1 == k)
-                              ? t.deadline - wstart  // absorb rounding
-                              : window;
-        const bool last_window = (j + 1 == k);
-        const Time want = std::min(remaining, wlen);
-        Time best = 0;
-        unsigned best_core = 0;
-        for (unsigned c = 0; c < cfg.num_cores; ++c) {
-          if (std::find(used.begin(), used.end(), c) != used.end()) {
-            continue;
-          }
-          // Largest admissible budget on this core for this window.
-          Time lo = cfg.min_budget;
-          Time hi = want;
-          Time got = 0;
-          while (lo <= hi) {
-            const Time mid_raw = lo + (hi - lo) / 2;
-            const Time mid =
-                std::max(cfg.min_budget,
-                         mid_raw - mid_raw % cfg.budget_granularity);
-            const analysis::EdfCoreEntry e = MakeWindowPart(
-                t, mid, wstart, wlen, j == 0,
-                last_window || mid == remaining);
-            if (CoreAdmits(cores[c], e, cfg.model)) {
-              got = mid;
-              lo = mid + cfg.budget_granularity;
-            } else {
-              hi = mid - cfg.budget_granularity;
-            }
-          }
-          if (got > best) {
-            best = got;
-            best_core = c;
-            if (best == want) break;  // cannot do better
-          }
-        }
-        if (best < cfg.min_budget) continue;  // this window contributes 0
-        const analysis::EdfCoreEntry e =
-            MakeWindowPart(t, best, wstart, wlen, j == 0,
-                           last_window || best == remaining);
-        trial_entries.push_back(e);
-        trial.push_back(SubtaskPlacement{best_core, best, 0,
-                                         wstart + wlen});
-        used.push_back(best_core);
-        remaining -= best;
-      }
-      if (remaining == 0) {
-        // Make the final part's window end exactly at the deadline (valid()
-        // requires it) and commit everything.
-        trial.back().rel_deadline = t.deadline;
-        for (std::size_t i = 0; i < trial.size(); ++i) {
-          Commit(cores[trial[i].core], trial_entries[i]);
-        }
-        parts[ti] = std::move(trial);
-        placed = true;
-      }
-    }
-    if (!placed) {
+    const EdfPlacement placed =
+        PlaceEdfTask(cores, t, first_fit, /*allow_split=*/true, cfg);
+    if (!placed.placed) {
       char buf[96];
       std::snprintf(buf, sizeof(buf),
                     "tau%u (u=%.3f): no window split fits", t.id,
@@ -241,6 +297,7 @@ PartitionResult EdfWm(const rt::TaskSet& ts, const EdfPartitionConfig& cfg) {
       fail.failure_reason = buf;
       return fail;
     }
+    parts[ti] = placed.parts;
   }
   return Finish(std::move(parts), ts, cfg.num_cores, cfg.model, "EDF-WM");
 }

@@ -23,7 +23,30 @@
 //
 // Both partitioners gate their result through the EDF partition verifier
 // (verify.hpp / AnalyzePartition dispatches on Partition::policy).
+//
+// Split-window analysis (tightened, ROADMAP item): window j of a split
+// task is analyzed as an independent sporadic task (B_j, T, D_j) with NO
+// release jitter — EDF-WM's original per-window analysis. Soundness is the
+// standard assume-guarantee induction: if every core passes its demand
+// test under the window model, then at the earliest hypothetical window
+// violation every earlier window was met, so no subtask was ever released
+// AFTER its window start; releases at or before the window start with the
+// (fixed) window-end deadline only ever contribute LESS demand to any
+// interval than the modeled release at the window start. The previous
+// treatment (jitter = cumulative earlier windows, widening the dbf) was
+// strictly conservative — it double-counted the wandering the window
+// reservation already bounds.
+//
+// The per-task placement step (whole-task fit, then K-window split search)
+// is exposed as PlaceEdfTask over EdfCoreState so the ONLINE admission
+// controller (online/admission.*) runs the exact same step incrementally —
+// the differential guarantee "ADMIT-only replay == offline partition"
+// (tests/test_online.cpp) holds by construction.
 
+#include <span>
+#include <vector>
+
+#include "analysis/edf.hpp"
 #include "overhead/model.hpp"
 #include "partition/binpack.hpp"
 #include "partition/placement.hpp"
@@ -45,5 +68,64 @@ PartitionResult EdfBinPack(const rt::TaskSet& ts, FitPolicy policy,
 
 /// Semi-partitioned EDF with window-based splitting (EDF-WM style).
 PartitionResult EdfWm(const rt::TaskSet& ts, const EdfPartitionConfig& cfg);
+
+// ---- incremental placement machinery ---------------------------------------
+// The state + per-task step the offline partitioners iterate, exposed so
+// the online admission controller can run one step per ADMIT request and
+// reclaim capacity per LEAVE without re-partitioning anything.
+
+/// Analysis state of one EDF core: the resident (uninflated) entries and
+/// their cached raw utilization. The cache makes the O(1) utilization
+/// reject filter free; the entries are the input of the full demand test.
+struct EdfCoreState {
+  std::vector<analysis::EdfCoreEntry> entries;
+  double utilization = 0.0;
+
+  void Commit(const analysis::EdfCoreEntry& e);
+  /// Remove every entry of task `id`; returns how many were removed and
+  /// restores the utilization cache.
+  std::size_t RemoveTask(rt::TaskId id);
+};
+
+/// Would `cand` be schedulable on `core` under `model`? Decision-identical
+/// to inflating core+cand and running the demand test, but screened by two
+/// filters that settle most requests without it: raw utilization > 1
+/// rejects (inflation only adds demand), inflated density <= 1 with total
+/// utilization strictly below 1 accepts (the density bound implies
+/// dbf(t) <= t at every point, and staying off the U==1 branch keeps the
+/// demand test's conservative horizon cap out of play).
+bool EdfCoreAdmits(const EdfCoreState& core,
+                   const analysis::EdfCoreEntry& cand,
+                   const overhead::OverheadModel& model,
+                   AdmitStats* stats = nullptr);
+
+/// Analysis entry for a whole (unsplit) task.
+analysis::EdfCoreEntry MakeEdfEntry(const rt::Task& t);
+
+/// Analysis entry for window j of a split task per the tightened
+/// per-window analysis (header comment): sporadic (budget, T, window_len),
+/// zero jitter. Exposed for the verifier and tests.
+analysis::EdfCoreEntry MakeEdfWindowEntry(const rt::Task& t, Time budget,
+                                          Time window_len, bool first,
+                                          bool last);
+
+/// Outcome of placing one task: its subtask placements (entries already
+/// committed into the core states) or placed == false with states
+/// untouched.
+struct EdfPlacement {
+  bool placed = false;
+  std::vector<SubtaskPlacement> parts;
+};
+
+/// One EDF-WM placement step: try the task whole on the cores in
+/// `whole_core_order` (first admitting core wins), then — if allowed — the
+/// K-equal-window split search of EdfWm (K = 2..num cores, largest
+/// admissible budget per window, binary-searched per core). Commits into
+/// `cores` on success. This IS the loop body of EdfWm()/EdfBinPack(); the
+/// online controller calls it per ADMIT.
+EdfPlacement PlaceEdfTask(std::vector<EdfCoreState>& cores, const rt::Task& t,
+                          std::span<const unsigned> whole_core_order,
+                          bool allow_split, const EdfPartitionConfig& cfg,
+                          AdmitStats* stats = nullptr);
 
 }  // namespace sps::partition

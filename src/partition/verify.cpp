@@ -17,11 +17,16 @@ analysis::EntryKind KindOf(const PlacedTask& pt, std::size_t part) {
   return analysis::EntryKind::kBodyMiddle;
 }
 
-/// EDF partitions: per-core processor-demand test over window subtasks.
-/// Split part k is a sporadic (B_k, T) job due at the end of its window,
-/// whose release wanders within the earlier windows (jitter = window
-/// start). Window satisfaction implies the chain meets the task deadline,
-/// so no fixpoint is needed.
+/// EDF partitions: per-core processor-demand test over window subtasks,
+/// per EDF-WM's original per-window analysis. Split part k is a plain
+/// sporadic (B_k, T, window length) task — NO jitter widening: the window
+/// reservation bounds the release wandering, and the assume-guarantee
+/// induction (edf_wm.hpp header) makes the jitter-free model sound. A
+/// release triggered by early budget exhaustion only ever lands AT or
+/// BEFORE the window start with the deadline fixed at the window end, and
+/// earlier releases strictly shrink the set of (release, deadline) pairs
+/// any demand interval can trap. Window satisfaction implies the chain
+/// meets the task deadline, so no fixpoint is needed.
 PartitionAnalysis AnalyzeEdf(const Partition& p,
                              const overhead::OverheadModel& model) {
   PartitionAnalysis out;
@@ -39,7 +44,7 @@ PartitionAnalysis AnalyzeEdf(const Partition& p,
       e.exec = sp.budget;
       e.period = pt.task.period;
       e.deadline = window_end - window_start;
-      e.jitter = window_start;
+      e.jitter = 0;  // per-window analysis: the reservation bounds wandering
       e.kind = static_cast<int>(KindOf(pt, k));
       if (k + 1 < pt.parts.size()) {
         e.dest_queue_size =

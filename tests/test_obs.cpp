@@ -396,9 +396,102 @@ TEST(Perfetto, GoldenDocumentForHandBuiltTrace) {
       "{\"name\":\"rls\",\"cat\":\"overhead\",\"ph\":\"X\",\"ts\":1000,"
       "\"dur\":10,\"pid\":0,\"tid\":0},"
       "{\"name\":\"tau3 job1\",\"cat\":\"exec\",\"ph\":\"X\",\"ts\":1010,"
-      "\"dur\":990,\"pid\":0,\"tid\":0}"
+      "\"dur\":990,\"pid\":0,\"tid\":0},"
+      "{\"name\":\"ready core0\",\"ph\":\"C\",\"ts\":1000,\"pid\":0,"
+      "\"args\":{\"value\":1}},"
+      "{\"name\":\"jobs core0\",\"ph\":\"C\",\"ts\":1000,\"pid\":0,"
+      "\"args\":{\"value\":1}},"
+      "{\"name\":\"ready core0\",\"ph\":\"C\",\"ts\":1010,\"pid\":0,"
+      "\"args\":{\"value\":0}},"
+      "{\"name\":\"jobs core0\",\"ph\":\"C\",\"ts\":2000,\"pid\":0,"
+      "\"args\":{\"value\":0}}"
       "]}";
   EXPECT_EQ(doc, expected);
+
+  // Counter tracks off restores the slice-only document.
+  PerfettoOptions no_counters;
+  no_counters.num_cores = 1;
+  no_counters.counter_tracks = false;
+  const std::string plain = ToPerfettoJson(ev, no_counters);
+  EXPECT_EQ(plain.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(Perfetto, CounterTracksFollowQueueAndJobLifecycles) {
+  // Two releases back to back: depth climbs to 2, drains as each starts;
+  // in-flight jobs only fall at the finishes.
+  std::vector<trace::Event> ev;
+  auto push = [&ev](Time t, trace::EventKind k, rt::TaskId task) {
+    trace::Event e;
+    e.time = t;
+    e.kind = k;
+    e.task = task;
+    ev.push_back(e);
+  };
+  push(Millis(1), trace::EventKind::kRelease, 0);
+  push(Millis(1), trace::EventKind::kRelease, 1);
+  push(Millis(1), trace::EventKind::kStart, 0);
+  push(Millis(2), trace::EventKind::kPreempt, 0);
+  push(Millis(2), trace::EventKind::kStart, 1);
+  push(Millis(3), trace::EventKind::kFinish, 1);
+  push(Millis(3), trace::EventKind::kStart, 0);
+  push(Millis(4), trace::EventKind::kFinish, 0);
+  const std::string doc = ToPerfettoJson(ev, {.num_cores = 1});
+  // Depth sequence 1,2,1,2,1,0; jobs 1,2,1,0. Spot-check the peaks and
+  // the final zeros.
+  EXPECT_NE(doc.find("\"name\":\"ready core0\",\"ph\":\"C\",\"ts\":1000,"
+                     "\"pid\":0,\"args\":{\"value\":2}"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"jobs core0\",\"ph\":\"C\",\"ts\":3000,"
+                     "\"pid\":0,\"args\":{\"value\":1}"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"jobs core0\",\"ph\":\"C\",\"ts\":4000,"
+                     "\"pid\":0,\"args\":{\"value\":0}"),
+            std::string::npos);
+}
+
+TEST(Perfetto, GlobalEngineCountersDoNotDrift) {
+  // The global engine releases on the irq core, starts wherever the
+  // dispatcher lands, and emits kMigrateIn with no kMigrateOut — the
+  // per-TASK booking must keep every counter bounded and drain it by
+  // the end of the trace (a naive per-core state machine drifts
+  // upward without bound here).
+  rt::TaskSet ts;
+  ts.add(rt::MakeTask(0, Millis(1), Millis(10)));
+  ts.add(rt::MakeTask(1, Millis(1), Millis(10)));
+  ts.add(rt::MakeTask(2, Millis(8), Millis(11)));
+  rt::AssignRateMonotonic(ts);
+  sim::GlobalSimConfig cfg;
+  cfg.num_cores = 2;
+  cfg.horizon = Millis(300);
+  cfg.record_trace = true;
+  const sim::SimResult r = SimulateGlobal(ts, cfg);
+  ASSERT_FALSE(r.trace_events.empty());
+  const std::string doc = ToPerfettoJson(r.trace_events, {.num_cores = 2});
+  // Every counter value in the document stays within the task count —
+  // no monotone drift.
+  const std::string needle = "\"value\":";
+  for (std::size_t pos = doc.find(needle); pos != std::string::npos;
+       pos = doc.find(needle, pos + 1)) {
+    const double v = std::strtod(doc.c_str() + pos + needle.size(), nullptr);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 3.0) << "counter drifted at offset " << pos;
+  }
+}
+
+TEST(Perfetto, ExtraCounterSeriesAreEmitted) {
+  PerfettoOptions opt;
+  opt.num_cores = 1;
+  CounterSeries churn;
+  churn.name = "online churn";
+  churn.points = {{Millis(1), 0.0}, {Millis(2), 3.0}};
+  opt.extra_counters.push_back(churn);
+  const std::string doc = ToPerfettoJson({}, opt);
+  EXPECT_NE(doc.find("\"name\":\"online churn\",\"ph\":\"C\",\"ts\":1000,"
+                     "\"pid\":0,\"args\":{\"value\":0}"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"online churn\",\"ph\":\"C\",\"ts\":2000,"
+                     "\"pid\":0,\"args\":{\"value\":3}"),
+            std::string::npos);
 }
 
 TEST(Perfetto, RealSimulationExportIsStructurallySound) {

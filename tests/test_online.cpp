@@ -1,0 +1,362 @@
+// Online admission subsystem (DESIGN.md §11): stream generation and
+// round-trip, the offline/online placement differentials, capacity
+// reclaim, fallback churn accounting, unsplit consolidation, epoch
+// replay soundness, and the jobs-invariance of stream batches.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "online/controller.hpp"
+#include "online/workload_stream.hpp"
+#include "overhead/model.hpp"
+#include "partition/binpack.hpp"
+#include "partition/edf_wm.hpp"
+#include "partition/verify.hpp"
+#include "rt/generator.hpp"
+
+namespace sps::online {
+namespace {
+
+using overhead::OverheadModel;
+using rt::MakeTask;
+
+// ---------------------------------------------------------------------------
+// Stream model
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadStream, GenerationIsDeterministicAndValid) {
+  StreamConfig cfg;
+  cfg.num_admits = 64;
+  cfg.seed = 42;
+  const WorkloadStream a = GenerateStream(cfg);
+  const WorkloadStream b = GenerateStream(cfg);
+  EXPECT_EQ(a.requests(), b.requests());
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.num_admits(), 64u);
+  // Timestamps non-decreasing, priorities unique DM over admits.
+  cfg.seed = 43;
+  const WorkloadStream c = GenerateStream(cfg);
+  EXPECT_NE(a.requests(), c.requests());
+}
+
+TEST(WorkloadStream, SaveLoadRoundTripsByteExactly) {
+  StreamConfig cfg;
+  cfg.num_admits = 32;
+  cfg.leave_fraction = 0.7;
+  const WorkloadStream s = GenerateStream(cfg);
+  const std::string path = ::testing::TempDir() + "stream_roundtrip.txt";
+  std::string err;
+  ASSERT_TRUE(SaveStream(s, path, &err)) << err;
+  WorkloadStream loaded;
+  ASSERT_TRUE(LoadStream(path, loaded, &err)) << err;
+  EXPECT_EQ(s.requests(), loaded.requests());
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadStream, FileErrorsNameThePathAndReason) {
+  std::string err;
+  WorkloadStream s;
+  EXPECT_FALSE(LoadStream("/nonexistent/dir/stream.txt", s, &err));
+  EXPECT_NE(err.find("/nonexistent/dir/stream.txt"), std::string::npos);
+  EXPECT_NE(err.find("No such file"), std::string::npos) << err;
+
+  err.clear();
+  EXPECT_FALSE(SaveStream(s, "/nonexistent/dir/stream.txt", &err));
+  EXPECT_NE(err.find("/nonexistent/dir/stream.txt"), std::string::npos);
+
+  // Parse errors name the offending line.
+  const std::string bad = ::testing::TempDir() + "stream_bad.txt";
+  std::FILE* f = std::fopen(bad.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "# sps-online-stream v1\nadmit 1 2 3\n");
+  std::fclose(f);
+  err.clear();
+  EXPECT_FALSE(LoadStream(bad, s, &err));
+  EXPECT_NE(err.find(bad + ":2"), std::string::npos) << err;
+  std::remove(bad.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Offline/online differentials
+// ---------------------------------------------------------------------------
+
+bool SamePartition(const partition::Partition& a,
+                   const partition::Partition& b) {
+  if (a.num_cores != b.num_cores || a.policy != b.policy ||
+      a.tasks.size() != b.tasks.size()) {
+    return false;
+  }
+  auto find = [&](rt::TaskId id) -> const partition::PlacedTask* {
+    for (const partition::PlacedTask& pt : b.tasks) {
+      if (pt.task.id == id) return &pt;
+    }
+    return nullptr;
+  };
+  for (const partition::PlacedTask& pa : a.tasks) {
+    const partition::PlacedTask* pb = find(pa.task.id);
+    if (pb == nullptr || pa.parts.size() != pb->parts.size()) return false;
+    for (std::size_t k = 0; k < pa.parts.size(); ++k) {
+      if (pa.parts[k].core != pb->parts[k].core ||
+          pa.parts[k].budget != pb->parts[k].budget ||
+          pa.parts[k].rel_deadline != pb->parts[k].rel_deadline) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(OnlineDifferential, AdmitOnlyReplayEqualsOfflineEdfWm) {
+  // Feed the offline heuristic order (decreasing utilization) through an
+  // ADMIT-only stream: the incremental controller must reproduce the
+  // offline EDF-WM partition placement-for-placement — they literally
+  // share the per-task step (partition::PlaceEdfTask).
+  rt::GeneratorConfig gen;
+  gen.num_tasks = 14;
+  gen.total_utilization = 3.2;
+  rt::Rng rng(2026);
+  int compared = 0;
+  for (int i = 0; i < 8; ++i) {
+    const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+    partition::EdfPartitionConfig ecfg;
+    ecfg.num_cores = 4;
+    ecfg.model = (i % 2 == 0) ? OverheadModel::Zero()
+                              : OverheadModel::PaperCoreI7();
+    const partition::PartitionResult pr = partition::EdfWm(ts, ecfg);
+    if (!pr.success) continue;
+    ++compared;
+
+    ReplayConfig rcfg;
+    rcfg.controller.admission.num_cores = 4;
+    rcfg.controller.admission.model = ecfg.model;
+    rcfg.controller.repartition_fallback = false;  // pure incremental
+    const WorkloadStream stream =
+        MakeAdmitOnlyStream(ts, rt::OrderByDecreasingUtilization(ts));
+    const ReplayResult res = ReplayStream(stream, rcfg);
+    EXPECT_EQ(res.rejects, 0u) << "set " << i;
+    EXPECT_TRUE(SamePartition(res.final_partition, pr.partition))
+        << "set " << i << "\noffline:\n" << pr.partition.summary()
+        << "online:\n" << res.final_partition.summary();
+    // And the replayed placement is verifier-schedulable on its own.
+    EXPECT_TRUE(partition::AnalyzePartition(res.final_partition, ecfg.model)
+                    .schedulable);
+  }
+  EXPECT_GE(compared, 3);
+}
+
+TEST(OnlineDifferential, AdmitOnlyReplayEqualsOfflineFfdUnderFp) {
+  rt::GeneratorConfig gen;
+  gen.num_tasks = 12;
+  gen.total_utilization = 2.6;
+  rt::Rng rng(777);
+  int compared = 0;
+  for (int i = 0; i < 8; ++i) {
+    const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
+    partition::BinPackConfig bcfg;
+    bcfg.num_cores = 4;
+    bcfg.model = OverheadModel::Zero();
+    const partition::PartitionResult pr =
+        partition::BinPackDecreasing(ts, partition::FitPolicy::kFirstFit,
+                                     bcfg);
+    if (!pr.success) continue;
+    ++compared;
+
+    ReplayConfig rcfg;
+    rcfg.controller.admission.num_cores = 4;
+    rcfg.controller.admission.policy =
+        partition::SchedPolicy::kFixedPriority;
+    rcfg.controller.repartition_fallback = false;
+    const WorkloadStream stream =
+        MakeAdmitOnlyStream(ts, rt::OrderByDecreasingUtilization(ts));
+    const ReplayResult res = ReplayStream(stream, rcfg);
+    EXPECT_EQ(res.rejects, 0u) << "set " << i;
+    EXPECT_TRUE(SamePartition(res.final_partition, pr.partition))
+        << "set " << i << "\noffline:\n" << pr.partition.summary()
+        << "online:\n" << res.final_partition.summary();
+  }
+  EXPECT_GE(compared, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Capacity reclaim / churn
+// ---------------------------------------------------------------------------
+
+ControllerConfig OneCore() {
+  ControllerConfig cfg;
+  cfg.admission.num_cores = 1;
+  cfg.allow_split = false;
+  cfg.repartition_fallback = false;
+  return cfg;
+}
+
+TEST(OnlineController, LeaveReclaimsCapacityForReAdmit) {
+  Controller ctrl(OneCore());
+  // Fill the core to 0.9.
+  EXPECT_TRUE(ctrl.Admit(MakeTask(0, Millis(30), Millis(100))).accepted);
+  EXPECT_TRUE(ctrl.Admit(MakeTask(1, Millis(30), Millis(100))).accepted);
+  EXPECT_TRUE(ctrl.Admit(MakeTask(2, Millis(30), Millis(100))).accepted);
+  // u = 0.2 cannot fit any more.
+  EXPECT_FALSE(ctrl.Admit(MakeTask(3, Millis(20), Millis(100))).accepted);
+  EXPECT_EQ(ctrl.resident(), 3u);
+  // Retire one resident (u = 0.3): the rejected task now fits.
+  EXPECT_TRUE(ctrl.Leave(1));
+  EXPECT_FALSE(ctrl.Leave(1));  // already gone
+  EXPECT_TRUE(ctrl.Admit(MakeTask(3, Millis(20), Millis(100))).accepted);
+  EXPECT_EQ(ctrl.resident(), 3u);
+  EXPECT_NEAR(ctrl.total_utilization(), 0.8, 1e-9);
+  // No churn was ever charged: plain admits and leaves move nothing.
+  EXPECT_EQ(ctrl.churn().total(), 0u);
+}
+
+TEST(OnlineController, DuplicateOrInvalidAdmitsAreRejected) {
+  Controller ctrl(OneCore());
+  EXPECT_TRUE(ctrl.Admit(MakeTask(7, Millis(10), Millis(100))).accepted);
+  EXPECT_FALSE(ctrl.Admit(MakeTask(7, Millis(10), Millis(100))).accepted);
+  rt::Task bad = MakeTask(8, Millis(0), Millis(100));  // C = 0
+  EXPECT_FALSE(ctrl.Admit(bad).accepted);
+  EXPECT_FALSE(ctrl.Leave(999));
+}
+
+TEST(OnlineController, FallbackRepartitionAdoptsAndChargesChurn) {
+  // Adversarial increasing-utilization arrivals on 2 cores: first-fit
+  // wedges (0.75 | 0.75 with a 0.4 pending), the offline decreasing-
+  // utilization repartition unwedges to (1.0 | 0.9).
+  ControllerConfig cfg;
+  cfg.admission.num_cores = 2;
+  cfg.allow_split = false;
+  cfg.repartition_fallback = true;
+  Controller ctrl(cfg);
+  const Time T = Millis(100);
+  const double us[] = {0.2, 0.25, 0.3, 0.35, 0.4};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ctrl
+                    .Admit(MakeTask(static_cast<rt::TaskId>(i),
+                                    Millis(100 * us[i]), T))
+                    .accepted)
+        << i;
+  }
+  EXPECT_EQ(ctrl.churn().total(), 0u);
+  const AdmitOutcome out = ctrl.Admit(MakeTask(5, Millis(40), T));
+  EXPECT_TRUE(out.accepted);
+  EXPECT_TRUE(out.via_fallback);
+  EXPECT_EQ(ctrl.churn().repartitions, 1u);
+  // FFD on {0.4, 0.4, 0.35, 0.3, 0.25, 0.2} -> c0 = {4,5,0}, c1 = {3,2,1}:
+  // tasks 1, 2, 4 changed cores.
+  EXPECT_EQ(ctrl.churn().moved, 3u);
+  EXPECT_NEAR(ctrl.total_utilization(), 1.9, 1e-9);
+  // And the adopted placement is verifier-clean.
+  EXPECT_TRUE(partition::AnalyzePartition(ctrl.CurrentPartition(),
+                                          OverheadModel::Zero())
+                  .schedulable);
+}
+
+TEST(OnlineController, UnsplitOnLeaveConsolidatesASplitTask) {
+  // 3 x u=0.6 on 2 cores forces one split (the EDF-WM wall); retiring a
+  // whole task then lets the split consolidate.
+  ControllerConfig cfg;
+  cfg.admission.num_cores = 2;
+  cfg.unsplit_on_leave = true;
+  Controller ctrl(cfg);
+  const Time T = Millis(100);
+  ASSERT_TRUE(ctrl.Admit(MakeTask(0, Millis(60), T)).accepted);
+  ASSERT_TRUE(ctrl.Admit(MakeTask(1, Millis(60), T)).accepted);
+  const AdmitOutcome split = ctrl.Admit(MakeTask(2, Millis(60), T));
+  ASSERT_TRUE(split.accepted);
+  ASSERT_GT(split.parts, 1u);
+  EXPECT_EQ(ctrl.churn().split, 1u);
+  EXPECT_EQ(ctrl.CurrentPartition().num_split_tasks(), 1u);
+
+  EXPECT_TRUE(ctrl.Leave(0));
+  EXPECT_EQ(ctrl.churn().unsplit, 1u);
+  EXPECT_EQ(ctrl.CurrentPartition().num_split_tasks(), 0u);
+  EXPECT_TRUE(partition::AnalyzePartition(ctrl.CurrentPartition(),
+                                          OverheadModel::Zero())
+                  .schedulable);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch replay
+// ---------------------------------------------------------------------------
+
+TEST(OnlineReplay, AcceptedEpochsSimulateWithoutMisses) {
+  // The admission analysis is sound: every partition standing at an
+  // epoch boundary must execute miss-free.
+  StreamConfig scfg;
+  scfg.num_admits = 40;
+  scfg.span = Millis(4000);
+  scfg.seed = 99;
+  const WorkloadStream stream = GenerateStream(scfg);
+
+  ReplayConfig rcfg;
+  rcfg.controller.admission.num_cores = 4;
+  rcfg.controller.admission.model = OverheadModel::PaperCoreI7();
+  rcfg.epoch = Millis(500);
+  rcfg.validate_by_simulation = true;
+  rcfg.validate_sim.horizon = Millis(300);
+  const ReplayResult res = ReplayStream(stream, rcfg);
+  ASSERT_FALSE(res.epochs.empty());
+  std::uint64_t validated = 0;
+  for (const EpochStats& e : res.epochs) {
+    if (e.validated) ++validated;
+    EXPECT_EQ(e.sim_misses, 0u) << "epoch [" << ToMillis(e.start) << ", "
+                                << ToMillis(e.end) << ")";
+  }
+  EXPECT_GT(validated, 0u);
+  EXPECT_GT(res.admits, 0u);
+  // Epoch totals reconcile with the run totals.
+  std::uint64_t admits = 0, rejects = 0, leaves = 0;
+  ChurnStats churn;
+  for (const EpochStats& e : res.epochs) {
+    admits += e.admits;
+    rejects += e.rejects;
+    leaves += e.leaves;
+    churn += e.churn;
+  }
+  EXPECT_EQ(admits, res.admits);
+  EXPECT_EQ(rejects, res.rejects);
+  EXPECT_EQ(leaves, res.leaves);
+  EXPECT_EQ(churn.total(), res.churn.total());
+}
+
+bool SameReplay(const ReplayResult& a, const ReplayResult& b) {
+  return a.epochs == b.epochs && a.admits == b.admits &&
+         a.rejects == b.rejects && a.leaves == b.leaves &&
+         a.churn == b.churn &&
+         a.admission.util_rejects == b.admission.util_rejects &&
+         a.admission.density_accepts == b.admission.density_accepts &&
+         a.admission.full_tests == b.admission.full_tests &&
+         a.final_partition.summary() == b.final_partition.summary();
+}
+
+TEST(OnlineReplay, StreamBatchesAreBitIdenticalForAnyJobCount) {
+  // The §8 determinism contract extended to the online layer: a batch of
+  // independent streams produces identical results for jobs = 1 and a
+  // wide pool — including the validation simulations, whose seeds derive
+  // from (seed, stream index, epoch).
+  std::vector<WorkloadStream> streams;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    StreamConfig scfg;
+    scfg.num_admits = 24;
+    scfg.span = Millis(2000);
+    scfg.seed = 1000 + s;
+    streams.push_back(GenerateStream(scfg));
+  }
+  ReplayConfig rcfg;
+  rcfg.controller.admission.num_cores = 4;
+  rcfg.controller.admission.model = OverheadModel::PaperCoreI7();
+  rcfg.epoch = Millis(400);
+  rcfg.validate_by_simulation = true;
+  rcfg.validate_sim.horizon = Millis(100);
+
+  const std::vector<ReplayResult> serial = ReplayBatch(streams, rcfg, 1);
+  const std::vector<ReplayResult> wide = ReplayBatch(streams, rcfg, 8);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(SameReplay(serial[i], wide[i])) << "stream " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sps::online
