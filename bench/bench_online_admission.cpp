@@ -20,14 +20,27 @@
 //      incremental path must not buy its speed with meaningfully worse
 //      decisions. Churn per admit is reported alongside.
 //
-//   3) JOBS-INVARIANCE: a batch of streams replayed with jobs=1 and
+//   3) ANALYSIS CACHE A/B: the same replay run uncached vs cached
+//      (analysis/memo.hpp, dedicated table, one unmeasured warm-up rep)
+//      on two cache-friendly workloads — "fallback_replay" (utilization
+//      pressure keeps triggering the full-repartition fallback, which
+//      re-analyzes the resident set from scratch) and "epoch_replay" (a
+//      long admit/leave stream). The bench FAILS unless the cached
+//      replay is >= 2x faster AND decision-identical (same admits /
+//      rejects / churn / decision counters) to the uncached one. The
+//      hit rate is reported next to the speedup. Phases 1-2 run with
+//      the cache DISABLED in BOTH variants so their oracle/incremental
+//      ratios keep measuring algorithmic cost, not cache state.
+//
+//   4) JOBS-INVARIANCE: a batch of streams replayed with jobs=1 and
 //      jobs=8 (validation simulations included) must be bit-identical —
 //      the §8 determinism contract, enforced on every perf run.
 //
 // Wall times are best-of-SPS_REPS; results land in BENCH_online.json
-// ("oracle" is each workload's reference variant, so
-// tools/check_bench_regression.py flags the incremental path losing its
-// edge as a ratio INCREASE).
+// ("oracle" is each workload's reference variant — and "uncached" for
+// the cache A/B workloads — so tools/check_bench_regression.py flags
+// the incremental path or the cache losing its edge as a ratio
+// INCREASE; the uncached reference itself is gated --two-sided).
 
 #include <algorithm>
 #include <chrono>
@@ -38,6 +51,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/memo.hpp"
 #include "bench_common.hpp"
 #include "online/controller.hpp"
 #include "online/workload_stream.hpp"
@@ -84,6 +98,7 @@ ScalingRow RunScaling(std::size_t n_resident, int probes, int reps,
 
   online::ControllerConfig cfg;
   cfg.admission.num_cores = cores;
+  cfg.admission.memo.enabled = false;  // phase measures algorithmic cost
   cfg.repartition_fallback = false;
   online::Controller ctrl(cfg);
   std::vector<rt::Task> resident;
@@ -129,6 +144,7 @@ ScalingRow RunScaling(std::size_t n_resident, int probes, int reps,
   // (one unmeasured warm-up run first, as above).
   partition::EdfPartitionConfig ecfg;
   ecfg.num_cores = cores;
+  ecfg.memo.enabled = false;  // same footing as the incremental variant
   {
     std::vector<rt::Task> tasks = resident;
     tasks.push_back(TinyTask(1000000, 23));
@@ -167,6 +183,7 @@ MixedRow RunMixed(const online::WorkloadStream& stream, unsigned cores,
   MixedRow row;
   online::ReplayConfig rcfg;
   rcfg.controller.admission.num_cores = cores;
+  rcfg.controller.admission.memo.enabled = false;  // algorithmic cost only
 
   row.incr_wall = 1e100;
   online::ReplayResult res;
@@ -185,6 +202,7 @@ MixedRow RunMixed(const online::WorkloadStream& stream, unsigned cores,
   // Oracle: EdfWm from scratch on its own surviving set per ADMIT.
   partition::EdfPartitionConfig ecfg;
   ecfg.num_cores = cores;
+  ecfg.memo.enabled = false;
   row.oracle_wall = 1e100;
   for (int rep = 0; rep < reps; ++rep) {
     const double t0 = Now();
@@ -214,6 +232,72 @@ MixedRow RunMixed(const online::WorkloadStream& stream, unsigned cores,
             : static_cast<double>(admits) /
                   static_cast<double>(admits + rejects);
   }
+  return row;
+}
+
+struct CacheRow {
+  double uncached_wall = 0.0;
+  double cached_wall = 0.0;
+  double hit_rate = 0.0;
+  std::uint64_t lookups = 0;
+  std::uint64_t evicts = 0;
+  std::uint64_t repartitions = 0;
+  bool identical = false;  ///< cached decisions == uncached decisions
+};
+
+/// Replay `stream` uncached vs cached through identical controllers.
+/// The cached variant owns a dedicated table (never the process-wide
+/// singleton — reps must not warm each other across workloads) and runs
+/// one unmeasured warm-up replay first: the steady state a long-running
+/// controller reaches, which is what the memo is for. Both variants get
+/// the same warm-up treatment; both walls are best-of-reps.
+CacheRow RunCacheAB(const online::WorkloadStream& stream,
+                    online::ReplayConfig rcfg, int reps) {
+  CacheRow row;
+
+  rcfg.controller.admission.memo.enabled = false;
+  online::ReplayResult base = online::ReplayStream(stream, rcfg);
+  row.uncached_wall = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = Now();
+    base = online::ReplayStream(stream, rcfg);
+    row.uncached_wall = std::min(row.uncached_wall, Now() - t0);
+  }
+
+  // Sized to the workload: a replay's distinct-query working set (the
+  // budget binary searches alone ask hundreds of questions per admit)
+  // runs to ~2e5 here, and replace-on-collision thrash at the 2^15
+  // shared default would evict the warm-up before the measured reps
+  // re-ask it. Deployments size the shared table the same way via
+  // --analysis-cache=N; 2^20 slots is 24 MiB.
+  analysis::AnalysisMemo table(std::size_t{1} << 20);
+  rcfg.controller.admission.memo.enabled = true;
+  rcfg.controller.admission.memo.table = &table;
+  online::ReplayResult res = online::ReplayStream(stream, rcfg);
+  row.cached_wall = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = Now();
+    res = online::ReplayStream(stream, rcfg);
+    row.cached_wall = std::min(row.cached_wall, Now() - t0);
+  }
+
+  // The memo contract: identical decisions, identical DECISION counters
+  // (util_rejects / density_accepts / full_tests — a hit bumps the
+  // stage its verdict came from). Only memo_* counters may differ.
+  row.identical =
+      res.admits == base.admits && res.rejects == base.rejects &&
+      res.churn == base.churn &&
+      res.admission.util_rejects == base.admission.util_rejects &&
+      res.admission.density_accepts == base.admission.density_accepts &&
+      res.admission.full_tests == base.admission.full_tests &&
+      res.final_partition.summary() == base.final_partition.summary();
+  row.lookups = res.admission.memo_hits + res.admission.memo_misses;
+  row.hit_rate = row.lookups == 0
+                     ? 0.0
+                     : static_cast<double>(res.admission.memo_hits) /
+                           static_cast<double>(row.lookups);
+  row.evicts = res.admission.memo_evicts;
+  row.repartitions = res.churn.repartitions;
   return row;
 }
 
@@ -359,7 +443,79 @@ int main() {
     ok = false;
   }
 
-  // ---- 3) jobs-invariance ----------------------------------------------
+  // ---- 3) analysis-cache A/B -------------------------------------------
+  // Two workloads where admission keeps re-asking questions it has
+  // already answered: "fallback_replay" runs under utilization pressure
+  // (every failed incremental placement triggers a full repartition of
+  // the resident set — a from-scratch re-analysis of state the memo has
+  // seen), "epoch_replay" is a long admit/leave stream. The PR's
+  // acceptance bar: cached >= 2x faster, decisions identical.
+  struct AbCase {
+    const char* name;
+    online::StreamConfig scfg;
+    unsigned cores;
+  };
+  std::vector<AbCase> cases;
+  {
+    AbCase fb;
+    fb.name = "fallback_replay";
+    fb.scfg.num_admits = 160;
+    fb.scfg.util_min = 0.20;  // pressure: incremental placement fails,
+    fb.scfg.util_max = 0.60;  // the offline fallback keeps running
+    fb.scfg.leave_fraction = 0.7;
+    fb.scfg.seed = 20110318;
+    fb.cores = 4;
+    cases.push_back(fb);
+    AbCase ep;
+    ep.name = "epoch_replay";
+    ep.scfg.num_admits = 384;
+    ep.scfg.seed = 20110319;
+    ep.cores = 8;
+    cases.push_back(ep);
+  }
+  std::printf("\nanalysis cache A/B (best of %d, warm table)\n", reps);
+  for (const AbCase& c : cases) {
+    const online::WorkloadStream s = online::GenerateStream(c.scfg);
+    online::ReplayConfig rcfg;
+    rcfg.controller.admission.num_cores = c.cores;
+    const CacheRow row = RunCacheAB(s, rcfg, reps);
+    const double speedup = row.uncached_wall / row.cached_wall;
+    json.BeginObject();  // "uncached" first: reference variant
+    json.Key("workload").Value(c.name);
+    json.Key("variant").Value("uncached");
+    json.Key("wall_s").Value(row.uncached_wall);
+    json.EndObject();
+    json.BeginObject();
+    json.Key("workload").Value(c.name);
+    json.Key("variant").Value("cached");
+    json.Key("wall_s").Value(row.cached_wall);
+    json.Key("hit_rate").Value(row.hit_rate);
+    json.Key("evictions").Value(row.evicts);
+    json.EndObject();
+    std::printf("  %-16s m=%u %4llu repart  uncached %7.2f ms  cached "
+                "%7.2f ms  x%.1f  (%.1f%% of %llu lookups hit, %llu "
+                "evictions)\n",
+                c.name, c.cores,
+                static_cast<unsigned long long>(row.repartitions),
+                row.uncached_wall * 1e3, row.cached_wall * 1e3, speedup,
+                100.0 * row.hit_rate,
+                static_cast<unsigned long long>(row.lookups),
+                static_cast<unsigned long long>(row.evicts));
+    if (!row.identical) {
+      std::fprintf(stderr, "FAIL cache A/B: %s cached decisions diverge "
+                           "from uncached\n",
+                   c.name);
+      ok = false;
+    }
+    if (speedup < 2.0) {
+      std::fprintf(stderr, "FAIL cache A/B: %s cached speedup x%.2f < "
+                           "x2.0\n",
+                   c.name, speedup);
+      ok = false;
+    }
+  }
+
+  // ---- 4) jobs-invariance ----------------------------------------------
   if (CheckJobsInvariance()) {
     std::printf("\njobs-invariance: replay batches bit-identical for "
                 "jobs=1 and jobs=8\n");

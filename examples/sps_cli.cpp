@@ -18,6 +18,14 @@
 //           [--online-policy=edf|fp] [--online-no-split]
 //           [--online-no-fallback] [--online-unsplit] [--online-validate]
 //           [--stream-in=FILE] [--stream-out=FILE]
+//           [--analysis-cache=off|<N>]
+//
+// --analysis-cache controls the shared schedulability-verdict
+// transposition table (analysis/memo.hpp, DESIGN.md §12): "off"
+// disables memoization, a number N sizes the shared table at N slots
+// (rounded up to a power of two; default 32768). Decisions are
+// identical either way — the knob trades memory for analysis speed.
+// The --online and --acceptance modes report hit/miss/evict counters.
 //
 // --online switches to the ONLINE ADMISSION mode (DESIGN.md §11): a
 // timestamped ADMIT/LEAVE request stream (generated from --seed, or
@@ -68,6 +76,7 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/memo.hpp"
 #include "containers/queue_traits.hpp"
 #include "exp/acceptance.hpp"
 #include "obs/perfetto.hpp"
@@ -120,6 +129,7 @@ struct Options {
   bool online_validate = false;
   std::string stream_in;
   std::string stream_out;
+  analysis::MemoConfig memo;  // --analysis-cache=off|<N>
   containers::QueueBackend ready_queue =
       containers::QueueBackend::kBinomialHeap;
   containers::QueueBackend sleep_queue = containers::QueueBackend::kRbTree;
@@ -238,6 +248,23 @@ bool ParseArg(const char* arg, Options& o) {
     o.stream_out = v;
     return true;
   }
+  if (const char* v = value("--analysis-cache")) {
+    if (std::strcmp(v, "off") == 0) {
+      o.memo.enabled = false;
+      return true;
+    }
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0' || n == 0) {
+      std::fprintf(stderr, "invalid --analysis-cache=%s (off or a slot "
+                           "count)\n",
+                   v);
+      return false;
+    }
+    o.memo.entries = static_cast<std::size_t>(n);
+    analysis::ResizeSharedMemo(o.memo.entries);
+    return true;
+  }
   if (std::strcmp(arg, "--trace") == 0) { o.trace = true; return true; }
   if (std::strcmp(arg, "--metrics") == 0) { o.metrics = true; return true; }
   if (const char* v = value("--trace-out")) {
@@ -284,6 +311,7 @@ partition::PartitionResult RunAlgo(const Options& o, const rt::TaskSet& ts,
     cfg.num_cores = o.cores;
     cfg.admission = partition::AdmissionTest::kRta;
     cfg.model = m;
+    cfg.memo = o.memo;
     const auto policy = o.algo == "ffd" ? partition::FitPolicy::kFirstFit
                         : o.algo == "wfd" ? partition::FitPolicy::kWorstFit
                                           : partition::FitPolicy::kBestFit;
@@ -293,6 +321,7 @@ partition::PartitionResult RunAlgo(const Options& o, const rt::TaskSet& ts,
     partition::EdfPartitionConfig cfg;
     cfg.num_cores = o.cores;
     cfg.model = m;
+    cfg.memo = o.memo;
     return o.algo == "edf-wm"
                ? partition::EdfWm(ts, cfg)
                : partition::EdfBinPack(ts, partition::FitPolicy::kFirstFit,
@@ -334,6 +363,7 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
   online::ReplayConfig rcfg;
   rcfg.controller.admission.num_cores = o.cores;
   rcfg.controller.admission.model = model;
+  rcfg.controller.admission.memo = o.memo;
   if (o.online_policy == "edf") {
     rcfg.controller.admission.policy = partition::SchedPolicy::kEdf;
   } else if (o.online_policy == "fp") {
@@ -396,6 +426,22 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
               static_cast<unsigned long long>(res.admission.util_rejects),
               static_cast<unsigned long long>(res.admission.density_accepts),
               static_cast<unsigned long long>(res.admission.full_tests));
+  if (o.memo.enabled) {
+    const std::uint64_t probes =
+        res.admission.memo_hits + res.admission.memo_misses;
+    std::printf("analysis cache: %llu hits / %llu lookups (%.1f%%), "
+                "%llu evictions\n",
+                static_cast<unsigned long long>(res.admission.memo_hits),
+                static_cast<unsigned long long>(probes),
+                probes > 0 ? 100.0 *
+                                 static_cast<double>(
+                                     res.admission.memo_hits) /
+                                 static_cast<double>(probes)
+                           : 0.0,
+                static_cast<unsigned long long>(res.admission.memo_evicts));
+  } else {
+    std::printf("analysis cache: off\n");
+  }
   std::printf("\nfinal placement:\n%s",
               res.final_partition.summary().c_str());
 
@@ -473,6 +519,7 @@ int main(int argc, char** argv) {
     acfg.seed = o.seed;
     acfg.model = model;
     acfg.jobs = o.jobs;
+    acfg.memo = o.memo;
     if (o.acceptance_validate) {
       acfg.validate_by_simulation = true;
       acfg.validate_sim.horizon = o.sim_ms;
@@ -485,12 +532,29 @@ int main(int argc, char** argv) {
     std::printf("acceptance sweep: m=%u, n=%zu, %d sets/point, jobs=%u%s\n\n",
                 o.cores, o.tasks, o.sets, o.jobs,
                 o.acceptance_validate ? ", validating by simulation" : "");
+    // The sweep has no per-unit AdmitStats plumbing, so the cache
+    // counters come from whole-table snapshots around the run.
+    const analysis::MemoStats before =
+        o.memo.enabled ? analysis::SharedMemo(o.memo.entries).stats()
+                       : analysis::MemoStats{};
     const exp::AcceptanceResult res = exp::RunAcceptance(acfg);
     std::printf("%s\n", res.Table().c_str());
     const auto w = res.WeightedAcceptance();
     for (std::size_t ai = 0; ai < acfg.algorithms.size(); ++ai) {
       std::printf("weighted %-12s %.3f\n",
                   exp::ToString(acfg.algorithms[ai]), w[ai]);
+    }
+    if (o.memo.enabled) {
+      analysis::MemoStats d = analysis::SharedMemo(o.memo.entries).stats();
+      d -= before;
+      std::printf("analysis cache: %llu hits / %llu lookups (%.1f%%), "
+                  "%llu evictions\n",
+                  static_cast<unsigned long long>(d.hits),
+                  static_cast<unsigned long long>(d.hits + d.misses),
+                  100.0 * d.hit_rate(),
+                  static_cast<unsigned long long>(d.evicts));
+    } else {
+      std::printf("analysis cache: off\n");
     }
     return 0;
   }

@@ -24,7 +24,8 @@ const char* ToString(Algo a) {
 
 partition::PartitionResult RunAlgorithm(Algo a, const rt::TaskSet& ts,
                                         unsigned num_cores,
-                                        const overhead::OverheadModel& model) {
+                                        const overhead::OverheadModel& model,
+                                        const analysis::MemoConfig& memo) {
   switch (a) {
     case Algo::kFfd:
     case Algo::kWfd:
@@ -33,6 +34,7 @@ partition::PartitionResult RunAlgorithm(Algo a, const rt::TaskSet& ts,
       cfg.num_cores = num_cores;
       cfg.admission = partition::AdmissionTest::kRta;
       cfg.model = model;
+      cfg.memo = memo;
       const auto policy = a == Algo::kFfd   ? partition::FitPolicy::kFirstFit
                           : a == Algo::kWfd ? partition::FitPolicy::kWorstFit
                                             : partition::FitPolicy::kBestFit;
@@ -100,7 +102,8 @@ AcceptanceResult RunAcceptance(const AcceptanceConfig& cfg) {
     const rt::TaskSet ts = rt::GenerateTaskSet(gen, rng);
     for (std::size_t ai = 0; ai < nalgo; ++ai) {
       const partition::PartitionResult pr =
-          RunAlgorithm(cfg.algorithms[ai], ts, cfg.num_cores, cfg.model);
+          RunAlgorithm(cfg.algorithms[ai], ts, cfg.num_cores, cfg.model,
+                       cfg.memo);
       if (pr.success) {
         accepted[u * nalgo + ai] = 1;
         if (cfg.algorithms[ai] == Algo::kSpa1 ||

@@ -4,17 +4,36 @@
 
 namespace sps::online {
 
-AdmissionState::AdmissionState(const AdmissionConfig& cfg) : cfg_(cfg) {
-  edf_cfg_.num_cores = cfg.num_cores;
-  edf_cfg_.model = cfg.model;
-  edf_cfg_.budget_granularity = cfg.budget_granularity;
-  edf_cfg_.min_budget = cfg.min_budget;
-  fp_cfg_.num_cores = cfg.num_cores;
-  fp_cfg_.admission = cfg.fp_admission;
-  fp_cfg_.model = cfg.model;
+partition::EdfPartitionConfig DeriveEdfPartitionConfig(
+    const AdmissionConfig& cfg) {
+  partition::EdfPartitionConfig out;
+  out.num_cores = cfg.num_cores;
+  out.model = cfg.model;
+  out.budget_granularity = cfg.budget_granularity;
+  out.min_budget = cfg.min_budget;
+  out.memo = cfg.memo;
+  return out;
+}
+
+partition::BinPackConfig DeriveBinPackConfig(const AdmissionConfig& cfg) {
+  partition::BinPackConfig out;
+  out.num_cores = cfg.num_cores;
+  out.admission = cfg.fp_admission;
+  out.model = cfg.model;
+  out.memo = cfg.memo;
+  return out;
+}
+
+AdmissionState::AdmissionState(const AdmissionConfig& cfg)
+    : cfg_(cfg),
+      edf_cfg_(DeriveEdfPartitionConfig(cfg)),
+      fp_cfg_(DeriveBinPackConfig(cfg)) {
   if (cfg.policy == partition::SchedPolicy::kEdf) {
+    memo_ = analysis::MakeEdfMemoContext(cfg.memo, cfg.model);
     edf_cores_.resize(cfg.num_cores);
   } else {
+    memo_ = analysis::MakeFpMemoContext(
+        cfg.memo, cfg.model, static_cast<int>(cfg.fp_admission));
     fp_cores_.resize(cfg.num_cores);
   }
 }
@@ -24,14 +43,15 @@ partition::EdfPlacement AdmissionState::Place(
     bool allow_split) {
   if (cfg_.policy == partition::SchedPolicy::kEdf) {
     return partition::PlaceEdfTask(edf_cores_, t, core_order, allow_split,
-                                   edf_cfg_, &stats_);
+                                   edf_cfg_, &stats_, &memo_);
   }
   // Fixed priority: whole-task placement only (splitting in this repo is
   // the EDF-WM window mechanism; FP splitting is the offline SPA
   // preassignment, which is not an incremental step).
   partition::EdfPlacement out;
   for (const unsigned c : core_order) {
-    if (partition::FpCoreAdmits(fp_cores_[c], t, fp_cfg_, &stats_)) {
+    if (partition::FpCoreAdmits(fp_cores_[c], t, fp_cfg_, &stats_,
+                                &memo_)) {
       fp_cores_[c].Commit(t);
       out.placed = true;
       out.parts.push_back(partition::SubtaskPlacement{
@@ -63,6 +83,7 @@ std::vector<AdmissionState::TakenEntry> AdmissionState::TakeEdf(
         taken.push_back(TakenEntry{p.core, *it});
         core.utilization -= static_cast<double>(it->exec) /
                             static_cast<double>(it->period);
+        core.zobrist ^= analysis::EdfEntryCode(*it);
         it = core.entries.erase(it);
       } else {
         ++it;

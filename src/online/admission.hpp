@@ -37,7 +37,19 @@ struct AdmissionConfig {
   Time min_budget = Micros(100);
   /// Fixed-priority per-core admission test (partition::BinPackConfig).
   partition::AdmissionTest fp_admission = partition::AdmissionTest::kRta;
+  /// Admission-verdict transposition table (analysis/memo.hpp), shared
+  /// with the offline configs the builders below derive.
+  analysis::MemoConfig memo;
 };
+
+/// The offline partitioner configs an AdmissionConfig implies — ONE
+/// builder pair shared by AdmissionState (incremental steps) and the
+/// controller's repartition fallback, so no knob (granularity, model,
+/// memo, ...) can drift between the online and offline paths.
+[[nodiscard]] partition::EdfPartitionConfig DeriveEdfPartitionConfig(
+    const AdmissionConfig& cfg);
+[[nodiscard]] partition::BinPackConfig DeriveBinPackConfig(
+    const AdmissionConfig& cfg);
 
 /// The mutable analysis state of all cores plus the admission primitives.
 /// Owns no task registry — that is the controller's job; this layer is
@@ -93,6 +105,7 @@ class AdmissionState {
   AdmissionConfig cfg_;
   partition::EdfPartitionConfig edf_cfg_;  // derived from cfg_
   partition::BinPackConfig fp_cfg_;        // derived from cfg_
+  analysis::MemoContext memo_;             // resolved once from cfg_.memo
   std::vector<partition::EdfCoreState> edf_cores_;
   std::vector<partition::FpCoreState> fp_cores_;
   partition::AdmitStats stats_;

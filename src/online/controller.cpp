@@ -118,22 +118,19 @@ AdmitOutcome Controller::FallbackRepartition(const rt::Task& t) {
             [](const rt::Task& a, const rt::Task& b) { return a.id < b.id; });
   const rt::TaskSet ts(std::move(tasks));
 
+  // Shared derived-config builders (admission.hpp): the fallback runs
+  // the offline partitioner under EXACTLY the config the incremental
+  // state uses — no hand-copied knobs to drift.
   partition::PartitionResult pr;
   if (cfg_.admission.policy == partition::SchedPolicy::kEdf) {
-    partition::EdfPartitionConfig ecfg;
-    ecfg.num_cores = cfg_.admission.num_cores;
-    ecfg.model = cfg_.admission.model;
-    ecfg.budget_granularity = cfg_.admission.budget_granularity;
-    ecfg.min_budget = cfg_.admission.min_budget;
+    const partition::EdfPartitionConfig ecfg =
+        DeriveEdfPartitionConfig(cfg_.admission);
     pr = cfg_.allow_split
              ? partition::EdfWm(ts, ecfg)
              : partition::EdfBinPack(ts, ToFitPolicy(cfg_.place), ecfg);
   } else {
-    partition::BinPackConfig bcfg;
-    bcfg.num_cores = cfg_.admission.num_cores;
-    bcfg.admission = cfg_.admission.fp_admission;
-    bcfg.model = cfg_.admission.model;
-    pr = partition::BinPackDecreasing(ts, ToFitPolicy(cfg_.place), bcfg);
+    pr = partition::BinPackDecreasing(
+        ts, ToFitPolicy(cfg_.place), DeriveBinPackConfig(cfg_.admission));
   }
   if (!pr.success) return out;
 

@@ -33,12 +33,14 @@ const char* ToString(AdmissionTest t) {
 void FpCoreState::Commit(const rt::Task& t) {
   tasks.push_back(t);
   utilization += t.utilization();
+  zobrist ^= analysis::FpTaskCode(t);
 }
 
 bool FpCoreState::RemoveTask(rt::TaskId id) {
   for (auto it = tasks.begin(); it != tasks.end(); ++it) {
     if (it->id == id) {
       utilization -= it->utilization();
+      zobrist ^= analysis::FpTaskCode(*it);
       tasks.erase(it);
       if (tasks.empty()) utilization = 0.0;  // flush float residue
       return true;
@@ -51,11 +53,15 @@ AdmitStats& AdmitStats::operator+=(const AdmitStats& o) {
   util_rejects += o.util_rejects;
   density_accepts += o.density_accepts;
   full_tests += o.full_tests;
+  memo_hits += o.memo_hits;
+  memo_misses += o.memo_misses;
+  memo_evicts += o.memo_evicts;
   return *this;
 }
 
 bool FpCoreAdmits(const FpCoreState& bin, const rt::Task& cand,
-                  const BinPackConfig& cfg, AdmitStats* stats) {
+                  const BinPackConfig& cfg, AdmitStats* stats,
+                  const analysis::MemoContext* memo) {
   AdmitStats local;
   AdmitStats& s = stats != nullptr ? *stats : local;
   // O(1) reject: no FP admission test passes a core over utilization 1
@@ -65,32 +71,56 @@ bool FpCoreAdmits(const FpCoreState& bin, const rt::Task& cand,
     ++s.util_rejects;
     return false;
   }
-  ++s.full_tests;
-  if (cfg.admission != AdmissionTest::kRta) {
-    std::vector<double> utils;
-    utils.reserve(bin.tasks.size() + 1);
-    for (const rt::Task& t : bin.tasks) utils.push_back(t.utilization());
-    utils.push_back(cand.utilization());
-    return cfg.admission == AdmissionTest::kLiuLayland
-               ? analysis::LiuLaylandTest(utils)
-               : analysis::HyperbolicTest(utils);
+  // Transposition table: everything past the (never-cached, O(1)) screen
+  // is a pure function of (resident multiset, candidate, model, test
+  // kind) — exactly what the query key covers.
+  const bool use_memo = memo != nullptr && memo->active();
+  analysis::MemoKey qk;
+  if (use_memo) {
+    qk = analysis::CombineQuery(bin.zobrist, analysis::FpTaskCode(cand),
+                                *memo);
+    if (const auto hit = memo->table->Lookup(qk.lo, qk)) {
+      ++s.memo_hits;
+      ++s.full_tests;  // the stage the cached verdict came from
+      return hit->admitted;
+    }
+    ++s.memo_misses;
   }
-  // Overhead-aware exact RTA on this core with the candidate added.
-  std::vector<analysis::CoreEntry> entries;
-  entries.reserve(bin.tasks.size() + 1);
-  auto push = [&entries](const rt::Task& t) {
-    analysis::CoreEntry e;
-    e.exec = t.wcet;
-    e.period = t.period;
-    e.deadline = t.deadline;
-    e.priority = t.priority + kNormalPriorityBase;
-    e.kind = analysis::EntryKind::kNormal;
-    e.id = t.id;
-    entries.push_back(e);
-  };
-  for (const rt::Task& t : bin.tasks) push(t);
-  push(cand);
-  return analysis::AnalyzeCoreWithOverheads(entries, cfg.model).schedulable;
+  ++s.full_tests;
+  const bool ok = [&] {
+    if (cfg.admission != AdmissionTest::kRta) {
+      std::vector<double> utils;
+      utils.reserve(bin.tasks.size() + 1);
+      for (const rt::Task& t : bin.tasks) utils.push_back(t.utilization());
+      utils.push_back(cand.utilization());
+      return cfg.admission == AdmissionTest::kLiuLayland
+                 ? analysis::LiuLaylandTest(utils)
+                 : analysis::HyperbolicTest(utils);
+    }
+    // Overhead-aware exact RTA on this core with the candidate added.
+    std::vector<analysis::CoreEntry> entries;
+    entries.reserve(bin.tasks.size() + 1);
+    auto push = [&entries](const rt::Task& t) {
+      analysis::CoreEntry e;
+      e.exec = t.wcet;
+      e.period = t.period;
+      e.deadline = t.deadline;
+      e.priority = t.priority + kNormalPriorityBase;
+      e.kind = analysis::EntryKind::kNormal;
+      e.id = t.id;
+      entries.push_back(e);
+    };
+    for (const rt::Task& t : bin.tasks) push(t);
+    push(cand);
+    return analysis::AnalyzeCoreWithOverheads(entries, cfg.model)
+        .schedulable;
+  }();
+  if (use_memo &&
+      memo->table->Store(qk.lo, qk,
+                         {.admitted = ok, .via_density = false})) {
+    ++s.memo_evicts;
+  }
+  return ok;
 }
 
 PartitionResult BinPackDecreasing(const rt::TaskSet& ts, FitPolicy policy,
@@ -102,6 +132,9 @@ PartitionResult BinPackDecreasing(const rt::TaskSet& ts, FitPolicy policy,
   std::vector<FpCoreState> bins(cfg.num_cores);
   const std::vector<std::size_t> order = rt::OrderByDecreasingUtilization(ts);
   unsigned next_fit_cursor = 0;
+  const analysis::MemoContext memo =
+      analysis::MakeFpMemoContext(cfg.memo, cfg.model,
+                                  static_cast<int>(cfg.admission));
 
   for (const std::size_t ti : order) {
     const rt::Task& t = ts[ti];
@@ -110,7 +143,7 @@ PartitionResult BinPackDecreasing(const rt::TaskSet& ts, FitPolicy policy,
     switch (policy) {
       case FitPolicy::kFirstFit: {
         for (unsigned c = 0; c < cfg.num_cores; ++c) {
-          if (FpCoreAdmits(bins[c], t, cfg)) {
+          if (FpCoreAdmits(bins[c], t, cfg, nullptr, &memo)) {
             chosen = static_cast<int>(c);
             break;
           }
@@ -119,7 +152,7 @@ PartitionResult BinPackDecreasing(const rt::TaskSet& ts, FitPolicy policy,
       }
       case FitPolicy::kNextFit: {
         while (next_fit_cursor < cfg.num_cores) {
-          if (FpCoreAdmits(bins[next_fit_cursor], t, cfg)) {
+          if (FpCoreAdmits(bins[next_fit_cursor], t, cfg, nullptr, &memo)) {
             chosen = static_cast<int>(next_fit_cursor);
             break;
           }
@@ -141,7 +174,7 @@ PartitionResult BinPackDecreasing(const rt::TaskSet& ts, FitPolicy policy,
                          : bins[a].utilization < bins[b].utilization;
             });
         for (unsigned c : core_order) {
-          if (FpCoreAdmits(bins[c], t, cfg)) {
+          if (FpCoreAdmits(bins[c], t, cfg, nullptr, &memo)) {
             chosen = static_cast<int>(c);
             break;
           }

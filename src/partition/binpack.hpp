@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "analysis/memo.hpp"
 #include "overhead/model.hpp"
 #include "partition/placement.hpp"
 #include "rt/taskset.hpp"
@@ -36,6 +37,8 @@ struct BinPackConfig {
   AdmissionTest admission = AdmissionTest::kRta;
   /// Overheads charged by the kRta admission test and the final verifier.
   overhead::OverheadModel model = overhead::OverheadModel::Zero();
+  /// Admission-verdict transposition table (analysis/memo.hpp).
+  analysis::MemoConfig memo;
 };
 
 const char* ToString(FitPolicy p);
@@ -60,10 +63,13 @@ inline PartitionResult Wfd(const rt::TaskSet& ts, const BinPackConfig& cfg) {
 // exposed (mirroring partition/edf_wm.hpp's EdfCoreState) so the online
 // admission controller can run one fixed-priority step per ADMIT request.
 
-/// One fixed-priority core: resident whole tasks + cached utilization.
+/// One fixed-priority core: resident whole tasks + cached utilization +
+/// the incrementally maintained Zobrist hash of the resident set (the
+/// memo key half that Commit/RemoveTask keep current in O(1)).
 struct FpCoreState {
   std::vector<rt::Task> tasks;
   double utilization = 0.0;
+  analysis::MemoKey zobrist;
 
   void Commit(const rt::Task& t);
   /// Remove the task with this id (if resident); returns true if removed.
@@ -79,6 +85,14 @@ struct AdmitStats {
   std::uint64_t density_accepts = 0;  ///< O(n): inflated density <= 1 (EDF)
   std::uint64_t full_tests = 0;       ///< full demand test / RTA / bound
 
+  // Transposition-table counters (analysis/memo.hpp). A memo hit still
+  // bumps the decision counter of the stage the cached verdict came
+  // from, so util_rejects/density_accepts/full_tests are bit-identical
+  // to an uncached run; only these three depend on cache state.
+  std::uint64_t memo_hits = 0;    ///< decisions served from the table
+  std::uint64_t memo_misses = 0;  ///< lookups that had to compute
+  std::uint64_t memo_evicts = 0;  ///< stores displacing a different key
+
   AdmitStats& operator+=(const AdmitStats& o);
   [[nodiscard]] std::uint64_t decisions() const {
     return util_rejects + density_accepts + full_tests;
@@ -88,8 +102,12 @@ struct AdmitStats {
 /// Would `cand` be schedulable on this core under cfg.admission — exactly
 /// the offline packer's per-core test (utilization bounds, or the
 /// overhead-aware exact RTA with cfg.model charged). Screened by the O(1)
-/// utilization filter (U > 1 cannot pass any of the three tests).
+/// utilization filter (U > 1 cannot pass any of the three tests). With an
+/// active `memo` context the post-screen verdict is served from /
+/// published to the transposition table (decision-identical; the key
+/// covers resident hash + candidate + model + test kind).
 bool FpCoreAdmits(const FpCoreState& core, const rt::Task& cand,
-                  const BinPackConfig& cfg, AdmitStats* stats = nullptr);
+                  const BinPackConfig& cfg, AdmitStats* stats = nullptr,
+                  const analysis::MemoContext* memo = nullptr);
 
 }  // namespace sps::partition

@@ -46,6 +46,7 @@ void EdfCoreState::Commit(const analysis::EdfCoreEntry& e) {
   entries.push_back(e);
   utilization +=
       static_cast<double>(e.exec) / static_cast<double>(e.period);
+  zobrist ^= analysis::EdfEntryCode(e);
 }
 
 std::size_t EdfCoreState::RemoveTask(rt::TaskId id) {
@@ -54,6 +55,7 @@ std::size_t EdfCoreState::RemoveTask(rt::TaskId id) {
     if (it->id == id) {
       utilization -=
           static_cast<double>(it->exec) / static_cast<double>(it->period);
+      zobrist ^= analysis::EdfEntryCode(*it);
       it = entries.erase(it);
       ++removed;
     } else {
@@ -98,7 +100,8 @@ analysis::EdfCoreEntry MakeEdfWindowEntry(const rt::Task& t, Time budget,
 bool EdfCoreAdmits(const EdfCoreState& core,
                    const analysis::EdfCoreEntry& cand,
                    const overhead::OverheadModel& model,
-                   AdmitStats* stats) {
+                   AdmitStats* stats,
+                   const analysis::MemoContext* memo) {
   AdmitStats local;
   AdmitStats& s = stats != nullptr ? *stats : local;
 
@@ -109,6 +112,28 @@ bool EdfCoreAdmits(const EdfCoreState& core,
   if (core.utilization + cand_util > 1.0 + 1e-12) {
     ++s.util_rejects;
     return false;
+  }
+
+  // Transposition table: everything past the (never-cached, O(1))
+  // utilization screen is a pure function of (resident multiset,
+  // candidate, model) — the query key. The cached verdict carries its
+  // deciding stage so the density/full counters below stay
+  // bit-identical to an uncached run.
+  const bool use_memo = memo != nullptr && memo->active();
+  analysis::MemoKey qk;
+  if (use_memo) {
+    qk = analysis::CombineQuery(core.zobrist, analysis::EdfEntryCode(cand),
+                                *memo);
+    if (const auto hit = memo->table->Lookup(qk.lo, qk)) {
+      ++s.memo_hits;
+      if (hit->via_density) {
+        ++s.density_accepts;
+      } else {
+        ++s.full_tests;
+      }
+      return hit->admitted;
+    }
+    ++s.memo_misses;
   }
 
   std::vector<analysis::EdfCoreEntry> probe = core.entries;
@@ -131,23 +156,35 @@ bool EdfCoreAdmits(const EdfCoreState& core,
   }
   if (jitter_free && density <= 1.0 && inflated_util < 1.0 - 1e-9) {
     ++s.density_accepts;
+    if (use_memo &&
+        memo->table->Store(qk.lo, qk,
+                           {.admitted = true, .via_density = true})) {
+      ++s.memo_evicts;
+    }
     return true;
   }
 
   ++s.full_tests;
-  return analysis::EdfDemandTest(inflated).schedulable;
+  const bool ok = analysis::EdfDemandTest(inflated).schedulable;
+  if (use_memo &&
+      memo->table->Store(qk.lo, qk,
+                         {.admitted = ok, .via_density = false})) {
+    ++s.memo_evicts;
+  }
+  return ok;
 }
 
 EdfPlacement PlaceEdfTask(std::vector<EdfCoreState>& cores, const rt::Task& t,
                           std::span<const unsigned> whole_core_order,
                           bool allow_split, const EdfPartitionConfig& cfg,
-                          AdmitStats* stats) {
+                          AdmitStats* stats,
+                          const analysis::MemoContext* memo) {
   EdfPlacement out;
 
   // 1) Whole task on the first admitting core of the given order.
   const analysis::EdfCoreEntry whole = MakeEdfEntry(t);
   for (const unsigned c : whole_core_order) {
-    if (EdfCoreAdmits(cores[c], whole, cfg.model, stats)) {
+    if (EdfCoreAdmits(cores[c], whole, cfg.model, stats, memo)) {
       cores[c].Commit(whole);
       out.placed = true;
       out.parts.push_back(
@@ -192,7 +229,7 @@ EdfPlacement PlaceEdfTask(std::vector<EdfCoreState>& cores, const rt::Task& t,
                        mid_raw - mid_raw % cfg.budget_granularity);
           const analysis::EdfCoreEntry e = MakeEdfWindowEntry(
               t, mid, wlen, j == 0, last_window || mid == remaining);
-          if (EdfCoreAdmits(cores[c], e, cfg.model, stats)) {
+          if (EdfCoreAdmits(cores[c], e, cfg.model, stats, memo)) {
             got = mid;
             lo = mid + cfg.budget_granularity;
           } else {
@@ -236,6 +273,8 @@ PartitionResult EdfBinPack(const rt::TaskSet& ts, FitPolicy policy,
   std::vector<EdfCoreState> cores(cfg.num_cores);
   std::vector<std::vector<SubtaskPlacement>> parts(ts.size());
   const auto order = rt::OrderByDecreasingUtilization(ts);
+  const analysis::MemoContext memo =
+      analysis::MakeEdfMemoContext(cfg.memo, cfg.model);
   unsigned next_fit_cursor = 0;
 
   for (const std::size_t ti : order) {
@@ -255,8 +294,8 @@ PartitionResult EdfBinPack(const rt::TaskSet& ts, FitPolicy policy,
       core_order.erase(core_order.begin(),
                        core_order.begin() + next_fit_cursor);
     }
-    const EdfPlacement placed =
-        PlaceEdfTask(cores, t, core_order, /*allow_split=*/false, cfg);
+    const EdfPlacement placed = PlaceEdfTask(
+        cores, t, core_order, /*allow_split=*/false, cfg, nullptr, &memo);
     if (!placed.placed) {
       char buf[96];
       std::snprintf(buf, sizeof(buf), "tau%u (u=%.3f) fits no core", t.id,
@@ -282,13 +321,15 @@ PartitionResult EdfWm(const rt::TaskSet& ts, const EdfPartitionConfig& cfg) {
   std::vector<EdfCoreState> cores(cfg.num_cores);
   std::vector<std::vector<SubtaskPlacement>> parts(ts.size());
   const auto order = rt::OrderByDecreasingUtilization(ts);
+  const analysis::MemoContext memo =
+      analysis::MakeEdfMemoContext(cfg.memo, cfg.model);
   std::vector<unsigned> first_fit(cfg.num_cores);
   std::iota(first_fit.begin(), first_fit.end(), 0u);
 
   for (const std::size_t ti : order) {
     const rt::Task& t = ts[ti];
-    const EdfPlacement placed =
-        PlaceEdfTask(cores, t, first_fit, /*allow_split=*/true, cfg);
+    const EdfPlacement placed = PlaceEdfTask(
+        cores, t, first_fit, /*allow_split=*/true, cfg, nullptr, &memo);
     if (!placed.placed) {
       char buf[96];
       std::snprintf(buf, sizeof(buf),

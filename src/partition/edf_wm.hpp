@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "analysis/edf.hpp"
+#include "analysis/memo.hpp"
 #include "overhead/model.hpp"
 #include "partition/binpack.hpp"
 #include "partition/placement.hpp"
@@ -60,6 +61,8 @@ struct EdfPartitionConfig {
   /// Budget search resolution / smallest useful sliver (as in SpaConfig).
   Time budget_granularity = Micros(10);
   Time min_budget = Micros(100);
+  /// Admission-verdict transposition table (analysis/memo.hpp).
+  analysis::MemoConfig memo;
 };
 
 /// Partitioned EDF (no splitting) with the given fit policy.
@@ -74,12 +77,16 @@ PartitionResult EdfWm(const rt::TaskSet& ts, const EdfPartitionConfig& cfg);
 // the online admission controller can run one step per ADMIT request and
 // reclaim capacity per LEAVE without re-partitioning anything.
 
-/// Analysis state of one EDF core: the resident (uninflated) entries and
-/// their cached raw utilization. The cache makes the O(1) utilization
-/// reject filter free; the entries are the input of the full demand test.
+/// Analysis state of one EDF core: the resident (uninflated) entries,
+/// their cached raw utilization, and the incrementally maintained
+/// Zobrist hash of the resident set. The utilization cache makes the
+/// O(1) reject filter free; the hash is the memo-key half that
+/// Commit/RemoveTask (and AdmissionState::TakeEdf) keep current in O(1)
+/// per entry; the entries are the input of the full demand test.
 struct EdfCoreState {
   std::vector<analysis::EdfCoreEntry> entries;
   double utilization = 0.0;
+  analysis::MemoKey zobrist;
 
   void Commit(const analysis::EdfCoreEntry& e);
   /// Remove every entry of task `id`; returns how many were removed and
@@ -94,10 +101,15 @@ struct EdfCoreState {
 /// utilization strictly below 1 accepts (the density bound implies
 /// dbf(t) <= t at every point, and staying off the U==1 branch keeps the
 /// demand test's conservative horizon cap out of play).
+/// With an active `memo` context the post-screen verdict (density accept
+/// or full demand test, stage recorded) is served from / published to
+/// the transposition table — decision- and counter-identical to the
+/// uncached path.
 bool EdfCoreAdmits(const EdfCoreState& core,
                    const analysis::EdfCoreEntry& cand,
                    const overhead::OverheadModel& model,
-                   AdmitStats* stats = nullptr);
+                   AdmitStats* stats = nullptr,
+                   const analysis::MemoContext* memo = nullptr);
 
 /// Analysis entry for a whole (unsplit) task.
 analysis::EdfCoreEntry MakeEdfEntry(const rt::Task& t);
@@ -126,6 +138,7 @@ struct EdfPlacement {
 EdfPlacement PlaceEdfTask(std::vector<EdfCoreState>& cores, const rt::Task& t,
                           std::span<const unsigned> whole_core_order,
                           bool allow_split, const EdfPartitionConfig& cfg,
-                          AdmitStats* stats = nullptr);
+                          AdmitStats* stats = nullptr,
+                          const analysis::MemoContext* memo = nullptr);
 
 }  // namespace sps::partition
