@@ -184,6 +184,11 @@ MixedRow RunMixed(const online::WorkloadStream& stream, unsigned cores,
   online::ReplayConfig rcfg;
   rcfg.controller.admission.num_cores = cores;
   rcfg.controller.admission.memo.enabled = false;  // algorithmic cost only
+  // This phase measures the PR-6 admission path head-to-head against the
+  // oracle; the overload policies (bench_overload's subject) would skew
+  // both the acceptance ratio and the churn it reports.
+  rcfg.controller.overload.ladder = false;
+  rcfg.controller.overload.hysteresis = false;
 
   row.incr_wall = 1e100;
   online::ReplayResult res;
@@ -255,6 +260,11 @@ CacheRow RunCacheAB(const online::WorkloadStream& stream,
                     online::ReplayConfig rcfg, int reps) {
   CacheRow row;
 
+  // "fallback_replay" is CALIBRATED around its repartition count (that is
+  // what re-asks the memo); hysteresis would suppress exactly those, so
+  // this phase pins the overload policies off (bench_overload owns them).
+  rcfg.controller.overload.ladder = false;
+  rcfg.controller.overload.hysteresis = false;
   rcfg.controller.admission.memo.enabled = false;
   online::ReplayResult base = online::ReplayStream(stream, rcfg);
   row.uncached_wall = 1e100;

@@ -1,0 +1,333 @@
+// E9 — overload resilience (DESIGN.md §13): what does the shed/degrade
+// controller actually buy when a transient fault window hits a loaded
+// system, and what does carrying the machinery cost when nothing is
+// wrong?
+//
+//   1) TRANSIENT 1.3x WINDOW: m=4 cores at ~0.9 utilization each (8 hard
+//      + 8 soft residents), a [500ms, 900ms) spike window inflating every
+//      job to 1.3x C. Three replay variants land in the JSON:
+//        - "nofault":        overload policies OFF, no fault — the PR-6
+//                            replay path, the reference variant.
+//        - "nofault-policy": ladder + hysteresis ON, no fault. Gated
+//                            --two-sided in CI: the policy machinery must
+//                            be free on the calm path, in BOTH directions.
+//        - "faulted":        the spike window, policies ON, epoch
+//                            validation ON.
+//      The bench FAILS unless, across the faulted replay:
+//        a) ZERO hard-task deadline misses in every validated epoch —
+//           the simulator runs the spiky execution model inside the
+//           window, so this is survival-by-simulation, not by analysis;
+//        b) the controller sheds no more than the greedy oracle's
+//           minimal soft set +10% (the oracle repacks from scratch,
+//           dropping largest-utilization soft tasks until the inflated
+//           set partitions);
+//        c) >= 95% of shed tasks are re-admitted by the retry path
+//           within the drain window (recovery, not just survival).
+//
+//   2) JOBS-INVARIANCE: fault-injected batches (spike + burst storm +
+//      validation) replayed with jobs=1 vs jobs=8 must be bit-identical —
+//      the DESIGN.md §8 determinism contract extended to the fault axis.
+//
+// Wall times are best-of-SPS_REPS; results land in BENCH_overload.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "online/controller.hpp"
+#include "online/workload_stream.hpp"
+#include "partition/edf_wm.hpp"
+#include "rt/taskset.hpp"
+#include "util/json_writer.hpp"
+
+namespace {
+
+using namespace sps;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr unsigned kCores = 4;
+constexpr double kMagnitude = 1.3;
+constexpr Time kWindowStart = Millis(500);
+constexpr Time kWindowEnd = Millis(900);
+
+/// 8 hard (u=.25) + 8 soft (u=.20) admits, all up-front: ~0.9/core once
+/// placed, 1.17/core inside the 1.3x window — survivable only by
+/// shedding. Soft tasks carry no degraded mode so the controller's shed
+/// count is directly comparable to the oracle's removal count.
+online::WorkloadStream OverloadStream() {
+  std::vector<online::Request> reqs;
+  online::Request r;
+  r.kind = online::RequestKind::kAdmit;
+  for (rt::TaskId i = 0; i < 8; ++i) {
+    r.at = Millis(1) * i;
+    r.id = i;
+    r.task = rt::MakeTask(i, Millis(25), Millis(100));
+    reqs.push_back(r);
+  }
+  for (rt::TaskId j = 0; j < 8; ++j) {
+    r.at = Millis(8 + j);
+    r.id = 100 + j;
+    r.task = rt::MakeSoftTask(100 + j, Millis(20), Millis(100), /*value=*/1,
+                              /*tardiness_bound=*/Millis(100));
+    reqs.push_back(r);
+  }
+  return online::WorkloadStream(std::move(reqs));
+}
+
+online::ReplayConfig MakeReplayConfig(bool policies, bool faulted) {
+  online::ReplayConfig cfg;
+  cfg.controller.admission.num_cores = kCores;
+  cfg.controller.allow_split = false;
+  cfg.controller.repartition_fallback = false;
+  // Spread the residents (first-fit would pack whole cores with HARD
+  // tasks, which no amount of soft shedding can save from a 1.3x spike).
+  cfg.controller.place = online::PlacePolicy::kWorstFit;
+  cfg.controller.overload.ladder = policies;
+  cfg.controller.overload.hysteresis = policies;
+  cfg.epoch = Millis(100);
+  cfg.drain_epochs = 14;  // past the window + retry backoff
+  cfg.validate_by_simulation = true;
+  cfg.validate_sim.horizon = Millis(400);
+  if (faulted) {
+    cfg.faults.spikes.push_back(online::SpikeEpoch{
+        kWindowStart, kWindowEnd, /*prob=*/1.0, kMagnitude});
+  }
+  return cfg;
+}
+
+/// Greedy oracle: how many soft tasks must leave so that the WHOLE
+/// resident set, every budget inflated by the spike magnitude, still
+/// partitions from scratch (no-split first-fit decreasing — the same
+/// placement class the controller runs incrementally)? Drops the
+/// largest-utilization soft task per round (newest on ties).
+std::size_t OracleMinimalSheds(const online::WorkloadStream& stream) {
+  std::vector<rt::Task> resident;
+  for (const online::Request& r : stream.requests()) {
+    if (r.kind == online::RequestKind::kAdmit) resident.push_back(r.task);
+  }
+  const auto fits = [](const std::vector<rt::Task>& tasks) {
+    std::vector<rt::Task> inflated = tasks;
+    for (rt::Task& t : inflated) {
+      t.wcet = std::min<Time>(
+          t.deadline, static_cast<Time>(std::ceil(
+                          kMagnitude * static_cast<double>(t.wcet))));
+    }
+    partition::EdfPartitionConfig cfg;
+    cfg.num_cores = kCores;
+    return partition::EdfBinPack(rt::TaskSet(std::move(inflated)),
+                                 partition::FitPolicy::kFirstFit, cfg)
+        .success;
+  };
+  std::size_t sheds = 0;
+  while (!fits(resident)) {
+    std::size_t victim = resident.size();
+    for (std::size_t i = 0; i < resident.size(); ++i) {
+      if (!resident[i].soft()) continue;
+      if (victim == resident.size() ||
+          resident[i].utilization() >= resident[victim].utilization()) {
+        victim = i;  // >= keeps the NEWEST among equals, like the ladder
+      }
+    }
+    if (victim == resident.size()) break;  // nothing left to drop
+    resident.erase(resident.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++sheds;
+  }
+  return sheds;
+}
+
+std::uint64_t TotalHardMisses(const online::ReplayResult& res) {
+  std::uint64_t misses = 0;
+  for (const online::EpochStats& e : res.epochs) misses += e.hard_misses;
+  return misses;
+}
+
+bool CheckJobsInvariance() {
+  std::vector<online::WorkloadStream> streams;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    online::StreamConfig scfg;
+    scfg.num_admits = 32;
+    scfg.leave_fraction = 0.5;
+    scfg.soft_fraction = 0.5;
+    scfg.seed = 700 + s;
+    streams.push_back(online::GenerateStream(scfg));
+  }
+  online::ReplayConfig rcfg;
+  rcfg.controller.admission.num_cores = kCores;
+  rcfg.validate_by_simulation = true;
+  rcfg.validate_sim.horizon = Millis(150);
+  rcfg.faults.spikes.push_back(
+      online::SpikeEpoch{Millis(2000), Millis(4000), 0.5, 1.5});
+  rcfg.faults.storms.push_back(
+      online::BurstStorm{Millis(6000), Millis(7000), 0.9});
+  rcfg.drain_epochs = 3;
+  const auto serial = online::ReplayBatch(streams, rcfg, 1);
+  const auto wide = online::ReplayBatch(streams, rcfg, 8);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    if (!(serial[i].epochs == wide[i].epochs) ||
+        serial[i].admits != wide[i].admits ||
+        serial[i].rejects != wide[i].rejects ||
+        !(serial[i].churn == wide[i].churn) ||
+        !(serial[i].overload == wide[i].overload) ||
+        serial[i].shed_outstanding != wide[i].shed_outstanding ||
+        serial[i].final_partition.summary() !=
+            wide[i].final_partition.summary()) {
+      std::fprintf(stderr,
+                   "FAIL jobs-invariance: faulted stream %zu diverges "
+                   "between jobs=1 and jobs=8\n",
+                   i);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using sps::bench::EnvInt;
+  const int reps = std::max(1, EnvInt("SPS_REPS", 3));
+
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("overload");
+  json.Key("hardware_threads")
+      .Value(static_cast<std::uint64_t>(
+          std::max(1u, std::thread::hardware_concurrency())));
+  json.Key("reps").Value(static_cast<std::uint64_t>(reps));
+  json.Key("runs").BeginArray();
+
+  bool ok = true;
+  const online::WorkloadStream stream = OverloadStream();
+
+  // ---- 1) transient 1.3x window ------------------------------------------
+  struct Variant {
+    const char* name;
+    bool policies;
+    bool faulted;
+  };
+  const Variant variants[] = {
+      {"nofault", false, false},  // reference variant first
+      {"nofault-policy", true, false},
+      {"faulted", true, true},
+  };
+  std::printf("transient %.1fx window [%0.f, %0.f) ms on m=%u at ~0.9 "
+              "util/core (best of %d)\n",
+              kMagnitude, ToMillis(kWindowStart), ToMillis(kWindowEnd),
+              kCores, reps);
+  online::ReplayResult faulted_res;
+  for (const Variant& v : variants) {
+    const online::ReplayConfig cfg = MakeReplayConfig(v.policies, v.faulted);
+    double wall = 1e100;
+    online::ReplayResult res;
+    for (int rep = 0; rep < reps; ++rep) {
+      const double t0 = Now();
+      res = online::ReplayStream(stream, cfg);
+      wall = std::min(wall, Now() - t0);
+    }
+    if (v.faulted) faulted_res = res;
+    json.BeginObject();
+    json.Key("workload").Value("transient_1p3x");
+    json.Key("variant").Value(v.name);
+    json.Key("wall_s").Value(wall);
+    json.Key("hard_misses").Value(TotalHardMisses(res));
+    json.Key("sheds").Value(res.overload.sheds);
+    json.Key("shed_restores").Value(res.overload.shed_restores);
+    json.EndObject();
+    std::printf("  %-15s %7.2f ms  %3llu sheds  %3llu restored  %llu hard "
+                "misses\n",
+                v.name, wall * 1e3,
+                static_cast<unsigned long long>(res.overload.sheds),
+                static_cast<unsigned long long>(res.overload.shed_restores),
+                static_cast<unsigned long long>(TotalHardMisses(res)));
+  }
+
+  // Gate (a): survival by simulation — no hard task missed a deadline in
+  // any epoch, including the ones validated UNDER the spike model.
+  if (TotalHardMisses(faulted_res) != 0) {
+    std::fprintf(stderr, "FAIL overload: %llu hard misses under the "
+                         "%.1fx window\n",
+                 static_cast<unsigned long long>(
+                     TotalHardMisses(faulted_res)),
+                 kMagnitude);
+    ok = false;
+  }
+  for (const online::EpochStats& e : faulted_res.epochs) {
+    if (!e.validated) {
+      std::fprintf(stderr, "FAIL overload: epoch [%0.f, %0.f) was not "
+                           "validated by simulation\n",
+                   ToMillis(e.start), ToMillis(e.end));
+      ok = false;
+      break;
+    }
+  }
+
+  // Gate (b): shed minimality vs the greedy repacking oracle.
+  const std::size_t oracle = OracleMinimalSheds(stream);
+  const std::size_t budgeted = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(oracle) * 1.1));
+  std::printf("  oracle minimal sheds: %zu (budget %zu), controller: "
+              "%llu\n",
+              oracle, budgeted,
+              static_cast<unsigned long long>(faulted_res.overload.sheds));
+  if (oracle == 0) {
+    std::fprintf(stderr, "FAIL overload: oracle sheds nothing — the "
+                         "window is not an overload\n");
+    ok = false;
+  }
+  if (faulted_res.overload.sheds > budgeted) {
+    std::fprintf(stderr, "FAIL overload: controller shed %llu > oracle "
+                         "budget %zu\n",
+                 static_cast<unsigned long long>(
+                     faulted_res.overload.sheds),
+                 budgeted);
+    ok = false;
+  }
+
+  // Gate (c): recovery — the retry path re-admits >= 95% of the shed
+  // tasks inside the drain window.
+  const double recovered =
+      faulted_res.overload.sheds == 0
+          ? 1.0
+          : static_cast<double>(faulted_res.overload.shed_restores) /
+                static_cast<double>(faulted_res.overload.sheds);
+  std::printf("  recovery: %.0f%% of shed tasks re-admitted (%llu "
+              "outstanding at drain end)\n",
+              100.0 * recovered,
+              static_cast<unsigned long long>(
+                  faulted_res.shed_outstanding));
+  if (recovered < 0.95) {
+    std::fprintf(stderr, "FAIL overload: only %.0f%% of shed tasks "
+                         "recovered (>= 95%% required)\n",
+                 100.0 * recovered);
+    ok = false;
+  }
+
+  // ---- 2) jobs-invariance -------------------------------------------------
+  if (CheckJobsInvariance()) {
+    std::printf("jobs-invariance: faulted batches bit-identical for jobs=1 "
+                "and jobs=8\n");
+  } else {
+    ok = false;
+  }
+
+  json.EndArray();
+  json.EndObject();
+  std::string err;
+  if (!util::WriteTextFile("BENCH_overload.json", json.str(), &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_overload.json\n");
+  return ok ? 0 : 1;
+}

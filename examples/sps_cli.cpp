@@ -17,7 +17,12 @@
 //           [--online-epoch-ms=1000] [--online-place=ff|wf|spa]
 //           [--online-policy=edf|fp] [--online-no-split]
 //           [--online-no-fallback] [--online-unsplit] [--online-validate]
+//           [--online-soft=0.4] [--online-drain=N]
+//           [--spike-window-ms=A,B] [--spike-prob=0.2] [--spike-mag=1.3]
+//           [--storm-window-ms=A,B] [--storm-burst=0.9]
+//           [--no-ladder] [--no-hysteresis]
 //           [--stream-in=FILE] [--stream-out=FILE]
+//           [--exec=wcet|spiky]
 //           [--analysis-cache=off|<N>]
 //
 // --analysis-cache controls the shared schedulability-verdict
@@ -35,7 +40,24 @@
 // partition standing at every epoch boundary (horizon --sim-ms) and
 // reports its deadline misses. --stream-out saves the request trace for
 // replay elsewhere; with --trace-out the per-epoch churn / resident /
-// utilization series are written as Perfetto counter tracks.
+// utilization / shed / degraded series are written as Perfetto counter
+// tracks.
+//
+// Overload axis (DESIGN.md §13): --online-soft generates that fraction
+// of admits as SOFT tasks (with value classes and degraded modes) —
+// the shed/degrade ladder's victims. --spike-window-ms injects an
+// exec-time spike window [A,B) (per-job overrun probability
+// --spike-prob, magnitude --spike-mag); --storm-window-ms injects a
+// burst-arrival storm (burst probability --storm-burst). Epoch
+// validation inside a window simulates the FAULTED models, and the
+// report separates misses attributed to HARD tasks. --no-ladder /
+// --no-hysteresis switch the degradation ladder / repartition
+// hysteresis off; --online-drain keeps closing empty epochs after the
+// last request so shed-re-admission retries can drain.
+//
+// --exec=spiky makes the --acceptance-validate simulations run the
+// kSpiky execution model (--spike-prob / --spike-mag), i.e. the
+// acceptance sweep's schedulable-but-overrunning robustness axis.
 //
 // --acceptance switches from the single-run mode to the paper's
 // acceptance-ratio sweep (exp/acceptance.*) over the default utilization
@@ -127,6 +149,20 @@ struct Options {
   bool online_fallback = true;
   bool online_unsplit = false;
   bool online_validate = false;
+  double online_soft = 0.0;
+  std::uint32_t online_drain = 0;
+  bool overload_ladder = true;
+  bool overload_hysteresis = true;
+  bool have_spike = false;
+  Time spike_start = 0;
+  Time spike_end = 0;
+  double spike_prob = 0.2;
+  double spike_mag = 1.3;
+  bool have_storm = false;
+  Time storm_start = 0;
+  Time storm_end = 0;
+  double storm_burst = 0.9;
+  std::string exec_model = "wcet";
   std::string stream_in;
   std::string stream_out;
   analysis::MemoConfig memo;  // --analysis-cache=off|<N>
@@ -238,6 +274,70 @@ bool ParseArg(const char* arg, Options& o) {
     o.online_validate = true;
     return true;
   }
+  if (const char* v = value("--online-soft")) {
+    o.online = true;
+    o.online_soft = std::strtod(v, nullptr);
+    return true;
+  }
+  if (const char* v = value("--online-drain")) {
+    o.online = true;
+    o.online_drain = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    return true;
+  }
+  auto parse_window = [](const char* v, Time& start, Time& end) {
+    char* sep = nullptr;
+    const double a = std::strtod(v, &sep);
+    if (sep == v || *sep != ',') return false;
+    const char* second = sep + 1;
+    char* tail = nullptr;
+    const double b = std::strtod(second, &tail);
+    if (tail == second || *tail != '\0' || b <= a) return false;
+    start = Millis(a);
+    end = Millis(b);
+    return true;
+  };
+  if (const char* v = value("--spike-window-ms")) {
+    o.online = true;
+    o.have_spike = true;
+    if (!parse_window(v, o.spike_start, o.spike_end)) {
+      std::fprintf(stderr, "invalid --spike-window-ms=%s (want A,B ms)\n", v);
+      return false;
+    }
+    return true;
+  }
+  if (const char* v = value("--spike-prob")) {
+    o.spike_prob = std::strtod(v, nullptr);
+    return true;
+  }
+  if (const char* v = value("--spike-mag")) {
+    o.spike_mag = std::strtod(v, nullptr);
+    return true;
+  }
+  if (const char* v = value("--storm-window-ms")) {
+    o.online = true;
+    o.have_storm = true;
+    if (!parse_window(v, o.storm_start, o.storm_end)) {
+      std::fprintf(stderr, "invalid --storm-window-ms=%s (want A,B ms)\n", v);
+      return false;
+    }
+    return true;
+  }
+  if (const char* v = value("--storm-burst")) {
+    o.storm_burst = std::strtod(v, nullptr);
+    return true;
+  }
+  if (std::strcmp(arg, "--no-ladder") == 0) {
+    o.overload_ladder = false;
+    return true;
+  }
+  if (std::strcmp(arg, "--no-hysteresis") == 0) {
+    o.overload_hysteresis = false;
+    return true;
+  }
+  if (const char* v = value("--exec")) {
+    o.exec_model = v;
+    return true;
+  }
   if (const char* v = value("--stream-in")) {
     o.online = true;
     o.stream_in = v;
@@ -346,6 +446,7 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
     online::StreamConfig scfg;
     scfg.num_admits = o.online_requests;
     scfg.leave_fraction = o.online_leave;
+    scfg.soft_fraction = o.online_soft;
     scfg.seed = o.seed;
     stream = online::GenerateStream(scfg);
     std::printf("generated stream: %zu requests (%zu admits), seed %llu\n",
@@ -387,8 +488,20 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
   rcfg.controller.allow_split = o.online_split;
   rcfg.controller.repartition_fallback = o.online_fallback;
   rcfg.controller.unsplit_on_leave = o.online_unsplit;
+  rcfg.controller.overload.ladder = o.overload_ladder;
+  rcfg.controller.overload.hysteresis = o.overload_hysteresis;
   rcfg.epoch = o.online_epoch;
   rcfg.seed = o.seed;
+  rcfg.drain_epochs = o.online_drain;
+  if (o.have_spike) {
+    rcfg.faults.spikes.push_back(online::SpikeEpoch{
+        o.spike_start, o.spike_end, o.spike_prob, o.spike_mag});
+    rcfg.controller.overload.spike_magnitude = o.spike_mag;
+  }
+  if (o.have_storm) {
+    rcfg.faults.storms.push_back(
+        online::BurstStorm{o.storm_start, o.storm_end, o.storm_burst});
+  }
   if (o.online_validate) {
     rcfg.validate_by_simulation = true;
     rcfg.validate_sim.horizon = o.sim_ms;
@@ -396,13 +509,21 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
     rcfg.validate_sim.sleep_backend = o.sleep_queue;
     rcfg.validate_sim.event_backend = o.event_queue;
     rcfg.validate_sim.shards = o.shards;
+    if (o.exec_model == "spiky") {
+      rcfg.validate_sim.exec.kind = sim::ExecModel::Kind::kSpiky;
+      rcfg.validate_sim.exec.spike_prob = o.spike_prob;
+      rcfg.validate_sim.exec.spike_magnitude = o.spike_mag;
+    }
   }
 
-  std::printf("online replay: m=%u, policy=%s, place=%s%s%s%s\n\n",
+  std::printf("online replay: m=%u, policy=%s, place=%s%s%s%s%s%s%s\n\n",
               o.cores, o.online_policy.c_str(),
               online::ToString(rcfg.controller.place),
               rcfg.controller.allow_split ? ", split" : "",
               rcfg.controller.repartition_fallback ? ", fallback" : "",
+              rcfg.controller.overload.ladder ? ", ladder" : "",
+              rcfg.controller.overload.hysteresis ? ", hysteresis" : "",
+              rcfg.faults.any() ? ", fault-injected" : "",
               o.online_validate ? ", validating epochs" : "");
   const online::ReplayResult res = online::ReplayStream(stream, rcfg);
   std::printf("%s\n", res.Table().c_str());
@@ -421,6 +542,16 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
               res.admits > 0 ? static_cast<double>(res.churn.total()) /
                                    static_cast<double>(res.admits)
                              : 0.0);
+  std::printf("overload ladder: %llu degrades (%llu restored), %llu sheds "
+              "(%llu restored, %llu retry misses), %llu hysteresis blocks, "
+              "%zu shed outstanding\n",
+              static_cast<unsigned long long>(res.overload.degrades),
+              static_cast<unsigned long long>(res.overload.degrade_restores),
+              static_cast<unsigned long long>(res.overload.sheds),
+              static_cast<unsigned long long>(res.overload.shed_restores),
+              static_cast<unsigned long long>(res.overload.retry_attempts),
+              static_cast<unsigned long long>(res.overload.hysteresis_blocks),
+              res.shed_outstanding);
   std::printf("admission decisions: %llu O(1) util-rejects, %llu O(n) "
               "density-accepts, %llu full demand tests\n",
               static_cast<unsigned long long>(res.admission.util_rejects),
@@ -454,14 +585,20 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
     obs::CounterSeries churn{"online churn", {}};
     obs::CounterSeries resident{"resident tasks", {}};
     obs::CounterSeries util{"total utilization", {}};
+    obs::CounterSeries shed{"shed tasks", {}};
+    obs::CounterSeries degraded{"degraded tasks", {}};
     for (const online::EpochStats& e : res.epochs) {
       churn.points.emplace_back(e.end,
                                 static_cast<double>(e.churn.total()));
       resident.points.emplace_back(e.end,
                                    static_cast<double>(e.resident));
       util.points.emplace_back(e.end, e.utilization);
+      shed.points.emplace_back(e.end,
+                               static_cast<double>(e.shed_resident));
+      degraded.points.emplace_back(
+          e.end, static_cast<double>(e.degraded_resident));
     }
-    popt.extra_counters = {churn, resident, util};
+    popt.extra_counters = {churn, resident, util, shed, degraded};
     if (!obs::WritePerfettoJson({}, o.trace_out, popt, &err)) {
       std::fprintf(stderr, "%s\n", err.c_str());
       return 2;
@@ -472,11 +609,20 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
   }
 
   std::uint64_t misses = 0;
-  for (const online::EpochStats& e : res.epochs) misses += e.sim_misses;
-  if (o.online_validate) {
-    std::printf("epoch validation: %llu simulated deadline misses\n",
-                static_cast<unsigned long long>(misses));
+  std::uint64_t hard_misses = 0;
+  for (const online::EpochStats& e : res.epochs) {
+    misses += e.sim_misses;
+    hard_misses += e.hard_misses;
   }
+  if (o.online_validate) {
+    std::printf("epoch validation: %llu simulated deadline misses "
+                "(%llu on HARD tasks)\n",
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(hard_misses));
+  }
+  // Fault-injected replays run soft tasks past their deadlines by
+  // design; the pass/fail line is the hard-criticality one there.
+  if (rcfg.faults.any()) return hard_misses == 0 ? 0 : 1;
   return misses == 0 ? 0 : 1;
 }
 
@@ -524,14 +670,28 @@ int main(int argc, char** argv) {
       acfg.validate_by_simulation = true;
       acfg.validate_sim.horizon = o.sim_ms;
       if (!ParseArrivals(o.arrivals, acfg.validate_sim.arrivals)) return 2;
+      // Overload axis (DESIGN.md §13): validate accepted partitions
+      // under per-job execution spikes instead of exact WCET.
+      if (o.exec_model == "spiky") {
+        acfg.validate_sim.exec.kind = sim::ExecModel::Kind::kSpiky;
+        acfg.validate_sim.exec.spike_prob = o.spike_prob;
+        acfg.validate_sim.exec.spike_magnitude = o.spike_mag;
+      } else if (o.exec_model != "wcet") {
+        std::fprintf(stderr, "unknown --exec=%s (wcet|spiky)\n",
+                     o.exec_model.c_str());
+        return 2;
+      }
       acfg.validate_sim.ready_backend = o.ready_queue;
       acfg.validate_sim.sleep_backend = o.sleep_queue;
       acfg.validate_sim.event_backend = o.event_queue;
       acfg.validate_sim.shards = o.shards;
     }
-    std::printf("acceptance sweep: m=%u, n=%zu, %d sets/point, jobs=%u%s\n\n",
+    std::printf("acceptance sweep: m=%u, n=%zu, %d sets/point, jobs=%u%s%s\n\n",
                 o.cores, o.tasks, o.sets, o.jobs,
-                o.acceptance_validate ? ", validating by simulation" : "");
+                o.acceptance_validate ? ", validating by simulation" : "",
+                o.acceptance_validate && o.exec_model == "spiky"
+                    ? " (spiky exec)"
+                    : "");
     // The sweep has no per-unit AdmitStats plumbing, so the cache
     // counters come from whole-table snapshots around the run.
     const analysis::MemoStats before =

@@ -102,25 +102,27 @@ void AdmissionState::Adopt(const partition::Partition& p) {
   const partition::AdmitStats kept = stats_;
   *this = AdmissionState(cfg_);
   stats_ = kept;
-  for (const partition::PlacedTask& pt : p.tasks) {
-    if (cfg_.policy == partition::SchedPolicy::kEdf) {
-      if (!pt.split()) {
-        edf_cores_[pt.parts[0].core].Commit(partition::MakeEdfEntry(pt.task));
-        continue;
-      }
-      Time window_start = 0;
-      for (std::size_t k = 0; k < pt.parts.size(); ++k) {
-        const partition::SubtaskPlacement& sp = pt.parts[k];
-        const Time window_end =
-            sp.rel_deadline > 0 ? sp.rel_deadline : pt.task.deadline;
-        edf_cores_[sp.core].Commit(partition::MakeEdfWindowEntry(
-            pt.task, sp.budget, window_end - window_start, k == 0,
-            k + 1 == pt.parts.size()));
-        window_start = window_end;
-      }
-    } else {
-      fp_cores_[pt.parts[0].core].Commit(pt.task);
-    }
+  for (const partition::PlacedTask& pt : p.tasks) CommitPlaced(pt);
+}
+
+void AdmissionState::CommitPlaced(const partition::PlacedTask& pt) {
+  if (cfg_.policy != partition::SchedPolicy::kEdf) {
+    fp_cores_[pt.parts[0].core].Commit(pt.task);
+    return;
+  }
+  if (!pt.split()) {
+    edf_cores_[pt.parts[0].core].Commit(partition::MakeEdfEntry(pt.task));
+    return;
+  }
+  Time window_start = 0;
+  for (std::size_t k = 0; k < pt.parts.size(); ++k) {
+    const partition::SubtaskPlacement& sp = pt.parts[k];
+    const Time window_end =
+        sp.rel_deadline > 0 ? sp.rel_deadline : pt.task.deadline;
+    edf_cores_[sp.core].Commit(partition::MakeEdfWindowEntry(
+        pt.task, sp.budget, window_end - window_start, k == 0,
+        k + 1 == pt.parts.size()));
+    window_start = window_end;
   }
 }
 

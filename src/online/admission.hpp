@@ -89,6 +89,13 @@ class AdmissionState {
   /// controller's fallback path).
   void Adopt(const partition::Partition& p);
 
+  /// Commit a task's entries for a KNOWN placement without re-running
+  /// the admission test — the single entry-materialization step shared
+  /// by Adopt and the overload ladder's exact undo path (restoring a
+  /// degraded or shed task to the cores it occupied is always safe: the
+  /// state is returned to one that passed admission before).
+  void CommitPlaced(const partition::PlacedTask& pt);
+
   [[nodiscard]] double core_utilization(unsigned c) const;
   [[nodiscard]] std::size_t entries_on(unsigned c) const;
   [[nodiscard]] double total_utilization() const;

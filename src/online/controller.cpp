@@ -1,7 +1,9 @@
 #include "online/controller.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <numeric>
 
 #include "sim/batch.hpp"
@@ -34,6 +36,21 @@ partition::FitPolicy ToFitPolicy(PlacePolicy p) {
   return partition::FitPolicy::kFirstFit;
 }
 
+/// "Nobody eligible" sentinel for PickVictim (no stream id reaches it).
+constexpr rt::TaskId kNoVictim = std::numeric_limits<rt::TaskId>::max();
+
+/// Importance guard of the admission-path ladder: a candidate may only
+/// displace residents strictly less important than itself — a hard
+/// candidate outranks every soft resident; a soft candidate outranks
+/// only lower-value soft residents (equal value never thrashes). The
+/// epoch reaction (for_admit == nullptr) may pick any soft resident.
+bool VictimEligible(const rt::Task& victim, const rt::Task* for_admit) {
+  if (!victim.soft()) return false;
+  if (for_admit == nullptr) return true;
+  if (for_admit->crit == rt::Criticality::kHard) return true;
+  return victim.value < for_admit->value;
+}
+
 }  // namespace
 
 const char* ToString(PlacePolicy p) {
@@ -61,6 +78,26 @@ ChurnStats& ChurnStats::operator-=(const ChurnStats& o) {
   return *this;
 }
 
+OverloadStats& OverloadStats::operator+=(const OverloadStats& o) {
+  degrades += o.degrades;
+  degrade_restores += o.degrade_restores;
+  sheds += o.sheds;
+  shed_restores += o.shed_restores;
+  retry_attempts += o.retry_attempts;
+  hysteresis_blocks += o.hysteresis_blocks;
+  return *this;
+}
+
+OverloadStats& OverloadStats::operator-=(const OverloadStats& o) {
+  degrades -= o.degrades;
+  degrade_restores -= o.degrade_restores;
+  sheds -= o.sheds;
+  shed_restores -= o.shed_restores;
+  retry_attempts -= o.retry_attempts;
+  hysteresis_blocks -= o.hysteresis_blocks;
+  return *this;
+}
+
 Controller::Controller(const ControllerConfig& cfg)
     : cfg_(cfg), state_(cfg.admission) {}
 
@@ -77,37 +114,85 @@ std::vector<unsigned> Controller::CoreOrder(
   return order;
 }
 
-AdmitOutcome Controller::Admit(const rt::Task& t) {
+AdmitOutcome Controller::TryPlace(const rt::Task& t) {
   AdmitOutcome out;
-  if (!t.valid() || placements_.count(t.id) != 0) return out;
-
   const std::vector<unsigned> order = CoreOrder(state_);
   const bool allow_split =
       cfg_.allow_split &&
       cfg_.admission.policy == partition::SchedPolicy::kEdf;
   partition::EdfPlacement placed = state_.Place(t, order, allow_split);
-  if (placed.placed) {
-    out.accepted = true;
-    out.parts = static_cast<unsigned>(placed.parts.size());
-    if (out.parts > 1) ++churn_.split;
-    partition::PlacedTask pt;
-    pt.task = t;
-    pt.parts = std::move(placed.parts);
-    placements_.emplace(t.id, std::move(pt));
-    return out;
+  if (!placed.placed) return out;
+  out.accepted = true;
+  out.parts = static_cast<unsigned>(placed.parts.size());
+  if (out.parts > 1) ++churn_.split;
+  partition::PlacedTask pt;
+  pt.task = t;
+  pt.parts = std::move(placed.parts);
+  placements_.emplace(t.id, std::move(pt));
+  admit_seq_of_[t.id] = admit_seq_++;
+  // Admission generation: 0 on the first admission of this id (so pure
+  // admit streams match the legacy RNG derivation bit-for-bit), bumped
+  // on every re-admission so a returning id never resumes its previous
+  // incarnation's exec/arrival RNG position.
+  const auto [it, inserted] = generation_of_.try_emplace(t.id, 0u);
+  if (!inserted) ++it->second;
+  return out;
+}
+
+AdmitOutcome Controller::Admit(const rt::Task& t) {
+  AdmitOutcome out;
+  if (!t.valid() || placements_.count(t.id) != 0) return out;
+  for (const ShedRecord& r : shed_) {
+    if (r.task.id == t.id) return out;  // id still logically in-system
+  }
+
+  out = TryPlace(t);
+  if (out.accepted) return out;
+
+  // Ladder (DESIGN.md §13): make room by degrading, then shedding,
+  // strictly less important residents — retrying the incremental
+  // placement after each step. All steps are logged; a candidate the
+  // ladder still cannot place rolls every step back exactly.
+  if (cfg_.overload.ladder) {
+    std::vector<LadderAction> log;
+    while (DegradeOne(&t, log) || ShedOne(&t, log)) {
+      out = TryPlace(t);
+      if (out.accepted) {
+        out.via_ladder = true;
+        CommitLadder(log);
+        return out;
+      }
+    }
+    UndoLadder(log);
   }
   if (cfg_.repartition_fallback) return FallbackRepartition(t);
   return out;
+}
+
+bool Controller::FallbackAllowed() {
+  if (!cfg_.overload.hysteresis || !any_fallback_) return true;
+  if (epoch_ - last_fallback_epoch_ >= cfg_.overload.cooldown_epochs) {
+    return true;
+  }
+  if (std::abs(state_.total_utilization() - last_fallback_util_) >
+      cfg_.overload.util_band) {
+    return true;
+  }
+  ++overload_.hysteresis_blocks;
+  return false;
 }
 
 AdmitOutcome Controller::FallbackRepartition(const rt::Task& t) {
   AdmitOutcome out;
   // O(1) hopelessness guard: no partitioner can place a set whose total
   // utilization exceeds the core count — skip the offline run entirely.
+  // (Checked before the hysteresis gate: a hopeless request is not a
+  // suppressed repartition, it is an unplaceable one.)
   if (state_.total_utilization() + t.utilization() >
       static_cast<double>(cfg_.admission.num_cores) + 1e-12) {
     return out;
   }
+  if (!FallbackAllowed()) return out;
   // Resident set + candidate, in ascending id order (the offline
   // partitioners impose their own heuristic order internally).
   std::vector<rt::Task> tasks;
@@ -154,6 +239,12 @@ AdmitOutcome Controller::FallbackRepartition(const rt::Task& t) {
 
   state_.Adopt(pr.partition);
   placements_ = std::move(next);
+  admit_seq_of_[t.id] = admit_seq_++;
+  const auto [git, inserted] = generation_of_.try_emplace(t.id, 0u);
+  if (!inserted) ++git->second;
+  any_fallback_ = true;
+  last_fallback_epoch_ = epoch_;
+  last_fallback_util_ = state_.total_utilization();
   out.accepted = true;
   out.via_fallback = true;
   out.parts = static_cast<unsigned>(placements_.at(t.id).parts.size());
@@ -162,14 +253,261 @@ AdmitOutcome Controller::FallbackRepartition(const rt::Task& t) {
 
 bool Controller::Leave(rt::TaskId id) {
   const auto it = placements_.find(id);
-  if (it == placements_.end()) return false;
+  if (it == placements_.end()) {
+    // A currently-shed task leaving for good: drop its retry record (no
+    // capacity to reclaim — it holds none).
+    for (auto s = shed_.begin(); s != shed_.end(); ++s) {
+      if (s->task.id == id) {
+        shed_.erase(s);
+        return true;
+      }
+    }
+    return false;
+  }
   state_.Remove(id, it->second.parts);
   placements_.erase(it);
+  degraded_full_.erase(id);
+  admit_seq_of_.erase(id);
   if (cfg_.unsplit_on_leave &&
       cfg_.admission.policy == partition::SchedPolicy::kEdf) {
     TryUnsplit();
   }
   return true;
+}
+
+template <typename Pred>
+rt::TaskId Controller::PickVictim(Pred&& pred) const {
+  // Minimum (value, then NEWEST admission): a total order over residents
+  // (admission sequences are unique), so the pick is independent of the
+  // unordered_map iteration order.
+  rt::TaskId best = kNoVictim;
+  std::uint32_t best_value = 0;
+  std::uint64_t best_seq = 0;
+  for (const auto& [id, pt] : placements_) {
+    if (!pt.task.soft() || !pred(pt)) continue;
+    const std::uint32_t v = pt.task.value;
+    const std::uint64_t seq = admit_seq_of_.at(id);
+    if (best == kNoVictim || v < best_value ||
+        (v == best_value && seq > best_seq)) {
+      best = id;
+      best_value = v;
+      best_seq = seq;
+    }
+  }
+  return best;
+}
+
+bool Controller::DegradeOne(const rt::Task* for_admit,
+                            std::vector<LadderAction>& log) {
+  const rt::TaskId id = PickVictim([&](const partition::PlacedTask& pt) {
+    return pt.task.can_degrade() && !pt.split() &&
+           degraded_full_.count(pt.task.id) == 0 &&
+           VictimEligible(pt.task, for_admit);
+  });
+  if (id == kNoVictim) return false;
+
+  partition::PlacedTask& pt = placements_.at(id);
+  LadderAction a;
+  a.kind = LadderAction::Kind::kDegrade;
+  a.placed = pt;
+  a.full_task = pt.task;
+  a.admit_seq = admit_seq_of_.at(id);
+
+  state_.Remove(id, pt.parts);
+  rt::Task degraded = pt.task;
+  degraded.wcet = pt.task.degraded_wcet;
+  partition::PlacedTask dp;
+  dp.task = degraded;
+  dp.parts = pt.parts;
+  dp.parts[0].budget = degraded.wcet;
+  // Commit without an admission test: a smaller C on the very core that
+  // admitted the larger C is monotonically safe.
+  state_.CommitPlaced(dp);
+  pt = std::move(dp);
+  degraded_full_.emplace(id, a.full_task);
+  log.push_back(std::move(a));
+  return true;
+}
+
+bool Controller::ShedOne(const rt::Task* for_admit,
+                         std::vector<LadderAction>& log) {
+  const rt::TaskId id = PickVictim([&](const partition::PlacedTask& pt) {
+    return VictimEligible(pt.task, for_admit);
+  });
+  if (id == kNoVictim) return false;
+
+  LadderAction a;
+  a.kind = LadderAction::Kind::kShed;
+  a.placed = placements_.at(id);
+  a.admit_seq = admit_seq_of_.at(id);
+  const auto df = degraded_full_.find(id);
+  a.was_degraded = df != degraded_full_.end();
+  // The shed record keeps the FULL task: a degraded victim is shed as a
+  // whole and retried for re-admission at full service.
+  a.full_task = a.was_degraded ? df->second : a.placed.task;
+
+  state_.Remove(id, a.placed.parts);
+  placements_.erase(id);
+  degraded_full_.erase(id);
+  admit_seq_of_.erase(id);
+  log.push_back(std::move(a));
+  return true;
+}
+
+void Controller::CommitLadder(std::vector<LadderAction>& log) {
+  for (LadderAction& a : log) {
+    if (a.kind == LadderAction::Kind::kDegrade) {
+      ++overload_.degrades;
+      continue;
+    }
+    ++overload_.sheds;
+    const std::uint32_t b = std::max(1u, cfg_.overload.retry_backoff_min);
+    shed_.push_back(ShedRecord{std::move(a.full_task), a.admit_seq, b, b});
+  }
+  log.clear();
+}
+
+void Controller::UndoLadder(std::vector<LadderAction>& log) {
+  // Reverse order: each undo returns the state to one that existed (and
+  // had passed admission) just before the action, so CommitPlaced needs
+  // no re-test.
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    LadderAction& a = *it;
+    const rt::TaskId id = a.placed.task.id;
+    if (a.kind == LadderAction::Kind::kDegrade) {
+      state_.Remove(id, placements_.at(id).parts);
+      state_.CommitPlaced(a.placed);
+      placements_[id] = std::move(a.placed);
+      degraded_full_.erase(id);
+    } else {
+      state_.CommitPlaced(a.placed);
+      if (a.was_degraded) degraded_full_.emplace(id, a.full_task);
+      admit_seq_of_[id] = a.admit_seq;
+      placements_.emplace(id, std::move(a.placed));
+    }
+  }
+  log.clear();
+}
+
+bool Controller::InflatedSchedulable(double magnitude) const {
+  partition::Partition p = CurrentPartition();
+  std::vector<double> core_util(p.num_cores, 0.0);
+  for (partition::PlacedTask& pt : p.tasks) {
+    Time inflated_wcet = 0;
+    for (partition::SubtaskPlacement& sp : pt.parts) {
+      sp.budget = std::max<Time>(
+          1, static_cast<Time>(magnitude * static_cast<double>(sp.budget)));
+      inflated_wcet += sp.budget;
+      core_util[sp.core] += static_cast<double>(sp.budget) /
+                            static_cast<double>(pt.task.period);
+    }
+    pt.task.wcet = inflated_wcet;
+  }
+  // Screen before the full analysis: an over-unit core can never pass,
+  // and skipping it keeps the analysis' busy-period fixpoints off
+  // pathological inputs.
+  for (const double u : core_util) {
+    if (u > 1.0) return false;
+  }
+  return partition::AnalyzePartition(p, cfg_.admission.model).schedulable;
+}
+
+unsigned Controller::ReactToOverload(double spike_magnitude) {
+  if (!cfg_.overload.ladder || placements_.empty()) return 0;
+  unsigned actions = 0;
+  while (!InflatedSchedulable(spike_magnitude)) {
+    std::vector<LadderAction> log;
+    if (!DegradeOne(nullptr, log) && !ShedOne(nullptr, log)) break;
+    CommitLadder(log);  // epoch-path actions commit immediately
+    ++actions;
+  }
+  return actions;
+}
+
+void Controller::AdvanceEpoch(bool overloaded) {
+  ++epoch_;
+  if (overloaded) return;  // freeze retries/restores during the storm
+
+  // Shed re-admission retries, in shed order. A failed probe doubles the
+  // record's backoff (capped); a successful one is a normal incremental
+  // admission (new admission generation, new admit sequence).
+  std::vector<ShedRecord> still;
+  still.reserve(shed_.size());
+  for (ShedRecord& r : shed_) {
+    if (r.retry_in > 1) {
+      --r.retry_in;
+      still.push_back(std::move(r));
+      continue;
+    }
+    if (TryPlace(r.task).accepted) {
+      ++overload_.shed_restores;
+      continue;
+    }
+    ++overload_.retry_attempts;
+    r.backoff = std::min(std::max(1u, r.backoff) * 2,
+                         std::max(1u, cfg_.overload.retry_backoff_max));
+    r.retry_in = r.backoff;
+    still.push_back(std::move(r));
+  }
+  shed_ = std::move(still);
+
+  // Degraded-service restores: in place (same core — no migration
+  // churn), ascending id order, each guarded by a real admission probe
+  // with the degraded entry lifted.
+  std::vector<rt::TaskId> ids;
+  ids.reserve(degraded_full_.size());
+  for (const auto& [id, full] : degraded_full_) {
+    (void)full;
+    if (placements_.count(id) != 0) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const rt::TaskId id : ids) {
+    partition::PlacedTask& pt = placements_.at(id);
+    const rt::Task full = degraded_full_.at(id);
+    const unsigned core[] = {pt.parts[0].core};
+    state_.Remove(id, pt.parts);
+    partition::EdfPlacement placed =
+        state_.Place(full, core, /*allow_split=*/false);
+    if (placed.placed) {
+      pt.task = full;
+      pt.parts = std::move(placed.parts);
+      degraded_full_.erase(id);
+      ++overload_.degrade_restores;
+    } else {
+      state_.CommitPlaced(pt);  // keep degraded: exact re-commit
+    }
+  }
+}
+
+partition::Partition Controller::CurrentPartition() const {
+  partition::Partition p;
+  p.num_cores = cfg_.admission.num_cores;
+  p.policy = cfg_.admission.policy;
+  p.tasks.reserve(placements_.size());
+  for (const auto& [id, pt] : placements_) p.tasks.push_back(pt);
+  std::sort(p.tasks.begin(), p.tasks.end(),
+            [](const partition::PlacedTask& a,
+               const partition::PlacedTask& b) {
+              return a.task.id < b.task.id;
+            });
+  return p;
+}
+
+std::vector<std::uint32_t> Controller::ExecGenerations() const {
+  std::vector<rt::TaskId> ids;
+  ids.reserve(placements_.size());
+  for (const auto& [id, pt] : placements_) {
+    (void)pt;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  std::vector<std::uint32_t> gens;
+  gens.reserve(ids.size());
+  for (const rt::TaskId id : ids) {
+    const auto it = generation_of_.find(id);
+    gens.push_back(it == generation_of_.end() ? 0u : it->second);
+  }
+  return gens;
 }
 
 void Controller::TryUnsplit() {
@@ -204,44 +542,74 @@ void Controller::TryUnsplit() {
   }
 }
 
-partition::Partition Controller::CurrentPartition() const {
-  partition::Partition p;
-  p.num_cores = cfg_.admission.num_cores;
-  p.policy = cfg_.admission.policy;
-  p.tasks.reserve(placements_.size());
-  for (const auto& [id, pt] : placements_) p.tasks.push_back(pt);
-  std::sort(p.tasks.begin(), p.tasks.end(),
-            [](const partition::PlacedTask& a,
-               const partition::PlacedTask& b) {
-              return a.task.id < b.task.id;
-            });
-  return p;
+// ---- epoch replay ----------------------------------------------------------
+
+const SpikeEpoch* FaultPlan::SpikeAt(Time start, Time end) const {
+  for (const SpikeEpoch& s : spikes) {
+    if (s.start < end && start < s.end) return &s;
+  }
+  return nullptr;
 }
 
-// ---- epoch replay ----------------------------------------------------------
+const BurstStorm* FaultPlan::StormAt(Time start, Time end) const {
+  for (const BurstStorm& s : storms) {
+    if (s.start < end && start < s.end) return &s;
+  }
+  return nullptr;
+}
 
 namespace {
 
 void CloseEpoch(const Controller& ctrl, const ReplayConfig& cfg,
                 std::size_t epoch_index, Time start, Time end,
-                const ChurnStats& churn_before, EpochStats& e,
+                const ChurnStats& churn_before,
+                const OverloadStats& overload_before, EpochStats& e,
                 ReplayResult& out) {
   e.start = start;
   e.end = end;
   e.resident = ctrl.resident();
+  e.shed_resident = ctrl.shed_resident();
+  e.degraded_resident = ctrl.degraded_resident();
   e.utilization = ctrl.total_utilization();
   ChurnStats delta = ctrl.churn();
   delta -= churn_before;
   e.churn = delta;
+  OverloadStats odelta = ctrl.overload_stats();
+  odelta -= overload_before;
+  e.overload = odelta;
+  const SpikeEpoch* spike = cfg.faults.SpikeAt(start, end);
+  const BurstStorm* storm = cfg.faults.StormAt(start, end);
+  e.fault_active = spike != nullptr || storm != nullptr;
   if (cfg.validate_by_simulation && ctrl.resident() > 0) {
     sim::SimConfig scfg = cfg.validate_sim;
     scfg.overheads = cfg.controller.admission.model;
     scfg.exec.seed = util::DeriveSeed(cfg.seed, epoch_index, 0);
     scfg.arrivals.seed = util::DeriveSeed(cfg.seed, epoch_index, 1);
-    const std::vector<sim::BatchRun> runs = sim::RunConfigSweep(
-        ctrl.CurrentPartition(), {{"epoch", scfg}}, {.jobs = 1});
+    // Fault windows validate against the FAULTED models — "zero hard
+    // misses" is proven under the spike/storm, not the nominal load.
+    if (spike != nullptr) {
+      scfg.exec.kind = sim::ExecModel::Kind::kSpiky;
+      scfg.exec.spike_prob = spike->prob;
+      scfg.exec.spike_magnitude = spike->magnitude;
+    }
+    if (storm != nullptr) {
+      scfg.arrivals.kind = sim::ArrivalModel::Kind::kBursty;
+      scfg.arrivals.burst_prob = storm->burst_prob;
+    }
+    const partition::Partition p = ctrl.CurrentPartition();
+    scfg.exec_generations = ctrl.ExecGenerations();
+    const std::vector<sim::BatchRun> runs =
+        sim::RunConfigSweep(p, {{"epoch", scfg}}, {.jobs = 1});
     e.validated = true;
     e.sim_misses = runs.front().result.total_misses;
+    // Hard-miss attribution: SimResult.tasks is index-aligned with
+    // p.tasks (the engine copies ids positionally).
+    const auto& tstats = runs.front().result.tasks;
+    for (std::size_t i = 0; i < tstats.size() && i < p.tasks.size(); ++i) {
+      if (p.tasks[i].task.crit == rt::Criticality::kHard) {
+        e.hard_misses += tstats[i].deadline_misses;
+      }
+    }
   }
   out.epochs.push_back(e);
   e = EpochStats{};
@@ -262,8 +630,28 @@ ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg) {
 
   EpochStats cur;
   ChurnStats churn_before;
+  OverloadStats overload_before;
   Time epoch_start = 0;
   std::size_t epoch_index = 0;
+
+  // Called as the replay ENTERS the epoch starting at `start`: the
+  // controller ticks (shed retries and degrade restores run only in
+  // calm epochs), and a fault window covering the new epoch is the
+  // overload ALARM — the controller walks the ladder until the
+  // spike-inflated partition re-analyzes schedulable, BEFORE this
+  // epoch's requests and validation run.
+  const auto enter_epoch = [&](Time start) {
+    const Time end =
+        start > kTimeNever - epoch_len ? kTimeNever : start + epoch_len;
+    const SpikeEpoch* spike = cfg.faults.SpikeAt(start, end);
+    const BurstStorm* storm = cfg.faults.StormAt(start, end);
+    ctrl.AdvanceEpoch(spike != nullptr || storm != nullptr);
+    if (spike != nullptr) {
+      ctrl.ReactToOverload(spike->magnitude);
+    } else if (storm != nullptr) {
+      ctrl.ReactToOverload(cfg.controller.overload.spike_magnitude);
+    }
+  };
 
   for (const Request& r : s.requests()) {
     // (r.at - epoch_start is non-negative: requests are time-sorted and
@@ -271,8 +659,10 @@ ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg) {
     // overflow-safe where `epoch_start + epoch_len` is not.)
     while (r.at - epoch_start >= epoch_len) {
       CloseEpoch(ctrl, cfg, epoch_index, epoch_start,
-                 epoch_start + epoch_len, churn_before, cur, out);
+                 epoch_start + epoch_len, churn_before, overload_before,
+                 cur, out);
       churn_before = ctrl.churn();
+      overload_before = ctrl.overload_stats();
       epoch_start += epoch_len;
       ++epoch_index;
       const Time idle_epochs = (r.at - epoch_start) / epoch_len;
@@ -280,6 +670,7 @@ ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg) {
         epoch_start += idle_epochs * epoch_len;
         epoch_index += static_cast<std::size_t>(idle_epochs);
       }
+      enter_epoch(epoch_start);
     }
     if (r.kind == RequestKind::kAdmit) {
       if (ctrl.Admit(r.task).accepted) {
@@ -302,9 +693,28 @@ ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg) {
                              ? kTimeNever
                              : epoch_start + epoch_len;
   CloseEpoch(ctrl, cfg, epoch_index, epoch_start, final_end, churn_before,
-             cur, out);
+             overload_before, cur, out);
+
+  // Drain epochs: keep ticking past the last request so shed-re-admission
+  // retries (whose backoff is measured in epochs) get room to run when
+  // the stream ends right after a fault window.
+  for (std::uint32_t k = 0; k < cfg.drain_epochs; ++k) {
+    if (epoch_start > kTimeNever - epoch_len) break;
+    churn_before = ctrl.churn();
+    overload_before = ctrl.overload_stats();
+    epoch_start += epoch_len;
+    ++epoch_index;
+    enter_epoch(epoch_start);
+    const Time drain_end = epoch_start > kTimeNever - epoch_len
+                               ? kTimeNever
+                               : epoch_start + epoch_len;
+    CloseEpoch(ctrl, cfg, epoch_index, epoch_start, drain_end,
+               churn_before, overload_before, cur, out);
+  }
 
   out.churn = ctrl.churn();
+  out.overload = ctrl.overload_stats();
+  out.shed_outstanding = ctrl.shed_resident();
   out.admission = ctrl.admission_stats();
   out.final_partition = ctrl.CurrentPartition();
   return out;
@@ -328,21 +738,24 @@ std::vector<ReplayResult> ReplayBatch(std::span<const WorkloadStream> streams,
 std::string ReplayResult::Table() const {
   std::string out =
       "epoch      [ms, ms)   admit reject leave resident   util"
-      "   moved split unsplit  sim-miss\n";
-  char buf[160];
+      "   moved split unsplit  shed degr flt  sim-miss hard\n";
+  char buf[200];
   for (std::size_t i = 0; i < epochs.size(); ++i) {
     const EpochStats& e = epochs[i];
     const std::string miss =
         e.validated ? std::to_string(e.sim_misses) : std::string("-");
+    const std::string hard =
+        e.validated ? std::to_string(e.hard_misses) : std::string("-");
     std::snprintf(buf, sizeof(buf),
                   "%5zu %7.0f %7.0f %7u %6u %5u %8zu %6.3f %7llu %5llu"
-                  " %7llu %9s\n",
+                  " %7llu %5zu %4zu %3s %9s %4s\n",
                   i, ToMillis(e.start), ToMillis(e.end), e.admits,
                   e.rejects, e.leaves, e.resident, e.utilization,
                   static_cast<unsigned long long>(e.churn.moved),
                   static_cast<unsigned long long>(e.churn.split),
                   static_cast<unsigned long long>(e.churn.unsplit),
-                  miss.c_str());
+                  e.shed_resident, e.degraded_resident,
+                  e.fault_active ? "*" : "-", miss.c_str(), hard.c_str());
     out += buf;
   }
   return out;

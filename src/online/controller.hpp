@@ -31,6 +31,7 @@
 #include "online/admission.hpp"
 #include "online/workload_stream.hpp"
 #include "partition/placement.hpp"
+#include "partition/verify.hpp"
 #include "sim/engine.hpp"
 
 namespace sps::online {
@@ -43,6 +44,35 @@ enum class PlacePolicy {
 
 const char* ToString(PlacePolicy p);
 
+/// Overload / graceful-degradation policy (DESIGN.md §13). The ladder is
+/// strictly ordered: degrade soft tasks (reduced-service WCET), then
+/// shed the lowest-value soft tasks (LIFO within a value class), and
+/// only then run the full repartition — each rung is cheaper in churn
+/// than the next. Every decision is deterministic: victims are chosen by
+/// (value asc, admission sequence desc), both total orders.
+struct OverloadConfig {
+  /// Walk the degrade/shed ladder when an admission fails or an epoch
+  /// signals overload. Off = PR 6 behavior (reject / fallback only).
+  bool ladder = true;
+  /// Repartition-fallback hysteresis: after an adopted repartition,
+  /// further adoptions are suppressed until `cooldown_epochs` epochs
+  /// pass OR total utilization moves by more than `util_band` — the
+  /// near-saturation adopt-thrash damper. Default-on (the CLI escape is
+  /// --no-hysteresis).
+  bool hysteresis = true;
+  std::uint32_t cooldown_epochs = 4;
+  double util_band = 0.10;
+  /// Shed re-admission retry backoff, in epochs: first retry after
+  /// `retry_backoff_min`, doubling per failed retry, capped at
+  /// `retry_backoff_max`.
+  std::uint32_t retry_backoff_min = 1;
+  std::uint32_t retry_backoff_max = 16;
+  /// Exec-spike multiplier the overload reaction plans for: the epoch
+  /// reaction sheds/degrades until the partition with every WCET
+  /// inflated by this factor re-analyzes schedulable.
+  double spike_magnitude = 1.3;
+};
+
 struct ControllerConfig {
   AdmissionConfig admission;
   PlacePolicy place = PlacePolicy::kFirstFit;
@@ -54,6 +84,8 @@ struct ControllerConfig {
   /// After a LEAVE, try to consolidate one resident split task onto a
   /// single core (migration churn down; charged as an unsplit).
   bool unsplit_on_leave = false;
+  /// Overload ladder + hysteresis knobs (DESIGN.md §13).
+  OverloadConfig overload;
 };
 
 /// Tasks whose placement changed, split, or consolidated — the online
@@ -72,9 +104,26 @@ struct ChurnStats {
   friend bool operator==(const ChurnStats&, const ChurnStats&) = default;
 };
 
+/// Counted degradation-ladder decisions (DESIGN.md §13) — like ChurnStats,
+/// these are reported metrics, not accidents.
+struct OverloadStats {
+  std::uint64_t degrades = 0;         ///< soft tasks switched to degraded mode
+  std::uint64_t degrade_restores = 0; ///< degraded tasks back at full service
+  std::uint64_t sheds = 0;            ///< soft tasks evicted from the system
+  std::uint64_t shed_restores = 0;    ///< shed tasks re-admitted by a retry
+  std::uint64_t retry_attempts = 0;   ///< failed shed re-admission probes
+  std::uint64_t hysteresis_blocks = 0;  ///< fallback runs suppressed
+
+  OverloadStats& operator+=(const OverloadStats& o);
+  OverloadStats& operator-=(const OverloadStats& o);  ///< epoch deltas
+  friend bool operator==(const OverloadStats&, const OverloadStats&) =
+      default;
+};
+
 struct AdmitOutcome {
   bool accepted = false;
   bool via_fallback = false;  ///< placed by the full repartition
+  bool via_ladder = false;    ///< placed after degrading/shedding residents
   unsigned parts = 0;         ///< subtask count of the accepted placement
 };
 
@@ -82,30 +131,75 @@ class Controller {
  public:
   explicit Controller(const ControllerConfig& cfg);
 
-  /// Decide one ADMIT. Touches only candidate cores unless the fallback
-  /// runs. Rejection leaves every resident task untouched.
+  /// Decide one ADMIT. Touches only candidate cores unless the ladder or
+  /// the fallback runs. Rejection leaves every resident task untouched
+  /// (ladder actions taken for an ultimately rejected candidate are
+  /// rolled back exactly).
   AdmitOutcome Admit(const rt::Task& t);
 
   /// Retire a resident task, reclaiming its capacity on exactly the
-  /// cores it occupied. Returns false (and does nothing) for unknown
-  /// ids.
+  /// cores it occupied. A LEAVE for a currently-shed task drops it from
+  /// the shed set (the stream says it is gone for good). Returns false
+  /// (and does nothing) for unknown ids.
   bool Leave(rt::TaskId id);
+
+  /// Epoch tick (the replay calls this once per closed epoch): advances
+  /// the hysteresis cooldown and — when the system is NOT overloaded —
+  /// retries due shed tasks for re-admission (incremental placement
+  /// only; a failed retry doubles the task's backoff, capped) and
+  /// restores degraded residents to full service where capacity allows.
+  void AdvanceEpoch(bool overloaded);
+
+  /// Overload reaction (DESIGN.md §13): walk the degrade-then-shed
+  /// ladder until the resident partition with every WCET inflated by
+  /// `spike_magnitude` re-analyzes schedulable, or no eligible soft
+  /// victims remain. Hard tasks are never touched. Returns the number
+  /// of ladder actions taken.
+  unsigned ReactToOverload(double spike_magnitude);
 
   /// The resident system as a simulatable/verifiable partition. Tasks
   /// appear in ascending id order, so equal resident sets compare equal.
   [[nodiscard]] partition::Partition CurrentPartition() const;
+
+  /// Per-task admission generations aligned with CurrentPartition()'s
+  /// task order — plumb into sim::SimConfig::exec_generations so a
+  /// re-admitted id never resumes its old incarnation's RNG streams.
+  [[nodiscard]] std::vector<std::uint32_t> ExecGenerations() const;
 
   [[nodiscard]] std::size_t resident() const { return placements_.size(); }
   [[nodiscard]] double total_utilization() const {
     return state_.total_utilization();
   }
   [[nodiscard]] const ChurnStats& churn() const { return churn_; }
+  [[nodiscard]] const OverloadStats& overload_stats() const {
+    return overload_;
+  }
+  /// Tasks currently shed (evicted, awaiting re-admission retries).
+  [[nodiscard]] std::size_t shed_resident() const { return shed_.size(); }
+  /// Residents currently running in degraded mode.
+  [[nodiscard]] std::size_t degraded_resident() const {
+    std::size_t n = 0;
+    for (const auto& [id, full] : degraded_full_) {
+      (void)full;
+      n += placements_.count(id);
+    }
+    return n;
+  }
   [[nodiscard]] const partition::AdmitStats& admission_stats() const {
     return state_.stats();
   }
   [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
 
  private:
+  /// A shed task awaiting re-admission (the record keeps the FULL task;
+  /// a degraded victim is shed at full service and retried as such).
+  struct ShedRecord {
+    rt::Task task;
+    std::uint64_t admit_seq = 0;  ///< LIFO order within a value class
+    std::uint32_t retry_in = 0;   ///< epochs until the next retry
+    std::uint32_t backoff = 0;    ///< current backoff width (epochs)
+  };
+
   /// Placement probe order per the configured policy, ranked by the
   /// utilizations of `state` (pass the probe copy when testing
   /// hypothetical states, e.g. TryUnsplit's entries-removed view).
@@ -115,14 +209,101 @@ class Controller {
   AdmitOutcome FallbackRepartition(const rt::Task& t);
   void TryUnsplit();
 
+  /// Hysteresis gate for FallbackRepartition (counts blocks).
+  [[nodiscard]] bool FallbackAllowed();
+  /// Plain incremental placement of `t`; on success registers the
+  /// placement and bumps the id's admission generation.
+  AdmitOutcome TryPlace(const rt::Task& t);
+
+  /// One reversible ladder step, logged so a rejected candidate's
+  /// actions can be undone EXACTLY (reverse order), or committed (stats
+  /// counted, shed records created) once the candidate is placed.
+  struct LadderAction {
+    enum class Kind : std::uint8_t { kDegrade, kShed };
+    Kind kind = Kind::kDegrade;
+    partition::PlacedTask placed;  ///< exact pre-action placement
+    rt::Task full_task;            ///< original full-service task
+    bool was_degraded = false;     ///< kShed: victim was in degraded mode
+    std::uint64_t admit_seq = 0;   ///< pre-action admission sequence
+  };
+  /// Ladder rung 1: switch one eligible resident (soft, whole-placed,
+  /// has a degraded mode, not yet degraded) to degraded service.
+  /// `for_admit` restricts victims to those less important than the
+  /// candidate; nullptr (epoch reaction) allows any soft resident.
+  bool DegradeOne(const rt::Task* for_admit,
+                  std::vector<LadderAction>& log);
+  /// Ladder rung 2: shed the least-valuable eligible soft resident
+  /// (LIFO within a value class).
+  bool ShedOne(const rt::Task* for_admit, std::vector<LadderAction>& log);
+  void CommitLadder(std::vector<LadderAction>& log);
+  void UndoLadder(std::vector<LadderAction>& log);
+  /// Victim choice shared by both rungs: minimum (value, then NEWEST
+  /// admission) over eligible soft residents — a total order, so the
+  /// decision is deterministic and independent of hash iteration.
+  template <typename Pred>
+  [[nodiscard]] rt::TaskId PickVictim(Pred&& pred) const;
+  /// Would the resident partition survive every WCET inflating by
+  /// `magnitude`? O(1)-screened (per-core inflated utilization > 1 can
+  /// never pass) before the full analysis.
+  [[nodiscard]] bool InflatedSchedulable(double magnitude) const;
+
   ControllerConfig cfg_;
   AdmissionState state_;
-  /// id -> current placement (parts) + the task itself.
+  /// id -> current placement (parts) + the task itself (degraded
+  /// residents carry their degraded WCET here — CurrentPartition and
+  /// the analyses see the service actually provided).
   std::unordered_map<rt::TaskId, partition::PlacedTask> placements_;
+  /// id -> ORIGINAL task of residents currently in degraded mode.
+  std::unordered_map<rt::TaskId, rt::Task> degraded_full_;
+  /// id -> admission sequence number (LIFO tie-break within a value
+  /// class; assigned per successful admission).
+  std::unordered_map<rt::TaskId, std::uint64_t> admit_seq_of_;
+  /// id -> how many times the id has been admitted (the RNG-generation
+  /// counter; first admission = generation 0).
+  std::unordered_map<rt::TaskId, std::uint32_t> generation_of_;
+  /// Shed set in shed order (drained by AdvanceEpoch retries).
+  std::vector<ShedRecord> shed_;
   ChurnStats churn_;
+  OverloadStats overload_;
+  std::uint64_t admit_seq_ = 0;
+  std::uint64_t epoch_ = 0;
+  /// Hysteresis state: epoch/utilization at the last adopted fallback.
+  std::uint64_t last_fallback_epoch_ = 0;
+  double last_fallback_util_ = 0.0;
+  bool any_fallback_ = false;
 };
 
 // ---- epoch replay ----------------------------------------------------------
+
+/// Injected fault windows over the replay timeline (DESIGN.md §13). The
+/// replay treats a window's onset as the overload ALARM: the controller
+/// reacts at the first epoch boundary at or inside the window, and the
+/// epoch validation simulates under the faulted exec/arrival model — so
+/// "zero hard misses" is proven against the fault, not the nominal load.
+struct SpikeEpoch {
+  Time start = 0;
+  Time end = 0;  ///< half-open [start, end)
+  double prob = 0.2;
+  double magnitude = 1.3;
+};
+
+struct BurstStorm {
+  Time start = 0;
+  Time end = 0;
+  double burst_prob = 0.9;  ///< ArrivalModel::kBursty burst probability
+};
+
+struct FaultPlan {
+  std::vector<SpikeEpoch> spikes;
+  std::vector<BurstStorm> storms;
+
+  [[nodiscard]] bool any() const {
+    return !spikes.empty() || !storms.empty();
+  }
+  /// The spike/storm overlapping [start, end), if any (first wins).
+  [[nodiscard]] const SpikeEpoch* SpikeAt(Time start, Time end) const;
+  [[nodiscard]] const BurstStorm* StormAt(Time start, Time end) const;
+};
 
 struct ReplayConfig {
   ControllerConfig controller;
@@ -136,6 +317,12 @@ struct ReplayConfig {
   sim::SimConfig validate_sim;
   /// Seed for the validation simulations' derived RNG streams.
   std::uint64_t seed = 20110318;
+  /// Injected overload windows (exec spikes / arrival storms).
+  FaultPlan faults;
+  /// Keep closing (empty) epochs after the last request for this many
+  /// epochs — gives shed-re-admission retries room to drain when the
+  /// stream ends right after a fault window. 0 = PR 6 behavior.
+  std::uint32_t drain_epochs = 0;
 };
 
 struct EpochStats {
@@ -145,10 +332,15 @@ struct EpochStats {
   std::uint32_t rejects = 0;
   std::uint32_t leaves = 0;
   ChurnStats churn;              ///< churn incurred within this epoch
+  OverloadStats overload;        ///< ladder decisions within this epoch
   std::size_t resident = 0;      ///< at epoch end
+  std::size_t shed_resident = 0;     ///< shed set size at epoch end
+  std::size_t degraded_resident = 0; ///< degraded residents at epoch end
   double utilization = 0.0;      ///< at epoch end
   bool validated = false;
+  bool fault_active = false;     ///< a fault window overlapped this epoch
   std::uint64_t sim_misses = 0;
+  std::uint64_t hard_misses = 0;  ///< misses attributed to HARD tasks
 
   friend bool operator==(const EpochStats&, const EpochStats&) = default;
 };
@@ -159,6 +351,9 @@ struct ReplayResult {
   std::uint64_t rejects = 0;
   std::uint64_t leaves = 0;
   ChurnStats churn;
+  OverloadStats overload;
+  /// Shed tasks still awaiting re-admission when the replay ended.
+  std::size_t shed_outstanding = 0;
   partition::AdmitStats admission;
   partition::Partition final_partition;
 

@@ -25,6 +25,8 @@ enum : std::uint64_t {
   kAxisAdmitAt = 2,
   kAxisLeaves = 3,
   kAxisLifetime = 4,
+  kAxisSoft = 5,   ///< soft/hard draw (overload axis)
+  kAxisValue = 6,  ///< soft task's shed-order value class
 };
 
 double UniformDouble(std::uint64_t seed, double lo, double hi) {
@@ -110,6 +112,25 @@ WorkloadStream GenerateStream(const StreamConfig& cfg) {
     admit.kind = RequestKind::kAdmit;
     admit.id = static_cast<rt::TaskId>(i);
     admit.task = rt::MakeTask(admit.id, wcet, period);
+    // Overload axis: soft tasks carry value / tardiness / degraded-mode
+    // attributes. Each draw lives on its own axis, so soft_fraction = 0
+    // (the default) regenerates pre-overload streams bit-identically.
+    if (cfg.soft_fraction > 0.0 &&
+        UniformDouble(util::DeriveSeed(cfg.seed, i, kAxisSoft), 0.0, 1.0) <
+            cfg.soft_fraction) {
+      admit.task.crit = rt::Criticality::kSoft;
+      admit.task.value = static_cast<std::uint32_t>(UniformDouble(
+          util::DeriveSeed(cfg.seed, i, kAxisValue), 0.0,
+          static_cast<double>(std::max<std::uint32_t>(1,
+                                                      cfg.value_classes))));
+      admit.task.tardiness_bound = static_cast<Time>(
+          cfg.tardiness_factor * static_cast<double>(period));
+      if (cfg.degraded_fraction > 0.0) {
+        const Time dw = static_cast<Time>(
+            cfg.degraded_fraction * static_cast<double>(wcet));
+        if (dw > 0 && dw < wcet) admit.task.degraded_wcet = dw;
+      }
+    }
     dm_order.emplace_back(admit.task.deadline, admit.id);
     reqs.push_back(admit);
 
@@ -157,20 +178,59 @@ WorkloadStream MakeAdmitOnlyStream(const rt::TaskSet& ts,
   return WorkloadStream(std::move(reqs));
 }
 
+const char* ToString(StreamError::Kind k) {
+  switch (k) {
+    case StreamError::Kind::kNone: return "none";
+    case StreamError::Kind::kIo: return "io";
+    case StreamError::Kind::kMissingHeader: return "missing-header";
+    case StreamError::Kind::kParse: return "parse";
+    case StreamError::Kind::kTruncated: return "truncated";
+    case StreamError::Kind::kOverlongLine: return "overlong-line";
+    case StreamError::Kind::kMalformedTask: return "malformed-task";
+    case StreamError::Kind::kDuplicateAdmit: return "duplicate-admit";
+    case StreamError::Kind::kLeaveWithoutAdmit:
+      return "leave-without-admit";
+    case StreamError::Kind::kNonMonotoneTime: return "non-monotone-time";
+  }
+  return "?";
+}
+
 bool SaveStream(const WorkloadStream& s, const std::string& path,
                 std::string* error) {
   // Render the whole trace, then go through the one shared text-file
   // writer (util::WriteTextFile) for the open/write/close + errno
   // reporting. Note the writer appends the trailing newline.
-  std::string body = "# sps-online-stream v1";
-  char line[160];
+  // Streams with overload attributes (soft tasks) need the v2 admit
+  // shape; pure hard streams keep writing v1 byte-for-byte.
+  bool v2 = false;
+  for (const Request& r : s.requests()) {
+    if (r.kind == RequestKind::kAdmit &&
+        (r.task.soft() || r.task.value != 0 ||
+         r.task.tardiness_bound != 0 || r.task.degraded_wcet != 0)) {
+      v2 = true;
+      break;
+    }
+  }
+  std::string body =
+      v2 ? "# sps-online-stream v2" : "# sps-online-stream v1";
+  char line[200];
   for (const Request& r : s.requests()) {
     if (r.kind == RequestKind::kAdmit) {
-      std::snprintf(line, sizeof(line),
-                    "\nadmit %" PRId64 " %u %" PRId64 " %" PRId64
-                    " %" PRId64 " %u",
-                    r.at, r.id, r.task.wcet, r.task.period,
-                    r.task.deadline, r.task.priority);
+      if (v2) {
+        std::snprintf(line, sizeof(line),
+                      "\nadmit %" PRId64 " %u %" PRId64 " %" PRId64
+                      " %" PRId64 " %u %u %u %" PRId64 " %" PRId64,
+                      r.at, r.id, r.task.wcet, r.task.period,
+                      r.task.deadline, r.task.priority,
+                      r.task.soft() ? 1u : 0u, r.task.value,
+                      r.task.tardiness_bound, r.task.degraded_wcet);
+      } else {
+        std::snprintf(line, sizeof(line),
+                      "\nadmit %" PRId64 " %u %" PRId64 " %" PRId64
+                      " %" PRId64 " %u",
+                      r.at, r.id, r.task.wcet, r.task.period,
+                      r.task.deadline, r.task.priority);
+      }
     } else {
       std::snprintf(line, sizeof(line), "\nleave %" PRId64 " %u", r.at,
                     r.id);
@@ -180,27 +240,100 @@ bool SaveStream(const WorkloadStream& s, const std::string& path,
   return util::WriteTextFile(path, body, error);
 }
 
+namespace {
+
+StreamError MakeError(StreamError::Kind kind, const std::string& path,
+                      int line, const std::string& detail) {
+  StreamError e;
+  e.kind = kind;
+  e.line = line;
+  e.message = line > 0 ? path + ":" + std::to_string(line) + ": " + detail
+                       : path + ": " + detail;
+  return e;
+}
+
+}  // namespace
+
 bool LoadStream(const std::string& path, WorkloadStream& out,
-                std::string* error) {
+                StreamError* error) {
+  const auto fail = [&](StreamError::Kind kind, int line,
+                        const std::string& detail) {
+    if (error != nullptr) *error = MakeError(kind, path, line, detail);
+    return false;
+  };
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) {
-    if (error != nullptr) *error = PathError(path, "open for reading");
-    return false;
+    return fail(StreamError::Kind::kIo, 0, PathError("", "open for reading")
+                                               .substr(2));
   }
   std::vector<Request> reqs;
+  // Incremental validation state, so every malformed input is rejected
+  // AT its line (the fuzz-negative tests key on these):
+  std::unordered_set<rt::TaskId> resident;  // admitted, not yet left
+  std::unordered_set<rt::TaskId> ever;      // admitted at any point
+  Time last_at = 0;
+  bool any_request = false;
+  bool saw_header = false;
   char line[256];
   int lineno = 0;
+  StreamError err;
   bool ok = true;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
+  while (ok && std::fgets(line, sizeof(line), f) != nullptr) {
     ++lineno;
-    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
+    const std::size_t len = std::strlen(line);
+    if (len + 1 == sizeof(line) && line[len - 1] != '\n') {
+      // Buffer filled without a newline: either a line past the format's
+      // length bound or a truncation mid-giant-line; peeking one char
+      // distinguishes them.
+      const StreamError::Kind k = std::fgetc(f) == EOF
+                                      ? StreamError::Kind::kTruncated
+                                      : StreamError::Kind::kOverlongLine;
+      err = MakeError(k, path, lineno,
+                      std::string("line exceeds ") +
+                          std::to_string(sizeof(line) - 2) + " characters");
+      ok = false;
+      break;
+    }
+    if (len > 0 && line[len - 1] != '\n') {
+      // EOF without a final newline: the writer always terminates the
+      // file, so this is a truncated capture.
+      err = MakeError(StreamError::Kind::kTruncated, path, lineno,
+                      "file ends mid-line (truncated?)");
+      ok = false;
+      break;
+    }
+    if (line[0] == '#') {
+      if (!saw_header) {
+        if (std::strncmp(line, "# sps-online-stream v", 21) != 0) {
+          err = MakeError(StreamError::Kind::kMissingHeader, path, lineno,
+                          "not an sps-online-stream file (bad header)");
+          ok = false;
+          break;
+        }
+        saw_header = true;
+      }
+      continue;
+    }
+    if (line[0] == '\n' || line[0] == '\0') continue;
+    if (!saw_header) {
+      err = MakeError(StreamError::Kind::kMissingHeader, path, lineno,
+                      "missing '# sps-online-stream v1/v2' header");
+      ok = false;
+      break;
+    }
     Request r;
     std::int64_t at = 0, wcet = 0, period = 0, deadline = 0;
-    unsigned id = 0, priority = 0;
-    if (std::sscanf(line,
-                    "admit %" SCNd64 " %u %" SCNd64 " %" SCNd64 " %" SCNd64
-                    " %u",
-                    &at, &id, &wcet, &period, &deadline, &priority) == 6) {
+    std::int64_t tardiness = 0, degraded = 0;
+    unsigned id = 0, priority = 0, crit = 0, value = 0;
+    // One scan covers both admit shapes: 6 converted fields is a v1
+    // line, 10 is a v2 line carrying the overload attributes.
+    const int n = std::sscanf(line,
+                              "admit %" SCNd64 " %u %" SCNd64 " %" SCNd64
+                              " %" SCNd64 " %u %u %u %" SCNd64 " %" SCNd64,
+                              &at, &id, &wcet, &period, &deadline,
+                              &priority, &crit, &value, &tardiness,
+                              &degraded);
+    if (n == 6 || n == 10) {
       r.at = at;
       r.kind = RequestKind::kAdmit;
       r.id = id;
@@ -209,35 +342,81 @@ bool LoadStream(const std::string& path, WorkloadStream& out,
                         .period = period,
                         .deadline = deadline,
                         .priority = priority};
+      if (n == 10) {
+        if (crit > 1 || tardiness < 0 || degraded < 0 ||
+            degraded >= wcet) {
+          err = MakeError(StreamError::Kind::kMalformedTask, path, lineno,
+                          "bad overload attributes on admit line");
+          ok = false;
+          break;
+        }
+        r.task.crit = crit == 1 ? rt::Criticality::kSoft
+                                : rt::Criticality::kHard;
+        r.task.value = value;
+        r.task.tardiness_bound = tardiness;
+        r.task.degraded_wcet = degraded;
+      }
+      if (!r.task.valid()) {
+        err = MakeError(StreamError::Kind::kMalformedTask, path, lineno,
+                        "malformed task (need 0 < C <= D <= T)");
+        ok = false;
+        break;
+      }
+      if (!ever.insert(r.id).second) {
+        err = MakeError(StreamError::Kind::kDuplicateAdmit, path, lineno,
+                        "duplicate admit of task id " + std::to_string(id));
+        ok = false;
+        break;
+      }
+      resident.insert(r.id);
     } else if (std::sscanf(line, "leave %" SCNd64 " %u", &at, &id) == 2) {
       r.at = at;
       r.kind = RequestKind::kLeave;
       r.id = id;
-    } else {
-      if (error != nullptr) {
-        *error = path + ":" + std::to_string(lineno) +
-                 ": unparseable request line: " + line;
+      if (resident.erase(r.id) == 0) {
+        err = MakeError(StreamError::Kind::kLeaveWithoutAdmit, path,
+                        lineno,
+                        "leave of task id " + std::to_string(id) +
+                            " which is not resident");
+        ok = false;
+        break;
       }
+    } else {
+      err = MakeError(StreamError::Kind::kParse, path, lineno,
+                      std::string("unparseable request line: ") + line);
       ok = false;
       break;
     }
+    if (any_request && r.at < last_at) {
+      err = MakeError(StreamError::Kind::kNonMonotoneTime, path, lineno,
+                      "timestamp earlier than the previous request");
+      ok = false;
+      break;
+    }
+    any_request = true;
+    last_at = r.at;
     reqs.push_back(r);
   }
   if (ok && std::ferror(f) != 0) {
-    if (error != nullptr) *error = PathError(path, "read");
+    err = MakeError(StreamError::Kind::kIo, path, 0,
+                    PathError("", "read").substr(2));
     ok = false;
   }
   std::fclose(f);
-  if (!ok) return false;
-  out = WorkloadStream(std::move(reqs));
-  if (!out.valid()) {
-    if (error != nullptr) {
-      *error = path + ": stream invalid (duplicate admit, leave without "
-                      "admit, or malformed task)";
-    }
+  if (!ok) {
+    if (error != nullptr) *error = err;
     return false;
   }
+  out = WorkloadStream(std::move(reqs));
   return true;
+}
+
+bool LoadStream(const std::string& path, WorkloadStream& out,
+                std::string* error) {
+  StreamError e;
+  if (LoadStream(path, out, &e)) return true;
+  if (error != nullptr) *error = e.message;
+  return false;
 }
 
 }  // namespace sps::online

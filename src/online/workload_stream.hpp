@@ -14,10 +14,14 @@
 // job count.
 //
 // Streams also round-trip through a line-oriented request-trace file
-// ("sps-online-stream v1": one `admit`/`leave` line per request), so
-// captured workloads can be replayed, diffed, and shipped into benches.
-// All file errors carry the failing path and errno — never a silent
-// false.
+// ("sps-online-stream v1"/"v2": one `admit`/`leave` line per request;
+// v2 admit lines append the overload attributes crit/value/tardiness/
+// degraded-WCET, and the loader reads both), so captured workloads can
+// be replayed, diffed, and shipped into benches. The loader is a
+// fault-injection surface (DESIGN.md §13): truncated files, overlong
+// lines, duplicate admits, LEAVE-before-ADMIT and non-monotone
+// timestamps each yield a TYPED StreamError with the offending line
+// number — never UB, never a silent false.
 
 #include <cstdint>
 #include <string>
@@ -88,6 +92,17 @@ struct StreamConfig {
   Time period_min = Millis(10);
   Time period_max = Millis(1000);
   Time period_granularity = Millis(1);
+  /// Overload axis (DESIGN.md §13): fraction of admits generated SOFT
+  /// (criticality kSoft), drawn per request from its own seed axis so
+  /// soft_fraction = 0 regenerates historical streams bit-identically.
+  double soft_fraction = 0.0;
+  /// Soft tasks draw value uniformly in [0, value_classes).
+  std::uint32_t value_classes = 4;
+  /// Soft tasks tolerate tardiness up to this fraction of their period.
+  double tardiness_factor = 1.0;
+  /// Soft tasks' degraded-mode WCET as a fraction of the full WCET
+  /// (0 disables the degraded mode).
+  double degraded_fraction = 0.6;
   /// Deadline-monotonic priorities pre-assigned over the whole stream
   /// (unique; needed by fixed-priority controllers). Always done.
   std::uint64_t seed = 20110318;
@@ -104,6 +119,32 @@ WorkloadStream GenerateStream(const StreamConfig& cfg);
 WorkloadStream MakeAdmitOnlyStream(const rt::TaskSet& ts,
                                    const std::vector<std::size_t>& order);
 
+/// Typed stream-file failure (DESIGN.md §13). Every malformed input the
+/// loader can see maps to exactly one kind; `line` is the 1-based
+/// offending line (0 when the failure is not line-scoped, e.g. open()).
+/// `message` is the human-readable rendering, always naming the path.
+struct StreamError {
+  enum class Kind : std::uint8_t {
+    kNone,              ///< no error
+    kIo,                ///< open/read failed (errno in message)
+    kMissingHeader,     ///< first line is not the sps-online-stream magic
+    kParse,             ///< line matches neither admit nor leave shape
+    kTruncated,         ///< file ends mid-line (no trailing newline)
+    kOverlongLine,      ///< line exceeds the loader's line-length bound
+    kMalformedTask,     ///< admit with invalid C/D/T or attributes
+    kDuplicateAdmit,    ///< second admit of an already-seen task id
+    kLeaveWithoutAdmit, ///< leave of an id that is not resident
+    kNonMonotoneTime,   ///< timestamp earlier than the previous request
+  };
+  Kind kind = Kind::kNone;
+  int line = 0;
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return kind == Kind::kNone; }
+};
+
+const char* ToString(StreamError::Kind k);
+
 /// Save/load the request-trace file format. On failure returns false and,
 /// when `error` is non-null, stores a message naming the path and errno
 /// (or the offending line for parse errors).
@@ -112,5 +153,9 @@ WorkloadStream MakeAdmitOnlyStream(const rt::TaskSet& ts,
                               std::string* error = nullptr);
 [[nodiscard]] bool LoadStream(const std::string& path, WorkloadStream& out,
                               std::string* error = nullptr);
+/// Typed-error overload: the legacy string overload delegates here and
+/// renders `error->message`.
+[[nodiscard]] bool LoadStream(const std::string& path, WorkloadStream& out,
+                              StreamError* error);
 
 }  // namespace sps::online

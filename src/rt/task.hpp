@@ -24,12 +24,31 @@ using Priority = std::uint32_t;
 
 inline constexpr Priority kPriorityUnassigned = UINT32_MAX;
 
+/// Criticality of a task under overload (DESIGN.md §13). Hard tasks are
+/// protected at all costs; soft tasks tolerate bounded tardiness and are
+/// the degrade/shed candidates of the online controller's ladder.
+enum class Criticality : std::uint8_t {
+  kHard,  ///< must never miss; never degraded or shed
+  kSoft,  ///< tardiness-tolerant; eligible for degraded service / shedding
+};
+
 struct Task {
   TaskId id = 0;
   Time wcet = 0;      ///< C: worst-case execution time
   Time period = 0;    ///< T: period / minimum inter-arrival
   Time deadline = 0;  ///< D: relative deadline (= period if implicit)
   Priority priority = kPriorityUnassigned;
+  Criticality crit = Criticality::kHard;
+  /// Soft only: tolerated lateness beyond D (informational for the
+  /// analysis; the overload reaction treats soft misses as acceptable
+  /// up to this bound).
+  Time tardiness_bound = 0;
+  /// Soft only: reduced-service WCET of the task's degraded mode
+  /// (0 < degraded_wcet < wcet), or 0 when the task has no such mode.
+  Time degraded_wcet = 0;
+  /// Shed order under overload: LOWER value is shed first. Hard tasks
+  /// ignore it.
+  std::uint32_t value = 0;
 
   [[nodiscard]] double utilization() const {
     return static_cast<double>(wcet) / static_cast<double>(period);
@@ -48,12 +67,32 @@ struct Task {
     return wcet > 0 && wcet <= deadline && deadline <= period;
   }
 
+  [[nodiscard]] bool soft() const { return crit == Criticality::kSoft; }
+
+  /// Soft tasks with a well-formed reduced-service mode can be degraded
+  /// instead of shed (rung 1 of the controller's ladder).
+  [[nodiscard]] bool can_degrade() const {
+    return soft() && degraded_wcet > 0 && degraded_wcet < wcet;
+  }
+
   friend bool operator==(const Task&, const Task&) = default;
 };
 
 /// Construct an implicit-deadline task.
 inline Task MakeTask(TaskId id, Time wcet, Time period) {
   return Task{.id = id, .wcet = wcet, .period = period, .deadline = period};
+}
+
+/// Construct an implicit-deadline SOFT task with its overload attributes.
+inline Task MakeSoftTask(TaskId id, Time wcet, Time period,
+                         std::uint32_t value, Time tardiness_bound,
+                         Time degraded_wcet = 0) {
+  Task t = MakeTask(id, wcet, period);
+  t.crit = Criticality::kSoft;
+  t.value = value;
+  t.tardiness_bound = tardiness_bound;
+  t.degraded_wcet = degraded_wcet;
+  return t;
 }
 
 /// Human-readable one-liner, e.g. "tau3(C=2ms, T=10ms, U=0.200)".

@@ -84,14 +84,20 @@ class Engine final
   using Core = typename Base::Core;
   using ShardContext = typename Base::ShardContext;
 
+  static kernel::KernelConfig MakeKernelConfig(const partition::Partition& p,
+                                               const SimConfig& cfg) {
+    kernel::KernelConfig k{p.num_cores, cfg.horizon, cfg.overheads,
+                           cfg.exec, cfg.arrivals,
+                           cfg.stop_on_first_miss,
+                           cfg.event_backend, cfg.job_arena,
+                           cfg.record_trace, cfg.record_metrics};
+    k.exec_generations = cfg.exec_generations;
+    return k;
+  }
+
   Engine(const partition::Partition& p, const SimConfig& cfg,
          const ShardContext* shard = nullptr)
-      : Base(kernel::KernelConfig{p.num_cores, cfg.horizon, cfg.overheads,
-                                  cfg.exec, cfg.arrivals,
-                                  cfg.stop_on_first_miss,
-                                  cfg.event_backend, cfg.job_arena,
-                                  cfg.record_trace, cfg.record_metrics},
-             p.tasks.size(), shard),
+      : Base(MakeKernelConfig(p, cfg), p.tasks.size(), shard),
         p_(p) {
     for (std::size_t i = 0; i < p.tasks.size(); ++i) {
       tasks_[i].pt = &p.tasks[i];

@@ -89,6 +89,13 @@ struct SimConfig {
   /// job allocation. Not for normal use.
   bool force_dynamic_event_queue = false;
   bool job_arena = true;
+  /// Per-task admission generations, indexed by the task's position in
+  /// the partition (ascending id for online-controller partitions;
+  /// missing entries = 0). Generation g != 0 salts that task's
+  /// exec/arrival RNG streams so a departed-and-readmitted task never
+  /// resumes its old incarnation's draw position; generation 0 is
+  /// bit-identical to leaving the field empty (DESIGN.md §13).
+  std::vector<std::uint32_t> exec_generations;
 };
 
 /// Run the partition under the config. The canonical trace / metrics

@@ -91,16 +91,30 @@
 namespace sps::sim {
 
 /// How much of its WCET a job actually executes.
+///
+/// kSpiky is the overload-injection model (DESIGN.md §13): each job runs
+/// exactly C, except that with probability spike_prob it OVERRUNS to
+/// spike_magnitude * C — i.e. the declared WCET was wrong for that job.
+/// The engines absorb overruns through their shed path (releases that
+/// pass while a job still runs are skipped and counted in
+/// TaskStats::shed; split tails execute past their nominal budget), so a
+/// spiky run never UBs — it just misses deadlines, which is the point.
+/// Draws come from the same per-task DeriveSeed streams as kUniform, so
+/// spiky runs stay bit-identical across backends and shard counts.
 struct ExecModel {
   enum class Kind {
     kAlwaysWcet,  ///< every job runs exactly C (worst case; default)
     kFraction,    ///< every job runs fraction * C
     kUniform,     ///< uniform in [lo_fraction, hi_fraction] * C, seeded
+    kSpiky,       ///< C, but spike_prob of the jobs run spike_magnitude*C
   };
   Kind kind = Kind::kAlwaysWcet;
   double fraction = 1.0;
   double lo_fraction = 0.5;
   double hi_fraction = 1.0;
+  /// kSpiky: per-job overrun probability / execution-time multiplier.
+  double spike_prob = 0.1;
+  double spike_magnitude = 1.3;
   std::uint64_t seed = 1;
 };
 
@@ -434,6 +448,13 @@ struct KernelConfig {
   /// instantiation ignores them by construction.
   bool record_trace = false;
   bool record_metrics = false;
+  /// Per-task ADMISSION GENERATION (task index order; missing entries =
+  /// 0). Generation g != 0 re-derives that task's exec/arrival RNG
+  /// streams with an extra DeriveSeed step, so an online LEAVE +
+  /// re-ADMIT of the same task id does not resume the departed
+  /// incarnation's RNG position (DESIGN.md §13). Generation 0 is
+  /// bit-identical to configs that never set this field.
+  std::vector<std::uint32_t> exec_generations;
 };
 
 template <typename Policy, typename JobT, typename TaskRtT, typename PerCoreT,
@@ -614,11 +635,21 @@ class KernelBase {
     // Per-task RNG streams (see TaskRunBase). Re-seeding shared storage
     // from every shard is idempotent: the seeds depend only on config
     // and task index, and all shards are constructed before any runs.
+    // A non-zero admission generation re-derives both streams (the
+    // LEAVE/re-ADMIT fix, KernelConfig::exec_generations); generation 0
+    // keeps the historical seeds bit-for-bit.
     for (std::size_t i = 0; i < num_tasks; ++i) {
-      tasks_[i].exec_rng = util::SplitMix64(
-          util::DeriveSeed(kcfg.exec.seed, i, 0));
-      tasks_[i].arrival_rng = util::SplitMix64(
-          util::DeriveSeed(kcfg.arrivals.seed, i, 1));
+      std::uint64_t eseed = util::DeriveSeed(kcfg.exec.seed, i, 0);
+      std::uint64_t aseed = util::DeriveSeed(kcfg.arrivals.seed, i, 1);
+      const std::uint32_t gen = i < kcfg.exec_generations.size()
+                                    ? kcfg.exec_generations[i]
+                                    : 0;
+      if (gen != 0) {
+        eseed = util::DeriveSeed(eseed, gen, 2);
+        aseed = util::DeriveSeed(aseed, gen, 3);
+      }
+      tasks_[i].exec_rng = util::SplitMix64(eseed);
+      tasks_[i].arrival_rng = util::SplitMix64(aseed);
     }
   }
 
@@ -732,6 +763,16 @@ class KernelBase {
                                                  kcfg_.exec.hi_fraction);
         return std::max<Time>(
             1, static_cast<Time>(d(tasks_[ti].exec_rng) *
+                                 static_cast<double>(c)));
+      }
+      case ExecModel::Kind::kSpiky: {
+        // One draw per release whether or not it spikes, so the stream
+        // position is a pure function of the release index.
+        std::uniform_real_distribution<double> d(0.0, 1.0);
+        const bool spike = d(tasks_[ti].exec_rng) < kcfg_.exec.spike_prob;
+        if (!spike) return c;
+        return std::max<Time>(
+            1, static_cast<Time>(kcfg_.exec.spike_magnitude *
                                  static_cast<double>(c)));
       }
     }
