@@ -1,0 +1,239 @@
+// E10 — durable online service (DESIGN.md §14): what does carrying the
+// write-ahead journal + periodic checkpoints cost on the calm path, and
+// does crash recovery actually reproduce the uninterrupted run?
+//
+//   1) CALM-PATH OVERHEAD: a 600-admit stream on m=8 replayed three ways:
+//        - "plain":         durability off — the PR-7 path, the
+//                           reference variant.
+//        - "durable":       journal every request + checkpoint every 4th
+//                           epoch, fsync off (crash-consistent, not
+//                           power-durable — the documented calm-path
+//                           configuration). GATED in-bench: best-of-reps
+//                           wall must stay within 5% of "plain", and the
+//                           CI regression check re-gates the committed
+//                           ratio two-sided.
+//        - "durable-fsync": fsync=every-epoch, informational — the
+//                           power-durability premium is the page-cache
+//                           flush, not the journaling.
+//      The durable replay's DECISIONS must equal the plain replay's
+//      exactly (epochs, counters, final partition) — durability is an
+//      observer, never a participant.
+//
+//   2) RECOVERY DIFFERENTIAL: the durable replay is halted mid-service
+//      (the in-process analogue of the CI lane's real SIGKILL), then
+//      recovered from its artifacts; the stitched run must be
+//      decision-identical to the never-crashed one. The recovered-tail
+//      wall lands in the JSON as "recover" (informational: it re-runs
+//      only the tail, so its ratio is machine- and crash-point-shaped).
+//
+// Wall times are best-of-SPS_REPS (min 5: a 5% gate needs the noise
+// floor down); results land in BENCH_durability.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "online/controller.hpp"
+#include "online/workload_stream.hpp"
+#include "util/json_writer.hpp"
+
+namespace {
+
+using namespace sps;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr unsigned kCores = 8;
+constexpr double kOverheadBudget = 0.05;
+
+online::WorkloadStream BenchStream() {
+  online::StreamConfig cfg;
+  cfg.num_admits = 600;
+  cfg.leave_fraction = 0.5;
+  cfg.soft_fraction = 0.3;
+  cfg.seed = 20110814;
+  return online::GenerateStream(cfg);
+}
+
+online::ReplayConfig BaseConfig() {
+  online::ReplayConfig cfg;
+  cfg.controller.admission.num_cores = kCores;
+  cfg.controller.unsplit_on_leave = true;
+  cfg.epoch = Millis(500);
+  cfg.drain_epochs = 2;
+  return cfg;
+}
+
+/// The durability knobs of the gated variant (fsync off; the journal
+/// still survives a process crash — the page cache outlives it).
+online::DurabilityConfig DurableKnobs(const std::string& dir) {
+  online::DurabilityConfig d;
+  d.dir = dir;
+  d.checkpoint_every = 4;
+  d.fsync = online::FsyncPolicy::kOff;
+  return d;
+}
+
+/// Decision identity between two replays: everything except wall time
+/// and the cache-dependent memo counters (DESIGN.md §12).
+bool SameDecisions(const online::ReplayResult& a,
+                   const online::ReplayResult& b, const char* what) {
+  const bool same =
+      a.epochs == b.epochs && a.admits == b.admits &&
+      a.rejects == b.rejects && a.leaves == b.leaves &&
+      a.churn == b.churn && a.overload == b.overload &&
+      a.shed_outstanding == b.shed_outstanding &&
+      a.admission.util_rejects == b.admission.util_rejects &&
+      a.admission.density_accepts == b.admission.density_accepts &&
+      a.admission.full_tests == b.admission.full_tests &&
+      a.final_partition.summary() == b.final_partition.summary();
+  if (!same) {
+    std::fprintf(stderr, "FAIL durability: %s diverges from the plain "
+                         "replay\n",
+                 what);
+  }
+  return same;
+}
+
+}  // namespace
+
+int main() {
+  using sps::bench::EnvInt;
+  const int reps = std::max(5, EnvInt("SPS_REPS", 5));
+  namespace fs = std::filesystem;
+
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("durability");
+  json.Key("hardware_threads")
+      .Value(static_cast<std::uint64_t>(
+          std::max(1u, std::thread::hardware_concurrency())));
+  json.Key("reps").Value(static_cast<std::uint64_t>(reps));
+  json.Key("runs").BeginArray();
+
+  bool ok = true;
+  const online::WorkloadStream stream = BenchStream();
+  const std::string dir = fs::temp_directory_path() / "sps_bench_dur";
+
+  // ---- 1) calm-path overhead ----------------------------------------------
+  const online::ReplayConfig plain_cfg = BaseConfig();
+  online::ReplayConfig durable_cfg = BaseConfig();
+  durable_cfg.durability = DurableKnobs(dir);
+  online::ReplayConfig fsync_cfg = durable_cfg;
+  fsync_cfg.durability.fsync = online::FsyncPolicy::kEveryEpoch;
+
+  // Interleave the variants inside each rep so frequency scaling and
+  // cache state perturb them alike; keep the best wall of each.
+  double plain_wall = 1e100, durable_wall = 1e100, fsync_wall = 1e100;
+  online::ReplayResult plain_res, durable_res;
+  for (int rep = 0; rep < reps; ++rep) {
+    double t0 = Now();
+    plain_res = online::ReplayStream(stream, plain_cfg);
+    plain_wall = std::min(plain_wall, Now() - t0);
+
+    fs::remove_all(dir);
+    t0 = Now();
+    durable_res = online::ReplayStream(stream, durable_cfg);
+    durable_wall = std::min(durable_wall, Now() - t0);
+
+    fs::remove_all(dir);
+    t0 = Now();
+    const online::ReplayResult fr = online::ReplayStream(stream, fsync_cfg);
+    fsync_wall = std::min(fsync_wall, Now() - t0);
+    if (!fr.durability_error.ok() || !durable_res.durability_error.ok()) {
+      std::fprintf(stderr, "FAIL durability: durable replay errored: %s\n",
+                   (!fr.durability_error.ok() ? fr : durable_res)
+                       .durability_error.message.c_str());
+      return 1;
+    }
+  }
+
+  struct Row {
+    const char* variant;
+    double wall;
+  };
+  const Row rows[] = {{"plain", plain_wall},       // reference first
+                      {"durable", durable_wall},
+                      {"durable-fsync", fsync_wall}};
+  std::printf("calm path: %zu requests on m=%u, checkpoint every 4 epochs "
+              "(best of %d)\n",
+              stream.size(), kCores, reps);
+  for (const Row& r : rows) {
+    json.BeginObject();
+    json.Key("workload").Value("calm_path");
+    json.Key("variant").Value(r.variant);
+    json.Key("wall_s").Value(r.wall);
+    json.EndObject();
+    std::printf("  %-14s %8.2f ms  (x%.3f of plain)\n", r.variant,
+                r.wall * 1e3, r.wall / plain_wall);
+  }
+
+  // Gate: the journaled, checkpointed, fsync-less replay stays within 5%.
+  const double overhead = durable_wall / plain_wall - 1.0;
+  if (overhead > kOverheadBudget) {
+    std::fprintf(stderr, "FAIL durability: calm-path overhead %.1f%% "
+                         "exceeds the %.0f%% budget\n",
+                 100.0 * overhead, 100.0 * kOverheadBudget);
+    ok = false;
+  }
+  // And it must never have CHANGED anything.
+  ok = SameDecisions(plain_res, durable_res, "durable replay") && ok;
+
+  // ---- 2) recovery differential -------------------------------------------
+  fs::remove_all(dir);
+  online::ReplayConfig crash_cfg = durable_cfg;
+  crash_cfg.durability.halt_after_appends =
+      static_cast<std::uint32_t>(stream.size() / 2);
+  const online::ReplayResult halted = online::ReplayStream(stream, crash_cfg);
+  if (!halted.durability_error.ok() || !halted.recovery.halted_by_injection) {
+    std::fprintf(stderr, "FAIL durability: halt injection did not fire\n");
+    ok = false;
+  }
+  online::ReplayConfig recover_cfg = durable_cfg;
+  recover_cfg.durability.recover = true;
+  const double t0 = Now();
+  const online::ReplayResult recovered =
+      online::ReplayStream(stream, recover_cfg);
+  const double recover_wall = Now() - t0;
+  if (!recovered.durability_error.ok()) {
+    std::fprintf(stderr, "FAIL durability: recovery errored: %s\n",
+                 recovered.durability_error.message.c_str());
+    ok = false;
+  } else {
+    ok = SameDecisions(plain_res, recovered, "recovered replay") && ok;
+    std::printf("recovery: checkpoint epoch %llu + %llu journal records "
+                "-> identical run in %.2f ms\n",
+                static_cast<unsigned long long>(
+                    recovered.recovery.checkpoint_epoch),
+                static_cast<unsigned long long>(
+                    recovered.recovery.journal_records),
+                recover_wall * 1e3);
+    json.BeginObject();
+    json.Key("workload").Value("recovery");
+    json.Key("variant").Value("recover");
+    json.Key("wall_s").Value(recover_wall);
+    json.Key("resume_seq").Value(recovered.recovery.resume_seq);
+    json.Key("journal_records").Value(recovered.recovery.journal_records);
+    json.EndObject();
+  }
+  fs::remove_all(dir);
+
+  json.EndArray();
+  json.EndObject();
+  std::string err;
+  if (!util::WriteTextFile("BENCH_durability.json", json.str(), &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_durability.json\n");
+  return ok ? 0 : 1;
+}

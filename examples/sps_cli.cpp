@@ -24,6 +24,19 @@
 //           [--stream-in=FILE] [--stream-out=FILE]
 //           [--exec=wcet|spiky]
 //           [--analysis-cache=off|<N>]
+//           [--checkpoint-dir=DIR] [--checkpoint-every=K] [--recover]
+//           [--fsync=off|every-epoch|every-n[:N]] [--crash-after=N]
+//
+// Durable online service (DESIGN.md §14): --checkpoint-dir turns on the
+// write-ahead journal + every-K-epochs checkpoint for the --online
+// replay; --recover resumes a crashed run from DIR (newest valid
+// checkpoint + journal redo) instead of starting fresh — the recovered
+// run's stdout is byte-identical to the uninterrupted one (pass
+// --analysis-cache=off to also match the cache counters; recovery info
+// prints on stderr). --fsync picks the journal's disk-sync policy;
+// --crash-after=N SIGKILLs the process right after the N-th journal
+// append (the crash-injection hook the CI smoke test drives). Corrupt
+// or mismatched durability artifacts exit 2 with a typed error.
 //
 // --analysis-cache controls the shared schedulability-verdict
 // transposition table (analysis/memo.hpp, DESIGN.md §12): "off"
@@ -165,6 +178,7 @@ struct Options {
   std::string exec_model = "wcet";
   std::string stream_in;
   std::string stream_out;
+  online::DurabilityConfig durability;  // --checkpoint-dir etc.
   analysis::MemoConfig memo;  // --analysis-cache=off|<N>
   containers::QueueBackend ready_queue =
       containers::QueueBackend::kBinomialHeap;
@@ -348,6 +362,39 @@ bool ParseArg(const char* arg, Options& o) {
     o.stream_out = v;
     return true;
   }
+  if (const char* v = value("--checkpoint-dir")) {
+    o.online = true;
+    o.durability.dir = v;
+    return true;
+  }
+  if (const char* v = value("--checkpoint-every")) {
+    o.online = true;
+    o.durability.checkpoint_every =
+        static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    return true;
+  }
+  if (std::strcmp(arg, "--recover") == 0) {
+    o.online = true;
+    o.durability.recover = true;
+    return true;
+  }
+  if (const char* v = value("--fsync")) {
+    o.online = true;
+    if (!online::ParseFsyncPolicy(v, o.durability.fsync,
+                                  o.durability.fsync_every_n)) {
+      std::fprintf(stderr, "invalid --fsync=%s (off|every-epoch|"
+                           "every-n[:N])\n",
+                   v);
+      return false;
+    }
+    return true;
+  }
+  if (const char* v = value("--crash-after")) {
+    o.online = true;
+    o.durability.crash_after_appends =
+        static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    return true;
+  }
   if (const char* v = value("--analysis-cache")) {
     if (std::strcmp(v, "off") == 0) {
       o.memo.enabled = false;
@@ -493,6 +540,11 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
   rcfg.epoch = o.online_epoch;
   rcfg.seed = o.seed;
   rcfg.drain_epochs = o.online_drain;
+  if (o.durability.recover && !o.durability.enabled()) {
+    std::fprintf(stderr, "--recover needs --checkpoint-dir=DIR\n");
+    return 2;
+  }
+  rcfg.durability = o.durability;
   if (o.have_spike) {
     rcfg.faults.spikes.push_back(online::SpikeEpoch{
         o.spike_start, o.spike_end, o.spike_prob, o.spike_mag});
@@ -526,6 +578,39 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
               rcfg.faults.any() ? ", fault-injected" : "",
               o.online_validate ? ", validating epochs" : "");
   const online::ReplayResult res = online::ReplayStream(stream, rcfg);
+  if (!res.durability_error.ok()) {
+    std::fprintf(stderr, "durability error [%s]: %s\n",
+                 online::ToString(res.durability_error.kind),
+                 res.durability_error.message.c_str());
+    return 2;
+  }
+  if (res.recovery.attempted) {
+    // Recovery narration goes to STDERR so a recovered run's stdout is
+    // byte-comparable against the uninterrupted run's (the CI smoke
+    // test cmp's them).
+    if (res.recovery.recovered) {
+      std::fprintf(stderr,
+                   "recovered from checkpoint epoch %llu (resume at "
+                   "request %llu, %llu journal records, %llu torn bytes "
+                   "truncated, %u corrupt checkpoints skipped)\n",
+                   static_cast<unsigned long long>(
+                       res.recovery.checkpoint_epoch),
+                   static_cast<unsigned long long>(res.recovery.resume_seq),
+                   static_cast<unsigned long long>(
+                       res.recovery.journal_records),
+                   static_cast<unsigned long long>(
+                       res.recovery.journal_truncated_bytes),
+                   res.recovery.checkpoints_skipped);
+    } else {
+      std::fprintf(stderr,
+                   "no usable checkpoint; replayed from scratch "
+                   "(%llu journal records, %u corrupt checkpoints "
+                   "skipped)\n",
+                   static_cast<unsigned long long>(
+                       res.recovery.journal_records),
+                   res.recovery.checkpoints_skipped);
+    }
+  }
   std::printf("%s\n", res.Table().c_str());
   const std::uint64_t decided = res.admits + res.rejects;
   std::printf("admits %llu / %llu (acceptance %.3f), leaves %llu\n",

@@ -126,6 +126,30 @@ void AdmissionState::CommitPlaced(const partition::PlacedTask& pt) {
   }
 }
 
+AdmissionSnapshot AdmissionState::ExportState() const {
+  AdmissionSnapshot snap;
+  snap.edf_cores = edf_cores_;
+  snap.fp_cores = fp_cores_;
+  snap.stats = stats_;
+  return snap;
+}
+
+bool AdmissionState::ImportState(AdmissionSnapshot snap) {
+  const bool edf = cfg_.policy == partition::SchedPolicy::kEdf;
+  if (edf && (snap.edf_cores.size() != cfg_.num_cores ||
+              !snap.fp_cores.empty())) {
+    return false;
+  }
+  if (!edf && (snap.fp_cores.size() != cfg_.num_cores ||
+               !snap.edf_cores.empty())) {
+    return false;
+  }
+  edf_cores_ = std::move(snap.edf_cores);
+  fp_cores_ = std::move(snap.fp_cores);
+  stats_ = snap.stats;
+  return true;
+}
+
 double AdmissionState::core_utilization(unsigned c) const {
   return cfg_.policy == partition::SchedPolicy::kEdf
              ? edf_cores_[c].utilization

@@ -51,6 +51,20 @@ struct AdmissionConfig {
 [[nodiscard]] partition::BinPackConfig DeriveBinPackConfig(
     const AdmissionConfig& cfg);
 
+/// The complete LOGICAL state of an AdmissionState, detached from its
+/// memo context — what the durability checkpoint serializes (DESIGN.md
+/// §14). Per-core entry vectors are captured VERBATIM (order included):
+/// the utilization caches are floating-point accumulation histories, so
+/// re-deriving them from placements would reproduce the same value only
+/// up to rounding — and the controller's worst-fit/SPA orderings and
+/// hysteresis band compare those doubles. Restoring the exact bits is
+/// what makes recovery decision-identical.
+struct AdmissionSnapshot {
+  std::vector<partition::EdfCoreState> edf_cores;
+  std::vector<partition::FpCoreState> fp_cores;
+  partition::AdmitStats stats;
+};
+
 /// The mutable analysis state of all cores plus the admission primitives.
 /// Owns no task registry — that is the controller's job; this layer is
 /// purely "would it fit / it now occupies / it no longer occupies".
@@ -107,6 +121,15 @@ class AdmissionState {
   [[nodiscard]] const partition::AdmitStats& stats() const {
     return stats_;
   }
+
+  /// Snapshot / restore the logical state (durability checkpoints). The
+  /// memo context is NOT part of the snapshot — cache contents are not
+  /// logical state (decision counters are cache-independent by §12's
+  /// contract; only memo_hits/misses/evicts depend on it). ImportState
+  /// returns false (state untouched) if the snapshot's core counts do
+  /// not match this state's config.
+  [[nodiscard]] AdmissionSnapshot ExportState() const;
+  [[nodiscard]] bool ImportState(AdmissionSnapshot snap);
 
  private:
   AdmissionConfig cfg_;

@@ -6,10 +6,6 @@
 #include <limits>
 #include <numeric>
 
-#include "sim/batch.hpp"
-#include "util/rng.hpp"
-#include "util/thread_pool.hpp"
-
 namespace sps::online {
 
 namespace {
@@ -270,7 +266,7 @@ bool Controller::Leave(rt::TaskId id) {
   admit_seq_of_.erase(id);
   if (cfg_.unsplit_on_leave &&
       cfg_.admission.policy == partition::SchedPolicy::kEdf) {
-    TryUnsplit();
+    ConsolidateSplits();
   }
   return true;
 }
@@ -433,6 +429,7 @@ void Controller::AdvanceEpoch(bool overloaded) {
   // admission (new admission generation, new admit sequence).
   std::vector<ShedRecord> still;
   still.reserve(shed_.size());
+  bool restored_any = false;
   for (ShedRecord& r : shed_) {
     if (r.retry_in > 1) {
       --r.retry_in;
@@ -441,6 +438,7 @@ void Controller::AdvanceEpoch(bool overloaded) {
     }
     if (TryPlace(r.task).accepted) {
       ++overload_.shed_restores;
+      restored_any = true;
       continue;
     }
     ++overload_.retry_attempts;
@@ -473,9 +471,19 @@ void Controller::AdvanceEpoch(bool overloaded) {
       pt.parts = std::move(placed.parts);
       degraded_full_.erase(id);
       ++overload_.degrade_restores;
+      restored_any = true;
     } else {
       state_.CommitPlaced(pt);  // keep degraded: exact re-commit
     }
+  }
+
+  // Restore-time consolidation: a shed-retry re-admission may have come
+  // back SPLIT (TryPlace probes the split search); the same multi-task
+  // unsplit pass a LEAVE runs cleans that up once capacity allows —
+  // recovery-time re-admission and normal leaves share one code path.
+  if (restored_any && cfg_.unsplit_on_leave &&
+      cfg_.admission.policy == partition::SchedPolicy::kEdf) {
+    ConsolidateSplits();
   }
 }
 
@@ -510,36 +518,113 @@ std::vector<std::uint32_t> Controller::ExecGenerations() const {
   return gens;
 }
 
-void Controller::TryUnsplit() {
-  // Deterministic scan: the lowest-id resident split task that now fits
-  // whole somewhere is consolidated (at most one per LEAVE — the freed
-  // capacity is what made this worth probing).
-  std::vector<rt::TaskId> split_ids;
-  for (const auto& [id, pt] : placements_) {
-    if (pt.split()) split_ids.push_back(id);
-  }
-  std::sort(split_ids.begin(), split_ids.end());
-
-  for (const rt::TaskId id : split_ids) {
-    partition::PlacedTask& pt = placements_.at(id);
-    // Probe: would the whole task fit on some core once its own window
-    // reservations are lifted? Lift exactly the task's entries (and the
-    // core order is ranked with them lifted — what the policy should
-    // see), place, and restore on failure: O(task entries), no state
-    // copies.
-    const std::vector<AdmissionState::TakenEntry> taken =
-        state_.TakeEdf(id, pt.parts);
-    const std::vector<unsigned> order = CoreOrder(state_);
-    partition::EdfPlacement whole =
-        state_.Place(pt.task, order, /*allow_split=*/false);
-    if (!whole.placed) {
-      state_.RestoreEdf(taken);
-      continue;
+unsigned Controller::ConsolidateSplits() {
+  // Deterministic multi-task pass: scan resident split tasks in
+  // ascending id order and consolidate EVERY one that now fits whole
+  // somewhere, repeating until a full pass makes no progress — one
+  // consolidation frees its window reservations, which can be exactly
+  // the capacity the next split task needs.
+  unsigned total = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::vector<rt::TaskId> split_ids;
+    for (const auto& [id, pt] : placements_) {
+      if (pt.split()) split_ids.push_back(id);
     }
-    pt.parts = std::move(whole.parts);
-    ++churn_.unsplit;
-    return;
+    std::sort(split_ids.begin(), split_ids.end());
+
+    for (const rt::TaskId id : split_ids) {
+      partition::PlacedTask& pt = placements_.at(id);
+      // Probe: would the whole task fit on some core once its own window
+      // reservations are lifted? Lift exactly the task's entries (and
+      // the core order is ranked with them lifted — what the policy
+      // should see), place, and restore on failure: O(task entries), no
+      // state copies.
+      const std::vector<AdmissionState::TakenEntry> taken =
+          state_.TakeEdf(id, pt.parts);
+      const std::vector<unsigned> order = CoreOrder(state_);
+      partition::EdfPlacement whole =
+          state_.Place(pt.task, order, /*allow_split=*/false);
+      if (!whole.placed) {
+        state_.RestoreEdf(taken);
+        continue;
+      }
+      pt.parts = std::move(whole.parts);
+      ++churn_.unsplit;
+      ++total;
+      progress = true;
+    }
   }
+  return total;
+}
+
+ControllerSnapshot Controller::ExportState() const {
+  ControllerSnapshot s;
+  s.placements.reserve(placements_.size());
+  for (const auto& [id, pt] : placements_) {
+    (void)id;
+    s.placements.push_back(pt);
+  }
+  std::sort(s.placements.begin(), s.placements.end(),
+            [](const partition::PlacedTask& a,
+               const partition::PlacedTask& b) {
+              return a.task.id < b.task.id;
+            });
+  s.degraded_full.assign(degraded_full_.begin(), degraded_full_.end());
+  s.admit_seq_of.assign(admit_seq_of_.begin(), admit_seq_of_.end());
+  s.generation_of.assign(generation_of_.begin(), generation_of_.end());
+  const auto by_id = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(s.degraded_full.begin(), s.degraded_full.end(), by_id);
+  std::sort(s.admit_seq_of.begin(), s.admit_seq_of.end(), by_id);
+  std::sort(s.generation_of.begin(), s.generation_of.end(), by_id);
+  s.shed.reserve(shed_.size());
+  for (const ShedRecord& r : shed_) {
+    s.shed.push_back(ControllerSnapshot::ShedEntry{r.task, r.admit_seq,
+                                                   r.retry_in, r.backoff});
+  }
+  s.churn = churn_;
+  s.overload = overload_;
+  s.admit_seq = admit_seq_;
+  s.epoch = epoch_;
+  s.last_fallback_epoch = last_fallback_epoch_;
+  s.last_fallback_util = last_fallback_util_;
+  s.any_fallback = any_fallback_;
+  s.admission = state_.ExportState();
+  return s;
+}
+
+bool Controller::ImportState(ControllerSnapshot snap) {
+  if (!state_.ImportState(std::move(snap.admission))) return false;
+  placements_.clear();
+  for (partition::PlacedTask& pt : snap.placements) {
+    const rt::TaskId id = pt.task.id;
+    placements_.emplace(id, std::move(pt));
+  }
+  degraded_full_.clear();
+  degraded_full_.insert(snap.degraded_full.begin(),
+                        snap.degraded_full.end());
+  admit_seq_of_.clear();
+  admit_seq_of_.insert(snap.admit_seq_of.begin(), snap.admit_seq_of.end());
+  generation_of_.clear();
+  generation_of_.insert(snap.generation_of.begin(),
+                        snap.generation_of.end());
+  shed_.clear();
+  shed_.reserve(snap.shed.size());
+  for (ControllerSnapshot::ShedEntry& e : snap.shed) {
+    shed_.push_back(ShedRecord{std::move(e.task), e.admit_seq, e.retry_in,
+                               e.backoff});
+  }
+  churn_ = snap.churn;
+  overload_ = snap.overload;
+  admit_seq_ = snap.admit_seq;
+  epoch_ = snap.epoch;
+  last_fallback_epoch_ = snap.last_fallback_epoch;
+  last_fallback_util_ = snap.last_fallback_util;
+  any_fallback_ = snap.any_fallback;
+  return true;
 }
 
 // ---- epoch replay ----------------------------------------------------------
@@ -558,182 +643,9 @@ const BurstStorm* FaultPlan::StormAt(Time start, Time end) const {
   return nullptr;
 }
 
-namespace {
-
-void CloseEpoch(const Controller& ctrl, const ReplayConfig& cfg,
-                std::size_t epoch_index, Time start, Time end,
-                const ChurnStats& churn_before,
-                const OverloadStats& overload_before, EpochStats& e,
-                ReplayResult& out) {
-  e.start = start;
-  e.end = end;
-  e.resident = ctrl.resident();
-  e.shed_resident = ctrl.shed_resident();
-  e.degraded_resident = ctrl.degraded_resident();
-  e.utilization = ctrl.total_utilization();
-  ChurnStats delta = ctrl.churn();
-  delta -= churn_before;
-  e.churn = delta;
-  OverloadStats odelta = ctrl.overload_stats();
-  odelta -= overload_before;
-  e.overload = odelta;
-  const SpikeEpoch* spike = cfg.faults.SpikeAt(start, end);
-  const BurstStorm* storm = cfg.faults.StormAt(start, end);
-  e.fault_active = spike != nullptr || storm != nullptr;
-  if (cfg.validate_by_simulation && ctrl.resident() > 0) {
-    sim::SimConfig scfg = cfg.validate_sim;
-    scfg.overheads = cfg.controller.admission.model;
-    scfg.exec.seed = util::DeriveSeed(cfg.seed, epoch_index, 0);
-    scfg.arrivals.seed = util::DeriveSeed(cfg.seed, epoch_index, 1);
-    // Fault windows validate against the FAULTED models — "zero hard
-    // misses" is proven under the spike/storm, not the nominal load.
-    if (spike != nullptr) {
-      scfg.exec.kind = sim::ExecModel::Kind::kSpiky;
-      scfg.exec.spike_prob = spike->prob;
-      scfg.exec.spike_magnitude = spike->magnitude;
-    }
-    if (storm != nullptr) {
-      scfg.arrivals.kind = sim::ArrivalModel::Kind::kBursty;
-      scfg.arrivals.burst_prob = storm->burst_prob;
-    }
-    const partition::Partition p = ctrl.CurrentPartition();
-    scfg.exec_generations = ctrl.ExecGenerations();
-    const std::vector<sim::BatchRun> runs =
-        sim::RunConfigSweep(p, {{"epoch", scfg}}, {.jobs = 1});
-    e.validated = true;
-    e.sim_misses = runs.front().result.total_misses;
-    // Hard-miss attribution: SimResult.tasks is index-aligned with
-    // p.tasks (the engine copies ids positionally).
-    const auto& tstats = runs.front().result.tasks;
-    for (std::size_t i = 0; i < tstats.size() && i < p.tasks.size(); ++i) {
-      if (p.tasks[i].task.crit == rt::Criticality::kHard) {
-        e.hard_misses += tstats[i].deadline_misses;
-      }
-    }
-  }
-  out.epochs.push_back(e);
-  e = EpochStats{};
-}
-
-}  // namespace
-
-ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg) {
-  ReplayResult out;
-  Controller ctrl(cfg.controller);
-  const Time epoch_len = cfg.epoch > 0 ? cfg.epoch : s.span() + 1;
-  // Idle spans longer than this many empty epochs are compressed: the
-  // skipped epochs produce no rows (nothing happened in them; their
-  // validation would re-simulate an unchanged partition). Bounds the
-  // result against a far-future timestamp in a loaded trace or a tiny
-  // --online-epoch-ms against a long stream.
-  constexpr Time kMaxIdleEpochs = 1024;
-
-  EpochStats cur;
-  ChurnStats churn_before;
-  OverloadStats overload_before;
-  Time epoch_start = 0;
-  std::size_t epoch_index = 0;
-
-  // Called as the replay ENTERS the epoch starting at `start`: the
-  // controller ticks (shed retries and degrade restores run only in
-  // calm epochs), and a fault window covering the new epoch is the
-  // overload ALARM — the controller walks the ladder until the
-  // spike-inflated partition re-analyzes schedulable, BEFORE this
-  // epoch's requests and validation run.
-  const auto enter_epoch = [&](Time start) {
-    const Time end =
-        start > kTimeNever - epoch_len ? kTimeNever : start + epoch_len;
-    const SpikeEpoch* spike = cfg.faults.SpikeAt(start, end);
-    const BurstStorm* storm = cfg.faults.StormAt(start, end);
-    ctrl.AdvanceEpoch(spike != nullptr || storm != nullptr);
-    if (spike != nullptr) {
-      ctrl.ReactToOverload(spike->magnitude);
-    } else if (storm != nullptr) {
-      ctrl.ReactToOverload(cfg.controller.overload.spike_magnitude);
-    }
-  };
-
-  for (const Request& r : s.requests()) {
-    // (r.at - epoch_start is non-negative: requests are time-sorted and
-    // epoch_start never passes a request — so the subtraction form is
-    // overflow-safe where `epoch_start + epoch_len` is not.)
-    while (r.at - epoch_start >= epoch_len) {
-      CloseEpoch(ctrl, cfg, epoch_index, epoch_start,
-                 epoch_start + epoch_len, churn_before, overload_before,
-                 cur, out);
-      churn_before = ctrl.churn();
-      overload_before = ctrl.overload_stats();
-      epoch_start += epoch_len;
-      ++epoch_index;
-      const Time idle_epochs = (r.at - epoch_start) / epoch_len;
-      if (idle_epochs > kMaxIdleEpochs) {
-        epoch_start += idle_epochs * epoch_len;
-        epoch_index += static_cast<std::size_t>(idle_epochs);
-      }
-      enter_epoch(epoch_start);
-    }
-    if (r.kind == RequestKind::kAdmit) {
-      if (ctrl.Admit(r.task).accepted) {
-        ++cur.admits;
-        ++out.admits;
-      } else {
-        ++cur.rejects;
-        ++out.rejects;
-      }
-    } else {
-      if (ctrl.Leave(r.id)) {
-        ++cur.leaves;
-        ++out.leaves;
-      }
-    }
-  }
-  // Final epoch; its nominal end can exceed the representable range when
-  // the last request sits near kTimeNever — clamp.
-  const Time final_end = epoch_start > kTimeNever - epoch_len
-                             ? kTimeNever
-                             : epoch_start + epoch_len;
-  CloseEpoch(ctrl, cfg, epoch_index, epoch_start, final_end, churn_before,
-             overload_before, cur, out);
-
-  // Drain epochs: keep ticking past the last request so shed-re-admission
-  // retries (whose backoff is measured in epochs) get room to run when
-  // the stream ends right after a fault window.
-  for (std::uint32_t k = 0; k < cfg.drain_epochs; ++k) {
-    if (epoch_start > kTimeNever - epoch_len) break;
-    churn_before = ctrl.churn();
-    overload_before = ctrl.overload_stats();
-    epoch_start += epoch_len;
-    ++epoch_index;
-    enter_epoch(epoch_start);
-    const Time drain_end = epoch_start > kTimeNever - epoch_len
-                               ? kTimeNever
-                               : epoch_start + epoch_len;
-    CloseEpoch(ctrl, cfg, epoch_index, epoch_start, drain_end,
-               churn_before, overload_before, cur, out);
-  }
-
-  out.churn = ctrl.churn();
-  out.overload = ctrl.overload_stats();
-  out.shed_outstanding = ctrl.shed_resident();
-  out.admission = ctrl.admission_stats();
-  out.final_partition = ctrl.CurrentPartition();
-  return out;
-}
-
-std::vector<ReplayResult> ReplayBatch(std::span<const WorkloadStream> streams,
-                                      const ReplayConfig& cfg,
-                                      unsigned jobs) {
-  std::vector<ReplayResult> results(streams.size());
-  util::ParallelFor(jobs, streams.size(), [&](std::size_t i) {
-    // Per-stream config: only the validation seed varies, derived from
-    // the stream index — results are pure in (stream, cfg, i), hence
-    // bit-identical for any job count.
-    ReplayConfig c = cfg;
-    c.seed = util::DeriveSeed(cfg.seed, i, 0xB47C4);
-    results[i] = ReplayStream(streams[i], c);
-  });
-  return results;
-}
+// ReplayStream / ReplayBatch live in durability.cpp: the epoch-replay
+// loop is the surface the checkpoint/journal engine hooks into (the
+// plain and durable paths share ONE loop, so they cannot drift).
 
 std::string ReplayResult::Table() const {
   std::string out =

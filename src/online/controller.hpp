@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "online/admission.hpp"
+#include "online/durability.hpp"
 #include "online/workload_stream.hpp"
 #include "partition/placement.hpp"
 #include "partition/verify.hpp"
@@ -81,8 +82,10 @@ struct ControllerConfig {
   /// Re-partition the resident set + candidate offline when the
   /// incremental step fails (churn is charged; failure still rejects).
   bool repartition_fallback = true;
-  /// After a LEAVE, try to consolidate one resident split task onto a
-  /// single core (migration churn down; charged as an unsplit).
+  /// After a LEAVE (and after an epoch's shed/degrade restores), run the
+  /// multi-task consolidation pass: every resident split task that now
+  /// fits whole somewhere is unsplit (migration churn down; each charged
+  /// as an unsplit).
   bool unsplit_on_leave = false;
   /// Overload ladder + hysteresis knobs (DESIGN.md §13).
   OverloadConfig overload;
@@ -125,6 +128,33 @@ struct AdmitOutcome {
   bool via_fallback = false;  ///< placed by the full repartition
   bool via_ladder = false;    ///< placed after degrading/shedding residents
   unsigned parts = 0;         ///< subtask count of the accepted placement
+};
+
+/// The complete logical state of a Controller, as plain sorted data —
+/// what the durability checkpoint serializes (DESIGN.md §14) and what
+/// ImportState restores bit-identically. Map contents are flattened in
+/// ascending id order (so equal states serialize equally); the shed
+/// ledger keeps its SHED ORDER (AdvanceEpoch drains it in that order).
+struct ControllerSnapshot {
+  struct ShedEntry {
+    rt::Task task;
+    std::uint64_t admit_seq = 0;
+    std::uint32_t retry_in = 0;
+    std::uint32_t backoff = 0;
+  };
+  std::vector<partition::PlacedTask> placements;  ///< ascending id
+  std::vector<std::pair<rt::TaskId, rt::Task>> degraded_full;
+  std::vector<std::pair<rt::TaskId, std::uint64_t>> admit_seq_of;
+  std::vector<std::pair<rt::TaskId, std::uint32_t>> generation_of;
+  std::vector<ShedEntry> shed;
+  ChurnStats churn;
+  OverloadStats overload;
+  std::uint64_t admit_seq = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t last_fallback_epoch = 0;
+  double last_fallback_util = 0.0;
+  bool any_fallback = false;
+  AdmissionSnapshot admission;
 };
 
 class Controller {
@@ -190,6 +220,16 @@ class Controller {
   }
   [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
 
+  /// Snapshot / restore the complete logical state (durability
+  /// checkpoints, DESIGN.md §14). ImportState replaces everything —
+  /// including the admission state's per-core entry vectors and
+  /// utilization caches VERBATIM, so a restored controller's subsequent
+  /// decisions are bit-identical to the original's. Returns false (state
+  /// unspecified) if the snapshot's core layout does not match this
+  /// controller's config.
+  [[nodiscard]] ControllerSnapshot ExportState() const;
+  [[nodiscard]] bool ImportState(ControllerSnapshot snap);
+
  private:
   /// A shed task awaiting re-admission (the record keeps the FULL task;
   /// a degraded victim is shed at full service and retried as such).
@@ -207,7 +247,12 @@ class Controller {
   /// Offline repartition of resident + cand; adopts + charges churn on
   /// success.
   AdmitOutcome FallbackRepartition(const rt::Task& t);
-  void TryUnsplit();
+  /// Multi-task unsplit pass (unsplit_on_leave): consolidate EVERY
+  /// resident split task that fits whole, looping until a full pass
+  /// makes no progress (one consolidation can free the window capacity
+  /// the next needs). Shared by Leave and AdvanceEpoch's restore phase;
+  /// returns consolidations made (each charged to churn.unsplit).
+  unsigned ConsolidateSplits();
 
   /// Hysteresis gate for FallbackRepartition (counts blocks).
   [[nodiscard]] bool FallbackAllowed();
@@ -323,6 +368,10 @@ struct ReplayConfig {
   /// epochs — gives shed-re-admission retries room to drain when the
   /// stream ends right after a fault window. 0 = PR 6 behavior.
   std::uint32_t drain_epochs = 0;
+  /// Durable-service knobs (DESIGN.md §14): checkpoint + journal dir,
+  /// fsync policy, recovery. Default-off (dir empty) — the replay then
+  /// runs exactly the PR 7 path.
+  DurabilityConfig durability;
 };
 
 struct EpochStats {
@@ -356,6 +405,11 @@ struct ReplayResult {
   std::size_t shed_outstanding = 0;
   partition::AdmitStats admission;
   partition::Partition final_partition;
+  /// Durability outcome (only meaningful when cfg.durability.enabled()).
+  /// A non-ok error means the replay ABORTED — the stats above cover
+  /// only what ran before the failure.
+  RecoveryInfo recovery;
+  DurabilityError durability_error;
 
   [[nodiscard]] double acceptance_ratio() const {
     const std::uint64_t n = admits + rejects;

@@ -1,0 +1,1380 @@
+#include "online/durability.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <unordered_map>
+
+#include "analysis/memo.hpp"
+#include "online/controller.hpp"
+#include "sim/batch.hpp"
+#include "util/crc32.hpp"
+#include "util/file_io.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sps::online {
+
+const char* ToString(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kOff: return "off";
+    case FsyncPolicy::kEveryN: return "every-n";
+    case FsyncPolicy::kEveryEpoch: return "every-epoch";
+  }
+  return "?";
+}
+
+bool ParseFsyncPolicy(const char* s, FsyncPolicy& policy,
+                      std::uint32_t& every_n) {
+  if (std::strcmp(s, "off") == 0) {
+    policy = FsyncPolicy::kOff;
+    return true;
+  }
+  if (std::strcmp(s, "every-epoch") == 0) {
+    policy = FsyncPolicy::kEveryEpoch;
+    return true;
+  }
+  if (std::strcmp(s, "every-n") == 0) {
+    policy = FsyncPolicy::kEveryN;
+    return true;
+  }
+  if (std::strncmp(s, "every-n:", 8) == 0) {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(s + 8, &end, 10);
+    if (end == s + 8 || *end != '\0' || n == 0) return false;
+    policy = FsyncPolicy::kEveryN;
+    every_n = static_cast<std::uint32_t>(n);
+    return true;
+  }
+  return false;
+}
+
+const char* ToString(DurabilityError::Kind k) {
+  switch (k) {
+    case DurabilityError::Kind::kNone: return "none";
+    case DurabilityError::Kind::kIo: return "io";
+    case DurabilityError::Kind::kBadMagic: return "bad-magic";
+    case DurabilityError::Kind::kBadVersion: return "bad-version";
+    case DurabilityError::Kind::kCrcMismatch: return "crc-mismatch";
+    case DurabilityError::Kind::kTruncated: return "truncated";
+    case DurabilityError::Kind::kParse: return "parse";
+    case DurabilityError::Kind::kFingerprintMismatch:
+      return "fingerprint-mismatch";
+    case DurabilityError::Kind::kJournalDivergence:
+      return "journal-divergence";
+    case DurabilityError::Kind::kStateMismatch: return "state-mismatch";
+  }
+  return "?";
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- binary framing --------------------------------------------------------
+// Explicit little-endian byte encoding (no memcpy of structs): the
+// artifacts are a FORMAT, stable across compilers/ABIs, and every decode
+// is bounds-checked — a malicious or bit-flipped file can fail parsing
+// but never read out of bounds.
+
+constexpr char kCheckpointMagic[8] = {'S', 'P', 'S', 'C', 'K', 'P',
+                                      'T', '\x01'};
+constexpr char kJournalMagic[8] = {'S', 'P', 'S', 'J', 'R', 'N',
+                                   'L', '\x01'};
+constexpr std::size_t kJournalHeaderSize = 8 + 8 + 4;
+constexpr std::uint32_t kMaxRecordLen = 1024;
+
+struct ByteWriter {
+  std::string buf;
+
+  void U8(std::uint8_t v) { buf.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+};
+
+struct ByteReader {
+  const unsigned char* p = nullptr;
+  std::size_t n = 0;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  explicit ByteReader(std::string_view s)
+      : p(reinterpret_cast<const unsigned char*>(s.data())), n(s.size()) {}
+
+  [[nodiscard]] std::size_t remaining() const { return n - pos; }
+
+  std::uint8_t U8() {
+    if (pos + 1 > n) {
+      ok = false;
+      return 0;
+    }
+    return p[pos++];
+  }
+  std::uint32_t U32() {
+    if (pos + 4 > n) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(p[pos + i]) << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t U64() {
+    if (pos + 8 > n) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p[pos + i]) << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+
+  /// A claimed element count is plausible only if `count * min_size`
+  /// bytes can still be present — the huge-bogus-count guard.
+  [[nodiscard]] bool PlausibleCount(std::uint64_t count,
+                                    std::size_t min_size) {
+    if (count > remaining() / (min_size == 0 ? 1 : min_size)) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+};
+
+void EncodeTask(ByteWriter& w, const rt::Task& t) {
+  w.U32(t.id);
+  w.I64(t.wcet);
+  w.I64(t.period);
+  w.I64(t.deadline);
+  w.U32(t.priority);
+  w.U8(static_cast<std::uint8_t>(t.crit));
+  w.I64(t.tardiness_bound);
+  w.I64(t.degraded_wcet);
+  w.U32(t.value);
+}
+
+rt::Task DecodeTask(ByteReader& r) {
+  rt::Task t;
+  t.id = r.U32();
+  t.wcet = r.I64();
+  t.period = r.I64();
+  t.deadline = r.I64();
+  t.priority = r.U32();
+  t.crit = r.U8() == 1 ? rt::Criticality::kSoft : rt::Criticality::kHard;
+  t.tardiness_bound = r.I64();
+  t.degraded_wcet = r.I64();
+  t.value = r.U32();
+  return t;
+}
+
+void EncodeChurn(ByteWriter& w, const ChurnStats& c) {
+  w.U64(c.moved);
+  w.U64(c.split);
+  w.U64(c.unsplit);
+  w.U64(c.repartitions);
+}
+
+ChurnStats DecodeChurn(ByteReader& r) {
+  ChurnStats c;
+  c.moved = r.U64();
+  c.split = r.U64();
+  c.unsplit = r.U64();
+  c.repartitions = r.U64();
+  return c;
+}
+
+void EncodeOverload(ByteWriter& w, const OverloadStats& o) {
+  w.U64(o.degrades);
+  w.U64(o.degrade_restores);
+  w.U64(o.sheds);
+  w.U64(o.shed_restores);
+  w.U64(o.retry_attempts);
+  w.U64(o.hysteresis_blocks);
+}
+
+OverloadStats DecodeOverload(ByteReader& r) {
+  OverloadStats o;
+  o.degrades = r.U64();
+  o.degrade_restores = r.U64();
+  o.sheds = r.U64();
+  o.shed_restores = r.U64();
+  o.retry_attempts = r.U64();
+  o.hysteresis_blocks = r.U64();
+  return o;
+}
+
+void EncodeAdmitStats(ByteWriter& w, const partition::AdmitStats& s) {
+  w.U64(s.util_rejects);
+  w.U64(s.density_accepts);
+  w.U64(s.full_tests);
+  w.U64(s.memo_hits);
+  w.U64(s.memo_misses);
+  w.U64(s.memo_evicts);
+}
+
+partition::AdmitStats DecodeAdmitStats(ByteReader& r) {
+  partition::AdmitStats s;
+  s.util_rejects = r.U64();
+  s.density_accepts = r.U64();
+  s.full_tests = r.U64();
+  s.memo_hits = r.U64();
+  s.memo_misses = r.U64();
+  s.memo_evicts = r.U64();
+  return s;
+}
+
+// ---- fingerprint -----------------------------------------------------------
+// A 64-bit digest of (replay-relevant config, stream content). Artifacts
+// carry it so recovery against the WRONG stream or config is a typed
+// error instead of a journal-divergence surprise mid-redo.
+
+std::uint64_t Mix(std::uint64_t h, std::uint64_t v) {
+  return util::DeriveSeed(h, v, 0xD47A);
+}
+
+std::uint64_t MixF(std::uint64_t h, double v) {
+  return Mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t Fingerprint(const WorkloadStream& s, const ReplayConfig& cfg) {
+  std::uint64_t h = 0x5350531Eull;  // "SPS" + format nonce
+  const ControllerConfig& cc = cfg.controller;
+  h = Mix(h, cc.admission.num_cores);
+  h = Mix(h, static_cast<std::uint64_t>(cc.admission.policy));
+  h = Mix(h, static_cast<std::uint64_t>(cc.admission.budget_granularity));
+  h = Mix(h, static_cast<std::uint64_t>(cc.admission.min_budget));
+  h = Mix(h, static_cast<std::uint64_t>(cc.admission.fp_admission));
+  h = Mix(h, static_cast<std::uint64_t>(cc.place));
+  h = Mix(h, (cc.allow_split ? 1u : 0u) | (cc.repartition_fallback ? 2u : 0u) |
+                 (cc.unsplit_on_leave ? 4u : 0u) |
+                 (cc.overload.ladder ? 8u : 0u) |
+                 (cc.overload.hysteresis ? 16u : 0u) |
+                 (cfg.validate_by_simulation ? 32u : 0u));
+  h = Mix(h, cc.overload.cooldown_epochs);
+  h = MixF(h, cc.overload.util_band);
+  h = Mix(h, cc.overload.retry_backoff_min);
+  h = Mix(h, cc.overload.retry_backoff_max);
+  h = MixF(h, cc.overload.spike_magnitude);
+  h = Mix(h, static_cast<std::uint64_t>(cfg.epoch));
+  h = Mix(h, cfg.seed);
+  h = Mix(h, cfg.drain_epochs);
+  for (const SpikeEpoch& sp : cfg.faults.spikes) {
+    h = Mix(h, static_cast<std::uint64_t>(sp.start));
+    h = Mix(h, static_cast<std::uint64_t>(sp.end));
+    h = MixF(h, sp.prob);
+    h = MixF(h, sp.magnitude);
+  }
+  for (const BurstStorm& st : cfg.faults.storms) {
+    h = Mix(h, static_cast<std::uint64_t>(st.start));
+    h = Mix(h, static_cast<std::uint64_t>(st.end));
+    h = MixF(h, st.burst_prob);
+  }
+  // Stream content: CRC32 over the canonical request encoding (cheap,
+  // and any edit to any request perturbs it).
+  ByteWriter w;
+  for (const Request& r : s.requests()) {
+    w.I64(r.at);
+    w.U8(static_cast<std::uint8_t>(r.kind));
+    w.U32(r.id);
+    if (r.kind == RequestKind::kAdmit) EncodeTask(w, r.task);
+  }
+  h = Mix(h, s.size());
+  h = Mix(h, util::Crc32Of(w.buf));
+  return h;
+}
+
+// ---- checkpoint ------------------------------------------------------------
+
+/// Everything a checkpoint restores: the replay cursor, the accumulated
+/// result prefix, and the controller snapshot.
+struct CheckpointState {
+  std::uint64_t next_request = 0;
+  Time epoch_start = 0;
+  std::uint64_t epoch_index = 0;
+  ChurnStats churn_before;
+  OverloadStats overload_before;
+  std::uint64_t admits = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t leaves = 0;
+  std::vector<EpochStats> epochs;
+  ControllerSnapshot ctrl;
+};
+
+void EncodeEpochStats(ByteWriter& w, const EpochStats& e) {
+  w.I64(e.start);
+  w.I64(e.end);
+  w.U32(e.admits);
+  w.U32(e.rejects);
+  w.U32(e.leaves);
+  EncodeChurn(w, e.churn);
+  EncodeOverload(w, e.overload);
+  w.U64(e.resident);
+  w.U64(e.shed_resident);
+  w.U64(e.degraded_resident);
+  w.F64(e.utilization);
+  w.U8(e.validated ? 1 : 0);
+  w.U8(e.fault_active ? 1 : 0);
+  w.U64(e.sim_misses);
+  w.U64(e.hard_misses);
+}
+
+EpochStats DecodeEpochStats(ByteReader& r) {
+  EpochStats e;
+  e.start = r.I64();
+  e.end = r.I64();
+  e.admits = r.U32();
+  e.rejects = r.U32();
+  e.leaves = r.U32();
+  e.churn = DecodeChurn(r);
+  e.overload = DecodeOverload(r);
+  e.resident = r.U64();
+  e.shed_resident = r.U64();
+  e.degraded_resident = r.U64();
+  e.utilization = r.F64();
+  e.validated = r.U8() != 0;
+  e.fault_active = r.U8() != 0;
+  e.sim_misses = r.U64();
+  e.hard_misses = r.U64();
+  return e;
+}
+
+void EncodePlacedTask(ByteWriter& w, const partition::PlacedTask& pt) {
+  EncodeTask(w, pt.task);
+  w.U32(static_cast<std::uint32_t>(pt.parts.size()));
+  for (const partition::SubtaskPlacement& sp : pt.parts) {
+    w.U32(sp.core);
+    w.I64(sp.budget);
+    w.U32(sp.local_priority);
+    w.I64(sp.rel_deadline);
+  }
+}
+
+partition::PlacedTask DecodePlacedTask(ByteReader& r) {
+  partition::PlacedTask pt;
+  pt.task = DecodeTask(r);
+  const std::uint32_t nparts = r.U32();
+  if (!r.PlausibleCount(nparts, 24)) return pt;
+  pt.parts.reserve(nparts);
+  for (std::uint32_t k = 0; k < nparts && r.ok; ++k) {
+    partition::SubtaskPlacement sp;
+    sp.core = r.U32();
+    sp.budget = r.I64();
+    sp.local_priority = r.U32();
+    sp.rel_deadline = r.I64();
+    pt.parts.push_back(sp);
+  }
+  return pt;
+}
+
+std::string EncodeCheckpoint(const CheckpointState& st,
+                             std::uint64_t fingerprint) {
+  ByteWriter w;
+  w.U64(st.next_request);
+  w.I64(st.epoch_start);
+  w.U64(st.epoch_index);
+  EncodeChurn(w, st.churn_before);
+  EncodeOverload(w, st.overload_before);
+  w.U64(st.admits);
+  w.U64(st.rejects);
+  w.U64(st.leaves);
+  w.U64(st.epochs.size());
+  for (const EpochStats& e : st.epochs) EncodeEpochStats(w, e);
+
+  const ControllerSnapshot& c = st.ctrl;
+  w.U64(c.placements.size());
+  for (const partition::PlacedTask& pt : c.placements) {
+    EncodePlacedTask(w, pt);
+  }
+  w.U64(c.degraded_full.size());
+  for (const auto& [id, t] : c.degraded_full) {
+    w.U32(id);
+    EncodeTask(w, t);
+  }
+  w.U64(c.admit_seq_of.size());
+  for (const auto& [id, seq] : c.admit_seq_of) {
+    w.U32(id);
+    w.U64(seq);
+  }
+  w.U64(c.generation_of.size());
+  for (const auto& [id, gen] : c.generation_of) {
+    w.U32(id);
+    w.U32(gen);
+  }
+  w.U64(c.shed.size());
+  for (const ControllerSnapshot::ShedEntry& e : c.shed) {
+    EncodeTask(w, e.task);
+    w.U64(e.admit_seq);
+    w.U32(e.retry_in);
+    w.U32(e.backoff);
+  }
+  EncodeChurn(w, c.churn);
+  EncodeOverload(w, c.overload);
+  w.U64(c.admit_seq);
+  w.U64(c.epoch);
+  w.U64(c.last_fallback_epoch);
+  w.F64(c.last_fallback_util);
+  w.U8(c.any_fallback ? 1 : 0);
+
+  const AdmissionSnapshot& a = c.admission;
+  const bool edf = !a.edf_cores.empty() || a.fp_cores.empty();
+  w.U8(edf ? 0 : 1);
+  if (edf) {
+    w.U64(a.edf_cores.size());
+    for (const partition::EdfCoreState& core : a.edf_cores) {
+      w.U64(core.entries.size());
+      for (const analysis::EdfCoreEntry& e : core.entries) {
+        w.I64(e.exec);
+        w.I64(e.period);
+        w.I64(e.deadline);
+        w.I64(e.jitter);
+        w.I64(e.kind);
+        w.U64(e.dest_queue_size);
+        w.U64(e.first_core_queue_size);
+        w.U32(e.id);
+      }
+      w.F64(core.utilization);
+      w.U64(core.zobrist.lo);
+      w.U64(core.zobrist.hi);
+    }
+  } else {
+    w.U64(a.fp_cores.size());
+    for (const partition::FpCoreState& core : a.fp_cores) {
+      w.U64(core.tasks.size());
+      for (const rt::Task& t : core.tasks) EncodeTask(w, t);
+      w.F64(core.utilization);
+      w.U64(core.zobrist.lo);
+      w.U64(core.zobrist.hi);
+    }
+  }
+  EncodeAdmitStats(w, a.stats);
+
+  // Frame: magic, fingerprint, payload length, payload, CRC over all of
+  // the preceding bytes.
+  std::string out(kCheckpointMagic, sizeof(kCheckpointMagic));
+  ByteWriter hdr;
+  hdr.U64(fingerprint);
+  hdr.U64(w.buf.size());
+  out += hdr.buf;
+  out += w.buf;
+  ByteWriter crc;
+  crc.U32(util::Crc32Of(out));
+  out += crc.buf;
+  return out;
+}
+
+bool DecodeCheckpoint(std::string_view bytes, const std::string& path,
+                      std::uint64_t expect_fingerprint, CheckpointState& st,
+                      DurabilityError& err) {
+  const auto fail = [&](DurabilityError::Kind kind, std::uint64_t offset,
+                        const std::string& detail) {
+    err.kind = kind;
+    err.path = path;
+    err.offset = offset;
+    err.message = path + ": " + detail;
+    return false;
+  };
+  if (bytes.size() < sizeof(kCheckpointMagic) + 16 + 4) {
+    return fail(DurabilityError::Kind::kTruncated, bytes.size(),
+                "checkpoint shorter than its frame");
+  }
+  if (std::memcmp(bytes.data(), kCheckpointMagic, 7) != 0) {
+    return fail(DurabilityError::Kind::kBadMagic, 0,
+                "not a checkpoint file (bad magic)");
+  }
+  if (bytes[7] != kCheckpointMagic[7]) {
+    return fail(DurabilityError::Kind::kBadVersion, 7,
+                "unknown checkpoint format version");
+  }
+  ByteReader tail(bytes.substr(bytes.size() - 4));
+  const std::uint32_t file_crc = tail.U32();
+  const std::uint32_t computed =
+      util::Crc32Of(bytes.substr(0, bytes.size() - 4));
+  if (file_crc != computed) {
+    return fail(DurabilityError::Kind::kCrcMismatch, bytes.size() - 4,
+                "checkpoint CRC mismatch (corrupt)");
+  }
+  ByteReader r(bytes.substr(sizeof(kCheckpointMagic), bytes.size() - 12));
+  const std::uint64_t fp = r.U64();
+  if (fp != expect_fingerprint) {
+    return fail(DurabilityError::Kind::kFingerprintMismatch, 8,
+                "checkpoint was written for a different stream/config");
+  }
+  const std::uint64_t payload_len = r.U64();
+  if (payload_len != r.remaining()) {
+    return fail(DurabilityError::Kind::kTruncated, 16,
+                "checkpoint payload length does not match the file");
+  }
+
+  st.next_request = r.U64();
+  st.epoch_start = r.I64();
+  st.epoch_index = r.U64();
+  st.churn_before = DecodeChurn(r);
+  st.overload_before = DecodeOverload(r);
+  st.admits = r.U64();
+  st.rejects = r.U64();
+  st.leaves = r.U64();
+  const std::uint64_t n_epochs = r.U64();
+  if (!r.PlausibleCount(n_epochs, 100)) {
+    return fail(DurabilityError::Kind::kParse, r.pos,
+                "implausible epoch count");
+  }
+  st.epochs.reserve(n_epochs);
+  for (std::uint64_t i = 0; i < n_epochs && r.ok; ++i) {
+    st.epochs.push_back(DecodeEpochStats(r));
+  }
+
+  ControllerSnapshot& c = st.ctrl;
+  const std::uint64_t n_pl = r.U64();
+  if (!r.PlausibleCount(n_pl, 41 + 4)) {
+    return fail(DurabilityError::Kind::kParse, r.pos,
+                "implausible placement count");
+  }
+  c.placements.reserve(n_pl);
+  for (std::uint64_t i = 0; i < n_pl && r.ok; ++i) {
+    c.placements.push_back(DecodePlacedTask(r));
+  }
+  const std::uint64_t n_df = r.U64();
+  if (!r.PlausibleCount(n_df, 45)) {
+    return fail(DurabilityError::Kind::kParse, r.pos,
+                "implausible degraded count");
+  }
+  for (std::uint64_t i = 0; i < n_df && r.ok; ++i) {
+    const rt::TaskId id = r.U32();
+    c.degraded_full.emplace_back(id, DecodeTask(r));
+  }
+  const std::uint64_t n_as = r.U64();
+  if (!r.PlausibleCount(n_as, 12)) {
+    return fail(DurabilityError::Kind::kParse, r.pos,
+                "implausible admit-seq count");
+  }
+  for (std::uint64_t i = 0; i < n_as && r.ok; ++i) {
+    const rt::TaskId id = r.U32();
+    const std::uint64_t seq = r.U64();
+    c.admit_seq_of.emplace_back(id, seq);
+  }
+  const std::uint64_t n_gen = r.U64();
+  if (!r.PlausibleCount(n_gen, 8)) {
+    return fail(DurabilityError::Kind::kParse, r.pos,
+                "implausible generation count");
+  }
+  for (std::uint64_t i = 0; i < n_gen && r.ok; ++i) {
+    const rt::TaskId id = r.U32();
+    const std::uint32_t gen = r.U32();
+    c.generation_of.emplace_back(id, gen);
+  }
+  const std::uint64_t n_shed = r.U64();
+  if (!r.PlausibleCount(n_shed, 57)) {
+    return fail(DurabilityError::Kind::kParse, r.pos,
+                "implausible shed count");
+  }
+  for (std::uint64_t i = 0; i < n_shed && r.ok; ++i) {
+    ControllerSnapshot::ShedEntry e;
+    e.task = DecodeTask(r);
+    e.admit_seq = r.U64();
+    e.retry_in = r.U32();
+    e.backoff = r.U32();
+    c.shed.push_back(std::move(e));
+  }
+  c.churn = DecodeChurn(r);
+  c.overload = DecodeOverload(r);
+  c.admit_seq = r.U64();
+  c.epoch = r.U64();
+  c.last_fallback_epoch = r.U64();
+  c.last_fallback_util = r.F64();
+  c.any_fallback = r.U8() != 0;
+
+  AdmissionSnapshot& a = c.admission;
+  const bool edf = r.U8() == 0;
+  const std::uint64_t n_cores = r.U64();
+  if (!r.PlausibleCount(n_cores, 24)) {
+    return fail(DurabilityError::Kind::kParse, r.pos,
+                "implausible core count");
+  }
+  for (std::uint64_t ci = 0; ci < n_cores && r.ok; ++ci) {
+    if (edf) {
+      partition::EdfCoreState core;
+      const std::uint64_t n_e = r.U64();
+      if (!r.PlausibleCount(n_e, 56)) {
+        return fail(DurabilityError::Kind::kParse, r.pos,
+                    "implausible entry count");
+      }
+      core.entries.reserve(n_e);
+      for (std::uint64_t k = 0; k < n_e && r.ok; ++k) {
+        analysis::EdfCoreEntry e;
+        e.exec = r.I64();
+        e.period = r.I64();
+        e.deadline = r.I64();
+        e.jitter = r.I64();
+        e.kind = static_cast<int>(r.I64());
+        e.dest_queue_size = r.U64();
+        e.first_core_queue_size = r.U64();
+        e.id = r.U32();
+        core.entries.push_back(e);
+      }
+      core.utilization = r.F64();
+      core.zobrist.lo = r.U64();
+      core.zobrist.hi = r.U64();
+      a.edf_cores.push_back(std::move(core));
+    } else {
+      partition::FpCoreState core;
+      const std::uint64_t n_t = r.U64();
+      if (!r.PlausibleCount(n_t, 45)) {
+        return fail(DurabilityError::Kind::kParse, r.pos,
+                    "implausible task count");
+      }
+      core.tasks.reserve(n_t);
+      for (std::uint64_t k = 0; k < n_t && r.ok; ++k) {
+        core.tasks.push_back(DecodeTask(r));
+      }
+      core.utilization = r.F64();
+      core.zobrist.lo = r.U64();
+      core.zobrist.hi = r.U64();
+      a.fp_cores.push_back(std::move(core));
+    }
+  }
+  a.stats = DecodeAdmitStats(r);
+  if (!r.ok || r.remaining() != 0) {
+    return fail(DurabilityError::Kind::kParse, r.pos,
+                "checkpoint payload undecodable");
+  }
+
+  // Integrity cross-check beyond the CRC: the per-core Zobrist hashes
+  // must re-derive from the entries they claim to cover (order-free XOR,
+  // so this catches mixed-up sections that still CRC fine), and the
+  // placement parts must account for exactly the per-core entry counts.
+  std::vector<std::size_t> parts_on(n_cores, 0);
+  for (const partition::PlacedTask& pt : c.placements) {
+    for (const partition::SubtaskPlacement& sp : pt.parts) {
+      if (sp.core >= n_cores) {
+        return fail(DurabilityError::Kind::kStateMismatch, 0,
+                    "placement names a core outside the configuration");
+      }
+      ++parts_on[sp.core];
+    }
+  }
+  for (std::uint64_t ci = 0; ci < n_cores; ++ci) {
+    if (edf) {
+      const partition::EdfCoreState& core = a.edf_cores[ci];
+      if (analysis::ZobristOfEdfEntries(core.entries) != core.zobrist) {
+        return fail(DurabilityError::Kind::kStateMismatch, 0,
+                    "core zobrist does not match its entries");
+      }
+      if (core.entries.size() != parts_on[ci]) {
+        return fail(DurabilityError::Kind::kStateMismatch, 0,
+                    "per-core entries disagree with placements");
+      }
+    } else {
+      const partition::FpCoreState& core = a.fp_cores[ci];
+      if (analysis::ZobristOfFpTasks(core.tasks) != core.zobrist) {
+        return fail(DurabilityError::Kind::kStateMismatch, 0,
+                    "core zobrist does not match its tasks");
+      }
+      if (core.tasks.size() != parts_on[ci]) {
+        return fail(DurabilityError::Kind::kStateMismatch, 0,
+                    "per-core tasks disagree with placements");
+      }
+    }
+  }
+  return true;
+}
+
+// ---- journal ---------------------------------------------------------------
+
+/// One applied request's journaled decision: what redo must reproduce.
+struct JournalRecord {
+  std::uint64_t seq = 0;  ///< request index in the stream
+  std::uint8_t kind = 0;  ///< RequestKind
+  std::uint8_t flags = 0; ///< bit0 accepted/left, bit1 fallback, bit2 ladder
+  std::uint32_t parts = 0;
+  std::uint32_t id = 0;
+  ChurnStats churn_delta;
+  OverloadStats overload_delta;
+
+  friend bool operator==(const JournalRecord&, const JournalRecord&) =
+      default;
+};
+
+std::string EncodeRecord(const JournalRecord& rec) {
+  ByteWriter p;
+  p.U64(rec.seq);
+  p.U8(rec.kind);
+  p.U8(rec.flags);
+  p.U32(rec.parts);
+  p.U32(rec.id);
+  EncodeChurn(p, rec.churn_delta);
+  EncodeOverload(p, rec.overload_delta);
+  ByteWriter f;
+  f.U32(static_cast<std::uint32_t>(p.buf.size()));
+  f.buf += p.buf;
+  f.U32(util::Crc32Of(p.buf));
+  return f.buf;
+}
+
+bool DecodeRecordPayload(std::string_view payload, JournalRecord& rec) {
+  ByteReader r(payload);
+  rec.seq = r.U64();
+  rec.kind = r.U8();
+  rec.flags = r.U8();
+  rec.parts = r.U32();
+  rec.id = r.U32();
+  rec.churn_delta = DecodeChurn(r);
+  rec.overload_delta = DecodeOverload(r);
+  return r.ok && r.remaining() == 0;
+}
+
+std::string JournalHeader(std::uint64_t fingerprint) {
+  std::string out(kJournalMagic, sizeof(kJournalMagic));
+  ByteWriter w;
+  w.U64(fingerprint);
+  out += w.buf;
+  ByteWriter crc;
+  crc.U32(util::Crc32Of(out));
+  out += crc.buf;
+  return out;
+}
+
+/// Scan `bytes`: header check, then records until the first invalid
+/// frame. Reports records + valid prefix; fills `records` when non-null.
+bool ScanJournalBytes(std::string_view bytes, const std::string& path,
+                      JournalScan& out,
+                      std::vector<JournalRecord>* records,
+                      std::uint64_t* fingerprint, DurabilityError* error) {
+  const auto fail = [&](DurabilityError::Kind kind, std::uint64_t offset,
+                        const std::string& detail) {
+    if (error != nullptr) {
+      error->kind = kind;
+      error->path = path;
+      error->offset = offset;
+      error->message = path + ": " + detail;
+    }
+    return false;
+  };
+  out = JournalScan{};
+  out.total_bytes = bytes.size();
+  if (bytes.size() < kJournalHeaderSize) {
+    return fail(DurabilityError::Kind::kTruncated, bytes.size(),
+                "journal shorter than its header");
+  }
+  if (std::memcmp(bytes.data(), kJournalMagic, 7) != 0) {
+    return fail(DurabilityError::Kind::kBadMagic, 0,
+                "not a journal file (bad magic)");
+  }
+  if (bytes[7] != kJournalMagic[7]) {
+    return fail(DurabilityError::Kind::kBadVersion, 7,
+                "unknown journal format version");
+  }
+  ByteReader hdr(bytes.substr(8, 12));
+  const std::uint64_t fp = hdr.U64();
+  const std::uint32_t hcrc = hdr.U32();
+  if (hcrc != util::Crc32Of(bytes.substr(0, 16))) {
+    return fail(DurabilityError::Kind::kCrcMismatch, 16,
+                "journal header CRC mismatch");
+  }
+  if (fingerprint != nullptr) *fingerprint = fp;
+
+  std::size_t pos = kJournalHeaderSize;
+  while (pos + 4 <= bytes.size()) {
+    ByteReader lenr(bytes.substr(pos, 4));
+    const std::uint32_t len = lenr.U32();
+    if (len == 0 || len > kMaxRecordLen) break;          // torn/garbage
+    if (pos + 4 + len + 4 > bytes.size()) break;         // torn tail
+    const std::string_view payload = bytes.substr(pos + 4, len);
+    ByteReader crcr(bytes.substr(pos + 4 + len, 4));
+    if (crcr.U32() != util::Crc32Of(payload)) break;     // torn/corrupt
+    JournalRecord rec;
+    if (!DecodeRecordPayload(payload, rec)) break;
+    if (records != nullptr) records->push_back(rec);
+    pos += 4 + len + 4;
+    ++out.records;
+  }
+  out.valid_bytes = pos;
+  return true;
+}
+
+// ---- engine ----------------------------------------------------------------
+
+std::string CheckpointPath(const std::string& dir, std::uint64_t epoch) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%010llu.sps",
+                static_cast<unsigned long long>(epoch));
+  return dir + "/" + name;
+}
+
+/// The checkpoint/journal sink the replay loop drives. Inactive (all
+/// no-ops) when the config has no directory.
+class DurabilityEngine {
+ public:
+  ~DurabilityEngine() {
+    if (journal_ != nullptr) std::fclose(journal_);
+  }
+
+  [[nodiscard]] const DurabilityError& error() const { return error_; }
+  [[nodiscard]] const RecoveryInfo& recovery() const { return recovery_; }
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  /// Prepare the directory, run recovery when asked, open the journal.
+  /// On success `st` holds the state to resume from (default = scratch).
+  bool Init(const WorkloadStream& s, const ReplayConfig& cfg,
+            CheckpointState& st) {
+    cfg_ = cfg.durability;
+    fingerprint_ = Fingerprint(s, cfg);
+    journal_path_ = cfg_.dir + "/journal.wal";
+
+    std::error_code ec;
+    fs::create_directories(cfg_.dir, ec);
+    if (ec) {
+      return Fail(DurabilityError::Kind::kIo, cfg_.dir, 0,
+                  "cannot create checkpoint directory: " + ec.message());
+    }
+
+    if (!cfg_.recover) {
+      // Fresh run: a stale journal or checkpoints from a previous run
+      // would poison recovery semantics — wipe them.
+      for (const std::string& p : ListCheckpoints(cfg_.dir)) {
+        fs::remove(p, ec);
+      }
+      fs::remove(journal_path_, ec);
+    } else {
+      recovery_.attempted = true;
+      if (!Recover(st)) return false;
+    }
+
+    // Open (or create) the journal for appending; a fresh journal gets
+    // its header first.
+    if (!fs::exists(journal_path_)) {
+      std::string err;
+      if (!util::WriteFileAtomic(journal_path_, JournalHeader(fingerprint_),
+                                 cfg_.fsync != FsyncPolicy::kOff, &err)) {
+        return Fail(DurabilityError::Kind::kIo, journal_path_, 0, err);
+      }
+    }
+    journal_ = std::fopen(journal_path_.c_str(), "ab");
+    if (journal_ == nullptr) {
+      return Fail(DurabilityError::Kind::kIo, journal_path_, 0,
+                  journal_path_ + ": cannot open journal for append: " +
+                      std::strerror(errno));
+    }
+    return true;
+  }
+
+  /// Journal hook, called after each applied request. Redo of an already
+  /// journaled seq cross-checks; new seqs append (+ crash/halt
+  /// injection). Returns false on divergence (error() set).
+  bool OnApplied(const JournalRecord& rec) {
+    const auto it = seen_.find(rec.seq);
+    if (it != seen_.end()) {
+      if (it->second == rec) return true;
+      return Fail(DurabilityError::Kind::kJournalDivergence,
+                  journal_path_, 0,
+                  journal_path_ + ": redo decision for request " +
+                      std::to_string(rec.seq) +
+                      " diverges from the journaled one (corrupt journal "
+                      "or mismatched stream)");
+    }
+    const std::string frame = EncodeRecord(rec);
+    if (std::fwrite(frame.data(), 1, frame.size(), journal_) !=
+        frame.size()) {
+      return Fail(DurabilityError::Kind::kIo, journal_path_, 0,
+                  journal_path_ + ": journal append failed: " +
+                      std::strerror(errno));
+    }
+    seen_.emplace(rec.seq, rec);
+    ++appends_;
+    if (cfg_.fsync == FsyncPolicy::kEveryN &&
+        appends_ % std::max(1u, cfg_.fsync_every_n) == 0) {
+      FlushJournal(/*sync=*/true);
+    }
+    if (cfg_.crash_after_appends != 0 &&
+        appends_ == cfg_.crash_after_appends) {
+      // The record above is in the page cache (flushed, not necessarily
+      // fsync'd) — visible to the recovering process. Then die the hard
+      // way, exactly like kill -9 mid-service.
+      FlushJournal(cfg_.fsync != FsyncPolicy::kOff);
+      std::raise(SIGKILL);
+    }
+    if (cfg_.halt_after_appends != 0 &&
+        appends_ == cfg_.halt_after_appends) {
+      FlushJournal(/*sync=*/false);
+      halted_ = true;
+      recovery_.halted_by_injection = true;
+    }
+    return true;
+  }
+
+  /// Epoch-boundary hook: per-epoch fsync and the every-K checkpoint.
+  bool OnEpochEntered(const Controller& ctrl, const ReplayResult& out,
+                      std::uint64_t next_request, Time epoch_start,
+                      std::uint64_t epoch_index,
+                      const ChurnStats& churn_before,
+                      const OverloadStats& overload_before) {
+    if (cfg_.fsync == FsyncPolicy::kEveryEpoch) {
+      FlushJournal(/*sync=*/true);
+    }
+    if (cfg_.checkpoint_every == 0 ||
+        epoch_index % cfg_.checkpoint_every != 0) {
+      return true;
+    }
+    const std::string path = CheckpointPath(cfg_.dir, epoch_index);
+    if (fs::exists(path)) return true;  // redo re-entered a covered epoch
+    CheckpointState st;
+    st.next_request = next_request;
+    st.epoch_start = epoch_start;
+    st.epoch_index = epoch_index;
+    st.churn_before = churn_before;
+    st.overload_before = overload_before;
+    st.admits = out.admits;
+    st.rejects = out.rejects;
+    st.leaves = out.leaves;
+    st.epochs = out.epochs;
+    st.ctrl = ctrl.ExportState();
+    std::string err;
+    if (!util::WriteFileAtomic(path, EncodeCheckpoint(st, fingerprint_),
+                               cfg_.fsync != FsyncPolicy::kOff, &err)) {
+      return Fail(DurabilityError::Kind::kIo, path, 0, err);
+    }
+    PruneCheckpoints();
+    return true;
+  }
+
+  void Finish() {
+    FlushJournal(cfg_.fsync != FsyncPolicy::kOff);
+  }
+
+ private:
+  bool Fail(DurabilityError::Kind kind, const std::string& path,
+            std::uint64_t offset, const std::string& message) {
+    error_.kind = kind;
+    error_.path = path;
+    error_.offset = offset;
+    error_.message = message;
+    return false;
+  }
+
+  void FlushJournal(bool sync) {
+    if (journal_ == nullptr) return;
+    std::fflush(journal_);
+    if (sync) ::fsync(::fileno(journal_));
+  }
+
+  void PruneCheckpoints() {
+    const std::vector<std::string> all = ListCheckpoints(cfg_.dir);
+    const std::uint32_t keep = std::max(1u, cfg_.keep_checkpoints);
+    std::error_code ec;
+    for (std::size_t i = keep; i < all.size(); ++i) fs::remove(all[i], ec);
+  }
+
+  /// Load the newest valid checkpoint (skipping corrupt ones), scan the
+  /// journal, truncate its torn tail, keep the valid records for the
+  /// redo cross-check.
+  bool Recover(CheckpointState& st) {
+    for (const std::string& path : ListCheckpoints(cfg_.dir)) {
+      std::string bytes;
+      std::string io_err;
+      if (!util::ReadFileBytes(path, bytes, &io_err)) {
+        ++recovery_.checkpoints_skipped;
+        continue;
+      }
+      CheckpointState cand;
+      DurabilityError derr;
+      if (!DecodeCheckpoint(bytes, path, fingerprint_, cand, derr)) {
+        // A checkpoint for a DIFFERENT stream/config is not corruption —
+        // the caller pointed recovery at the wrong directory; surface it
+        // instead of silently replaying from scratch.
+        if (derr.kind == DurabilityError::Kind::kFingerprintMismatch) {
+          error_ = derr;
+          return false;
+        }
+        ++recovery_.checkpoints_skipped;
+        continue;
+      }
+      st = std::move(cand);
+      recovery_.recovered = true;
+      recovery_.checkpoint_epoch = st.epoch_index;
+      recovery_.resume_seq = st.next_request;
+      break;
+    }
+
+    if (fs::exists(journal_path_)) {
+      std::string bytes;
+      std::string io_err;
+      if (!util::ReadFileBytes(journal_path_, bytes, &io_err)) {
+        return Fail(DurabilityError::Kind::kIo, journal_path_, 0, io_err);
+      }
+      JournalScan scan;
+      std::vector<JournalRecord> records;
+      std::uint64_t fp = 0;
+      DurabilityError derr;
+      if (!ScanJournalBytes(bytes, journal_path_, scan, &records, &fp,
+                            &derr)) {
+        error_ = derr;
+        return false;
+      }
+      if (fp != fingerprint_) {
+        return Fail(DurabilityError::Kind::kFingerprintMismatch,
+                    journal_path_, 8,
+                    journal_path_ +
+                        ": journal was written for a different "
+                        "stream/config");
+      }
+      recovery_.journal_records = scan.records;
+      recovery_.journal_truncated_bytes =
+          scan.total_bytes - scan.valid_bytes;
+      if (recovery_.journal_truncated_bytes > 0 &&
+          ::truncate(journal_path_.c_str(),
+                     static_cast<off_t>(scan.valid_bytes)) != 0) {
+        return Fail(DurabilityError::Kind::kIo, journal_path_, 0,
+                    journal_path_ + ": cannot truncate torn tail: " +
+                        std::strerror(errno));
+      }
+      seen_.reserve(records.size());
+      for (const JournalRecord& rec : records) seen_.emplace(rec.seq, rec);
+    }
+    return true;
+  }
+
+  DurabilityConfig cfg_;
+  std::string journal_path_;
+  std::FILE* journal_ = nullptr;
+  std::uint64_t fingerprint_ = 0;
+  std::unordered_map<std::uint64_t, JournalRecord> seen_;
+  std::uint64_t appends_ = 0;
+  bool halted_ = false;
+  DurabilityError error_;
+  RecoveryInfo recovery_;
+};
+
+// ---- epoch close (moved with the replay loop from controller.cpp) ----------
+
+void CloseEpoch(const Controller& ctrl, const ReplayConfig& cfg,
+                std::size_t epoch_index, Time start, Time end,
+                const ChurnStats& churn_before,
+                const OverloadStats& overload_before, EpochStats& e,
+                ReplayResult& out) {
+  e.start = start;
+  e.end = end;
+  e.resident = ctrl.resident();
+  e.shed_resident = ctrl.shed_resident();
+  e.degraded_resident = ctrl.degraded_resident();
+  e.utilization = ctrl.total_utilization();
+  ChurnStats delta = ctrl.churn();
+  delta -= churn_before;
+  e.churn = delta;
+  OverloadStats odelta = ctrl.overload_stats();
+  odelta -= overload_before;
+  e.overload = odelta;
+  const SpikeEpoch* spike = cfg.faults.SpikeAt(start, end);
+  const BurstStorm* storm = cfg.faults.StormAt(start, end);
+  e.fault_active = spike != nullptr || storm != nullptr;
+  if (cfg.validate_by_simulation && ctrl.resident() > 0) {
+    sim::SimConfig scfg = cfg.validate_sim;
+    scfg.overheads = cfg.controller.admission.model;
+    scfg.exec.seed = util::DeriveSeed(cfg.seed, epoch_index, 0);
+    scfg.arrivals.seed = util::DeriveSeed(cfg.seed, epoch_index, 1);
+    // Fault windows validate against the FAULTED models — "zero hard
+    // misses" is proven under the spike/storm, not the nominal load.
+    if (spike != nullptr) {
+      scfg.exec.kind = sim::ExecModel::Kind::kSpiky;
+      scfg.exec.spike_prob = spike->prob;
+      scfg.exec.spike_magnitude = spike->magnitude;
+    }
+    if (storm != nullptr) {
+      scfg.arrivals.kind = sim::ArrivalModel::Kind::kBursty;
+      scfg.arrivals.burst_prob = storm->burst_prob;
+    }
+    const partition::Partition p = ctrl.CurrentPartition();
+    scfg.exec_generations = ctrl.ExecGenerations();
+    const std::vector<sim::BatchRun> runs =
+        sim::RunConfigSweep(p, {{"epoch", scfg}}, {.jobs = 1});
+    e.validated = true;
+    e.sim_misses = runs.front().result.total_misses;
+    // Hard-miss attribution: SimResult.tasks is index-aligned with
+    // p.tasks (the engine copies ids positionally).
+    const auto& tstats = runs.front().result.tasks;
+    for (std::size_t i = 0; i < tstats.size() && i < p.tasks.size(); ++i) {
+      if (p.tasks[i].task.crit == rt::Criticality::kHard) {
+        e.hard_misses += tstats[i].deadline_misses;
+      }
+    }
+  }
+  out.epochs.push_back(e);
+  e = EpochStats{};
+}
+
+}  // namespace
+
+// ---- public file helpers ---------------------------------------------------
+
+bool ScanJournal(const std::string& path, JournalScan& out,
+                 DurabilityError* error) {
+  std::string bytes;
+  std::string io_err;
+  if (!util::ReadFileBytes(path, bytes, &io_err)) {
+    if (error != nullptr) {
+      error->kind = DurabilityError::Kind::kIo;
+      error->path = path;
+      error->message = io_err;
+    }
+    return false;
+  }
+  return ScanJournalBytes(bytes, path, out, nullptr, nullptr, error);
+}
+
+std::vector<std::string> ListCheckpoints(const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    unsigned long long epoch = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "ckpt-%10llu.sps%n", &epoch,
+                    &consumed) == 1 &&
+        consumed == static_cast<int>(name.size())) {
+      found.emplace_back(epoch, e.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> out;
+  out.reserve(found.size());
+  for (auto& [epoch, path] : found) out.push_back(std::move(path));
+  return out;
+}
+
+// ---- the replay loop (one loop for the plain and durable paths) ------------
+
+ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg) {
+  ReplayResult out;
+  Controller ctrl(cfg.controller);
+  const Time epoch_len = cfg.epoch > 0 ? cfg.epoch : s.span() + 1;
+  // Idle spans longer than this many empty epochs are compressed: the
+  // skipped epochs produce no rows (nothing happened in them; their
+  // validation would re-simulate an unchanged partition). Bounds the
+  // result against a far-future timestamp in a loaded trace or a tiny
+  // --online-epoch-ms against a long stream.
+  constexpr Time kMaxIdleEpochs = 1024;
+
+  EpochStats cur;
+  ChurnStats churn_before;
+  OverloadStats overload_before;
+  Time epoch_start = 0;
+  std::size_t epoch_index = 0;
+  std::size_t next_request = 0;
+
+  const bool durable = cfg.durability.enabled();
+  DurabilityEngine dur;
+  if (durable) {
+    CheckpointState st;
+    if (!dur.Init(s, cfg, st)) {
+      out.recovery = dur.recovery();
+      out.durability_error = dur.error();
+      return out;
+    }
+    out.recovery = dur.recovery();
+    if (out.recovery.recovered) {
+      if (!ctrl.ImportState(std::move(st.ctrl))) {
+        out.durability_error = DurabilityError{
+            DurabilityError::Kind::kStateMismatch, cfg.durability.dir, 0,
+            cfg.durability.dir +
+                ": checkpoint does not fit this controller config"};
+        return out;
+      }
+      next_request = static_cast<std::size_t>(st.next_request);
+      epoch_start = st.epoch_start;
+      epoch_index = static_cast<std::size_t>(st.epoch_index);
+      churn_before = st.churn_before;
+      overload_before = st.overload_before;
+      out.admits = st.admits;
+      out.rejects = st.rejects;
+      out.leaves = st.leaves;
+      out.epochs = std::move(st.epochs);
+    }
+  }
+
+  // Called as the replay ENTERS the epoch starting at `start`: the
+  // controller ticks (shed retries and degrade restores run only in
+  // calm epochs), and a fault window covering the new epoch is the
+  // overload ALARM — the controller walks the ladder until the
+  // spike-inflated partition re-analyzes schedulable, BEFORE this
+  // epoch's requests and validation run.
+  const auto enter_epoch = [&](Time start) {
+    const Time end =
+        start > kTimeNever - epoch_len ? kTimeNever : start + epoch_len;
+    const SpikeEpoch* spike = cfg.faults.SpikeAt(start, end);
+    const BurstStorm* storm = cfg.faults.StormAt(start, end);
+    ctrl.AdvanceEpoch(spike != nullptr || storm != nullptr);
+    if (spike != nullptr) {
+      ctrl.ReactToOverload(spike->magnitude);
+    } else if (storm != nullptr) {
+      ctrl.ReactToOverload(cfg.controller.overload.spike_magnitude);
+    }
+  };
+
+  const auto fail_durability = [&]() {
+    out.durability_error = dur.error();
+    out.churn = ctrl.churn();
+    out.overload = ctrl.overload_stats();
+    out.shed_outstanding = ctrl.shed_resident();
+    out.admission = ctrl.admission_stats();
+    out.final_partition = ctrl.CurrentPartition();
+    return out;
+  };
+
+  const std::vector<Request>& reqs = s.requests();
+  for (std::size_t seq = next_request; seq < reqs.size(); ++seq) {
+    const Request& r = reqs[seq];
+    // (r.at - epoch_start is non-negative: requests are time-sorted and
+    // epoch_start never passes a request — so the subtraction form is
+    // overflow-safe where `epoch_start + epoch_len` is not.)
+    while (r.at - epoch_start >= epoch_len) {
+      CloseEpoch(ctrl, cfg, epoch_index, epoch_start,
+                 epoch_start + epoch_len, churn_before, overload_before,
+                 cur, out);
+      churn_before = ctrl.churn();
+      overload_before = ctrl.overload_stats();
+      epoch_start += epoch_len;
+      ++epoch_index;
+      const Time idle_epochs = (r.at - epoch_start) / epoch_len;
+      if (idle_epochs > kMaxIdleEpochs) {
+        epoch_start += idle_epochs * epoch_len;
+        epoch_index += static_cast<std::size_t>(idle_epochs);
+      }
+      enter_epoch(epoch_start);
+      if (durable &&
+          !dur.OnEpochEntered(ctrl, out, seq, epoch_start, epoch_index,
+                              churn_before, overload_before)) {
+        return fail_durability();
+      }
+    }
+    ChurnStats churn_pre;
+    OverloadStats overload_pre;
+    if (durable) {
+      churn_pre = ctrl.churn();
+      overload_pre = ctrl.overload_stats();
+    }
+    std::uint8_t flags = 0;
+    std::uint32_t parts = 0;
+    if (r.kind == RequestKind::kAdmit) {
+      const AdmitOutcome o = ctrl.Admit(r.task);
+      if (o.accepted) {
+        ++cur.admits;
+        ++out.admits;
+      } else {
+        ++cur.rejects;
+        ++out.rejects;
+      }
+      flags = static_cast<std::uint8_t>((o.accepted ? 1u : 0u) |
+                                        (o.via_fallback ? 2u : 0u) |
+                                        (o.via_ladder ? 4u : 0u));
+      parts = o.parts;
+    } else {
+      if (ctrl.Leave(r.id)) {
+        ++cur.leaves;
+        ++out.leaves;
+        flags = 1;
+      }
+    }
+    if (durable) {
+      JournalRecord rec;
+      rec.seq = seq;
+      rec.kind = static_cast<std::uint8_t>(r.kind);
+      rec.flags = flags;
+      rec.parts = parts;
+      rec.id = r.id;
+      rec.churn_delta = ctrl.churn();
+      rec.churn_delta -= churn_pre;
+      rec.overload_delta = ctrl.overload_stats();
+      rec.overload_delta -= overload_pre;
+      if (!dur.OnApplied(rec)) return fail_durability();
+      if (dur.halted()) {
+        // Clean in-process "crash": the artifacts on disk are exactly
+        // what a SIGKILL here would leave; the partial stats below are
+        // for the harness's convenience only.
+        out.recovery.halted_by_injection = true;
+        out.churn = ctrl.churn();
+        out.overload = ctrl.overload_stats();
+        out.shed_outstanding = ctrl.shed_resident();
+        out.admission = ctrl.admission_stats();
+        out.final_partition = ctrl.CurrentPartition();
+        return out;
+      }
+    }
+  }
+  // Final epoch; its nominal end can exceed the representable range when
+  // the last request sits near kTimeNever — clamp.
+  const Time final_end = epoch_start > kTimeNever - epoch_len
+                             ? kTimeNever
+                             : epoch_start + epoch_len;
+  CloseEpoch(ctrl, cfg, epoch_index, epoch_start, final_end, churn_before,
+             overload_before, cur, out);
+
+  // Drain epochs: keep ticking past the last request so shed-re-admission
+  // retries (whose backoff is measured in epochs) get room to run when
+  // the stream ends right after a fault window.
+  for (std::uint32_t k = 0; k < cfg.drain_epochs; ++k) {
+    if (epoch_start > kTimeNever - epoch_len) break;
+    churn_before = ctrl.churn();
+    overload_before = ctrl.overload_stats();
+    epoch_start += epoch_len;
+    ++epoch_index;
+    enter_epoch(epoch_start);
+    const Time drain_end = epoch_start > kTimeNever - epoch_len
+                               ? kTimeNever
+                               : epoch_start + epoch_len;
+    CloseEpoch(ctrl, cfg, epoch_index, epoch_start, drain_end,
+               churn_before, overload_before, cur, out);
+  }
+  if (durable) dur.Finish();
+
+  out.churn = ctrl.churn();
+  out.overload = ctrl.overload_stats();
+  out.shed_outstanding = ctrl.shed_resident();
+  out.admission = ctrl.admission_stats();
+  out.final_partition = ctrl.CurrentPartition();
+  return out;
+}
+
+std::vector<ReplayResult> ReplayBatch(std::span<const WorkloadStream> streams,
+                                      const ReplayConfig& cfg,
+                                      unsigned jobs) {
+  std::vector<ReplayResult> results(streams.size());
+  util::ParallelFor(jobs, streams.size(), [&](std::size_t i) {
+    // Per-stream config: only the validation seed varies, derived from
+    // the stream index — results are pure in (stream, cfg, i), hence
+    // bit-identical for any job count. Durable batches give each stream
+    // its own artifact subdirectory.
+    ReplayConfig c = cfg;
+    c.seed = util::DeriveSeed(cfg.seed, i, 0xB47C4);
+    if (cfg.durability.enabled()) {
+      c.durability.dir =
+          cfg.durability.dir + "/stream-" + std::to_string(i);
+    }
+    results[i] = ReplayStream(streams[i], c);
+  });
+  return results;
+}
+
+}  // namespace sps::online

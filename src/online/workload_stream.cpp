@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "rt/generator.hpp"
+#include "util/crc32.hpp"
 #include "util/json_writer.hpp"
 #include "util/rng.hpp"
 
@@ -191,6 +192,7 @@ const char* ToString(StreamError::Kind k) {
     case StreamError::Kind::kLeaveWithoutAdmit:
       return "leave-without-admit";
     case StreamError::Kind::kNonMonotoneTime: return "non-monotone-time";
+    case StreamError::Kind::kCrcMismatch: return "crc-mismatch";
   }
   return "?";
 }
@@ -237,6 +239,12 @@ bool SaveStream(const WorkloadStream& s, const std::string& path,
     }
     body += line;
   }
+  // Integrity footer (DESIGN.md §14): a trailing comment carrying the
+  // CRC32 of every byte before it (including the newline terminating the
+  // last request line). Loaders that predate it skip it as a comment.
+  std::snprintf(line, sizeof(line), "\n# crc32 %08x",
+                util::Crc32Of(body + "\n"));
+  body += line;
   return util::WriteTextFile(path, body, error);
 }
 
@@ -278,6 +286,10 @@ bool LoadStream(const std::string& path, WorkloadStream& out,
   int lineno = 0;
   StreamError err;
   bool ok = true;
+  // Running CRC of every byte before the current line — what a
+  // '# crc32' footer (written by SaveStream) must match. Footer-less
+  // files (pre-§14 captures) are loaded unchanged.
+  util::Crc32 crc;
   while (ok && std::fgets(line, sizeof(line), f) != nullptr) {
     ++lineno;
     const std::size_t len = std::strlen(line);
@@ -303,6 +315,18 @@ bool LoadStream(const std::string& path, WorkloadStream& out,
       break;
     }
     if (line[0] == '#') {
+      unsigned stored = 0;
+      if (saw_header && std::sscanf(line, "# crc32 %x", &stored) == 1) {
+        if (stored != crc.value()) {
+          err = MakeError(StreamError::Kind::kCrcMismatch, path, lineno,
+                          "crc32 footer does not match the file contents "
+                          "(corrupt or edited capture)");
+          ok = false;
+          break;
+        }
+        continue;  // footer verified; not part of its own CRC
+      }
+      crc.Update(line, len);
       if (!saw_header) {
         if (std::strncmp(line, "# sps-online-stream v", 21) != 0) {
           err = MakeError(StreamError::Kind::kMissingHeader, path, lineno,
@@ -314,6 +338,7 @@ bool LoadStream(const std::string& path, WorkloadStream& out,
       }
       continue;
     }
+    crc.Update(line, len);
     if (line[0] == '\n' || line[0] == '\0') continue;
     if (!saw_header) {
       err = MakeError(StreamError::Kind::kMissingHeader, path, lineno,

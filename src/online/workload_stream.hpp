@@ -17,7 +17,10 @@
 // ("sps-online-stream v1"/"v2": one `admit`/`leave` line per request;
 // v2 admit lines append the overload attributes crit/value/tardiness/
 // degraded-WCET, and the loader reads both), so captured workloads can
-// be replayed, diffed, and shipped into benches. The loader is a
+// be replayed, diffed, and shipped into benches. The writer appends a
+// trailing `# crc32 <hex>` footer covering every preceding byte
+// (DESIGN.md §14); the loader verifies it when present and still loads
+// footer-less captures unchanged (old loaders skip it as a comment). The loader is a
 // fault-injection surface (DESIGN.md §13): truncated files, overlong
 // lines, duplicate admits, LEAVE-before-ADMIT and non-monotone
 // timestamps each yield a TYPED StreamError with the offending line
@@ -135,6 +138,7 @@ struct StreamError {
     kDuplicateAdmit,    ///< second admit of an already-seen task id
     kLeaveWithoutAdmit, ///< leave of an id that is not resident
     kNonMonotoneTime,   ///< timestamp earlier than the previous request
+    kCrcMismatch,       ///< the '# crc32' footer does not cover the bytes
   };
   Kind kind = Kind::kNone;
   int line = 0;

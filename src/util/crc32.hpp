@@ -1,0 +1,66 @@
+#pragma once
+// CRC-32 (IEEE 802.3: reflected, polynomial 0xEDB88320, init and final
+// xor 0xFFFFFFFF) — the integrity frame of every durability artifact
+// (online/durability.* checkpoint and journal records, the optional
+// stream-file footer). Table-driven, one 1 KiB constexpr table computed
+// at compile time; the classic check vector CRC32("123456789") ==
+// 0xCBF43926 is pinned by tests/test_durability.cpp.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sps::util {
+
+namespace detail {
+
+consteval std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    MakeCrc32Table();
+
+}  // namespace detail
+
+/// Incremental CRC-32 accumulator (for framing multi-part payloads
+/// without concatenating them first).
+class Crc32 {
+ public:
+  void Update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < n; ++i) {
+      c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    }
+    state_ = c;
+  }
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+[[nodiscard]] inline std::uint32_t Crc32Of(const void* data,
+                                           std::size_t n) {
+  Crc32 c;
+  c.Update(data, n);
+  return c.value();
+}
+
+[[nodiscard]] inline std::uint32_t Crc32Of(std::string_view s) {
+  return Crc32Of(s.data(), s.size());
+}
+
+}  // namespace sps::util

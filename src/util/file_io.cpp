@@ -1,0 +1,111 @@
+#include "util/file_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace sps::util {
+
+namespace {
+
+void SetError(std::string* error, const std::string& path,
+              const char* verb) {
+  if (error != nullptr) {
+    *error = path + ": " + verb + ": " + std::strerror(errno);
+  }
+}
+
+/// fsync the directory containing `path`, so the rename that just landed
+/// there survives power loss (POSIX requires syncing the directory entry
+/// separately from the file's own data).
+bool FsyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool WriteAtomicImpl(const std::string& path, const std::string& bytes,
+                     bool trailing_newline, bool durable,
+                     std::string* error) {
+  // The temp file must live in the SAME directory as the target:
+  // rename(2) is only atomic within a filesystem.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    SetError(error, path, "cannot open for writing");
+    return false;
+  }
+  bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  if (wrote && trailing_newline) wrote = std::fputc('\n', f) != EOF;
+  if (wrote) wrote = std::fflush(f) == 0;
+  if (!wrote) {
+    SetError(error, path, "write failed");
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (durable && ::fsync(::fileno(f)) != 0) {
+    SetError(error, path, "fsync failed");
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::fclose(f) != 0) {
+    SetError(error, path, "close failed");
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, path, "rename failed");
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (durable && !FsyncParentDir(path)) {
+    SetError(error, path, "directory fsync failed");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WriteTextFile(const std::string& path, const std::string& body,
+                   std::string* error) {
+  return WriteAtomicImpl(path, body, /*trailing_newline=*/true,
+                         /*durable=*/false, error);
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& bytes,
+                     bool durable, std::string* error) {
+  return WriteAtomicImpl(path, bytes, /*trailing_newline=*/false, durable,
+                         error);
+}
+
+bool ReadFileBytes(const std::string& path, std::string& out,
+                   std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    SetError(error, path, "cannot open for reading");
+    return false;
+  }
+  out.clear();
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  if (!ok) SetError(error, path, "read failed");
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace sps::util

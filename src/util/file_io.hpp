@@ -1,0 +1,39 @@
+#pragma once
+// Crash-consistent file writing (DESIGN.md §14). Every text artifact the
+// tools emit (bench JSON, Perfetto traces, metrics reports, stream
+// captures) and every durability artifact (checkpoints) goes through the
+// atomic temp-file + rename protocol here: the bytes are written to
+// `<path>.tmp` in the SAME directory, optionally fsync'd, and rename(2)'d
+// over the target — so a reader (or a crash) never observes a
+// half-written file at `path`; it sees the old content or the new,
+// nothing in between. On any failure the temp file is removed, the
+// original target is left untouched, and a non-null `error` receives the
+// failing path and errno — no caller ever reports "could not write"
+// without saying WHY.
+
+#include <string>
+
+namespace sps::util {
+
+/// Write `body` plus a trailing newline to `path` atomically (temp-file +
+/// rename). Returns success; on failure `error` (if non-null) gets the
+/// path + errno rendering and `path` is untouched.
+[[nodiscard]] bool WriteTextFile(const std::string& path,
+                                 const std::string& body,
+                                 std::string* error = nullptr);
+
+/// Atomic byte-exact write (no trailing newline appended). With `durable`
+/// the temp file is fsync'd before the rename and the containing
+/// directory fsync'd after it — the crash-durability contract the
+/// checkpoint writer needs; without it the write is still ATOMIC (no torn
+/// file) but may be lost wholesale on power failure.
+[[nodiscard]] bool WriteFileAtomic(const std::string& path,
+                                   const std::string& bytes, bool durable,
+                                   std::string* error = nullptr);
+
+/// Slurp a whole file into `out` (binary-exact). Returns success; on
+/// failure `error` (if non-null) gets the path + errno rendering.
+[[nodiscard]] bool ReadFileBytes(const std::string& path, std::string& out,
+                                 std::string* error = nullptr);
+
+}  // namespace sps::util

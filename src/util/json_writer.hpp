@@ -5,43 +5,20 @@
 // object/array scoping and automatic comma placement; not a general
 // serializer, just enough structure for flat metric dumps.
 
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
 
-namespace sps::util {
+// The one write-and-verify implementation behind every text artifact the
+// tools emit (bench JSON, Perfetto documents, metrics reports) lives in
+// util/file_io.hpp since the durability PR made it atomic (temp-file +
+// rename); this include keeps every existing util::WriteTextFile caller
+// compiling unchanged.
+#include "util/file_io.hpp"
 
-/// Write `body` plus a trailing newline to `path`; returns success. The
-/// one write-and-verify implementation behind every text artifact the
-/// tools emit (bench JSON, Perfetto documents, metrics reports). On
-/// failure a non-null `error` receives the failing path and errno — so
-/// no caller ever has to report "could not write" without saying WHY.
-[[nodiscard]] inline bool WriteTextFile(const std::string& path,
-                                        const std::string& body,
-                                        std::string* error = nullptr) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    if (error != nullptr) {
-      *error = path + ": cannot open for writing: " + std::strerror(errno);
-    }
-    return false;
-  }
-  const bool wrote =
-      std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
-      std::fputc('\n', f) != EOF;
-  if (!wrote && error != nullptr) {
-    *error = path + ": write failed: " + std::strerror(errno);
-  }
-  const bool closed = std::fclose(f) == 0;
-  if (wrote && !closed && error != nullptr) {
-    *error = path + ": close failed: " + std::strerror(errno);
-  }
-  return wrote && closed;
-}
+namespace sps::util {
 
 class JsonWriter {
  public:

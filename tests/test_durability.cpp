@@ -1,0 +1,692 @@
+// Durable online service (DESIGN.md §14): CRC32 vectors, atomic file
+// writes, the stream CRC footer, controller snapshot round-trips, the
+// crash/recover differential (halt-injection matrix across placement
+// policies, scheduling policies and fault windows, plus a real
+// fork+SIGKILL), and the corrupted-artifact ladder — bit-flipped
+// checkpoints, torn journal tails, stale-checkpoint-long-tail,
+// wrong-stream fingerprints. Recovery must be decision- and
+// byte-identical to the never-crashed run; corruption must map to typed
+// errors, never UB.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "online/controller.hpp"
+#include "online/durability.hpp"
+#include "online/workload_stream.hpp"
+#include "util/crc32.hpp"
+#include "util/file_io.hpp"
+
+namespace sps::online {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// util: CRC32 + atomic writes
+// ---------------------------------------------------------------------------
+
+TEST(Crc32, KnownVectorsAndIncrementalUpdates) {
+  // The IEEE reflected-polynomial check value.
+  EXPECT_EQ(util::Crc32Of("123456789"), 0xCBF43926u);
+  EXPECT_EQ(util::Crc32Of(""), 0x00000000u);
+  EXPECT_EQ(util::Crc32Of("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+
+  // Chunked updates equal the one-shot digest.
+  util::Crc32 c;
+  c.Update("12345");
+  c.Update("6789");
+  EXPECT_EQ(c.value(), 0xCBF43926u);
+}
+
+TEST(FileIo, AtomicWriteRoundTripsAndFailsWithPathAndReason) {
+  const std::string path = ::testing::TempDir() + "atomic_roundtrip.bin";
+  const std::string payload("ab\0cd\n\xFFz", 8);  // binary-exact
+  std::string err;
+  ASSERT_TRUE(util::WriteFileAtomic(path, payload, false, &err)) << err;
+  std::string back;
+  ASSERT_TRUE(util::ReadFileBytes(path, back, &err)) << err;
+  EXPECT_EQ(back, payload);
+  // Overwrite is atomic too: afterwards only the new content exists and
+  // no temp file is left behind.
+  ASSERT_TRUE(util::WriteFileAtomic(path, "second", true, &err)) << err;
+  ASSERT_TRUE(util::ReadFileBytes(path, back, &err));
+  EXPECT_EQ(back, "second");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  std::remove(path.c_str());
+
+  err.clear();
+  EXPECT_FALSE(util::WriteFileAtomic("/nonexistent/dir/x.bin", "x", false,
+                                     &err));
+  EXPECT_NE(err.find("/nonexistent/dir/x.bin"), std::string::npos) << err;
+  EXPECT_NE(err.find("No such file"), std::string::npos) << err;
+}
+
+TEST(FileIo, WriteTextFileIsAtomicAndKeepsTheOldContentOnFailure) {
+  const std::string path = ::testing::TempDir() + "atomic_text.txt";
+  std::string err;
+  ASSERT_TRUE(util::WriteTextFile(path, "hello", &err)) << err;
+  std::string back;
+  ASSERT_TRUE(util::ReadFileBytes(path, back, &err));
+  EXPECT_EQ(back, "hello\n");  // the writer appends the newline
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Stream CRC footer (back-compat pinned)
+// ---------------------------------------------------------------------------
+
+WorkloadStream SmallStream(std::uint64_t seed = 7, std::size_t n = 24,
+                           double soft = 0.4) {
+  StreamConfig cfg;
+  cfg.num_admits = n;
+  cfg.leave_fraction = 0.5;
+  cfg.soft_fraction = soft;
+  cfg.seed = seed;
+  return GenerateStream(cfg);
+}
+
+TEST(StreamCrcFooter, WrittenVerifiedAndCorruptionIsTyped) {
+  const WorkloadStream s = SmallStream();
+  const std::string path = ::testing::TempDir() + "stream_crc.txt";
+  std::string err;
+  ASSERT_TRUE(SaveStream(s, path, &err)) << err;
+
+  std::string bytes;
+  ASSERT_TRUE(util::ReadFileBytes(path, bytes, &err));
+  EXPECT_NE(bytes.find("\n# crc32 "), std::string::npos);
+
+  WorkloadStream loaded;
+  ASSERT_TRUE(LoadStream(path, loaded, &err)) << err;
+  EXPECT_EQ(s.requests(), loaded.requests());
+
+  // Flip one digit inside a request line: the footer no longer covers
+  // the bytes — a typed kCrcMismatch naming the footer's line.
+  std::string corrupt = bytes;
+  const std::size_t pos = corrupt.find("admit ") + 6;
+  corrupt[pos] = corrupt[pos] == '1' ? '2' : '1';
+  ASSERT_TRUE(util::WriteFileAtomic(path, corrupt, false, &err));
+  StreamError serr;
+  // The flip may instead trip the semantic validators (duplicate admit /
+  // non-monotone time) before the footer is reached; any of those is a
+  // correct rejection, but an untouched-request corruption must land on
+  // the CRC check.
+  EXPECT_FALSE(LoadStream(path, loaded, &serr));
+  EXPECT_NE(serr.kind, StreamError::Kind::kNone);
+
+  // Corrupting only the footer itself is unambiguous.
+  std::string bad_footer = bytes;
+  const std::size_t f = bad_footer.rfind("# crc32 ");
+  bad_footer[f + 8] = bad_footer[f + 8] == 'a' ? 'b' : 'a';
+  ASSERT_TRUE(util::WriteFileAtomic(path, bad_footer, false, &err));
+  EXPECT_FALSE(LoadStream(path, loaded, &serr));
+  EXPECT_EQ(serr.kind, StreamError::Kind::kCrcMismatch);
+  EXPECT_NE(serr.message.find("crc32"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StreamCrcFooter, FooterlessFilesStillLoad) {
+  // Pre-§14 captures have no footer; they must keep loading unchanged.
+  const WorkloadStream s = SmallStream();
+  const std::string path = ::testing::TempDir() + "stream_nofooter.txt";
+  std::string err;
+  ASSERT_TRUE(SaveStream(s, path, &err)) << err;
+  std::string bytes;
+  ASSERT_TRUE(util::ReadFileBytes(path, bytes, &err));
+  const std::size_t f = bytes.rfind("# crc32 ");
+  ASSERT_NE(f, std::string::npos);
+  ASSERT_TRUE(util::WriteFileAtomic(path, bytes.substr(0, f), false, &err));
+  WorkloadStream loaded;
+  ASSERT_TRUE(LoadStream(path, loaded, &err)) << err;
+  EXPECT_EQ(s.requests(), loaded.requests());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Controller snapshot round-trip
+// ---------------------------------------------------------------------------
+
+ControllerConfig MakeControllerConfig(
+    PlacePolicy place = PlacePolicy::kFirstFit,
+    partition::SchedPolicy policy = partition::SchedPolicy::kEdf) {
+  ControllerConfig cfg;
+  cfg.admission.num_cores = 3;
+  cfg.admission.policy = policy;
+  cfg.admission.memo.enabled = false;
+  cfg.place = place;
+  cfg.unsplit_on_leave = true;
+  return cfg;
+}
+
+TEST(ControllerSnapshot, RoundTripPreservesEveryFutureDecision) {
+  const WorkloadStream s = SmallStream(11, 32);
+  const ControllerConfig cfg = MakeControllerConfig();
+  Controller a(cfg);
+  const auto& reqs = s.requests();
+  const std::size_t half = reqs.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    if (reqs[i].kind == RequestKind::kAdmit) {
+      (void)a.Admit(reqs[i].task);
+    } else {
+      (void)a.Leave(reqs[i].id);
+    }
+  }
+  a.AdvanceEpoch(false);
+
+  Controller b(cfg);
+  ASSERT_TRUE(b.ImportState(a.ExportState()));
+  EXPECT_EQ(b.resident(), a.resident());
+  EXPECT_EQ(b.total_utilization(), a.total_utilization());  // exact bits
+
+  // Both controllers must now make IDENTICAL decisions on the tail.
+  for (std::size_t i = half; i < reqs.size(); ++i) {
+    if (reqs[i].kind == RequestKind::kAdmit) {
+      const AdmitOutcome oa = a.Admit(reqs[i].task);
+      const AdmitOutcome ob = b.Admit(reqs[i].task);
+      EXPECT_EQ(oa.accepted, ob.accepted) << "request " << i;
+      EXPECT_EQ(oa.parts, ob.parts) << "request " << i;
+    } else {
+      EXPECT_EQ(a.Leave(reqs[i].id), b.Leave(reqs[i].id)) << "request " << i;
+    }
+  }
+  a.AdvanceEpoch(false);
+  b.AdvanceEpoch(false);
+  EXPECT_EQ(a.CurrentPartition().summary(), b.CurrentPartition().summary());
+  EXPECT_EQ(a.churn(), b.churn());
+  EXPECT_EQ(a.overload_stats(), b.overload_stats());
+}
+
+TEST(ControllerSnapshot, ImportRejectsMismatchedCoreLayout) {
+  Controller a(MakeControllerConfig());
+  const ControllerSnapshot snap = a.ExportState();
+  ControllerConfig other = MakeControllerConfig();
+  other.admission.num_cores = 5;
+  Controller b(other);
+  EXPECT_FALSE(b.ImportState(snap));
+  ControllerConfig fp = MakeControllerConfig(
+      PlacePolicy::kFirstFit, partition::SchedPolicy::kFixedPriority);
+  Controller c(fp);
+  EXPECT_FALSE(c.ImportState(snap));
+}
+
+// ---------------------------------------------------------------------------
+// Crash / recover differential
+// ---------------------------------------------------------------------------
+
+void ExpectSamePartition(const partition::Partition& a,
+                         const partition::Partition& b) {
+  EXPECT_EQ(a.num_cores, b.num_cores);
+  EXPECT_EQ(a.policy, b.policy);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].task, b.tasks[i].task);
+    ASSERT_EQ(a.tasks[i].parts.size(), b.tasks[i].parts.size());
+    for (std::size_t k = 0; k < a.tasks[i].parts.size(); ++k) {
+      EXPECT_EQ(a.tasks[i].parts[k].core, b.tasks[i].parts[k].core);
+      EXPECT_EQ(a.tasks[i].parts[k].budget, b.tasks[i].parts[k].budget);
+      EXPECT_EQ(a.tasks[i].parts[k].local_priority,
+                b.tasks[i].parts[k].local_priority);
+      EXPECT_EQ(a.tasks[i].parts[k].rel_deadline,
+                b.tasks[i].parts[k].rel_deadline);
+    }
+  }
+}
+
+/// The recovered run must match the uninterrupted one in every logical
+/// field — per-epoch rows with their exact utilization bits, totals,
+/// churn/overload ledgers, decision counters (memo hit/miss counters are
+/// cache state, legitimately cold after recovery, and excluded by §12's
+/// cache-independence contract), and the final placement.
+void ExpectSameReplay(const ReplayResult& a, const ReplayResult& b) {
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.admits, b.admits);
+  EXPECT_EQ(a.rejects, b.rejects);
+  EXPECT_EQ(a.leaves, b.leaves);
+  EXPECT_EQ(a.churn, b.churn);
+  EXPECT_EQ(a.overload, b.overload);
+  EXPECT_EQ(a.shed_outstanding, b.shed_outstanding);
+  EXPECT_EQ(a.admission.util_rejects, b.admission.util_rejects);
+  EXPECT_EQ(a.admission.density_accepts, b.admission.density_accepts);
+  EXPECT_EQ(a.admission.full_tests, b.admission.full_tests);
+  ExpectSamePartition(a.final_partition, b.final_partition);
+}
+
+ReplayConfig MakeReplayConfig(PlacePolicy place,
+                              partition::SchedPolicy policy, bool faults,
+                              bool validate = false) {
+  ReplayConfig cfg;
+  cfg.controller = MakeControllerConfig(place, policy);
+  cfg.epoch = Millis(1000);
+  cfg.seed = 97;
+  cfg.drain_epochs = 2;
+  if (faults) {
+    cfg.faults.spikes.push_back(
+        SpikeEpoch{Millis(2000), Millis(4000), 0.3, 1.4});
+  }
+  if (validate) {
+    cfg.validate_by_simulation = true;
+    cfg.validate_sim.horizon = Millis(50);
+  }
+  return cfg;
+}
+
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "sps_dur_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Run to completion plain; run durable halting after `halt` appends;
+/// recover from the artifacts; expect the stitched run == the plain run.
+void RunHaltRecoverDifferential(const ReplayConfig& base,
+                                const WorkloadStream& s,
+                                std::uint32_t halt, std::uint32_t every,
+                                const std::string& tag) {
+  SCOPED_TRACE(tag + " halt=" + std::to_string(halt));
+  const ReplayResult plain = ReplayStream(s, base);
+
+  ReplayConfig durable = base;
+  durable.durability.dir = FreshDir(tag);
+  durable.durability.checkpoint_every = every;
+  durable.durability.halt_after_appends = halt;
+  const ReplayResult crashed = ReplayStream(s, durable);
+  ASSERT_TRUE(crashed.durability_error.ok())
+      << crashed.durability_error.message;
+  ASSERT_TRUE(crashed.recovery.halted_by_injection);
+
+  ReplayConfig rec = base;
+  rec.durability.dir = durable.durability.dir;
+  rec.durability.checkpoint_every = every;
+  rec.durability.recover = true;
+  const ReplayResult recovered = ReplayStream(s, rec);
+  ASSERT_TRUE(recovered.durability_error.ok())
+      << recovered.durability_error.message;
+  EXPECT_TRUE(recovered.recovery.attempted);
+  ExpectSameReplay(plain, recovered);
+  fs::remove_all(durable.durability.dir);
+}
+
+TEST(CrashRecovery, DifferentialAcrossPlacementsPoliciesAndFaults) {
+  const WorkloadStream s = SmallStream(23, 40);
+  int n = 0;
+  for (const PlacePolicy place :
+       {PlacePolicy::kFirstFit, PlacePolicy::kWorstFit,
+        PlacePolicy::kSpaOrder}) {
+    for (const partition::SchedPolicy policy :
+         {partition::SchedPolicy::kEdf,
+          partition::SchedPolicy::kFixedPriority}) {
+      for (const bool faults : {false, true}) {
+        const ReplayConfig cfg = MakeReplayConfig(place, policy, faults);
+        const std::string tag = std::string(ToString(place)) +
+                                (policy == partition::SchedPolicy::kEdf
+                                     ? "_edf"
+                                     : "_fp") +
+                                (faults ? "_flt" : "") + std::to_string(n);
+        // Early crash (journal-dominated redo) and late crash
+        // (checkpoint-dominated).
+        RunHaltRecoverDifferential(cfg, s, 5, 2, tag);
+        RunHaltRecoverDifferential(cfg, s, 35, 2, tag);
+        ++n;
+      }
+    }
+  }
+}
+
+TEST(CrashRecovery, DifferentialWithEpochValidationAndMemoOn) {
+  // Validation simulations (exec generations included) and a warm memo
+  // must not perturb the recovered decisions or the per-epoch rows.
+  const WorkloadStream s = SmallStream(31, 28);
+  ReplayConfig cfg = MakeReplayConfig(PlacePolicy::kFirstFit,
+                                      partition::SchedPolicy::kEdf,
+                                      /*faults=*/true, /*validate=*/true);
+  cfg.controller.admission.memo.enabled = true;
+  RunHaltRecoverDifferential(cfg, s, 12, 3, "validated");
+}
+
+TEST(CrashRecovery, StaleCheckpointWithLongJournalTail) {
+  // A sparse checkpoint cadence forces recovery to redo a long journal
+  // tail — the redo cross-check path, not the checkpoint fast path.
+  const WorkloadStream s = SmallStream(41, 40);
+  const ReplayConfig cfg = MakeReplayConfig(
+      PlacePolicy::kWorstFit, partition::SchedPolicy::kEdf, true);
+  RunHaltRecoverDifferential(cfg, s, 48, 16, "staletail");
+}
+
+TEST(CrashRecovery, EmptyDirectoryRecoversFromScratch) {
+  const WorkloadStream s = SmallStream(5, 16);
+  const ReplayConfig base = MakeReplayConfig(
+      PlacePolicy::kFirstFit, partition::SchedPolicy::kEdf, false);
+  const ReplayResult plain = ReplayStream(s, base);
+  ReplayConfig rec = base;
+  rec.durability.dir = FreshDir("emptydir");
+  rec.durability.recover = true;
+  const ReplayResult r = ReplayStream(s, rec);
+  ASSERT_TRUE(r.durability_error.ok()) << r.durability_error.message;
+  EXPECT_TRUE(r.recovery.attempted);
+  EXPECT_FALSE(r.recovery.recovered);
+  EXPECT_EQ(r.recovery.journal_records, 0u);
+  ExpectSameReplay(plain, r);
+  fs::remove_all(rec.durability.dir);
+}
+
+TEST(CrashRecovery, SigkillMidReplayThenRecover) {
+  // The real thing: a forked child replays with crash injection and dies
+  // by SIGKILL mid-service; the parent recovers from its artifacts.
+  const WorkloadStream s = SmallStream(53, 36);
+  const ReplayConfig base = MakeReplayConfig(
+      PlacePolicy::kFirstFit, partition::SchedPolicy::kEdf, true);
+  const ReplayResult plain = ReplayStream(s, base);
+
+  ReplayConfig crash = base;
+  crash.durability.dir = FreshDir("sigkill");
+  crash.durability.checkpoint_every = 2;
+  crash.durability.crash_after_appends = 20;
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    (void)ReplayStream(s, crash);  // raises SIGKILL at append 20
+    _exit(3);                      // only reached if injection failed
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  ReplayConfig rec = base;
+  rec.durability.dir = crash.durability.dir;
+  rec.durability.recover = true;
+  const ReplayResult recovered = ReplayStream(s, rec);
+  ASSERT_TRUE(recovered.durability_error.ok())
+      << recovered.durability_error.message;
+  EXPECT_TRUE(recovered.recovery.recovered);
+  EXPECT_GE(recovered.recovery.journal_records, 20u);
+  ExpectSameReplay(plain, recovered);
+  fs::remove_all(crash.durability.dir);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted artifacts: typed errors or correct recovery, never UB
+// ---------------------------------------------------------------------------
+
+/// Leave crash artifacts in a fresh dir and return it.
+std::string MakeCrashArtifacts(const WorkloadStream& s,
+                               const ReplayConfig& base, std::uint32_t halt,
+                               std::uint32_t every, const std::string& tag) {
+  ReplayConfig durable = base;
+  durable.durability.dir = FreshDir(tag);
+  durable.durability.checkpoint_every = every;
+  durable.durability.halt_after_appends = halt;
+  const ReplayResult r = ReplayStream(s, durable);
+  EXPECT_TRUE(r.durability_error.ok()) << r.durability_error.message;
+  return durable.durability.dir;
+}
+
+void FlipByteAt(const std::string& path, std::size_t offset) {
+  std::string bytes;
+  std::string err;
+  ASSERT_TRUE(util::ReadFileBytes(path, bytes, &err)) << err;
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x40);
+  ASSERT_TRUE(util::WriteFileAtomic(path, bytes, false, &err)) << err;
+}
+
+TEST(CorruptArtifacts, BitFlippedCheckpointFallsBackToOlderOne) {
+  const WorkloadStream s = SmallStream(61, 40);
+  const ReplayConfig base = MakeReplayConfig(
+      PlacePolicy::kFirstFit, partition::SchedPolicy::kEdf, false);
+  const ReplayResult plain = ReplayStream(s, base);
+  const std::string dir = MakeCrashArtifacts(s, base, 35, 2, "flipckpt");
+
+  const std::vector<std::string> ckpts = ListCheckpoints(dir);
+  ASSERT_GE(ckpts.size(), 2u);
+  FlipByteAt(ckpts.front(), fs::file_size(ckpts.front()) / 2);
+
+  ReplayConfig rec = base;
+  rec.durability.dir = dir;
+  rec.durability.recover = true;
+  const ReplayResult r = ReplayStream(s, rec);
+  ASSERT_TRUE(r.durability_error.ok()) << r.durability_error.message;
+  EXPECT_TRUE(r.recovery.recovered);
+  EXPECT_GE(r.recovery.checkpoints_skipped, 1u);
+  ExpectSameReplay(plain, r);
+  fs::remove_all(dir);
+}
+
+TEST(CorruptArtifacts, AllCheckpointsCorruptRecoversFromJournalAlone) {
+  const WorkloadStream s = SmallStream(67, 32);
+  const ReplayConfig base = MakeReplayConfig(
+      PlacePolicy::kWorstFit, partition::SchedPolicy::kEdf, false);
+  const ReplayResult plain = ReplayStream(s, base);
+  const std::string dir = MakeCrashArtifacts(s, base, 30, 2, "allcorrupt");
+
+  for (const std::string& p : ListCheckpoints(dir)) {
+    FlipByteAt(p, fs::file_size(p) / 3);
+  }
+  ReplayConfig rec = base;
+  rec.durability.dir = dir;
+  rec.durability.recover = true;
+  const ReplayResult r = ReplayStream(s, rec);
+  ASSERT_TRUE(r.durability_error.ok()) << r.durability_error.message;
+  EXPECT_FALSE(r.recovery.recovered);  // scratch redo
+  EXPECT_GE(r.recovery.checkpoints_skipped, 1u);
+  ExpectSameReplay(plain, r);
+  fs::remove_all(dir);
+}
+
+TEST(CorruptArtifacts, TornJournalTailIsTruncatedAndRecovered) {
+  const WorkloadStream s = SmallStream(71, 32);
+  const ReplayConfig base = MakeReplayConfig(
+      PlacePolicy::kFirstFit, partition::SchedPolicy::kEdf, false);
+  const ReplayResult plain = ReplayStream(s, base);
+  const std::string dir = MakeCrashArtifacts(s, base, 25, 4, "torn");
+
+  // Tear the tail: chop the last 5 bytes (mid-record), then append
+  // garbage that can't frame — both must be dropped at the last valid
+  // record boundary.
+  const std::string journal = dir + "/journal.wal";
+  std::string bytes;
+  std::string err;
+  ASSERT_TRUE(util::ReadFileBytes(journal, bytes, &err));
+  const std::string torn = bytes.substr(0, bytes.size() - 5) + "GARBAGE!";
+  ASSERT_TRUE(util::WriteFileAtomic(journal, torn, false, &err));
+
+  JournalScan scan;
+  ASSERT_TRUE(ScanJournal(journal, scan));
+  EXPECT_LT(scan.valid_bytes, scan.total_bytes);
+  EXPECT_GE(scan.records, 1u);
+
+  ReplayConfig rec = base;
+  rec.durability.dir = dir;
+  rec.durability.recover = true;
+  const ReplayResult r = ReplayStream(s, rec);
+  ASSERT_TRUE(r.durability_error.ok()) << r.durability_error.message;
+  EXPECT_GT(r.recovery.journal_truncated_bytes, 0u);
+  ExpectSameReplay(plain, r);
+  // The torn tail was physically truncated and the redo re-appended the
+  // lost suffix: the journal now frame-validates end to end.
+  JournalScan after;
+  ASSERT_TRUE(ScanJournal(journal, after));
+  EXPECT_EQ(after.valid_bytes, after.total_bytes);
+  EXPECT_GT(after.records, scan.records);
+  fs::remove_all(dir);
+}
+
+TEST(CorruptArtifacts, JournalRecordDivergenceIsATypedError) {
+  // A record whose CRC verifies but whose decision was tampered with:
+  // the redo cross-check must refuse to silently absorb it.
+  const WorkloadStream s = SmallStream(73, 24);
+  ReplayConfig base = MakeReplayConfig(PlacePolicy::kFirstFit,
+                                       partition::SchedPolicy::kEdf, false);
+  const std::string dir = MakeCrashArtifacts(s, base, 15, 0, "diverge");
+
+  const std::string journal = dir + "/journal.wal";
+  std::string bytes;
+  std::string err;
+  ASSERT_TRUE(util::ReadFileBytes(journal, bytes, &err));
+  // Frame: 20-byte header, then [len u32][payload][crc u32]. Flip the
+  // first record's flags byte (payload offset 9) and re-seal its CRC so
+  // the framing stays valid.
+  ASSERT_GT(bytes.size(), 24u);
+  const auto u32_at = [&](std::size_t off) {
+    return static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes[off])) |
+           (static_cast<std::uint32_t>(
+                static_cast<unsigned char>(bytes[off + 1]))
+            << 8) |
+           (static_cast<std::uint32_t>(
+                static_cast<unsigned char>(bytes[off + 2]))
+            << 16) |
+           (static_cast<std::uint32_t>(
+                static_cast<unsigned char>(bytes[off + 3]))
+            << 24);
+  };
+  const std::uint32_t len = u32_at(20);
+  ASSERT_GT(bytes.size(), 24u + len + 4u);
+  bytes[24 + 9] = static_cast<char>(bytes[24 + 9] ^ 0x01);  // flags
+  const std::uint32_t crc =
+      util::Crc32Of(std::string_view(bytes).substr(24, len));
+  for (int i = 0; i < 4; ++i) {
+    bytes[24 + len + i] = static_cast<char>((crc >> (8 * i)) & 0xFFu);
+  }
+  ASSERT_TRUE(util::WriteFileAtomic(journal, bytes, false, &err));
+
+  ReplayConfig rec = base;
+  rec.durability.dir = dir;
+  rec.durability.recover = true;
+  const ReplayResult r = ReplayStream(s, rec);
+  EXPECT_EQ(r.durability_error.kind,
+            DurabilityError::Kind::kJournalDivergence);
+  EXPECT_NE(r.durability_error.message.find("diverges"),
+            std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(CorruptArtifacts, WrongStreamFingerprintIsATypedError) {
+  const WorkloadStream s = SmallStream(79, 24);
+  const ReplayConfig base = MakeReplayConfig(
+      PlacePolicy::kFirstFit, partition::SchedPolicy::kEdf, false);
+  const std::string dir = MakeCrashArtifacts(s, base, 15, 2, "wrongfp");
+
+  // Recover against a DIFFERENT stream: both the checkpoints and the
+  // journal carry the original fingerprint.
+  const WorkloadStream other = SmallStream(80, 24);
+  ReplayConfig rec = base;
+  rec.durability.dir = dir;
+  rec.durability.recover = true;
+  const ReplayResult r = ReplayStream(other, rec);
+  EXPECT_EQ(r.durability_error.kind,
+            DurabilityError::Kind::kFingerprintMismatch);
+
+  // Same stream but a different controller config fingerprints
+  // differently too.
+  ReplayConfig cfg2 = rec;
+  cfg2.controller.place = PlacePolicy::kWorstFit;
+  const ReplayResult r2 = ReplayStream(s, cfg2);
+  EXPECT_EQ(r2.durability_error.kind,
+            DurabilityError::Kind::kFingerprintMismatch);
+  fs::remove_all(dir);
+}
+
+TEST(CorruptArtifacts, GarbageFilesYieldTypedErrorsNeverUB) {
+  const std::string dir = FreshDir("garbage");
+  fs::create_directories(dir);
+  std::string err;
+  // A journal that is not a journal.
+  const std::string journal = dir + "/journal.wal";
+  ASSERT_TRUE(util::WriteFileAtomic(journal, "not a journal at all", false,
+                                    &err));
+  JournalScan scan;
+  DurabilityError derr;
+  EXPECT_FALSE(ScanJournal(journal, scan, &derr));
+  EXPECT_EQ(derr.kind, DurabilityError::Kind::kBadMagic);
+
+  // Too short for its own header.
+  ASSERT_TRUE(util::WriteFileAtomic(journal, "xy", false, &err));
+  EXPECT_FALSE(ScanJournal(journal, scan, &derr));
+  EXPECT_EQ(derr.kind, DurabilityError::Kind::kTruncated);
+
+  // A checkpoint full of zeros is skipped, not trusted: recovery falls
+  // back to scratch and still completes.
+  const WorkloadStream s = SmallStream(83, 12);
+  const ReplayConfig base = MakeReplayConfig(
+      PlacePolicy::kFirstFit, partition::SchedPolicy::kEdf, false);
+  const ReplayResult plain = ReplayStream(s, base);
+  fs::remove(journal);
+  ASSERT_TRUE(util::WriteFileAtomic(dir + "/ckpt-0000000002.sps",
+                                    std::string(256, '\0'), false, &err));
+  ReplayConfig rec = base;
+  rec.durability.dir = dir;
+  rec.durability.recover = true;
+  const ReplayResult r = ReplayStream(s, rec);
+  ASSERT_TRUE(r.durability_error.ok()) << r.durability_error.message;
+  EXPECT_FALSE(r.recovery.recovered);
+  EXPECT_EQ(r.recovery.checkpoints_skipped, 1u);
+  ExpectSameReplay(plain, r);
+  fs::remove_all(dir);
+}
+
+TEST(Durability, FsyncPolicyParsesAllSpellings) {
+  FsyncPolicy p = FsyncPolicy::kOff;
+  std::uint32_t n = 0;
+  EXPECT_TRUE(ParseFsyncPolicy("every-epoch", p, n));
+  EXPECT_EQ(p, FsyncPolicy::kEveryEpoch);
+  EXPECT_TRUE(ParseFsyncPolicy("off", p, n));
+  EXPECT_EQ(p, FsyncPolicy::kOff);
+  EXPECT_TRUE(ParseFsyncPolicy("every-n", p, n));
+  EXPECT_EQ(p, FsyncPolicy::kEveryN);
+  EXPECT_TRUE(ParseFsyncPolicy("every-n:8", p, n));
+  EXPECT_EQ(n, 8u);
+  EXPECT_FALSE(ParseFsyncPolicy("every-n:", p, n));
+  EXPECT_FALSE(ParseFsyncPolicy("sometimes", p, n));
+  EXPECT_FALSE(ParseFsyncPolicy("every-n:0", p, n));
+}
+
+TEST(Durability, FreshRunWipesStaleArtifacts) {
+  // recover=false means "start a NEW run": artifacts from a previous one
+  // must not leak into (or poison) the directory.
+  const WorkloadStream s = SmallStream(89, 16);
+  ReplayConfig durable = MakeReplayConfig(
+      PlacePolicy::kFirstFit, partition::SchedPolicy::kEdf, false);
+  durable.durability.dir = FreshDir("wipe");
+  durable.durability.checkpoint_every = 2;
+  const ReplayResult first = ReplayStream(s, durable);
+  ASSERT_TRUE(first.durability_error.ok());
+  ASSERT_FALSE(ListCheckpoints(durable.durability.dir).empty());
+
+  // Second fresh run over a DIFFERENT stream in the same dir: must not
+  // trip fingerprint checks (the stale journal was wiped).
+  const WorkloadStream other = SmallStream(90, 16);
+  const ReplayResult second = ReplayStream(other, durable);
+  ASSERT_TRUE(second.durability_error.ok())
+      << second.durability_error.message;
+  fs::remove_all(durable.durability.dir);
+}
+
+TEST(Durability, BatchReplayGivesEachStreamItsOwnArtifacts) {
+  std::vector<WorkloadStream> streams;
+  streams.push_back(SmallStream(91, 12));
+  streams.push_back(SmallStream(92, 12));
+  ReplayConfig cfg = MakeReplayConfig(PlacePolicy::kFirstFit,
+                                      partition::SchedPolicy::kEdf, false);
+  cfg.durability.dir = FreshDir("batch");
+  cfg.durability.checkpoint_every = 2;
+  const std::vector<ReplayResult> rs = ReplayBatch(streams, cfg, 1);
+  ASSERT_EQ(rs.size(), 2u);
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_TRUE(rs[i].durability_error.ok())
+        << rs[i].durability_error.message;
+    EXPECT_TRUE(
+        fs::exists(cfg.durability.dir + "/stream-" + std::to_string(i) +
+                   "/journal.wal"));
+  }
+  fs::remove_all(cfg.durability.dir);
+}
+
+}  // namespace
+}  // namespace sps::online

@@ -276,6 +276,37 @@ TEST(OnlineController, UnsplitOnLeaveConsolidatesASplitTask) {
                   .schedulable);
 }
 
+TEST(OnlineController, UnsplitOnLeaveConsolidatesEveryEligibleSplit) {
+  // The consolidation pass is multi-task: one LEAVE can free enough
+  // capacity for SEVERAL split residents to come back whole, and the
+  // pass loops until it makes no more progress. 3 cores at u=0.8 each
+  // force two u=0.25 arrivals to split; retiring one 0.8 task must
+  // consolidate BOTH (the recovery-time re-admission shares this path).
+  ControllerConfig cfg;
+  cfg.admission.num_cores = 3;
+  cfg.unsplit_on_leave = true;
+  Controller ctrl(cfg);
+  const Time T = Millis(100);
+  ASSERT_TRUE(ctrl.Admit(MakeTask(0, Millis(80), T)).accepted);
+  ASSERT_TRUE(ctrl.Admit(MakeTask(1, Millis(80), T)).accepted);
+  ASSERT_TRUE(ctrl.Admit(MakeTask(2, Millis(80), T)).accepted);
+  const AdmitOutcome s3 = ctrl.Admit(MakeTask(3, Millis(25), T));
+  ASSERT_TRUE(s3.accepted);
+  ASSERT_GT(s3.parts, 1u);
+  const AdmitOutcome s4 = ctrl.Admit(MakeTask(4, Millis(25), T));
+  ASSERT_TRUE(s4.accepted);
+  ASSERT_GT(s4.parts, 1u);
+  EXPECT_EQ(ctrl.churn().split, 2u);
+  EXPECT_EQ(ctrl.CurrentPartition().num_split_tasks(), 2u);
+
+  EXPECT_TRUE(ctrl.Leave(0));
+  EXPECT_EQ(ctrl.churn().unsplit, 2u);
+  EXPECT_EQ(ctrl.CurrentPartition().num_split_tasks(), 0u);
+  EXPECT_TRUE(partition::AnalyzePartition(ctrl.CurrentPartition(),
+                                          OverheadModel::Zero())
+                  .schedulable);
+}
+
 // ---------------------------------------------------------------------------
 // Epoch replay
 // ---------------------------------------------------------------------------
