@@ -26,6 +26,8 @@
 //           [--analysis-cache=off|<N>]
 //           [--checkpoint-dir=DIR] [--checkpoint-every=K] [--recover]
 //           [--fsync=off|every-epoch|every-n[:N]] [--crash-after=N]
+//           [--profile] [--profile-out=FILE.json] [--stats-out=FILE.json]
+//           [--heartbeat=K] [--verbose] [--trace-stream[=WINDOW]]
 //
 // Durable online service (DESIGN.md §14): --checkpoint-dir turns on the
 // write-ahead journal + every-K-epochs checkpoint for the --online
@@ -93,6 +95,28 @@
 //                       per-core report tables
 //   --metrics-out=F.json  write the MetricsReport JSON; implies --metrics
 //
+// Service observability (DESIGN.md §15):
+//   --profile           wall-clock span profiler over the --online
+//                       pipeline stages (admission screen, memo probe,
+//                       analysis, placement, ladder steps, epoch
+//                       phases). Report (p50/p99/p999 per stage), the
+//                       per-epoch p99/memo-hit columns, and the
+//                       heartbeat all go to STDERR — never stdout, so
+//                       profiled stdout stays byte-identical.
+//   --profile-out=F     write the profiler report as JSON to F instead
+//                       of the stderr table; implies --profile
+//   --stats-out=F       write the unified stats registry snapshot
+//                       (deterministic counters only) as JSON; the CI
+//                       cmp's it across --profile on/off
+//   --heartbeat=K       heartbeat every K closed epochs (default 10,
+//                       0 = off; needs --profile)
+//   --verbose           SPS_LOG_LEVEL=debug for this run
+//   --trace-stream[=W]  stream the single-run trace through the
+//                       bounded-memory window (W stamped records,
+//                       default 65536) into the SAME Perfetto document
+//                       --trace-out would write — byte-identical, any
+//                       --shards value
+//
 // Examples:
 //   ./build/examples/sps_cli --algo=spa2 --util=0.95
 //   ./build/examples/sps_cli --algo=edf-wm --tasks=24 --sim-ms=5000
@@ -111,13 +135,18 @@
 #include <cstring>
 #include <string>
 
+#include <memory>
+
 #include "analysis/memo.hpp"
 #include "containers/queue_traits.hpp"
 #include "exp/acceptance.hpp"
 #include "obs/perfetto.hpp"
+#include "obs/registry.hpp"
+#include "obs/spans.hpp"
 #include "online/controller.hpp"
 #include "online/workload_stream.hpp"
 #include "obs/report.hpp"
+#include "util/log.hpp"
 #include "overhead/calibrate.hpp"
 #include "overhead/model.hpp"
 #include "partition/binpack.hpp"
@@ -180,6 +209,13 @@ struct Options {
   std::string stream_out;
   online::DurabilityConfig durability;  // --checkpoint-dir etc.
   analysis::MemoConfig memo;  // --analysis-cache=off|<N>
+  bool profile = false;
+  std::string profile_out;
+  std::string stats_out;
+  std::uint32_t heartbeat = 10;
+  bool verbose = false;
+  bool trace_stream = false;
+  std::size_t trace_stream_window = 1u << 16;
   containers::QueueBackend ready_queue =
       containers::QueueBackend::kBinomialHeap;
   containers::QueueBackend sleep_queue = containers::QueueBackend::kRbTree;
@@ -412,6 +448,37 @@ bool ParseArg(const char* arg, Options& o) {
     analysis::ResizeSharedMemo(o.memo.entries);
     return true;
   }
+  if (std::strcmp(arg, "--profile") == 0) { o.profile = true; return true; }
+  if (const char* v = value("--profile-out")) {
+    o.profile = true;
+    o.profile_out = v;
+    return true;
+  }
+  if (const char* v = value("--stats-out")) {
+    o.stats_out = v;
+    return true;
+  }
+  if (const char* v = value("--heartbeat")) {
+    o.heartbeat = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    return true;
+  }
+  if (std::strcmp(arg, "--verbose") == 0) { o.verbose = true; return true; }
+  if (std::strcmp(arg, "--trace-stream") == 0) {
+    o.trace_stream = true;
+    return true;
+  }
+  if (const char* v = value("--trace-stream")) {
+    o.trace_stream = true;
+    const unsigned long long w = std::strtoull(v, nullptr, 10);
+    if (w == 0) {
+      std::fprintf(stderr, "invalid --trace-stream=%s (window must be a "
+                           "positive record count)\n",
+                   v);
+      return false;
+    }
+    o.trace_stream_window = static_cast<std::size_t>(w);
+    return true;
+  }
   if (std::strcmp(arg, "--trace") == 0) { o.trace = true; return true; }
   if (std::strcmp(arg, "--metrics") == 0) { o.metrics = true; return true; }
   if (const char* v = value("--trace-out")) {
@@ -568,6 +635,62 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
     }
   }
 
+  // --profile (DESIGN.md §15): wall-clock span profiler, heartbeat, and
+  // the augmented per-epoch columns — all on the stderr / --profile-out
+  // channel, so profiled stdout is byte-identical to an unprofiled run.
+  obs::SpanProfiler profiler;
+  std::string prof_table;
+  obs::LogHistogram admit_hist_prev;
+  analysis::MemoStats memo_prev;
+  std::uint64_t hb_decided_prev = 0;
+  std::uint64_t hb_ns_prev = 0;
+  if (o.profile) {
+    rcfg.obs.profiler = &profiler;
+    prof_table = "epoch   p99-admit-us   memo-hit%\n";
+    if (o.memo.enabled) {
+      memo_prev = analysis::SharedMemo(o.memo.entries).stats();
+    }
+    hb_ns_prev = profiler.NowNs();
+    rcfg.obs.on_epoch = [&](std::size_t idx, const online::EpochStats& e,
+                            const online::ReplayResult& so_far) {
+      obs::LogHistogram admit =
+          profiler.StageHistogram(obs::SpanStage::kAdmitTotal);
+      obs::LogHistogram d = admit;
+      d -= admit_hist_prev;
+      admit_hist_prev = admit;
+      double hit_pct = 0.0;
+      if (o.memo.enabled) {
+        const analysis::MemoStats mnow =
+            analysis::SharedMemo(o.memo.entries).stats();
+        analysis::MemoStats md = mnow;
+        md -= memo_prev;
+        memo_prev = mnow;
+        hit_pct = 100.0 * md.hit_rate();
+      }
+      const double p99_us = static_cast<double>(d.Quantile(0.99)) / 1e3;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%5zu %14.1f %11.1f\n", idx, p99_us,
+                    hit_pct);
+      prof_table += buf;
+      if (o.heartbeat > 0 && (idx + 1) % o.heartbeat == 0) {
+        const std::uint64_t now = profiler.NowNs();
+        const double secs = static_cast<double>(now - hb_ns_prev) / 1e9;
+        const std::uint64_t decided =
+            so_far.admits + so_far.rejects + so_far.leaves;
+        util::Log(util::LogLevel::kInfo,
+                  "heartbeat epoch %zu: %.0f req/s, resident %zu, "
+                  "memo-hit %.1f%%, p99 admit %.1fus",
+                  idx,
+                  secs > 0.0 ? static_cast<double>(decided - hb_decided_prev) /
+                                   secs
+                             : 0.0,
+                  e.resident, hit_pct, p99_us);
+        hb_decided_prev = decided;
+        hb_ns_prev = now;
+      }
+    };
+  }
+
   std::printf("online replay: m=%u, policy=%s, place=%s%s%s%s%s%s%s\n\n",
               o.cores, o.online_policy.c_str(),
               online::ToString(rcfg.controller.place),
@@ -579,36 +702,36 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
               o.online_validate ? ", validating epochs" : "");
   const online::ReplayResult res = online::ReplayStream(stream, rcfg);
   if (!res.durability_error.ok()) {
-    std::fprintf(stderr, "durability error [%s]: %s\n",
-                 online::ToString(res.durability_error.kind),
-                 res.durability_error.message.c_str());
+    util::Log(util::LogLevel::kError, "durability error [%s]: %s",
+              online::ToString(res.durability_error.kind),
+              res.durability_error.message.c_str());
     return 2;
   }
   if (res.recovery.attempted) {
-    // Recovery narration goes to STDERR so a recovered run's stdout is
-    // byte-comparable against the uninterrupted run's (the CI smoke
-    // test cmp's them).
+    // Recovery narration goes through the leveled stderr logger
+    // (util/log.hpp) so a recovered run's stdout is byte-comparable
+    // against the uninterrupted run's (the CI smoke test cmp's them)
+    // and SPS_LOG_LEVEL=error silences it entirely.
     if (res.recovery.recovered) {
-      std::fprintf(stderr,
-                   "recovered from checkpoint epoch %llu (resume at "
-                   "request %llu, %llu journal records, %llu torn bytes "
-                   "truncated, %u corrupt checkpoints skipped)\n",
-                   static_cast<unsigned long long>(
-                       res.recovery.checkpoint_epoch),
-                   static_cast<unsigned long long>(res.recovery.resume_seq),
-                   static_cast<unsigned long long>(
-                       res.recovery.journal_records),
-                   static_cast<unsigned long long>(
-                       res.recovery.journal_truncated_bytes),
-                   res.recovery.checkpoints_skipped);
+      util::Log(util::LogLevel::kInfo,
+                "recovered from checkpoint epoch %llu (resume at "
+                "request %llu, %llu journal records, %llu torn bytes "
+                "truncated, %u corrupt checkpoints skipped)",
+                static_cast<unsigned long long>(
+                    res.recovery.checkpoint_epoch),
+                static_cast<unsigned long long>(res.recovery.resume_seq),
+                static_cast<unsigned long long>(
+                    res.recovery.journal_records),
+                static_cast<unsigned long long>(
+                    res.recovery.journal_truncated_bytes),
+                res.recovery.checkpoints_skipped);
     } else {
-      std::fprintf(stderr,
-                   "no usable checkpoint; replayed from scratch "
-                   "(%llu journal records, %u corrupt checkpoints "
-                   "skipped)\n",
-                   static_cast<unsigned long long>(
-                       res.recovery.journal_records),
-                   res.recovery.checkpoints_skipped);
+      util::Log(util::LogLevel::kInfo,
+                "no usable checkpoint; replayed from scratch "
+                "(%llu journal records, %u corrupt checkpoints skipped)",
+                static_cast<unsigned long long>(
+                    res.recovery.journal_records),
+                res.recovery.checkpoints_skipped);
     }
   }
   std::printf("%s\n", res.Table().c_str());
@@ -660,6 +783,32 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
   }
   std::printf("\nfinal placement:\n%s",
               res.final_partition.summary().c_str());
+
+  if (o.profile) {
+    // Wall-clock data stays off stdout (§15 firewall): the JSON report
+    // goes to --profile-out, everything else to stderr.
+    if (!o.profile_out.empty()) {
+      if (!util::WriteTextFile(o.profile_out, profiler.ToJson(), &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 2;
+      }
+      util::Log(util::LogLevel::kInfo, "wrote span profile to %s",
+                o.profile_out.c_str());
+    } else {
+      std::fprintf(stderr, "\n--- wall-clock span profile ---\n%s",
+                   profiler.ToText().c_str());
+    }
+    std::fprintf(stderr, "\n%s", prof_table.c_str());
+  }
+  if (!o.stats_out.empty()) {
+    obs::StatsRegistry reg;
+    online::FillStatsRegistry(reg, res);
+    if (!util::WriteTextFile(o.stats_out, reg.snapshot().ToJson(), &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 2;
+    }
+    std::printf("wrote stats registry to %s\n", o.stats_out.c_str());
+  }
 
   if (!o.trace_out.empty()) {
     // Epoch series as Perfetto counter tracks (stamped at epoch ends).
@@ -723,6 +872,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (o.verbose) util::SetGlobalLogLevel(util::LogLevel::kDebug);
 
   overhead::OverheadModel model = overhead::OverheadModel::Zero();
   if (o.overheads == "paper") {
@@ -833,6 +984,22 @@ int main(int argc, char** argv) {
   cfg.sleep_backend = o.sleep_queue;
   cfg.event_backend = o.event_queue;
   cfg.shards = o.shards;
+  // Streaming trace window (DESIGN.md §15): drain the trace into the
+  // incremental Perfetto serializer DURING the run — byte-identical
+  // document, O(window) stamped-record memory.
+  std::unique_ptr<obs::PerfettoStreamDrain> stream_drain;
+  if (o.trace_stream) {
+    if (o.trace_out.empty()) {
+      std::fprintf(stderr, "--trace-stream needs --trace-out=FILE\n");
+      return 2;
+    }
+    cfg.record_trace = true;
+    obs::PerfettoOptions popt;
+    popt.num_cores = o.cores;
+    stream_drain = std::make_unique<obs::PerfettoStreamDrain>(popt);
+    cfg.trace_drain = stream_drain.get();
+    cfg.trace_window = o.trace_stream_window;
+  }
   const sim::SimResult r = Simulate(pr.partition, cfg);
   std::printf("queues: ready=%s (%llu ops) sleep=%s (%llu ops) "
               "event=%s (%llu ops)\n",
@@ -851,14 +1018,29 @@ int main(int argc, char** argv) {
   }
   if (!o.trace_out.empty()) {
     std::string err;
-    if (!obs::WritePerfettoJson(r.trace_events, o.trace_out,
-                                {.num_cores = o.cores}, &err)) {
-      std::fprintf(stderr, "%s\n", err.c_str());
-      return 2;
+    if (o.trace_stream) {
+      if (!util::WriteTextFile(o.trace_out, stream_drain->document(),
+                               &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 2;
+      }
+      const obs::TraceStreamStats& ts = stream_drain->stats();
+      std::printf("wrote Perfetto trace (%llu events streamed in %llu "
+                  "batches, peak %zu resident) to %s — open at "
+                  "ui.perfetto.dev\n",
+                  static_cast<unsigned long long>(ts.events),
+                  static_cast<unsigned long long>(ts.batches),
+                  ts.peak_resident, o.trace_out.c_str());
+    } else {
+      if (!obs::WritePerfettoJson(r.trace_events, o.trace_out,
+                                  {.num_cores = o.cores}, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 2;
+      }
+      std::printf("wrote Perfetto trace (%zu events) to %s — open at "
+                  "ui.perfetto.dev\n",
+                  r.trace_events.size(), o.trace_out.c_str());
     }
-    std::printf("wrote Perfetto trace (%zu events) to %s — open at "
-                "ui.perfetto.dev\n",
-                r.trace_events.size(), o.trace_out.c_str());
   }
   if (o.metrics) {
     const obs::MetricsReport rep = obs::BuildMetricsReport(r);

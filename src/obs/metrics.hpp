@@ -13,6 +13,7 @@
 // metrics + SimResult stats into an exportable document lives in
 // obs/report.hpp.
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdint>
@@ -57,6 +58,15 @@ struct LogHistogram {
 
   LogHistogram& operator+=(const LogHistogram& o) {
     for (std::size_t i = 0; i < kHistBuckets; ++i) buckets[i] += o.buckets[i];
+    return *this;
+  }
+  /// Delta against an earlier snapshot of the SAME monotone histogram
+  /// (per-epoch columns in the stats registry); saturates at zero so a
+  /// mismatched pair cannot underflow.
+  LogHistogram& operator-=(const LogHistogram& o) {
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+      buckets[i] -= std::min(buckets[i], o.buckets[i]);
+    }
     return *this;
   }
   bool operator==(const LogHistogram&) const = default;

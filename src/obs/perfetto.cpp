@@ -71,79 +71,6 @@ void EmitCounter(util::JsonWriter& j, const std::string& name, Time t,
   j.EndObject();
 }
 
-/// Derive the per-core counter tracks (header: ready-queue depth and
-/// jobs in flight) in one pass over the events. Pure function of the
-/// stream — the document stays deterministic.
-///
-/// Counts are booked PER TASK: each task remembers the core where its
-/// ready increment / live job is currently booked, and the matching
-/// decrement lands on that core. This keeps the counters exact for the
-/// GLOBAL engine too, whose stream releases on the irq core, starts on
-/// whatever core dispatches, and emits kMigrateIn with no kMigrateOut —
-/// a naive same-core state machine would drift unboundedly there.
-void EmitDerivedCounters(util::JsonWriter& j,
-                         const std::vector<Event>& events, unsigned cores) {
-  std::vector<std::int64_t> ready(cores, 0);
-  std::vector<std::int64_t> jobs(cores, 0);
-  struct Booked {
-    int ready_core = -1;  ///< core holding this task's ready increment
-    int job_core = -1;    ///< core holding this task's live job
-  };
-  std::unordered_map<rt::TaskId, Booked> booked;
-  auto bump = [&](std::vector<std::int64_t>& v, unsigned core, Time t,
-                  int d, const char* what) {
-    v[core] = std::max<std::int64_t>(0, v[core] + d);
-    char name[32];
-    std::snprintf(name, sizeof(name), "%s core%u", what, core);
-    EmitCounter(j, name, t, static_cast<double>(v[core]));
-  };
-  auto move_job = [&](Booked& b, const Event& e) {
-    if (b.job_core == static_cast<int>(e.core)) return;
-    if (b.job_core >= 0) {
-      bump(jobs, static_cast<unsigned>(b.job_core), e.time, -1, "jobs");
-    }
-    bump(jobs, e.core, e.time, +1, "jobs");
-    b.job_core = static_cast<int>(e.core);
-  };
-  for (const Event& e : events) {
-    if (e.core >= cores) continue;
-    Booked& b = booked[e.task];
-    switch (e.kind) {
-      case EventKind::kRelease:
-      case EventKind::kMigrateIn:
-        if (b.ready_core < 0) {
-          bump(ready, e.core, e.time, +1, "ready");
-          b.ready_core = static_cast<int>(e.core);
-        }
-        move_job(b, e);
-        break;
-      case EventKind::kPreempt:
-        if (b.ready_core < 0) {
-          bump(ready, e.core, e.time, +1, "ready");
-          b.ready_core = static_cast<int>(e.core);
-        }
-        break;
-      case EventKind::kStart:
-        if (b.ready_core >= 0) {
-          bump(ready, static_cast<unsigned>(b.ready_core), e.time, -1,
-               "ready");
-          b.ready_core = -1;
-        }
-        move_job(b, e);
-        break;
-      case EventKind::kFinish:
-        if (b.job_core >= 0) {
-          bump(jobs, static_cast<unsigned>(b.job_core), e.time, -1,
-               "jobs");
-          b.job_core = -1;
-        }
-        break;
-      default:
-        break;
-    }
-  }
-}
-
 void EmitSlice(util::JsonWriter& j, const char* name, const char* cat,
                unsigned core, Time t0, Time t1) {
   j.BeginObject();
@@ -159,58 +86,147 @@ void EmitSlice(util::JsonWriter& j, const char* name, const char* cat,
 
 }  // namespace
 
-std::string ToPerfettoJson(const std::vector<Event>& events,
-                           const PerfettoOptions& opt) {
-  unsigned cores = opt.num_cores;
+// ---------------------------------------------------------------------------
+// PerfettoStreamWriter — the one serializer behind both export paths.
+// ---------------------------------------------------------------------------
+
+struct PerfettoStreamWriter::Impl {
+  PerfettoOptions opt;
+  unsigned cores = 1;
   Time last_time = 0;
-  for (const Event& e : events) {
-    cores = std::max(cores, e.core + 1);
-    last_time = std::max(last_time, e.time + e.duration);
-  }
-  if (cores == 0) cores = 1;
 
-  util::JsonWriter j;
-  j.BeginObject();
-  j.Key("displayTimeUnit").Value("ms");
-  j.Key("traceEvents").BeginArray();
+  util::JsonWriter j;   ///< the document: prelude + slices/instants
+  util::JsonWriter cj;  ///< derived counter events, spliced at Finish
 
-  // Track metadata: name the process and one thread per core.
-  j.BeginObject();
-  j.Key("name").Value("process_name");
-  j.Key("ph").Value("M");
-  j.Key("pid").Value(0);
-  j.Key("args").BeginObject().Key("name").Value(opt.process_name).EndObject();
-  j.EndObject();
-  for (unsigned c = 0; c < cores; ++c) {
-    char name[24];
-    std::snprintf(name, sizeof(name), "core %u", c);
+  /// Per-core slice reconstruction (a kStart opens; the next closing
+  /// kind on that core ends it).
+  std::vector<OpenSlice> open;
+
+  /// Derived counter state, booked PER TASK: each task remembers the
+  /// core where its ready increment / live job is currently booked, and
+  /// the matching decrement lands on that core. This keeps the counters
+  /// exact for the GLOBAL engine too, whose stream releases on the irq
+  /// core, starts on whatever core dispatches, and emits kMigrateIn with
+  /// no kMigrateOut — a naive same-core state machine would drift
+  /// unboundedly there.
+  std::vector<std::int64_t> ready;
+  std::vector<std::int64_t> jobs;
+  struct Booked {
+    int ready_core = -1;  ///< core holding this task's ready increment
+    int job_core = -1;    ///< core holding this task's live job
+  };
+  std::unordered_map<rt::TaskId, Booked> booked;
+
+  explicit Impl(const PerfettoOptions& o) : opt(o) {
+    cores = std::max(1u, opt.num_cores);
+    open.resize(cores);
+    ready.assign(cores, 0);
+    jobs.assign(cores, 0);
+
     j.BeginObject();
-    j.Key("name").Value("thread_name");
+    j.Key("displayTimeUnit").Value("ms");
+    j.Key("traceEvents").BeginArray();
+
+    // Track metadata: name the process and one thread per core.
+    j.BeginObject();
+    j.Key("name").Value("process_name");
     j.Key("ph").Value("M");
     j.Key("pid").Value(0);
-    j.Key("tid").Value(c);
-    j.Key("args").BeginObject().Key("name").Value(name).EndObject();
+    j.Key("args").BeginObject().Key("name").Value(opt.process_name)
+        .EndObject();
     j.EndObject();
+    for (unsigned c = 0; c < cores; ++c) {
+      char name[24];
+      std::snprintf(name, sizeof(name), "core %u", c);
+      j.BeginObject();
+      j.Key("name").Value("thread_name");
+      j.Key("ph").Value("M");
+      j.Key("pid").Value(0);
+      j.Key("tid").Value(c);
+      j.Key("args").BeginObject().Key("name").Value(name).EndObject();
+      j.EndObject();
+    }
+
+    cj.BeginArray();  // counter buffer; '[' stripped at splice time
   }
 
-  // Execution slices are reconstructed per core: a kStart opens one; the
-  // next closing kind on that core ends it. Overhead slices carry their
-  // duration directly. Everything else becomes an instant.
-  std::vector<OpenSlice> open(cores);
-  for (const Event& e : events) {
-    OpenSlice& slice = open[e.core];
-    if (slice.open && ClosesExecSlice(e.kind) && e.time >= slice.start) {
-      if (e.time > slice.start) {
-        EmitSlice(j, TaskLabel(slice.ev).c_str(), "exec", e.core,
-                  slice.start, e.time);
+  void Bump(std::vector<std::int64_t>& v, unsigned core, Time t, int d,
+            const char* what) {
+    v[core] = std::max<std::int64_t>(0, v[core] + d);
+    char name[32];
+    std::snprintf(name, sizeof(name), "%s core%u", what, core);
+    EmitCounter(cj, name, t, static_cast<double>(v[core]));
+  }
+
+  void MoveJob(Booked& b, const Event& e) {
+    if (b.job_core == static_cast<int>(e.core)) return;
+    if (b.job_core >= 0) {
+      Bump(jobs, static_cast<unsigned>(b.job_core), e.time, -1, "jobs");
+    }
+    Bump(jobs, e.core, e.time, +1, "jobs");
+    b.job_core = static_cast<int>(e.core);
+  }
+
+  void CountEvent(const Event& e) {
+    if (e.core >= cores) return;
+    Booked& b = booked[e.task];
+    switch (e.kind) {
+      case EventKind::kRelease:
+      case EventKind::kMigrateIn:
+        if (b.ready_core < 0) {
+          Bump(ready, e.core, e.time, +1, "ready");
+          b.ready_core = static_cast<int>(e.core);
+        }
+        MoveJob(b, e);
+        break;
+      case EventKind::kPreempt:
+        if (b.ready_core < 0) {
+          Bump(ready, e.core, e.time, +1, "ready");
+          b.ready_core = static_cast<int>(e.core);
+        }
+        break;
+      case EventKind::kStart:
+        if (b.ready_core >= 0) {
+          Bump(ready, static_cast<unsigned>(b.ready_core), e.time, -1,
+               "ready");
+          b.ready_core = -1;
+        }
+        MoveJob(b, e);
+        break;
+      case EventKind::kFinish:
+        if (b.job_core >= 0) {
+          Bump(jobs, static_cast<unsigned>(b.job_core), e.time, -1, "jobs");
+          b.job_core = -1;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void AppendOne(const Event& e) {
+    last_time = std::max(last_time, e.time + e.duration);
+
+    // Execution slices are reconstructed per core: a kStart opens one;
+    // the next closing kind on that core ends it. Overhead slices carry
+    // their duration directly. Everything else becomes an instant.
+    if (e.core < open.size()) {
+      OpenSlice& slice = open[e.core];
+      if (slice.open && ClosesExecSlice(e.kind) && e.time >= slice.start) {
+        if (e.time > slice.start) {
+          EmitSlice(j, TaskLabel(slice.ev).c_str(), "exec", e.core,
+                    slice.start, e.time);
+        }
+        slice.open = false;
       }
-      slice.open = false;
     }
     switch (e.kind) {
       case EventKind::kStart:
-        slice.open = true;
-        slice.start = e.time;
-        slice.ev = e;
+        if (e.core < open.size()) {
+          open[e.core].open = true;
+          open[e.core].start = e.time;
+          open[e.core].ev = e;
+        }
         break;
       case EventKind::kOverheadBegin:
         if (e.duration > 0) {
@@ -234,24 +250,62 @@ std::string ToPerfettoJson(const std::vector<Event>& events,
         }
         break;
     }
+    if (opt.counter_tracks) CountEvent(e);
   }
-  // Close slices still running when the trace ends.
-  for (unsigned c = 0; c < cores; ++c) {
-    if (open[c].open && last_time > open[c].start) {
-      EmitSlice(j, TaskLabel(open[c].ev).c_str(), "exec", c, open[c].start,
-                last_time);
+
+  std::string Finish() {
+    // Close slices still running when the trace ends.
+    for (unsigned c = 0; c < open.size(); ++c) {
+      if (open[c].open && last_time > open[c].start) {
+        EmitSlice(j, TaskLabel(open[c].ev).c_str(), "exec", c,
+                  open[c].start, last_time);
+      }
     }
+    // Counter tracks, appended after the slices (Perfetto orders by
+    // ts): splice the buffered derived-counter events, then the
+    // caller-supplied series.
+    if (opt.counter_tracks && cj.str().size() > 1) {
+      j.Raw(std::string_view(cj.str()).substr(1));  // strip the '['
+    }
+    for (const CounterSeries& s : opt.extra_counters) {
+      for (const auto& [t, v] : s.points) EmitCounter(j, s.name, t, v);
+    }
+    j.EndArray();
+    j.EndObject();
+    return j.str();
   }
+};
 
-  // Counter tracks, appended after the slices (Perfetto orders by ts).
-  if (opt.counter_tracks) EmitDerivedCounters(j, events, cores);
-  for (const CounterSeries& s : opt.extra_counters) {
-    for (const auto& [t, v] : s.points) EmitCounter(j, s.name, t, v);
-  }
+PerfettoStreamWriter::PerfettoStreamWriter(const PerfettoOptions& opt)
+    : impl_(std::make_unique<Impl>(opt)) {}
+PerfettoStreamWriter::~PerfettoStreamWriter() = default;
+PerfettoStreamWriter::PerfettoStreamWriter(PerfettoStreamWriter&&) noexcept =
+    default;
+PerfettoStreamWriter& PerfettoStreamWriter::operator=(
+    PerfettoStreamWriter&&) noexcept = default;
 
-  j.EndArray();
-  j.EndObject();
-  return j.str();
+void PerfettoStreamWriter::Append(const std::vector<Event>& batch) {
+  for (const Event& e : batch) impl_->AppendOne(e);
+}
+
+std::string PerfettoStreamWriter::Finish() { return impl_->Finish(); }
+
+// ---------------------------------------------------------------------------
+// One-shot export: a pre-pass resolves the track count (streaming cannot
+// infer it), then the same writer serializes — byte-identical paths.
+// ---------------------------------------------------------------------------
+
+std::string ToPerfettoJson(const std::vector<Event>& events,
+                           const PerfettoOptions& opt) {
+  unsigned cores = opt.num_cores;
+  for (const Event& e : events) cores = std::max(cores, e.core + 1);
+  if (cores == 0) cores = 1;
+
+  PerfettoOptions resolved = opt;
+  resolved.num_cores = cores;
+  PerfettoStreamWriter w(resolved);
+  w.Append(events);
+  return w.Finish();
 }
 
 bool WritePerfettoJson(const std::vector<Event>& events,

@@ -1,0 +1,85 @@
+#include "obs/registry.hpp"
+
+#include <cstdio>
+
+#include "util/json_writer.hpp"
+
+namespace sps::obs {
+
+StatsSnapshot StatsSnapshot::Delta(const StatsSnapshot& earlier) const {
+  StatsSnapshot out = *this;
+  for (auto& [name, v] : out.counters) {
+    const auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) v -= std::min(v, it->second);
+  }
+  for (auto& [name, h] : out.hists) {
+    const auto it = earlier.hists.find(name);
+    if (it != earlier.hists.end()) h -= it->second;
+  }
+  return out;
+}
+
+void StatsSnapshot::Merge(const StatsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.hists) hists[name] += h;
+}
+
+std::string StatsSnapshot::ToJson() const {
+  util::JsonWriter j;
+  j.BeginObject();
+  j.Key("counters").BeginObject();
+  for (const auto& [name, v] : counters) j.Key(name).Value(v);
+  j.EndObject();
+  j.Key("gauges").BeginObject();
+  for (const auto& [name, v] : gauges) j.Key(name).Value(v);
+  j.EndObject();
+  j.Key("hists").BeginObject();
+  for (const auto& [name, h] : hists) {
+    j.Key(name).BeginObject();
+    j.Key("count").Value(h.count());
+    j.Key("p50_ns").Value(static_cast<std::uint64_t>(h.Quantile(0.5)));
+    j.Key("p99_ns").Value(static_cast<std::uint64_t>(h.Quantile(0.99)));
+    j.Key("buckets").BeginArray();
+    // Trailing zero buckets trimmed: the dump stays readable and the
+    // full histogram still reconstructs exactly.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+      if (h.buckets[i] != 0) last = i + 1;
+    }
+    for (std::size_t i = 0; i < last; ++i) j.Value(h.buckets[i]);
+    j.EndArray();
+    j.EndObject();
+  }
+  j.EndObject();
+  j.EndObject();
+  return j.str();
+}
+
+std::string StatsSnapshot::ToCsv() const {
+  std::string out = "name,kind,value\n";
+  char buf[160];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(buf, sizeof(buf), "%s,counter,%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(buf, sizeof(buf), "%s,gauge,%.9g\n", name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, h] : hists) {
+    std::snprintf(buf, sizeof(buf), "%s.count,hist,%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(h.count()));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s.p50_ns,hist,%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(h.Quantile(0.5)));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s.p99_ns,hist,%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(h.Quantile(0.99)));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sps::obs

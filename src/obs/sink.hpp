@@ -105,6 +105,8 @@ class RecordSink {
   }
 
   [[nodiscard]] const TraceBuffer& buffer() const { return buffer_; }
+  /// Mutable access for the streaming-window drain (DESIGN.md §15).
+  [[nodiscard]] TraceBuffer& buffer_mut() { return buffer_; }
 
   // ---- metrics pillar ----------------------------------------------------
 

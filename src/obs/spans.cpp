@@ -1,0 +1,220 @@
+#include "obs/spans.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+
+#include "util/json_writer.hpp"
+
+namespace sps::obs {
+
+namespace {
+
+constexpr std::size_t kStages = static_cast<std::size_t>(SpanStage::kCount);
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<std::uint64_t> g_profiler_serial{1};
+
+thread_local SpanProfiler* t_installed = nullptr;
+
+}  // namespace
+
+const char* ToString(SpanStage s) {
+  switch (s) {
+    case SpanStage::kUtilScreen: return "util_screen";
+    case SpanStage::kMemoProbe: return "memo_probe";
+    case SpanStage::kAnalysis: return "analysis";
+    case SpanStage::kPlacement: return "placement";
+    case SpanStage::kAdmitTotal: return "admit_total";
+    case SpanStage::kLeave: return "leave";
+    case SpanStage::kLadderDegrade: return "ladder_degrade";
+    case SpanStage::kLadderShed: return "ladder_shed";
+    case SpanStage::kFallback: return "fallback";
+    case SpanStage::kEpochApply: return "epoch_apply";
+    case SpanStage::kEpochValidate: return "epoch_validate";
+    case SpanStage::kCheckpointWrite: return "checkpoint_write";
+    case SpanStage::kRecoveryRedo: return "recovery_redo";
+    case SpanStage::kCount: break;
+  }
+  return "?";
+}
+
+SpanProfiler::SpanProfiler(ClockFn clock)
+    : clock_(clock != nullptr ? clock : &SteadyNowNs),
+      serial_(g_profiler_serial.fetch_add(1, std::memory_order_relaxed)) {}
+
+SpanProfiler::Shard* SpanProfiler::ShardForThisThread() {
+  // Single-entry fast path: the steady state (one profiler, millions of
+  // Record calls per thread) pays a pointer + serial compare, not a
+  // hash lookup. The map behind it is keyed by (address, serial): a
+  // destroyed profiler's address can be reused, so a bare pointer key
+  // could alias a stale shard.
+  struct Entry {
+    std::uint64_t serial = 0;
+    Shard* shard = nullptr;
+  };
+  thread_local const SpanProfiler* last_prof = nullptr;
+  thread_local Entry last{};
+  if (last_prof == this && last.serial == serial_) return last.shard;
+  thread_local std::unordered_map<const SpanProfiler*, Entry> cache;
+  Entry& e = cache[this];
+  if (e.serial != serial_ || e.shard == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::make_unique<Shard>());
+    e = Entry{serial_, shards_.back().get()};
+  }
+  last_prof = this;
+  last = e;
+  return e.shard;
+}
+
+void SpanProfiler::Record(SpanStage stage, std::uint64_t t0,
+                          std::uint64_t dur_ns) {
+  Shard* s = ShardForThisThread();
+  const std::size_t i = static_cast<std::size_t>(stage);
+  s->hist[i].Add(static_cast<Time>(dur_ns));
+  s->total_ns[i] += dur_ns;
+  if (collect_slices_) {
+    s->slice_t0.push_back(t0);
+    s->slice_dur.push_back(dur_ns);
+    s->slice_stage.push_back(stage);
+  }
+}
+
+LogHistogram SpanProfiler::StageHistogram(SpanStage stage) const {
+  LogHistogram out;
+  const std::size_t i = static_cast<std::size_t>(stage);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Shard>& s : shards_) out += s->hist[i];
+  return out;
+}
+
+std::vector<SpanProfiler::StageReport> SpanProfiler::Report() const {
+  std::vector<StageReport> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < kStages; ++i) {
+    StageReport row;
+    row.stage = static_cast<SpanStage>(i);
+    LogHistogram merged;
+    for (const std::unique_ptr<Shard>& s : shards_) {
+      merged += s->hist[i];
+      row.total_ns += s->total_ns[i];
+    }
+    row.count = merged.count();
+    if (row.count == 0) continue;
+    row.p50 = merged.Quantile(0.5);
+    row.p99 = merged.Quantile(0.99);
+    row.p999 = merged.Quantile(0.999);
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::string SpanProfiler::ToText() const {
+  std::string out =
+      "stage                 count     total_ms   p50_us   p99_us  p999_us\n";
+  char buf[160];
+  for (const StageReport& r : Report()) {
+    std::snprintf(buf, sizeof(buf), "%-18s %9llu %12.3f %8.1f %8.1f %8.1f\n",
+                  ToString(r.stage), static_cast<unsigned long long>(r.count),
+                  static_cast<double>(r.total_ns) / 1e6,
+                  static_cast<double>(r.p50) / 1e3,
+                  static_cast<double>(r.p99) / 1e3,
+                  static_cast<double>(r.p999) / 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+std::string SpanProfiler::ToJson() const {
+  util::JsonWriter j;
+  j.BeginObject();
+  j.Key("stages").BeginArray();
+  for (const StageReport& r : Report()) {
+    j.BeginObject();
+    j.Key("stage").Value(ToString(r.stage));
+    j.Key("count").Value(r.count);
+    j.Key("total_ns").Value(r.total_ns);
+    j.Key("p50_ns").Value(static_cast<std::uint64_t>(r.p50));
+    j.Key("p99_ns").Value(static_cast<std::uint64_t>(r.p99));
+    j.Key("p999_ns").Value(static_cast<std::uint64_t>(r.p999));
+    j.EndObject();
+  }
+  j.EndArray();
+  j.EndObject();
+  return j.str();
+}
+
+std::string SpanProfiler::SlicesToPerfettoJson() const {
+  struct Slice {
+    std::uint64_t t0, dur;
+    SpanStage stage;
+  };
+  std::vector<Slice> slices;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::unique_ptr<Shard>& s : shards_) {
+      for (std::size_t i = 0; i < s->slice_t0.size(); ++i) {
+        slices.push_back(
+            Slice{s->slice_t0[i], s->slice_dur[i], s->slice_stage[i]});
+      }
+    }
+  }
+  std::sort(slices.begin(), slices.end(), [](const Slice& a, const Slice& b) {
+    if (a.t0 != b.t0) return a.t0 < b.t0;
+    if (a.stage != b.stage) return a.stage < b.stage;
+    return a.dur < b.dur;
+  });
+
+  util::JsonWriter j;
+  j.BeginObject();
+  j.Key("displayTimeUnit").Value("ms");
+  j.Key("traceEvents").BeginArray();
+  j.BeginObject();
+  j.Key("name").Value("process_name");
+  j.Key("ph").Value("M");
+  j.Key("pid").Value(1);
+  j.Key("args").BeginObject().Key("name").Value("sps wall profiler")
+      .EndObject();
+  j.EndObject();
+  j.BeginObject();
+  j.Key("name").Value("thread_name");
+  j.Key("ph").Value("M");
+  j.Key("pid").Value(1);
+  j.Key("tid").Value(0);
+  j.Key("args").BeginObject().Key("name").Value("wall").EndObject();
+  j.EndObject();
+  for (const Slice& s : slices) {
+    j.BeginObject();
+    j.Key("name").Value(ToString(s.stage));
+    j.Key("cat").Value("wall");
+    j.Key("ph").Value("X");
+    j.Key("ts").Value(static_cast<double>(s.t0) / 1e3);
+    j.Key("dur").Value(static_cast<double>(s.dur) / 1e3);
+    j.Key("pid").Value(1);
+    j.Key("tid").Value(0);
+    j.EndObject();
+  }
+  j.EndArray();
+  j.EndObject();
+  return j.str();
+}
+
+SpanProfiler* InstalledProfiler() { return t_installed; }
+
+ProfilerInstallation::ProfilerInstallation(SpanProfiler* p)
+    : prev_(t_installed) {
+  t_installed = p;
+}
+
+ProfilerInstallation::~ProfilerInstallation() { t_installed = prev_; }
+
+}  // namespace sps::obs

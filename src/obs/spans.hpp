@@ -1,0 +1,151 @@
+#pragma once
+// Wall-clock span profiler for the online service pipeline (DESIGN.md
+// §15). A span wraps one stage of real work — an admission screen, a
+// ladder step, an epoch phase — and records its WALL duration into a
+// per-thread log2 histogram per stage. The profiler answers "where does
+// a million-request replay spend its milliseconds" (p50/p99/p999 per
+// stage), which the deterministic sim-time metrics of §10 cannot see.
+//
+// The determinism firewall: wall-clock readings NEVER feed decision
+// logic and never reach stdout or any byte-compared artifact — reports
+// go to stderr / the --profile-out channel only. The instrumented code
+// paths read the profiler through a thread-local install slot
+// (InstalledProfiler()), so the analysis layer needs no config plumbing
+// and the hooks cost one thread-local load + branch when profiling is
+// off (gated <3% on the calm path by bench_obs_overhead).
+//
+// Threading: Record() is safe from any thread — each thread lazily
+// claims its own shard (histograms + optional slice vector) under a
+// mutex taken once per (thread, profiler) pair; the merged report is a
+// commutative sum over shards. The clock is injectable (ClockFn) so
+// tests pin the output byte-for-byte under a fake clock.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sps::obs {
+
+/// The instrumented stages of the online pipeline. Histogram storage is
+/// indexed by this enum; keep kCount last.
+enum class SpanStage : std::uint8_t {
+  kUtilScreen = 0,   ///< O(1) per-core utilization screen
+  kMemoProbe,        ///< analysis-memo key combine + table lookup
+  kAnalysis,         ///< density screen + demand test (EDF) / LL/HYP/RTA (FP)
+  kPlacement,        ///< controller placement walk for one admit
+  kAdmitTotal,       ///< one ADMIT request end to end
+  kLeave,            ///< one LEAVE request end to end
+  kLadderDegrade,    ///< overload ladder: degrade step
+  kLadderShed,       ///< overload ladder: shed step
+  kFallback,         ///< full repartition fallback
+  kEpochApply,       ///< epoch entry: retries, restores, overload react
+  kEpochValidate,    ///< validation simulations of the standing partition
+  kCheckpointWrite,  ///< durability checkpoint serialize + write
+  kRecoveryRedo,     ///< recovery: checkpoint load + journal redo
+  kCount
+};
+
+[[nodiscard]] const char* ToString(SpanStage s);
+
+class SpanProfiler {
+ public:
+  /// Nanosecond wall clock; nullptr = std::chrono::steady_clock.
+  using ClockFn = std::uint64_t (*)();
+
+  explicit SpanProfiler(ClockFn clock = nullptr);
+
+  [[nodiscard]] std::uint64_t NowNs() const { return clock_(); }
+
+  /// Record one completed span. `t0` is the span's start (only kept when
+  /// slice collection is on).
+  void Record(SpanStage stage, std::uint64_t t0, std::uint64_t dur_ns);
+
+  /// Keep (t0, dur) slices per record for the Perfetto wall track —
+  /// off by default (unbounded memory on long replays).
+  void set_collect_slices(bool on) { collect_slices_ = on; }
+
+  struct StageReport {
+    SpanStage stage = SpanStage::kCount;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    Time p50 = 0, p99 = 0, p999 = 0;  ///< log2-bucket upper bounds
+  };
+
+  /// Merged per-stage rows (stages with zero records omitted), in enum
+  /// order — deterministic given deterministic inputs.
+  [[nodiscard]] std::vector<StageReport> Report() const;
+
+  /// Merged histogram of one stage (for delta-based per-epoch columns).
+  [[nodiscard]] LogHistogram StageHistogram(SpanStage stage) const;
+
+  /// Human table / flat JSON of Report(). Wall-clock data: stderr and
+  /// --profile-out only, never a byte-compared artifact.
+  [[nodiscard]] std::string ToText() const;
+  [[nodiscard]] std::string ToJson() const;
+
+  /// Chrome trace-event document with one "wall" track of duration
+  /// slices (requires set_collect_slices(true)). Slices are ordered by
+  /// (t0, stage, dur): byte-deterministic under an injected fake clock
+  /// (golden-file tested); real-clock documents are for humans only.
+  [[nodiscard]] std::string SlicesToPerfettoJson() const;
+
+ private:
+  struct Shard {
+    LogHistogram hist[static_cast<std::size_t>(SpanStage::kCount)];
+    std::uint64_t total_ns[static_cast<std::size_t>(SpanStage::kCount)] = {};
+    std::vector<std::uint64_t> slice_t0;
+    std::vector<std::uint64_t> slice_dur;
+    std::vector<SpanStage> slice_stage;
+  };
+
+  [[nodiscard]] Shard* ShardForThisThread();
+
+  ClockFn clock_;
+  bool collect_slices_ = false;
+  const std::uint64_t serial_;  ///< distinguishes address-reused profilers
+  mutable std::mutex mu_;       ///< guards shards_ growth
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// RAII span: reads the clock on entry and records on exit. A null
+/// profiler costs two branches — the profiling-off path.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanProfiler* p, SpanStage stage) : p_(p), stage_(stage) {
+    if (p_ != nullptr) t0_ = p_->NowNs();
+  }
+  ~ScopedSpan() {
+    if (p_ != nullptr) p_->Record(stage_, t0_, p_->NowNs() - t0_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanProfiler* p_;
+  SpanStage stage_;
+  std::uint64_t t0_ = 0;
+};
+
+/// The thread-local install slot. ReplayStream installs its configured
+/// profiler for the duration of the replay; the admission/analysis/
+/// controller layers read it here instead of threading a pointer through
+/// every config struct (nothing observability-related may enter the
+/// fingerprinted configs — DESIGN.md §15).
+[[nodiscard]] SpanProfiler* InstalledProfiler();
+
+class ProfilerInstallation {
+ public:
+  explicit ProfilerInstallation(SpanProfiler* p);
+  ~ProfilerInstallation();
+  ProfilerInstallation(const ProfilerInstallation&) = delete;
+  ProfilerInstallation& operator=(const ProfilerInstallation&) = delete;
+
+ private:
+  SpanProfiler* prev_;
+};
+
+}  // namespace sps::obs

@@ -68,6 +68,13 @@ struct StampedEvent {
 /// the same O(log n)-real-allocations story as every other hot-path
 /// container here (util/arena.hpp). A lane appends millions of records
 /// without ever touching the global allocator in steady state.
+///
+/// Streaming-window mode (DESIGN.md §15) additionally POPS from the
+/// front: DrainBelow() removes the finalized prefix (records whose key
+/// is below a watermark the driver proves no future dispatch can
+/// undercut), recycling fully-consumed chunks back into the arena — so
+/// a horizon-scale traced run holds O(window) records instead of
+/// O(events).
 class TraceBuffer {
   static constexpr std::size_t kChunkEvents = 512;
   struct Chunk {
@@ -81,22 +88,57 @@ class TraceBuffer {
       used_ = 0;
     }
     chunks_.back()->ev[used_++] = StampedEvent{s, e};
+    ++size_;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    return chunks_.empty() ? 0 : (chunks_.size() - 1) * kChunkEvents + used_;
+  /// Live (appended minus drained) record count.
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Pop the finalized prefix: every record whose stamp key is strictly
+  /// below `key_limit`, appended (stamp-sorted) to `out`. Valid because
+  /// a lane's append order is key-monotone — DES dispatch time never
+  /// decreases — so the below-limit records form exactly the front of
+  /// the buffer; the sort only settles same-key ties (chain/ordinal).
+  /// Fully-consumed chunks are recycled into the arena.
+  void DrainBelow(std::uint64_t key_limit, std::vector<StampedEvent>& out) {
+    const std::size_t start = out.size();
+    while (size_ > 0) {
+      Chunk* front = chunks_.front();
+      const StampedEvent& e = front->ev[head_];
+      if (e.stamp.key >= key_limit) break;
+      out.push_back(e);
+      ++head_;
+      --size_;
+      if (head_ == kChunkEvents) {
+        arena_.destroy(front);
+        chunks_.erase(chunks_.begin());
+        head_ = 0;
+      } else if (size_ == 0 && chunks_.size() == 1 && head_ == used_) {
+        // The partially-filled tail chunk is fully consumed: reset so
+        // the next Append starts a fresh chunk at offset 0.
+        arena_.destroy(front);
+        chunks_.clear();
+        head_ = 0;
+        used_ = 0;
+      }
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(),
+              [](const StampedEvent& a, const StampedEvent& b) {
+                return a.stamp < b.stamp;
+              });
   }
 
-  /// Copy out every record, sorted by stamp. Lane-local dispatch order is
-  /// already key-sorted (DES time never goes backwards), so this sort
+  /// Copy out every live record, sorted by stamp. Lane-local append order
+  /// is already key-sorted (DES time never goes backwards), so this sort
   /// only reorders same-key ties — near-linear in practice.
   [[nodiscard]] std::vector<StampedEvent> Sorted() const {
     std::vector<StampedEvent> out;
     out.reserve(size());
     for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      const std::size_t b = c == 0 ? head_ : 0;
       const std::size_t n =
           c + 1 == chunks_.size() ? used_ : kChunkEvents;
-      out.insert(out.end(), chunks_[c]->ev, chunks_[c]->ev + n);
+      out.insert(out.end(), chunks_[c]->ev + b, chunks_[c]->ev + n);
     }
     std::stable_sort(out.begin(), out.end(),
                      [](const StampedEvent& a, const StampedEvent& b) {
@@ -108,25 +150,44 @@ class TraceBuffer {
  private:
   util::SlabArena<Chunk> arena_;  // chunks are trivially destructible
   std::vector<Chunk*> chunks_;
-  std::size_t used_ = 0;
+  std::size_t used_ = 0;  ///< fill of the back chunk
+  std::size_t head_ = 0;  ///< drained offset into the front chunk
+  std::size_t size_ = 0;  ///< live records
 };
 
-/// Deterministic k-way merge of per-lane buffers into the canonical
-/// event sequence. Each lane's records are sorted by stamp first; the
-/// merge then repeatedly takes the lane whose head stamp is smallest
-/// (ties impossible: a stamp identifies one dispatch of one subject, and
-/// a subject's dispatches all happen on one lane).
-[[nodiscard]] inline std::vector<trace::Event> MergeTraceBuffers(
-    const std::vector<const TraceBuffer*>& lanes) {
-  std::vector<std::vector<StampedEvent>> sorted;
-  sorted.reserve(lanes.size());
+/// Statistics of one streamed run, handed to TraceDrain::OnFinish.
+/// peak_resident is the maximum LIVE stamped-record count observed at
+/// the drain points (summed over lanes) — the bounded-memory claim the
+/// streaming-window tests assert against the configured window.
+struct TraceStreamStats {
+  std::size_t events = 0;
+  std::size_t batches = 0;
+  std::size_t peak_resident = 0;
+};
+
+/// Consumer of a streaming-window traced run. The driver calls OnEvents
+/// with stamp-ordered batches — concatenated, they are byte-for-byte the
+/// canonical full-buffer trace (the §10 merge order) — then OnFinish
+/// exactly once with the run's streaming stats.
+class TraceDrain {
+ public:
+  virtual ~TraceDrain() = default;
+  virtual void OnEvents(const std::vector<trace::Event>& batch) = 0;
+  virtual void OnFinish(const TraceStreamStats& stats) = 0;
+};
+
+/// K-way merge of per-lane stamp-SORTED runs, appended to `out` in
+/// stamp order. The heap repeatedly takes the lane whose head stamp is
+/// smallest (ties impossible: a stamp identifies one dispatch of one
+/// subject, and a subject's dispatches all happen on one lane). Shared
+/// by the post-run full-buffer merge and the streaming-window drain —
+/// one merge order, so the two paths are byte-identical by
+/// construction.
+inline void MergeSortedRuns(const std::vector<std::vector<StampedEvent>>& sorted,
+                            std::vector<trace::Event>& out) {
   std::size_t total = 0;
-  for (const TraceBuffer* b : lanes) {
-    sorted.push_back(b->Sorted());
-    total += sorted.back().size();
-  }
-  std::vector<trace::Event> out;
-  out.reserve(total);
+  for (const std::vector<StampedEvent>& run : sorted) total += run.size();
+  out.reserve(out.size() + total);
 
   // Binary min-heap of lane heads, keyed by stamp.
   std::vector<std::size_t> head(sorted.size(), 0);
@@ -152,6 +213,17 @@ class TraceBuffer {
       std::push_heap(heap.begin(), heap.end(), heap_less);
     }
   }
+}
+
+/// Deterministic k-way merge of per-lane buffers into the canonical
+/// event sequence (the full-buffer path).
+[[nodiscard]] inline std::vector<trace::Event> MergeTraceBuffers(
+    const std::vector<const TraceBuffer*>& lanes) {
+  std::vector<std::vector<StampedEvent>> sorted;
+  sorted.reserve(lanes.size());
+  for (const TraceBuffer* b : lanes) sorted.push_back(b->Sorted());
+  std::vector<trace::Event> out;
+  MergeSortedRuns(sorted, out);
   return out;
 }
 

@@ -6,6 +6,9 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/registry.hpp"
+#include "obs/spans.hpp"
+
 namespace sps::online {
 
 namespace {
@@ -111,6 +114,7 @@ std::vector<unsigned> Controller::CoreOrder(
 }
 
 AdmitOutcome Controller::TryPlace(const rt::Task& t) {
+  obs::ScopedSpan span(obs::InstalledProfiler(), obs::SpanStage::kPlacement);
   AdmitOutcome out;
   const std::vector<unsigned> order = CoreOrder(state_);
   const bool allow_split =
@@ -136,6 +140,7 @@ AdmitOutcome Controller::TryPlace(const rt::Task& t) {
 }
 
 AdmitOutcome Controller::Admit(const rt::Task& t) {
+  obs::ScopedSpan span(obs::InstalledProfiler(), obs::SpanStage::kAdmitTotal);
   AdmitOutcome out;
   if (!t.valid() || placements_.count(t.id) != 0) return out;
   for (const ShedRecord& r : shed_) {
@@ -179,6 +184,7 @@ bool Controller::FallbackAllowed() {
 }
 
 AdmitOutcome Controller::FallbackRepartition(const rt::Task& t) {
+  obs::ScopedSpan span(obs::InstalledProfiler(), obs::SpanStage::kFallback);
   AdmitOutcome out;
   // O(1) hopelessness guard: no partitioner can place a set whose total
   // utilization exceeds the core count — skip the offline run entirely.
@@ -248,6 +254,7 @@ AdmitOutcome Controller::FallbackRepartition(const rt::Task& t) {
 }
 
 bool Controller::Leave(rt::TaskId id) {
+  obs::ScopedSpan span(obs::InstalledProfiler(), obs::SpanStage::kLeave);
   const auto it = placements_.find(id);
   if (it == placements_.end()) {
     // A currently-shed task leaving for good: drop its retry record (no
@@ -295,6 +302,8 @@ rt::TaskId Controller::PickVictim(Pred&& pred) const {
 
 bool Controller::DegradeOne(const rt::Task* for_admit,
                             std::vector<LadderAction>& log) {
+  obs::ScopedSpan span(obs::InstalledProfiler(),
+                       obs::SpanStage::kLadderDegrade);
   const rt::TaskId id = PickVictim([&](const partition::PlacedTask& pt) {
     return pt.task.can_degrade() && !pt.split() &&
            degraded_full_.count(pt.task.id) == 0 &&
@@ -327,6 +336,7 @@ bool Controller::DegradeOne(const rt::Task* for_admit,
 
 bool Controller::ShedOne(const rt::Task* for_admit,
                          std::vector<LadderAction>& log) {
+  obs::ScopedSpan span(obs::InstalledProfiler(), obs::SpanStage::kLadderShed);
   const rt::TaskId id = PickVictim([&](const partition::PlacedTask& pt) {
     return VictimEligible(pt.task, for_admit);
   });
@@ -671,6 +681,46 @@ std::string ReplayResult::Table() const {
     out += buf;
   }
   return out;
+}
+
+void FillStatsRegistry(obs::StatsRegistry& reg, const ReplayResult& r) {
+  reg.SetCounter("admit.accepted", r.admits);
+  reg.SetCounter("admit.rejected", r.rejects);
+  reg.SetCounter("admit.leaves", r.leaves);
+  reg.SetCounter("admit.util_rejects", r.admission.util_rejects);
+  reg.SetCounter("admit.density_accepts", r.admission.density_accepts);
+  reg.SetCounter("admit.full_tests", r.admission.full_tests);
+  reg.SetCounter("memo.hits", r.admission.memo_hits);
+  reg.SetCounter("memo.misses", r.admission.memo_misses);
+  reg.SetCounter("memo.evicts", r.admission.memo_evicts);
+  reg.SetCounter("churn.moved", r.churn.moved);
+  reg.SetCounter("churn.split", r.churn.split);
+  reg.SetCounter("churn.unsplit", r.churn.unsplit);
+  reg.SetCounter("churn.repartitions", r.churn.repartitions);
+  reg.SetCounter("overload.degrades", r.overload.degrades);
+  reg.SetCounter("overload.degrade_restores", r.overload.degrade_restores);
+  reg.SetCounter("overload.sheds", r.overload.sheds);
+  reg.SetCounter("overload.shed_restores", r.overload.shed_restores);
+  reg.SetCounter("overload.retry_attempts", r.overload.retry_attempts);
+  reg.SetCounter("overload.hysteresis_blocks", r.overload.hysteresis_blocks);
+  reg.SetCounter("epochs.closed", r.epochs.size());
+  reg.SetGauge("overload.shed_outstanding",
+               static_cast<double>(r.shed_outstanding));
+  if (!r.epochs.empty()) {
+    const EpochStats& last = r.epochs.back();
+    reg.SetGauge("resident.count", static_cast<double>(last.resident));
+    reg.SetGauge("resident.utilization", last.utilization);
+    reg.SetGauge("resident.degraded",
+                 static_cast<double>(last.degraded_resident));
+  }
+  reg.SetCounter("recovery.attempted", r.recovery.attempted ? 1 : 0);
+  reg.SetCounter("recovery.recovered", r.recovery.recovered ? 1 : 0);
+  reg.SetCounter("recovery.journal_records", r.recovery.journal_records);
+  reg.SetCounter("recovery.journal_truncated_bytes",
+                 r.recovery.journal_truncated_bytes);
+  reg.SetCounter("recovery.checkpoints_skipped",
+                 r.recovery.checkpoints_skipped);
+  reg.SetCounter("recovery.resume_seq", r.recovery.resume_seq);
 }
 
 }  // namespace sps::online

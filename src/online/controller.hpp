@@ -23,6 +23,7 @@
 //     count.
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -34,6 +35,11 @@
 #include "partition/placement.hpp"
 #include "partition/verify.hpp"
 #include "sim/engine.hpp"
+
+namespace sps::obs {
+class SpanProfiler;
+class StatsRegistry;
+}  // namespace sps::obs
 
 namespace sps::online {
 
@@ -350,6 +356,24 @@ struct FaultPlan {
   [[nodiscard]] const BurstStorm* StormAt(Time start, Time end) const;
 };
 
+struct EpochStats;
+struct ReplayResult;
+
+/// Observability side-channel for a replay (DESIGN.md §15): a wall-clock
+/// span profiler installed for the replay thread's duration and an
+/// optional per-epoch hook (the CLI's heartbeat / augmented table).
+/// Deliberately OUTSIDE the durability fingerprint and never
+/// decision-relevant — wall-clock data must stay off stdout and out of
+/// every byte-compared artifact.
+struct ReplayObserver {
+  obs::SpanProfiler* profiler = nullptr;
+  /// Called after each epoch closes, with the epoch's index, its stats,
+  /// and the accumulating result. Must not mutate anything the replay
+  /// reads.
+  std::function<void(std::size_t, const EpochStats&, const ReplayResult&)>
+      on_epoch;
+};
+
 struct ReplayConfig {
   ControllerConfig controller;
   /// Epoch length; stats snapshot per epoch. 0 = one epoch spanning the
@@ -372,6 +396,8 @@ struct ReplayConfig {
   /// fsync policy, recovery. Default-off (dir empty) — the replay then
   /// runs exactly the PR 7 path.
   DurabilityConfig durability;
+  /// Observability side-channel (DESIGN.md §15). NOT fingerprinted.
+  ReplayObserver obs;
 };
 
 struct EpochStats {
@@ -422,6 +448,13 @@ struct ReplayResult {
 
 /// Fold one stream through a fresh controller. Pure in (stream, cfg).
 ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg);
+
+/// Register the replay's scattered counters (admission, overload ladder,
+/// churn, durability recovery) into the unified stats registry
+/// (obs/registry.hpp) under stable names. Deterministic: identical
+/// results produce identical snapshots — `--stats-out` is byte-compared
+/// across profile on/off in CI.
+void FillStatsRegistry(obs::StatsRegistry& reg, const ReplayResult& r);
 
 /// Replay independent streams over the worker pool (jobs as in
 /// util::ParallelFor: 1 = serial, 0 = hardware). Stream i's result is

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "analysis/memo.hpp"
+#include "obs/spans.hpp"
 #include "online/controller.hpp"
 #include "sim/batch.hpp"
 #include "util/crc32.hpp"
@@ -840,6 +841,8 @@ class DurabilityEngine {
   /// On success `st` holds the state to resume from (default = scratch).
   bool Init(const WorkloadStream& s, const ReplayConfig& cfg,
             CheckpointState& st) {
+    obs::ScopedSpan span(obs::InstalledProfiler(),
+                         obs::SpanStage::kRecoveryRedo);
     cfg_ = cfg.durability;
     fingerprint_ = Fingerprint(s, cfg);
     journal_path_ = cfg_.dir + "/journal.wal";
@@ -931,6 +934,8 @@ class DurabilityEngine {
                       std::uint64_t epoch_index,
                       const ChurnStats& churn_before,
                       const OverloadStats& overload_before) {
+    obs::ScopedSpan span(obs::InstalledProfiler(),
+                         obs::SpanStage::kCheckpointWrite);
     if (cfg_.fsync == FsyncPolicy::kEveryEpoch) {
       FlushJournal(/*sync=*/true);
     }
@@ -1090,6 +1095,8 @@ void CloseEpoch(const Controller& ctrl, const ReplayConfig& cfg,
   const BurstStorm* storm = cfg.faults.StormAt(start, end);
   e.fault_active = spike != nullptr || storm != nullptr;
   if (cfg.validate_by_simulation && ctrl.resident() > 0) {
+    obs::ScopedSpan span(obs::InstalledProfiler(),
+                         obs::SpanStage::kEpochValidate);
     sim::SimConfig scfg = cfg.validate_sim;
     scfg.overheads = cfg.controller.admission.model;
     scfg.exec.seed = util::DeriveSeed(cfg.seed, epoch_index, 0);
@@ -1121,6 +1128,9 @@ void CloseEpoch(const Controller& ctrl, const ReplayConfig& cfg,
     }
   }
   out.epochs.push_back(e);
+  // Observability hook (DESIGN.md §15): heartbeats / augmented tables.
+  // Runs after the epoch is final; must not influence the replay.
+  if (cfg.obs.on_epoch) cfg.obs.on_epoch(epoch_index, out.epochs.back(), out);
   e = EpochStats{};
 }
 
@@ -1167,6 +1177,10 @@ std::vector<std::string> ListCheckpoints(const std::string& dir) {
 // ---- the replay loop (one loop for the plain and durable paths) ------------
 
 ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg) {
+  // Install the replay's wall-clock profiler for this thread; every
+  // layer below (controller, admission analysis, durability engine)
+  // reads it via obs::InstalledProfiler(). Uninstalls on every return.
+  obs::ProfilerInstallation profiler_install(cfg.obs.profiler);
   ReplayResult out;
   Controller ctrl(cfg.controller);
   const Time epoch_len = cfg.epoch > 0 ? cfg.epoch : s.span() + 1;
@@ -1221,6 +1235,8 @@ ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg) {
   // spike-inflated partition re-analyzes schedulable, BEFORE this
   // epoch's requests and validation run.
   const auto enter_epoch = [&](Time start) {
+    obs::ScopedSpan span(obs::InstalledProfiler(),
+                         obs::SpanStage::kEpochApply);
     const Time end =
         start > kTimeNever - epoch_len ? kTimeNever : start + epoch_len;
     const SpikeEpoch* spike = cfg.faults.SpikeAt(start, end);

@@ -7,6 +7,7 @@
 
 #include "analysis/bounds.hpp"
 #include "analysis/overhead_aware.hpp"
+#include "obs/spans.hpp"
 #include "partition/verify.hpp"
 
 namespace sps::partition {
@@ -64,12 +65,16 @@ bool FpCoreAdmits(const FpCoreState& bin, const rt::Task& cand,
                   const analysis::MemoContext* memo) {
   AdmitStats local;
   AdmitStats& s = stats != nullptr ? *stats : local;
+  obs::SpanProfiler* const prof = obs::InstalledProfiler();
   // O(1) reject: no FP admission test passes a core over utilization 1
   // (LL and hyperbolic bounds are below it; RTA diverges past it for
   // constrained deadlines).
-  if (bin.utilization + cand.utilization() > 1.0 + 1e-12) {
-    ++s.util_rejects;
-    return false;
+  {
+    obs::ScopedSpan span(prof, obs::SpanStage::kUtilScreen);
+    if (bin.utilization + cand.utilization() > 1.0 + 1e-12) {
+      ++s.util_rejects;
+      return false;
+    }
   }
   // Transposition table: everything past the (never-cached, O(1)) screen
   // is a pure function of (resident multiset, candidate, model, test
@@ -77,6 +82,7 @@ bool FpCoreAdmits(const FpCoreState& bin, const rt::Task& cand,
   const bool use_memo = memo != nullptr && memo->active();
   analysis::MemoKey qk;
   if (use_memo) {
+    obs::ScopedSpan span(prof, obs::SpanStage::kMemoProbe);
     qk = analysis::CombineQuery(bin.zobrist, analysis::FpTaskCode(cand),
                                 *memo);
     if (const auto hit = memo->table->Lookup(qk.lo, qk)) {
@@ -86,6 +92,7 @@ bool FpCoreAdmits(const FpCoreState& bin, const rt::Task& cand,
     }
     ++s.memo_misses;
   }
+  obs::ScopedSpan analysis_span(prof, obs::SpanStage::kAnalysis);
   ++s.full_tests;
   const bool ok = [&] {
     if (cfg.admission != AdmissionTest::kRta) {

@@ -7,6 +7,7 @@
 
 #include "analysis/edf.hpp"
 #include "analysis/overhead_aware.hpp"
+#include "obs/spans.hpp"
 #include "partition/verify.hpp"
 
 namespace sps::partition {
@@ -104,14 +105,18 @@ bool EdfCoreAdmits(const EdfCoreState& core,
                    const analysis::MemoContext* memo) {
   AdmitStats local;
   AdmitStats& s = stats != nullptr ? *stats : local;
+  obs::SpanProfiler* const prof = obs::InstalledProfiler();
 
   // O(1) reject: raw utilization already over 1 — inflation only adds,
   // and the demand test opens by rejecting U > 1 (same epsilon).
-  const double cand_util =
-      static_cast<double>(cand.exec) / static_cast<double>(cand.period);
-  if (core.utilization + cand_util > 1.0 + 1e-12) {
-    ++s.util_rejects;
-    return false;
+  {
+    obs::ScopedSpan span(prof, obs::SpanStage::kUtilScreen);
+    const double cand_util =
+        static_cast<double>(cand.exec) / static_cast<double>(cand.period);
+    if (core.utilization + cand_util > 1.0 + 1e-12) {
+      ++s.util_rejects;
+      return false;
+    }
   }
 
   // Transposition table: everything past the (never-cached, O(1))
@@ -122,6 +127,7 @@ bool EdfCoreAdmits(const EdfCoreState& core,
   const bool use_memo = memo != nullptr && memo->active();
   analysis::MemoKey qk;
   if (use_memo) {
+    obs::ScopedSpan span(prof, obs::SpanStage::kMemoProbe);
     qk = analysis::CombineQuery(core.zobrist, analysis::EdfEntryCode(cand),
                                 *memo);
     if (const auto hit = memo->table->Lookup(qk.lo, qk)) {
@@ -136,6 +142,7 @@ bool EdfCoreAdmits(const EdfCoreState& core,
     ++s.memo_misses;
   }
 
+  obs::ScopedSpan analysis_span(prof, obs::SpanStage::kAnalysis);
   std::vector<analysis::EdfCoreEntry> probe = core.entries;
   probe.push_back(cand);
   const auto inflated = analysis::InflateEdfCore(probe, model);

@@ -92,6 +92,8 @@ class Engine final
                            cfg.event_backend, cfg.job_arena,
                            cfg.record_trace, cfg.record_metrics};
     k.exec_generations = cfg.exec_generations;
+    k.trace_drain = cfg.trace_drain;
+    k.trace_window = cfg.trace_window;
     return k;
   }
 
@@ -549,6 +551,46 @@ std::optional<SimResult> RunSharded(const partition::Partition& p,
       ((1u << kernel::kEvKindBits) - 1);
   std::vector<std::uint64_t> next_key(m, Eng::kNoEventKey);
   std::vector<std::uint64_t> bound(m, Eng::kNoEventKey);
+
+  // Streaming trace window, sharded flavor (DESIGN.md §15): at the
+  // phase-1 barrier every lane's next-event key is published, and any
+  // future dispatch anywhere carries a key >= W = min(next_key) (a
+  // cross-lane emission adds at least one rank on top of its dispatch
+  // key). So each lane's below-W records — a stamp-key-monotone PREFIX
+  // of its append order — are final; DrainBelow pops and sorts them and
+  // the stamped k-way merge emits exactly the prefix the full-buffer
+  // merge would. Byte-identity with the serial and full-buffer paths by
+  // construction.
+  const bool streaming = cfg.trace_drain != nullptr && cfg.record_trace;
+  obs::TraceStreamStats stream_stats;
+  std::vector<std::vector<obs::StampedEvent>> stream_runs;
+  std::vector<trace::Event> stream_batch;
+  auto stream_drain_below = [&](std::uint64_t limit) {
+    if constexpr (Sink::kActive) {
+      std::size_t resident = 0;
+      for (std::size_t c = 0; c < m; ++c) {
+        resident += shards[c]->sink().buffer().size();
+      }
+      stream_stats.peak_resident =
+          std::max(stream_stats.peak_resident, resident);
+      if (stream_runs.size() != m) stream_runs.resize(m);
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < m; ++c) {
+        stream_runs[c].clear();
+        shards[c]->sink_mut().buffer_mut().DrainBelow(limit, stream_runs[c]);
+        total += stream_runs[c].size();
+      }
+      if (total == 0) return;
+      stream_batch.clear();
+      obs::MergeSortedRuns(stream_runs, stream_batch);
+      cfg.trace_drain->OnEvents(stream_batch);
+      stream_stats.events += total;
+      ++stream_stats.batches;
+    } else {
+      (void)limit;
+    }
+  };
+
   for (;;) {
     // Phase 1: deliver cross-lane events, publish every lane's clock.
     pool->ParallelFor(m, [&](std::size_t c) {
@@ -570,6 +612,29 @@ std::optional<SimResult> RunSharded(const partition::Partition& p,
     if (*std::min_element(next_key.begin(), next_key.end()) >
         horizon_key_max) {
       break;
+    }
+    if constexpr (Sink::kActive) {
+      if (streaming) {
+        // Drain once any lane reached its backpressure share (see
+        // RunWindow): with every lane active that is when the total
+        // nears the window; with one active lane it keeps that lane
+        // from being throttled to one event per round.
+        const std::size_t lane_cap = std::max<std::size_t>(
+            1, cfg.trace_window / std::max<std::size_t>(1, m));
+        std::size_t resident = 0;
+        std::size_t max_lane = 0;
+        for (std::size_t c = 0; c < m; ++c) {
+          const std::size_t n = shards[c]->sink().buffer().size();
+          resident += n;
+          max_lane = std::max(max_lane, n);
+        }
+        stream_stats.peak_resident =
+            std::max(stream_stats.peak_resident, resident);
+        if (max_lane >= lane_cap) {
+          stream_drain_below(
+              *std::min_element(next_key.begin(), next_key.end()));
+        }
+      }
     }
     // Earliest key each lane could still DISPATCH — its own queue, or a
     // chain of incoming emissions (each cross-lane hop adds at least one
@@ -621,12 +686,20 @@ std::optional<SimResult> RunSharded(const partition::Partition& p,
       shards[c]->FinalizeShardObservability();
     }
     if (cfg.record_trace) {
-      std::vector<const obs::TraceBuffer*> bufs;
-      bufs.reserve(m);
-      for (std::size_t c = 0; c < m; ++c) {
-        bufs.push_back(&shards[c]->sink().buffer());
+      if (streaming) {
+        // Flush the remainder and report the stream's bounds; the
+        // canonical trace went through the drain (trace_events stays
+        // empty), exactly like the serial kernel's Finalize.
+        stream_drain_below(Eng::kNoEventKey);
+        cfg.trace_drain->OnFinish(stream_stats);
+      } else {
+        std::vector<const obs::TraceBuffer*> bufs;
+        bufs.reserve(m);
+        for (std::size_t c = 0; c < m; ++c) {
+          bufs.push_back(&shards[c]->sink().buffer());
+        }
+        out.trace_events = obs::MergeTraceBuffers(bufs);
       }
-      out.trace_events = obs::MergeTraceBuffers(bufs);
     }
     if (cfg.record_metrics) {
       obs::RunMetrics merged;
@@ -659,7 +732,12 @@ SimResult Dispatch(const partition::Partition& p, const SimConfig& cfg) {
   // degrade to insertion FIFO, which is interleaving-dependent.
   const bool edf_alias = p.policy == partition::SchedPolicy::kEdf &&
                          p.tasks.size() > kEdfTieBreakTasks;
-  if (threads > 1 && p.num_cores > 1 && !edf_alias) {
+  // Streaming + stop_on_first_miss must take the serial loop: an
+  // abandoned sharded attempt would already have streamed over-processed
+  // events the drain consumer cannot un-see (DESIGN.md §15).
+  const bool stream_needs_serial =
+      cfg.trace_drain != nullptr && cfg.stop_on_first_miss;
+  if (threads > 1 && p.num_cores > 1 && !edf_alias && !stream_needs_serial) {
     std::optional<SimResult> r =
         RunSharded<ReadyQ, SleepQ, EventQ, Sink>(p, cfg, threads);
     if (r.has_value()) return *std::move(r);

@@ -71,6 +71,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <random>
@@ -455,6 +456,15 @@ struct KernelConfig {
   /// incarnation's RNG position (DESIGN.md §13). Generation 0 is
   /// bit-identical to configs that never set this field.
   std::vector<std::uint32_t> exec_generations;
+  /// Streaming trace window (DESIGN.md §15): when non-null (and
+  /// record_trace is on), finalized stamped records are drained to this
+  /// consumer mid-run — in canonical merge order, byte-identical to the
+  /// post-run full-buffer merge — whenever the buffer holds at least
+  /// trace_window records, and SimResult::trace_events stays empty. The
+  /// serial loop drains below its event queue's minimum key after each
+  /// dispatch; the sharded driver drains at its barrier watermark.
+  obs::TraceDrain* trace_drain = nullptr;
+  std::size_t trace_window = 1u << 16;
 };
 
 template <typename Policy, typename JobT, typename TaskRtT, typename PerCoreT,
@@ -473,6 +483,16 @@ class KernelBase {
       now_ = ev.t;
       BeginDispatch(ev);
       policy().Dispatch(ev);
+      if constexpr (SinkT::kActive) {
+        // Streaming window: records below the queue's minimum key are
+        // final (future dispatches never carry a smaller key; a SAME-key
+        // dispatch may still tie-break earlier, so the bound is strict).
+        if (kcfg_.trace_drain != nullptr && sink_.tracing() &&
+            sink_.buffer().size() >= kcfg_.trace_window) {
+          StreamDrainBelow(events_.empty() ? kNoEventKey
+                                           : events_.min_key());
+        }
+      }
     }
     return Finalize();
   }
@@ -521,7 +541,24 @@ class KernelBase {
   /// stop_on_first_miss stops dispatching; the driver observes the flag
   /// at the next barrier and abandons the sharded attempt (the exact
   /// halt point is a serial-order property — see RunSharded).
+  ///
+  /// Streaming backpressure (DESIGN.md §15): with a trace drain
+  /// configured, a lane PAUSES once its buffer holds its share of the
+  /// window and resumes next round — stopping a window early is always
+  /// protocol-safe (the remaining events just dispatch in later
+  /// windows; other lanes' safe bounds never assumed this lane's
+  /// emissions arrive within the round). Without the pause, a
+  /// sender-free lane would run its whole horizon in ONE window and no
+  /// barrier could ever drain mid-run. At least one event dispatches
+  /// per window, so the global-minimum lane still guarantees progress.
   void RunWindow(std::uint64_t safe_key) {
+    std::size_t lane_cap = std::numeric_limits<std::size_t>::max();
+    if constexpr (SinkT::kActive) {
+      if (kcfg_.trace_drain != nullptr && sink_.tracing()) {
+        lane_cap = std::max<std::size_t>(
+            1, kcfg_.trace_window / std::max(1u, kcfg_.num_cores));
+      }
+    }
     while (!events_.empty() && !halted_) {
       const std::uint64_t k = events_.min_key();
       if (k > safe_key || EventKeyTime(k) > kcfg_.horizon) break;
@@ -529,6 +566,9 @@ class KernelBase {
       now_ = ev.t;
       BeginDispatch(ev);
       policy().Dispatch(ev);
+      if constexpr (SinkT::kActive) {
+        if (sink_.buffer().size() >= lane_cap) break;
+      }
     }
   }
 
@@ -542,6 +582,9 @@ class KernelBase {
 
   /// The lane's sink, for the driver's post-run trace/metrics merge.
   [[nodiscard]] const SinkT& sink() const { return sink_; }
+  /// Mutable sink access for the sharded driver's streaming-window
+  /// drain (DESIGN.md §15).
+  [[nodiscard]] SinkT& sink_mut() { return sink_; }
 
   /// Fold this shard's slice into a merged result: its own core row,
   /// its event/ready/sleep counters, and its clock.
@@ -941,11 +984,41 @@ class KernelBase {
     FinalizeObservability();
     if constexpr (SinkT::kActive) {
       if (sink_.tracing()) {
-        result_.trace_events = obs::MergeTraceBuffers({&sink_.buffer()});
+        if (kcfg_.trace_drain != nullptr) {
+          // Streaming mode: flush the remainder and report the stream's
+          // bounds; the canonical trace went through the drain, so
+          // SimResult::trace_events stays empty (bounded memory is the
+          // point).
+          StreamDrainBelow(kNoEventKey);
+          kcfg_.trace_drain->OnFinish(drain_stats_);
+        } else {
+          result_.trace_events = obs::MergeTraceBuffers({&sink_.buffer()});
+        }
       }
       if (sink_.metrics()) result_.metrics = sink_.TakeMetrics();
     }
     return std::move(result_);
+  }
+
+  /// Serial-loop streaming drain: pop the finalized prefix (stamp key
+  /// strictly below `limit`), already stamp-sorted by DrainBelow, and
+  /// hand it to the configured TraceDrain.
+  void StreamDrainBelow(std::uint64_t limit) {
+    if constexpr (SinkT::kActive) {
+      drain_stats_.peak_resident =
+          std::max(drain_stats_.peak_resident, sink_.buffer().size());
+      drain_run_.clear();
+      sink_.buffer_mut().DrainBelow(limit, drain_run_);
+      if (drain_run_.empty()) return;
+      drain_batch_.clear();
+      drain_batch_.reserve(drain_run_.size());
+      for (const obs::StampedEvent& e : drain_run_) {
+        drain_batch_.push_back(e.event);
+      }
+      kcfg_.trace_drain->OnEvents(drain_batch_);
+      ++drain_stats_.batches;
+      drain_stats_.events += drain_batch_.size();
+    }
   }
 
   KernelConfig kcfg_;
@@ -966,6 +1039,11 @@ class KernelBase {
   Time now_ = 0;
   std::uint64_t ev_seq_ = 0;
   bool halted_ = false;
+  /// Streaming-window scratch (serial loop only; reused across drains so
+  /// the steady state allocates nothing).
+  std::vector<obs::StampedEvent> drain_run_;
+  std::vector<trace::Event> drain_batch_;
+  obs::TraceStreamStats drain_stats_;
   SimResult result_;
 };
 

@@ -87,6 +87,17 @@ class JsonWriter {
     return Value(static_cast<std::uint64_t>(v));
   }
 
+  /// Splice pre-serialized JSON as the next element of the enclosing
+  /// container (comma placement handled like any Value). `raw` must be a
+  /// non-empty, comma-separated run of valid JSON values — the streaming
+  /// Perfetto writer uses this to graft its separately-buffered counter
+  /// events into the main event array.
+  JsonWriter& Raw(std::string_view raw) {
+    Separator();
+    out_ += raw;
+    return *this;
+  }
+
   [[nodiscard]] const std::string& str() const { return out_; }
 
   /// Write to `path` (with a trailing newline); returns success.

@@ -1,0 +1,66 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sps::util {
+
+namespace {
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+LogLevel LevelFromEnv() {
+  LogLevel l = LogLevel::kInfo;
+  if (const char* env = std::getenv("SPS_LOG_LEVEL")) {
+    (void)ParseLogLevel(env, &l);  // unparsable values keep the default
+  }
+  return l;
+}
+
+/// -1 = unset (resolve from the environment on first read).
+std::atomic<int> g_level{-1};
+
+}  // namespace
+
+bool ParseLogLevel(std::string_view s, LogLevel* out) {
+  if (s == "error") *out = LogLevel::kError;
+  else if (s == "warn") *out = LogLevel::kWarn;
+  else if (s == "info") *out = LogLevel::kInfo;
+  else if (s == "debug") *out = LogLevel::kDebug;
+  else return false;
+  return true;
+}
+
+LogLevel GlobalLogLevel() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(LevelFromEnv());
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void SetGlobalLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Log(LogLevel level, const char* fmt, ...) {
+  if (level > GlobalLogLevel()) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::fprintf(stderr, "[sps %s] ", LevelName(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
+}  // namespace sps::util

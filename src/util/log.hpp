@@ -1,0 +1,38 @@
+#pragma once
+// Minimal leveled stderr logger for the service-side narration (recovery
+// progress, validation notes, heartbeats). Everything here writes to
+// stderr ONLY: stdout and every file artifact the tools emit stay
+// byte-comparable (the determinism firewall of DESIGN.md §15), while the
+// narration gains an off switch and a --verbose tier.
+//
+// Level resolution: SetGlobalLogLevel() wins (the CLI's --verbose /
+// --quiet mapping); otherwise the SPS_LOG_LEVEL environment variable
+// (error | warn | info | debug) is read once on first use; the default
+// is kInfo, which keeps the pre-existing narration visible.
+
+#include <cstdarg>
+#include <string_view>
+
+namespace sps::util {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Parse "error"/"warn"/"info"/"debug" (case-sensitive). Returns false
+/// and leaves *out untouched on anything else.
+bool ParseLogLevel(std::string_view s, LogLevel* out);
+
+/// The process-wide threshold: messages above it are dropped.
+[[nodiscard]] LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+/// printf-style message to stderr, prefixed "[sps <level>] ", newline
+/// appended. Dropped (cheaply) when `level` is above the threshold.
+void Log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace sps::util

@@ -28,9 +28,16 @@ family while letting the sharded variants enjoy multi-core runners.
 Variants present in only one of the files are reported but do not fail
 the check (benches gain and lose variants across PRs).
 
+Variants present in only one file are reported but do not fail the
+check by default — benches gain and lose variants across PRs. When a
+variant IS the gate (e.g. the obs bench's "profiled" ratio pins the
+profiling-off hook cost), pass --require PATTERN: a matching variant
+missing from either file then fails with a pointer at the stale file,
+instead of the gate silently evaporating.
+
 Usage:
   check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.25]
-                            [--two-sided [PATTERN]]
+                            [--two-sided [PATTERN]] [--require PATTERN]
 
 Expected JSON shape (what util/json_writer.hpp emits from the benches):
   { ..., "runs": [ {"workload": "...", "variant": "...",
@@ -43,15 +50,38 @@ import json
 import sys
 
 
+def fail(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    print("hint: regenerate the baseline by running the bench binary in "
+          "build/ and copying its BENCH_*.json into bench/baselines/",
+          file=sys.stderr)
+    sys.exit(2)
+
+
 def load_runs(path):
-    with open(path) as f:
-        doc = json.load(f)
-    runs = doc.get("runs", [])
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        fail(f"{path}: no such file — was the bench run / the baseline "
+             f"committed?")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: not valid JSON ({e}) — truncated bench run?")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail(f"{path}: no \"runs\" array — not a BENCH_*.json document?")
     by_workload = {}
-    for r in runs:
+    for i, r in enumerate(runs):
         if "wall_s" not in r:
-            continue
+            continue  # informational rows (ratios, counters) are fine
+        for key in ("workload", "variant"):
+            if key not in r:
+                fail(f"{path}: runs[{i}] has wall_s but no \"{key}\" — "
+                     f"every timed row needs workload+variant for the "
+                     f"ratio match")
         by_workload.setdefault(r["workload"], []).append(r)
+    if not by_workload:
+        fail(f"{path}: no timed rows (wall_s) in \"runs\"")
     return by_workload
 
 
@@ -85,10 +115,23 @@ def main():
                          "IMPROVES beyond tolerance (catches the reference "
                          "variant itself slowing down); fnmatch pattern, "
                          "default '*'")
+    ap.add_argument("--require", default=None, metavar="PATTERN",
+                    help="fail if a variant matching PATTERN is missing "
+                         "from either file (a gated variant must not "
+                         "silently disappear)")
     args = ap.parse_args()
 
     current = ratios(load_runs(args.current))
     baseline = ratios(load_runs(args.baseline))
+
+    if args.require is not None:
+        for name, keys in (("current", current), ("baseline", baseline)):
+            if not any(fnmatch.fnmatch(v, args.require)
+                       for _, v in keys):
+                path = args.current if name == "current" else args.baseline
+                fail(f"{path}: no variant matches required pattern "
+                     f"'{args.require}' — the gated variant is missing "
+                     f"from the {name} file")
 
     failures = []
     for key, base_ratio in sorted(baseline.items()):
