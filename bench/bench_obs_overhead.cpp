@@ -1,7 +1,7 @@
 // E11 — service observability (DESIGN.md §15): what does the span
 // profiler cost, both OFF and ON, along the calm online path?
 //
-//   A 600-admit stream on m=8 replayed two ways, interleaved per rep:
+//   A 600-admit stream on m=8 replayed three ways, interleaved per rep:
 //     - "plain":    no profiler installed. The instrumented hooks still
 //                   execute their null path (one thread-local load + two
 //                   branches per span) — this variant IS the
@@ -11,6 +11,12 @@
 //                   diagnostic mode pays two clock reads per span, so a
 //                   low-double-digit ratio over plain is EXPECTED; the
 //                   in-bench gate only rejects a pathological blowup.
+//     - "reqtraced": profiler + RequestTracer (K=32, DESIGN.md §16) —
+//                   span trees, tail sampling, flight ring. Rides on
+//                   top of "profiled"; the in-bench gate holds it to
+//                   ≤1.10x of profiled (the tracer adds a tree append
+//                   and a ring push per span, no locks on the span
+//                   path).
 //
 //   The <3% acceptance gate is on the PROFILING-OFF path, and it lives
 //   in CI: check_bench_regression.py --two-sided 'profiled'
@@ -35,6 +41,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/spans.hpp"
 #include "online/controller.hpp"
 #include "online/workload_stream.hpp"
@@ -55,6 +62,9 @@ constexpr unsigned kCores = 8;
 /// profiling-off gate is ratio-based against the committed baseline in
 /// CI — see the header).
 constexpr double kProfiledCeiling = 0.50;
+/// Tracing rides on the profiled path; it may cost at most 10% more
+/// (one tree append + one flight-ring push per span, lock-free).
+constexpr double kReqtracedOverProfiledCeiling = 1.10;
 
 online::WorkloadStream BenchStream() {
   online::StreamConfig cfg;
@@ -116,10 +126,11 @@ int main() {
 
   // Interleave the variants inside each rep so frequency scaling and
   // cache state perturb them alike; keep the best wall of each.
-  double plain_wall = 1e100, profiled_wall = 1e100;
-  online::ReplayResult plain_res, profiled_res;
+  double plain_wall = 1e100, profiled_wall = 1e100, reqtraced_wall = 1e100;
+  online::ReplayResult plain_res, profiled_res, reqtraced_res;
   obs::SpanProfiler profiler;  // accumulates across reps; fine — only
                                // the replay walls are compared
+  obs::RequestTracer tracer(/*top_k=*/32);
   for (int rep = 0; rep < reps; ++rep) {
     double t0 = Now();
     plain_res = online::ReplayStream(stream, plain_cfg);
@@ -130,6 +141,12 @@ int main() {
     t0 = Now();
     profiled_res = online::ReplayStream(stream, prof_cfg);
     profiled_wall = std::min(profiled_wall, Now() - t0);
+
+    online::ReplayConfig trace_cfg = prof_cfg;
+    trace_cfg.obs.tracer = &tracer;
+    t0 = Now();
+    reqtraced_res = online::ReplayStream(stream, trace_cfg);
+    reqtraced_wall = std::min(reqtraced_wall, Now() - t0);
   }
 
   struct Row {
@@ -137,7 +154,8 @@ int main() {
     double wall;
   };
   const Row rows[] = {{"plain", plain_wall},  // reference first
-                      {"profiled", profiled_wall}};
+                      {"profiled", profiled_wall},
+                      {"reqtraced", reqtraced_wall}};
   std::printf("calm path: %zu requests on m=%u (best of %d)\n",
               stream.size(), kCores, reps);
   for (const Row& r : rows) {
@@ -160,8 +178,27 @@ int main() {
                  100.0 * overhead, 100.0 * kProfiledCeiling);
     ok = false;
   }
+  // Tracing rides on the profiled path; gate its marginal cost here
+  // (absolute ratio, not baseline-relative — the two variants run in
+  // the same process seconds apart, so the ratio is machine-stable).
+  const double traced_ratio = reqtraced_wall / profiled_wall;
+  if (traced_ratio > kReqtracedOverProfiledCeiling) {
+    std::fprintf(stderr,
+                 "FAIL obs_overhead: reqtraced is x%.3f of profiled "
+                 "(ceiling x%.2f)\n",
+                 traced_ratio, kReqtracedOverProfiledCeiling);
+    ok = false;
+  }
   // And observation must never have CHANGED anything.
   ok = SameDecisions(plain_res, profiled_res, "profiled replay") && ok;
+  ok = SameDecisions(plain_res, reqtraced_res, "reqtraced replay") && ok;
+
+  // Sanity: the tracer actually retained request trees.
+  const obs::RequestTracer::RetainStats rstats = tracer.retain_stats();
+  if (rstats.traces_seen == 0 || rstats.retained_slow == 0) {
+    std::fprintf(stderr, "FAIL obs_overhead: tracer retained nothing\n");
+    ok = false;
+  }
 
   // Sanity: the profiler actually saw the pipeline (otherwise the gate
   // is measuring nothing).

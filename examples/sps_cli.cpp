@@ -28,6 +28,8 @@
 //           [--fsync=off|every-epoch|every-n[:N]] [--crash-after=N]
 //           [--profile] [--profile-out=FILE.json] [--stats-out=FILE.json]
 //           [--heartbeat=K] [--verbose] [--trace-stream[=WINDOW]]
+//           [--trace-requests[=K]] [--reqtrace-out=FILE.json]
+//           [--flight-dump]
 //
 // Durable online service (DESIGN.md §14): --checkpoint-dir turns on the
 // write-ahead journal + every-K-epochs checkpoint for the --online
@@ -110,6 +112,23 @@
 //                       cmp's it across --profile on/off
 //   --heartbeat=K       heartbeat every K closed epochs (default 10,
 //                       0 = off; needs --profile)
+//   --trace-requests[=K] request-scoped span trees over the --online
+//                       replay (DESIGN.md §16): tail-based sampling
+//                       retains the K slowest admits/leaves (default 32)
+//                       plus up to K recent shed/degrade/fallback/
+//                       diverged requests, written as Perfetto async
+//                       slices + an "sps_reqtrace" sidecar to
+//                       --reqtrace-out (default reqtrace.json; inspect
+//                       with tools/trace_summary.py). Also arms the
+//                       crash-dump flight recorder: fatal signals,
+//                       journal divergence, and injected crashes dump
+//                       flight-<pid>.json (in --checkpoint-dir when
+//                       durable, else the cwd). Narration goes to
+//                       stderr; stdout / --stats-out / --trace-out /
+//                       checkpoints stay byte-identical with it on.
+//   --reqtrace-out=F    where --trace-requests writes the trace JSON
+//   --flight-dump       dump the flight ring at end of run ("on_demand")
+//                       even without a crash; implies the recorder
 //   --verbose           SPS_LOG_LEVEL=debug for this run
 //   --trace-stream[=W]  stream the single-run trace through the
 //                       bounded-memory window (W stamped records,
@@ -133,6 +152,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include <memory>
@@ -142,7 +162,9 @@
 #include "exp/acceptance.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/registry.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/spans.hpp"
+#include "util/thread_pool.hpp"
 #include "online/controller.hpp"
 #include "online/workload_stream.hpp"
 #include "obs/report.hpp"
@@ -212,6 +234,10 @@ struct Options {
   bool profile = false;
   std::string profile_out;
   std::string stats_out;
+  bool trace_requests = false;
+  std::uint32_t trace_requests_k = 32;
+  std::string reqtrace_out = "reqtrace.json";
+  bool flight_dump = false;
   std::uint32_t heartbeat = 10;
   bool verbose = false;
   bool trace_stream = false;
@@ -462,6 +488,35 @@ bool ParseArg(const char* arg, Options& o) {
     o.heartbeat = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     return true;
   }
+  if (std::strcmp(arg, "--trace-requests") == 0) {
+    o.online = true;
+    o.trace_requests = true;
+    return true;
+  }
+  if (const char* v = value("--trace-requests")) {
+    o.online = true;
+    o.trace_requests = true;
+    const unsigned long long k = std::strtoull(v, nullptr, 10);
+    if (k == 0) {
+      std::fprintf(stderr, "invalid --trace-requests=%s (K must be a "
+                           "positive trace count)\n",
+                   v);
+      return false;
+    }
+    o.trace_requests_k = static_cast<std::uint32_t>(k);
+    return true;
+  }
+  if (const char* v = value("--reqtrace-out")) {
+    o.online = true;
+    o.trace_requests = true;
+    o.reqtrace_out = v;
+    return true;
+  }
+  if (std::strcmp(arg, "--flight-dump") == 0) {
+    o.online = true;
+    o.flight_dump = true;
+    return true;
+  }
   if (std::strcmp(arg, "--verbose") == 0) { o.verbose = true; return true; }
   if (std::strcmp(arg, "--trace-stream") == 0) {
     o.trace_stream = true;
@@ -642,6 +697,8 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
   std::string prof_table;
   obs::LogHistogram admit_hist_prev;
   analysis::MemoStats memo_prev;
+  obs::LogHistogram hb_hist_prev;
+  analysis::MemoStats hb_memo_prev;
   std::uint64_t hb_decided_prev = 0;
   std::uint64_t hb_ns_prev = 0;
   if (o.profile) {
@@ -649,6 +706,7 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
     prof_table = "epoch   p99-admit-us   memo-hit%\n";
     if (o.memo.enabled) {
       memo_prev = analysis::SharedMemo(o.memo.entries).stats();
+      hb_memo_prev = memo_prev;
     }
     hb_ns_prev = profiler.NowNs();
     rcfg.obs.on_epoch = [&](std::size_t idx, const online::EpochStats& e,
@@ -658,10 +716,10 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
       obs::LogHistogram d = admit;
       d -= admit_hist_prev;
       admit_hist_prev = admit;
+      analysis::MemoStats mnow;
       double hit_pct = 0.0;
       if (o.memo.enabled) {
-        const analysis::MemoStats mnow =
-            analysis::SharedMemo(o.memo.entries).stats();
+        mnow = analysis::SharedMemo(o.memo.entries).stats();
         analysis::MemoStats md = mnow;
         md -= memo_prev;
         memo_prev = mnow;
@@ -673,6 +731,22 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
                     hit_pct);
       prof_table += buf;
       if (o.heartbeat > 0 && (idx + 1) % o.heartbeat == 0) {
+        // The heartbeat spans the whole K-epoch interval, so its p99 /
+        // memo-hit% are deltas against the PREVIOUS HEARTBEAT, not the
+        // previous epoch (the per-epoch deltas above would make every
+        // heartbeat report only its final epoch).
+        obs::LogHistogram hb = admit;
+        hb -= hb_hist_prev;
+        hb_hist_prev = admit;
+        double hb_hit_pct = 0.0;
+        if (o.memo.enabled) {
+          analysis::MemoStats hbd = mnow;
+          hbd -= hb_memo_prev;
+          hb_memo_prev = mnow;
+          hb_hit_pct = 100.0 * hbd.hit_rate();
+        }
+        const double hb_p99_us =
+            static_cast<double>(hb.Quantile(0.99)) / 1e3;
         const std::uint64_t now = profiler.NowNs();
         const double secs = static_cast<double>(now - hb_ns_prev) / 1e9;
         const std::uint64_t decided =
@@ -684,11 +758,28 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
                   secs > 0.0 ? static_cast<double>(decided - hb_decided_prev) /
                                    secs
                              : 0.0,
-                  e.resident, hit_pct, p99_us);
+                  e.resident, hb_hit_pct, hb_p99_us);
         hb_decided_prev = decided;
         hb_ns_prev = now;
       }
     };
+  }
+
+  // --trace-requests / --flight-dump (DESIGN.md §16): request-scoped
+  // tracing and the crash-dump flight recorder. The tracer borrows the
+  // profiler's clock, so the profiler is installed even without
+  // --profile — but its reports only print when --profile asked for
+  // them, and none of this touches stdout or a byte-compared artifact.
+  std::unique_ptr<obs::RequestTracer> tracer;
+  if (o.trace_requests || o.flight_dump) {
+    obs::RequestTracer::Options topt;
+    topt.top_k = o.trace_requests_k;
+    if (o.durability.enabled()) topt.flight_dir = o.durability.dir;
+    tracer = std::make_unique<obs::RequestTracer>(topt);
+    rcfg.obs.profiler = &profiler;
+    rcfg.obs.tracer = tracer.get();
+    obs::SetCrashDumpTracer(tracer.get());
+    obs::InstallCrashSignalHandlers();
   }
 
   std::printf("online replay: m=%u, policy=%s, place=%s%s%s%s%s%s%s\n\n",
@@ -732,6 +823,26 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
                 static_cast<unsigned long long>(
                     res.recovery.journal_records),
                 res.recovery.checkpoints_skipped);
+    }
+    // Flight-recorder narration (DESIGN.md §16): if the crashed process
+    // left a flight dump next to the durability artifacts, point the
+    // operator at it — it says what the service was doing when it died.
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(o.durability.dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("flight-", 0) != 0 ||
+          name.size() < 6 || name.substr(name.size() - 5) != ".json") {
+        continue;
+      }
+      std::error_code size_ec;
+      const std::uintmax_t bytes =
+          std::filesystem::file_size(entry.path(), size_ec);
+      util::Log(util::LogLevel::kInfo,
+                "crashed run left a flight-recorder dump: %s (%llu "
+                "bytes) — inspect with tools/trace_summary.py",
+                entry.path().string().c_str(),
+                static_cast<unsigned long long>(size_ec ? 0 : bytes));
     }
   }
   std::printf("%s\n", res.Table().c_str());
@@ -799,6 +910,53 @@ int RunOnline(const Options& o, const overhead::OverheadModel& model) {
                    profiler.ToText().c_str());
     }
     std::fprintf(stderr, "\n%s", prof_table.c_str());
+    // Pool observability (DESIGN.md §16): how the sharded-validation /
+    // batch work actually spread over the shared pool's workers.
+    // Scheduling-dependent, hence wall-channel: stderr only, in its own
+    // registry, never the byte-compared --stats-out one.
+    obs::StatsRegistry pool_reg;
+    obs::FillPoolStatsRegistry(pool_reg, util::SharedPool());
+    std::fprintf(stderr, "\n--- thread-pool stats ---\n%s",
+                 pool_reg.snapshot().ToCsv().c_str());
+  }
+
+  if (tracer != nullptr) {
+    if (o.trace_requests) {
+      // Pool gauges ride along as Perfetto counter tracks (one sample,
+      // stamped at the retained span horizon).
+      const util::ThreadPool::PoolStats ps = util::SharedPool().Stats();
+      obs::CounterSeries stolen{"pool stolen indices", {}};
+      obs::CounterSeries caller{"pool caller indices", {}};
+      obs::CounterSeries peak{"pool one-off queue peak", {}};
+      stolen.points.emplace_back(0, static_cast<double>(ps.stolen_indices()));
+      caller.points.emplace_back(0, static_cast<double>(ps.caller.indices));
+      peak.points.emplace_back(0, static_cast<double>(ps.queue_peak));
+      if (!util::WriteTextFile(o.reqtrace_out,
+                               tracer->ToPerfettoJson({stolen, caller, peak}),
+                               &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 2;
+      }
+      const obs::RequestTracer::RetainStats rs = tracer->retain_stats();
+      util::Log(util::LogLevel::kInfo,
+                "wrote request traces to %s (%llu requests seen, %llu "
+                "slow + %llu interesting retained, peak %llu spans held) "
+                "— summarize with tools/trace_summary.py",
+                o.reqtrace_out.c_str(),
+                static_cast<unsigned long long>(rs.traces_seen),
+                static_cast<unsigned long long>(rs.retained_slow),
+                static_cast<unsigned long long>(rs.retained_interesting),
+                static_cast<unsigned long long>(rs.peak_retained_spans));
+    }
+    if (o.flight_dump) {
+      std::string flight_path;
+      if (!tracer->DumpFlight("on_demand", &flight_path, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 2;
+      }
+      util::Log(util::LogLevel::kInfo,
+                "wrote flight-recorder dump to %s", flight_path.c_str());
+    }
   }
   if (!o.stats_out.empty()) {
     obs::StatsRegistry reg;

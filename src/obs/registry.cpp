@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "util/json_writer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sps::obs {
 
@@ -80,6 +81,23 @@ std::string StatsSnapshot::ToCsv() const {
     out += buf;
   }
   return out;
+}
+
+void FillPoolStatsRegistry(StatsRegistry& reg, const util::ThreadPool& pool) {
+  const util::ThreadPool::PoolStats s = pool.Stats();
+  reg.SetCounter("pool.batches", s.batches);
+  reg.SetCounter("pool.oneoffs", s.oneoffs);
+  reg.SetCounter("pool.queue_peak", s.queue_peak);
+  reg.SetCounter("pool.caller.indices", s.caller.indices);
+  reg.SetCounter("pool.stolen_indices", s.stolen_indices());
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    const std::string base = "pool.worker." + std::to_string(i);
+    reg.SetCounter(base + ".indices", s.workers[i].indices);
+    reg.SetCounter(base + ".batches", s.workers[i].batches);
+    reg.SetCounter(base + ".oneoffs", s.workers[i].oneoffs);
+  }
+  reg.SetGauge("pool.steal_ratio", s.steal_ratio());
+  reg.SetGauge("pool.workers", static_cast<double>(s.workers.size()));
 }
 
 }  // namespace sps::obs

@@ -20,6 +20,10 @@
 
 #include "obs/metrics.hpp"
 
+namespace sps::util {
+class ThreadPool;
+}  // namespace sps::util
+
 namespace sps::obs {
 
 struct StatsSnapshot {
@@ -70,5 +74,15 @@ class StatsRegistry {
  private:
   StatsSnapshot snap_;
 };
+
+/// Register the thread pool's per-worker busy/steal counters and
+/// queue-depth gauges ("pool.worker.<i>.indices", "pool.batches",
+/// "pool.queue_peak", "pool.steal_ratio", ...). EXCEPTION to the
+/// header's determinism note, on purpose: which worker claimed which
+/// index is scheduling-dependent, so a registry holding pool stats is
+/// wall-channel data (stderr / --profile-out) and must never feed the
+/// byte-compared --stats-out registry. Keep them in separate
+/// StatsRegistry instances.
+void FillPoolStatsRegistry(StatsRegistry& reg, const util::ThreadPool& pool);
 
 }  // namespace sps::obs

@@ -1,0 +1,179 @@
+#pragma once
+// Request-scoped tracing with tail-based sampling (DESIGN.md §16).
+//
+// Where the span profiler (obs/spans.hpp) aggregates every stage into
+// per-stage histograms, the RequestTracer keeps the CAUSAL view: for one
+// ADMIT or LEAVE it records the parent-linked tree of spans the request
+// actually walked (placement → util screen → memo probe → analysis,
+// ladder rungs, the fallback repartition) with wall durations and
+// stage-local attributes (memo hit/miss, cores probed, ladder rung
+// reached). That answers "WHY was request #812404 slow", which no
+// aggregate can.
+//
+// Tail-based sampling keeps memory O(K·depth) at a million requests:
+// a finished trace is retained only when it is (a) among the K slowest
+// by admit-total root duration (streaming bounded min-heap), or (b)
+// "interesting" — it walked the overload ladder, fell back to a full
+// repartition, or diverged from the journal (bounded to the K most
+// recent). Everything else is dropped on EndTrace; its durations
+// already live in the profiler's histograms.
+//
+// Determinism firewall (DESIGN.md §15): trace ids derive from the
+// request seq (DeriveSeed(cfg.seed, seq, kTraceIdAxis) — pure, replay-
+// stable), but every RETAINED artifact carries wall-clock durations and
+// a wall-clock-dependent membership, so exports go to their own files /
+// stderr only, never stdout or a byte-compared artifact. Tracing must
+// not change a single decision: the tracer is configured through
+// ReplayObserver (deliberately outside the durability fingerprint) and
+// only observes spans the profiler already times.
+//
+// Threading: one tracer may serve many replay threads (ReplayBatch).
+// Each thread lazily claims its own context — span stack, trace buffer,
+// flight ring — under a mutex taken once per (thread, tracer); the
+// shared top-K / interesting reservoirs are mutex-guarded and touched
+// once per FINISHED trace, not per span.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/spans.hpp"
+
+namespace sps::obs {
+
+/// Seed-derivation axis for trace ids: trace_id =
+/// util::DeriveSeed(replay seed, request seq, kTraceIdAxis).
+inline constexpr std::uint64_t kTraceIdAxis = 0x7ACEull;
+
+/// One node of a request's span tree. `parent` indexes the owning
+/// trace's span array (-1 = root); children always have larger indices
+/// (spans are appended in open order).
+struct SpanRecord {
+  std::uint64_t t0 = 0;
+  std::uint64_t dur_ns = 0;
+  std::int64_t attr = -1;  ///< stage-local attribute, -1 = none
+  std::int32_t parent = -1;
+  SpanStage stage = SpanStage::kCount;
+};
+
+/// One retained request trace (span tree + outcome).
+struct RequestTrace {
+  std::uint64_t trace_id = 0;
+  std::uint64_t seq = 0;
+  bool is_admit = true;
+  bool via_ladder = false;
+  bool via_fallback = false;
+  bool diverged = false;
+  bool slow = false;  ///< retained by the top-K rule (else: interesting)
+  std::uint64_t root_dur_ns = 0;  ///< admit_total / leave wall duration
+  std::vector<SpanRecord> spans;  ///< index 0 is the root
+};
+
+class RequestTracer {
+ public:
+  struct Options {
+    /// Tail-sampling K: slowest-K traces retained, and at most K most
+    /// recent "interesting" ones. 0 disables retention (spans still
+    /// feed the flight ring).
+    std::uint32_t top_k = 32;
+    /// Flight-ring slots per thread; 0 disables the flight recorder.
+    std::uint32_t flight_slots = 256;
+    /// Directory flight-<pid>.json dumps land in.
+    std::string flight_dir = ".";
+  };
+
+  explicit RequestTracer(Options opt);
+  explicit RequestTracer(std::uint32_t top_k = 32)
+      : RequestTracer(Options{top_k, 256, "."}) {}
+  ~RequestTracer();
+  RequestTracer(const RequestTracer&) = delete;
+  RequestTracer& operator=(const RequestTracer&) = delete;
+
+  // --- replay-loop hooks (per request, on the replaying thread) -------
+
+  /// Open a trace; every span closing on this thread until EndTrace is
+  /// recorded into its tree.
+  void BeginTrace(std::uint64_t trace_id, std::uint64_t seq, bool is_admit);
+
+  /// Close the current trace and run the tail-sampling decision.
+  void EndTrace(bool via_ladder, bool via_fallback, bool diverged);
+
+  /// Epoch-boundary registry delta for the flight ring (cumulative
+  /// admits/rejects/leaves + resident gauge).
+  void NoteEpoch(std::uint64_t epoch_index, std::uint64_t admits,
+                 std::uint64_t rejects, std::uint64_t leaves,
+                 std::uint64_t resident);
+
+  // --- span hooks (called via ScopedSpan / TraceAttr, any thread) -----
+
+  /// Returns the span's slot in the current trace, or -1 when no trace
+  /// is open on this thread (the span still reaches the flight ring).
+  int OpenSpan(SpanStage stage);
+  void CloseSpan(int slot, SpanStage stage, std::uint64_t t0,
+                 std::uint64_t dur_ns);
+  /// Set the attribute of the innermost open span on this thread.
+  void AttrInnermost(std::int64_t v);
+
+  // --- retained data --------------------------------------------------
+
+  struct RetainStats {
+    std::uint64_t traces_seen = 0;
+    std::uint64_t retained_slow = 0;         ///< current top-K size
+    std::uint64_t retained_interesting = 0;  ///< current, ≤ K
+    /// High-water mark of span records held across both reservoirs —
+    /// the O(K·depth) bound the tail-sampling rule promises.
+    std::uint64_t peak_retained_spans = 0;
+  };
+  [[nodiscard]] RetainStats retain_stats() const;
+
+  /// All retained traces, sorted by (seq, trace_id) — deterministic
+  /// given deterministic durations (fake clock), export-stable always.
+  [[nodiscard]] std::vector<RequestTrace> Retained() const;
+
+  /// Chrome trace-event document: every retained span tree as async
+  /// ("b"/"e") slices on a per-request track keyed by trace id, plus
+  /// caller-supplied counter tracks (the CLI adds thread-pool gauges),
+  /// plus a structured "sps_reqtrace" top-level key that
+  /// tools/trace_summary.py consumes. Wall-clock data: never a
+  /// byte-compared artifact.
+  [[nodiscard]] std::string ToPerfettoJson(
+      const std::vector<CounterSeries>& extra_counters = {}) const;
+
+  /// Dump every thread's flight ring to <flight_dir>/flight-<pid>.json
+  /// (atomic write). Safe concurrently with tracing threads.
+  bool DumpFlight(const std::string& reason, std::string* path_out = nullptr,
+                  std::string* error = nullptr);
+
+  void set_flight_dir(std::string dir);
+  [[nodiscard]] std::uint32_t top_k() const { return opt_.top_k; }
+
+ private:
+  struct ThreadCtx {
+    bool active = false;
+    std::uint64_t trace_id = 0;
+    std::uint64_t seq = 0;
+    bool is_admit = true;
+    std::vector<SpanRecord> spans;
+    std::vector<std::int32_t> stack;  ///< open span slots, innermost last
+    std::unique_ptr<FlightRing> ring;
+  };
+
+  [[nodiscard]] ThreadCtx* CtxForThisThread();
+
+  Options opt_;
+  const std::uint64_t serial_;  ///< distinguishes address-reused tracers
+  mutable std::mutex mu_;       ///< guards ctxs_ growth + reservoirs
+  std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
+  std::vector<RequestTrace> slow_;  ///< min-heap by root_dur_ns, ≤ top_k
+  std::deque<RequestTrace> interesting_;  ///< most recent ≤ top_k
+  std::uint64_t traces_seen_ = 0;
+  std::uint64_t retained_spans_ = 0;
+  std::uint64_t peak_retained_spans_ = 0;
+};
+
+}  // namespace sps::obs

@@ -111,15 +111,42 @@ class SpanProfiler {
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 
+class RequestTracer;
+
+namespace internal {
+// Out-of-line request-tracer hooks (defined in reqtrace.cpp) so this
+// header does not pull in the tracer. Only reached when a profiler is
+// installed — the profiling-off null path stays two branches.
+[[nodiscard]] RequestTracer* ActiveTracer();
+[[nodiscard]] int TracerOpenSpan(RequestTracer* t, SpanStage stage);
+void TracerCloseSpan(RequestTracer* t, int slot, SpanStage stage,
+                     std::uint64_t t0, std::uint64_t dur_ns);
+}  // namespace internal
+
 /// RAII span: reads the clock on entry and records on exit. A null
-/// profiler costs two branches — the profiling-off path.
+/// profiler costs two branches — the profiling-off path. When a request
+/// tracer is ALSO installed on this thread (obs/reqtrace.hpp), the span
+/// additionally lands in the active request's span tree and the flight
+/// ring; the tracer reuses the profiler's clock readings, so tracing
+/// requires a profiler.
 class ScopedSpan {
  public:
   ScopedSpan(SpanProfiler* p, SpanStage stage) : p_(p), stage_(stage) {
-    if (p_ != nullptr) t0_ = p_->NowNs();
+    if (p_ != nullptr) {
+      t0_ = p_->NowNs();
+      if ((tr_ = internal::ActiveTracer()) != nullptr) {
+        slot_ = internal::TracerOpenSpan(tr_, stage_);
+      }
+    }
   }
   ~ScopedSpan() {
-    if (p_ != nullptr) p_->Record(stage_, t0_, p_->NowNs() - t0_);
+    if (p_ != nullptr) {
+      const std::uint64_t dur = p_->NowNs() - t0_;
+      p_->Record(stage_, t0_, dur);
+      if (tr_ != nullptr) {
+        internal::TracerCloseSpan(tr_, slot_, stage_, t0_, dur);
+      }
+    }
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -128,7 +155,15 @@ class ScopedSpan {
   SpanProfiler* p_;
   SpanStage stage_;
   std::uint64_t t0_ = 0;
+  RequestTracer* tr_ = nullptr;
+  int slot_ = -1;
 };
+
+/// Stage-local attribute on the innermost OPEN traced span of this
+/// thread — memo hit/miss, cores probed, ladder rung reached. A cheap
+/// no-op (one thread-local load + branch) when no tracer is installed;
+/// attributes are trace-export data only and never feed decisions.
+void TraceAttr(std::int64_t v);
 
 /// The thread-local install slot. ReplayStream installs its configured
 /// profiler for the duration of the replay; the admission/analysis/
@@ -146,6 +181,23 @@ class ProfilerInstallation {
 
  private:
   SpanProfiler* prev_;
+};
+
+/// Request-tracer analogue of InstalledProfiler()/ProfilerInstallation:
+/// the replay loop installs its configured tracer for the thread's
+/// replay duration; ScopedSpan picks it up via internal::ActiveTracer().
+/// Definitions live in reqtrace.cpp.
+[[nodiscard]] RequestTracer* InstalledTracer();
+
+class TracerInstallation {
+ public:
+  explicit TracerInstallation(RequestTracer* t);
+  ~TracerInstallation();
+  TracerInstallation(const TracerInstallation&) = delete;
+  TracerInstallation& operator=(const TracerInstallation&) = delete;
+
+ private:
+  RequestTracer* prev_;
 };
 
 }  // namespace sps::obs

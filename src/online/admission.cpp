@@ -50,6 +50,7 @@ partition::EdfPlacement AdmissionState::Place(
   // preassignment, which is not an incremental step).
   partition::EdfPlacement out;
   for (const unsigned c : core_order) {
+    ++out.probes;
     if (partition::FpCoreAdmits(fp_cores_[c], t, fp_cfg_, &stats_,
                                 &memo_)) {
       fp_cores_[c].Commit(t);

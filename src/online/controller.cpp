@@ -121,6 +121,8 @@ AdmitOutcome Controller::TryPlace(const rt::Task& t) {
       cfg_.allow_split &&
       cfg_.admission.policy == partition::SchedPolicy::kEdf;
   partition::EdfPlacement placed = state_.Place(t, order, allow_split);
+  // kPlacement span attribute: cores probed during the walk.
+  obs::TraceAttr(static_cast<std::int64_t>(placed.probes));
   if (!placed.placed) return out;
   out.accepted = true;
   out.parts = static_cast<unsigned>(placed.parts.size());
@@ -160,6 +162,8 @@ AdmitOutcome Controller::Admit(const rt::Task& t) {
       out = TryPlace(t);
       if (out.accepted) {
         out.via_ladder = true;
+        // kAdmitTotal span attribute: ladder rung reached (steps taken).
+        obs::TraceAttr(static_cast<std::int64_t>(log.size()));
         CommitLadder(log);
         return out;
       }
@@ -250,6 +254,8 @@ AdmitOutcome Controller::FallbackRepartition(const rt::Task& t) {
   out.accepted = true;
   out.via_fallback = true;
   out.parts = static_cast<unsigned>(placements_.at(t.id).parts.size());
+  // kFallback span attribute: size of the repartitioned set.
+  obs::TraceAttr(static_cast<std::int64_t>(ts.size()));
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "analysis/memo.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/spans.hpp"
 #include "online/controller.hpp"
 #include "sim/batch.hpp"
@@ -891,6 +892,11 @@ class DurabilityEngine {
     const auto it = seen_.find(rec.seq);
     if (it != seen_.end()) {
       if (it->second == rec) return true;
+      // Black-box dump BEFORE reporting: divergence is exactly the "what
+      // was the service doing" moment the flight recorder exists for.
+      if (obs::RequestTracer* tr = obs::InstalledTracer()) {
+        (void)tr->DumpFlight("journal_divergence");
+      }
       return Fail(DurabilityError::Kind::kJournalDivergence,
                   journal_path_, 0,
                   journal_path_ + ": redo decision for request " +
@@ -915,8 +921,13 @@ class DurabilityEngine {
         appends_ == cfg_.crash_after_appends) {
       // The record above is in the page cache (flushed, not necessarily
       // fsync'd) — visible to the recovering process. Then die the hard
-      // way, exactly like kill -9 mid-service.
+      // way, exactly like kill -9 mid-service. SIGKILL cannot be caught,
+      // so the flight recorder dumps HERE — the artifact a real crashed
+      // deployment would have from its last periodic dump.
       FlushJournal(cfg_.fsync != FsyncPolicy::kOff);
+      if (obs::RequestTracer* tr = obs::InstalledTracer()) {
+        (void)tr->DumpFlight("crash_injection");
+      }
       std::raise(SIGKILL);
     }
     if (cfg_.halt_after_appends != 0 &&
@@ -1131,6 +1142,12 @@ void CloseEpoch(const Controller& ctrl, const ReplayConfig& cfg,
   // Observability hook (DESIGN.md §15): heartbeats / augmented tables.
   // Runs after the epoch is final; must not influence the replay.
   if (cfg.obs.on_epoch) cfg.obs.on_epoch(epoch_index, out.epochs.back(), out);
+  // Flight-ring registry delta (§16): the black box records the epoch's
+  // cumulative counters so a post-crash dump shows progress context.
+  if (cfg.obs.tracer != nullptr) {
+    cfg.obs.tracer->NoteEpoch(epoch_index, out.admits, out.rejects,
+                              out.leaves, ctrl.resident());
+  }
   e = EpochStats{};
 }
 
@@ -1180,7 +1197,12 @@ ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg) {
   // Install the replay's wall-clock profiler for this thread; every
   // layer below (controller, admission analysis, durability engine)
   // reads it via obs::InstalledProfiler(). Uninstalls on every return.
+  // The request tracer (§16) rides the same pattern — and needs the
+  // profiler's clock, so it only records when a profiler is installed.
   obs::ProfilerInstallation profiler_install(cfg.obs.profiler);
+  obs::RequestTracer* const tracer =
+      cfg.obs.profiler != nullptr ? cfg.obs.tracer : nullptr;
+  obs::TracerInstallation tracer_install(tracer);
   ReplayResult out;
   Controller ctrl(cfg.controller);
   const Time epoch_len = cfg.epoch > 0 ? cfg.epoch : s.span() + 1;
@@ -1291,6 +1313,12 @@ ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg) {
       churn_pre = ctrl.churn();
       overload_pre = ctrl.overload_stats();
     }
+    // Request-scoped trace: seq-derived deterministic id, opened before
+    // the controller call so every stage span below lands in its tree.
+    if (tracer != nullptr) {
+      tracer->BeginTrace(util::DeriveSeed(cfg.seed, seq, obs::kTraceIdAxis),
+                         seq, r.kind == RequestKind::kAdmit);
+    }
     std::uint8_t flags = 0;
     std::uint32_t parts = 0;
     if (r.kind == RequestKind::kAdmit) {
@@ -1324,11 +1352,22 @@ ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg) {
       rec.churn_delta -= churn_pre;
       rec.overload_delta = ctrl.overload_stats();
       rec.overload_delta -= overload_pre;
-      if (!dur.OnApplied(rec)) return fail_durability();
+      if (!dur.OnApplied(rec)) {
+        // Close the trace as diverged so it is retained by the
+        // "interesting" rule before the replay aborts.
+        if (tracer != nullptr) {
+          tracer->EndTrace((flags & 4u) != 0, (flags & 2u) != 0,
+                           /*diverged=*/true);
+        }
+        return fail_durability();
+      }
       if (dur.halted()) {
         // Clean in-process "crash": the artifacts on disk are exactly
         // what a SIGKILL here would leave; the partial stats below are
         // for the harness's convenience only.
+        if (tracer != nullptr) {
+          tracer->EndTrace((flags & 4u) != 0, (flags & 2u) != 0, false);
+        }
         out.recovery.halted_by_injection = true;
         out.churn = ctrl.churn();
         out.overload = ctrl.overload_stats();
@@ -1337,6 +1376,11 @@ ReplayResult ReplayStream(const WorkloadStream& s, const ReplayConfig& cfg) {
         out.final_partition = ctrl.CurrentPartition();
         return out;
       }
+    }
+    // Tail-sampling decision: ladder/fallback traces always retained,
+    // the rest compete for the slowest-K slots.
+    if (tracer != nullptr) {
+      tracer->EndTrace((flags & 4u) != 0, (flags & 2u) != 0, false);
     }
   }
   // Final epoch; its nominal end can exceed the representable range when

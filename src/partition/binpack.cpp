@@ -87,10 +87,12 @@ bool FpCoreAdmits(const FpCoreState& bin, const rt::Task& cand,
                                 *memo);
     if (const auto hit = memo->table->Lookup(qk.lo, qk)) {
       ++s.memo_hits;
+      obs::TraceAttr(1);  // span attribute: memo hit
       ++s.full_tests;  // the stage the cached verdict came from
       return hit->admitted;
     }
     ++s.memo_misses;
+    obs::TraceAttr(0);  // span attribute: memo miss
   }
   obs::ScopedSpan analysis_span(prof, obs::SpanStage::kAnalysis);
   ++s.full_tests;

@@ -132,6 +132,7 @@ bool EdfCoreAdmits(const EdfCoreState& core,
                                 *memo);
     if (const auto hit = memo->table->Lookup(qk.lo, qk)) {
       ++s.memo_hits;
+      obs::TraceAttr(1);  // span attribute: memo hit
       if (hit->via_density) {
         ++s.density_accepts;
       } else {
@@ -140,6 +141,7 @@ bool EdfCoreAdmits(const EdfCoreState& core,
       return hit->admitted;
     }
     ++s.memo_misses;
+    obs::TraceAttr(0);  // span attribute: memo miss
   }
 
   obs::ScopedSpan analysis_span(prof, obs::SpanStage::kAnalysis);
@@ -191,6 +193,7 @@ EdfPlacement PlaceEdfTask(std::vector<EdfCoreState>& cores, const rt::Task& t,
   // 1) Whole task on the first admitting core of the given order.
   const analysis::EdfCoreEntry whole = MakeEdfEntry(t);
   for (const unsigned c : whole_core_order) {
+    ++out.probes;
     if (EdfCoreAdmits(cores[c], whole, cfg.model, stats, memo)) {
       cores[c].Commit(whole);
       out.placed = true;
@@ -225,6 +228,7 @@ EdfPlacement PlaceEdfTask(std::vector<EdfCoreState>& cores, const rt::Task& t,
         if (std::find(used.begin(), used.end(), c) != used.end()) {
           continue;
         }
+        ++out.probes;
         // Largest admissible budget on this core for this window.
         Time lo = cfg.min_budget;
         Time hi = want;

@@ -127,6 +127,11 @@ analysis::EdfCoreEntry MakeEdfWindowEntry(const rt::Task& t, Time budget,
 struct EdfPlacement {
   bool placed = false;
   std::vector<SubtaskPlacement> parts;
+  /// Cores probed during the placement walk: whole-task admission tests
+  /// plus split-search per-core budget searches. Deterministic (pure
+  /// function of the placement inputs); surfaced as the kPlacement span
+  /// attribute by the online controller (DESIGN.md §16).
+  unsigned probes = 0;
 };
 
 /// One EDF-WM placement step: try the task whole on the cores in

@@ -11,9 +11,10 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   // to ~4e9): more workers than 4x the hardware never helps a
   // compute-bound sweep and thread spawning would die trying.
   num_threads = std::min(num_threads, 4 * hw);
+  counters_ = std::make_unique<WorkerCounters[]>(num_threads + 1);
   workers_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -26,7 +27,8 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(std::size_t worker) {
+  WorkerCounters& mine = counters_[worker];
   std::uint64_t seen_gen = 0;
   for (;;) {
     std::function<void()> oneoff;
@@ -52,9 +54,11 @@ void ThreadPool::WorkerLoop() {
     }
     if (oneoff) {
       oneoff();  // packaged_task: exceptions land in the future
+      mine.oneoffs.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    RunIndices(*batch);
+    mine.batches.fetch_add(1, std::memory_order_relaxed);
+    RunIndices(*batch, mine);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --batch->attached;
@@ -63,10 +67,12 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::RunIndices(Batch& b) {
+void ThreadPool::RunIndices(Batch& b, WorkerCounters& counters) {
+  std::uint64_t ran = 0;
   for (;;) {
     const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= b.end) return;
+    if (i >= b.end) break;
+    ++ran;
     try {
       (*b.body)(i);
     } catch (...) {
@@ -77,6 +83,9 @@ void ThreadPool::RunIndices(Batch& b) {
     // index has RUN, which is what the drain guarantee means.
     b.completed.fetch_add(1, std::memory_order_release);
   }
+  // One relaxed add per BATCH, not per index — the gauges must not tax
+  // the fetch-add claim loop they observe.
+  if (ran > 0) counters.indices.fetch_add(ran, std::memory_order_relaxed);
 }
 
 void ThreadPool::ParallelFor(
@@ -93,9 +102,12 @@ void ThreadPool::ParallelFor(
     std::lock_guard<std::mutex> lock(mu_);
     current_ = &b;
     ++batch_gen_;
+    ++batches_submitted_;
   }
   work_cv_.notify_all();
-  RunIndices(b);  // the caller is a worker too
+  // The caller is a worker too; its indices land in the shared caller
+  // slot (workers_.size()).
+  RunIndices(b, counters_[workers_.size()]);
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] {
@@ -123,6 +135,43 @@ void ParallelFor(unsigned jobs, std::size_t n,
   }
   ThreadPool pool(jobs - 1);
   pool.ParallelFor(n, body);
+}
+
+std::uint64_t ThreadPool::PoolStats::stolen_indices() const {
+  std::uint64_t n = 0;
+  for (const Worker& w : workers) n += w.indices;
+  return n;
+}
+
+std::uint64_t ThreadPool::PoolStats::total_indices() const {
+  return stolen_indices() + caller.indices;
+}
+
+double ThreadPool::PoolStats::steal_ratio() const {
+  const std::uint64_t total = total_indices();
+  if (total == 0) return 0.0;
+  return static_cast<double>(stolen_indices()) / static_cast<double>(total);
+}
+
+ThreadPool::PoolStats ThreadPool::Stats() const {
+  PoolStats s;
+  s.workers.resize(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    s.workers[i].indices = counters_[i].indices.load(std::memory_order_relaxed);
+    s.workers[i].batches = counters_[i].batches.load(std::memory_order_relaxed);
+    s.workers[i].oneoffs = counters_[i].oneoffs.load(std::memory_order_relaxed);
+  }
+  const WorkerCounters& c = counters_[workers_.size()];
+  s.caller.indices = c.indices.load(std::memory_order_relaxed);
+  s.caller.batches = c.batches.load(std::memory_order_relaxed);
+  s.caller.oneoffs = c.oneoffs.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.batches = batches_submitted_;
+    s.oneoffs = oneoffs_submitted_;
+    s.queue_peak = queue_peak_;
+  }
+  return s;
 }
 
 ThreadPool& SharedPool() {

@@ -70,10 +70,37 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       oneoffs_.push_back([task] { (*task)(); });
+      ++oneoffs_submitted_;
+      if (oneoffs_.size() > queue_peak_) queue_peak_ = oneoffs_.size();
     }
     work_cv_.notify_one();
     return fut;
   }
+
+  /// Pool observability counters (DESIGN.md §16): how the work actually
+  /// spread across workers. Scheduling-dependent, hence NOT
+  /// deterministic — wall-channel data only (stderr, --profile-out,
+  /// Perfetto tracks), never a byte-compared artifact.
+  struct PoolStats {
+    struct Worker {
+      std::uint64_t indices = 0;  ///< ParallelFor indices executed
+      std::uint64_t batches = 0;  ///< batches this worker joined
+      std::uint64_t oneoffs = 0;  ///< Submit() tasks executed
+    };
+    std::vector<Worker> workers;  ///< one row per pool worker
+    Worker caller;  ///< aggregate over submitting callers' participation
+    std::uint64_t batches = 0;     ///< ParallelFor batches published
+    std::uint64_t oneoffs = 0;     ///< Submit() tasks enqueued
+    std::uint64_t queue_peak = 0;  ///< deepest one-off backlog observed
+
+    /// Indices executed by pool workers — "stolen" from the caller, who
+    /// would have run them all inline in a poolless world.
+    [[nodiscard]] std::uint64_t stolen_indices() const;
+    [[nodiscard]] std::uint64_t total_indices() const;
+    /// stolen/total in [0,1]; 0 when no indices ran.
+    [[nodiscard]] double steal_ratio() const;
+  };
+  [[nodiscard]] PoolStats Stats() const;
 
  private:
   /// One in-flight ParallelFor. Lives on the submitting caller's stack;
@@ -92,17 +119,32 @@ class ThreadPool {
     std::exception_ptr first_error;  ///< guarded by mu_
   };
 
-  void WorkerLoop();
-  /// Claim and run indices until the batch is exhausted.
-  void RunIndices(Batch& b);
+  /// Per-worker counters, padded so neighbouring workers' relaxed
+  /// increments never share a cache line. Slot workers_.size() is the
+  /// shared CALLER slot (ParallelFor callers are transient threads — a
+  /// per-caller row would be unbounded).
+  struct alignas(64) WorkerCounters {
+    std::atomic<std::uint64_t> indices{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> oneoffs{0};
+  };
 
-  std::mutex mu_;
+  void WorkerLoop(std::size_t worker);
+  /// Claim and run indices until the batch is exhausted, charging the
+  /// work to `counters`.
+  void RunIndices(Batch& b, WorkerCounters& counters);
+
+  mutable std::mutex mu_;  ///< mutable: Stats() is logically const
   std::condition_variable work_cv_;  ///< workers: new batch / one-off / stop
   std::condition_variable done_cv_;  ///< caller: batch fully finished
   std::vector<std::function<void()>> oneoffs_;
   Batch* current_ = nullptr;
   std::uint64_t batch_gen_ = 0;  ///< bumped per batch so workers join once
+  std::uint64_t batches_submitted_ = 0;  ///< guarded by mu_
+  std::uint64_t oneoffs_submitted_ = 0;  ///< guarded by mu_
+  std::uint64_t queue_peak_ = 0;         ///< guarded by mu_
   bool stop_ = false;
+  std::unique_ptr<WorkerCounters[]> counters_;  ///< workers + caller slot
   std::vector<std::thread> workers_;
 };
 

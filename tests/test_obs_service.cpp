@@ -421,5 +421,82 @@ TEST(ProfiledReplay, FillStatsRegistryMirrorsReplayResult) {
   EXPECT_EQ(s.ToJson(), reg.TakeSnapshot().ToJson());
 }
 
+// ---------------------------------------------------------------------------
+// Counter-track splice edge cases (streaming writer vs one-shot)
+// ---------------------------------------------------------------------------
+
+TEST(Perfetto, CounterSpliceManySeriesOfUnequalLengths) {
+  // The streaming writer buffers counter events separately and splices
+  // them into the main array at Finish via JsonWriter::Raw — comma
+  // placement has to survive any mix of series lengths, including an
+  // EMPTY series sandwiched between non-empty ones.
+  PerfettoOptions opt;
+  opt.num_cores = 2;
+  opt.extra_counters = {
+      CounterSeries{"churn", {{Millis(1), 1.0}, {Millis(2), 2.0},
+                              {Millis(3), 3.0}}},
+      CounterSeries{"sheds", {{Millis(5), 1.0}}},
+      CounterSeries{"empty track", {}},
+      CounterSeries{"resident", {{Millis(1), 4.0}, {Millis(9), 5.0}}},
+  };
+
+  std::vector<trace::Event> events;
+  trace::Event e;
+  e.kind = trace::EventKind::kRelease;
+  e.task = 1;
+  e.time = Millis(1);
+  events.push_back(e);
+  e.kind = trace::EventKind::kStart;
+  e.time = Millis(2);
+  events.push_back(e);
+  e.kind = trace::EventKind::kFinish;
+  e.time = Millis(4);
+  events.push_back(e);
+
+  const std::string oneshot = ToPerfettoJson(events, opt);
+
+  // Stream the same events in uneven batches; the document must come
+  // out byte-identical (the two paths share one serializer).
+  PerfettoStreamWriter w(opt);
+  w.Append({events[0]});
+  w.Append({});  // an empty batch must be harmless
+  w.Append({events[1], events[2]});
+  EXPECT_EQ(w.Finish(), oneshot);
+
+  // All six points landed, as counter ("ph":"C") events.
+  std::size_t counters = 0;
+  const std::string needle = "\"ph\":\"C\"";
+  for (std::size_t pos = oneshot.find(needle); pos != std::string::npos;
+       pos = oneshot.find(needle, pos + 1)) {
+    ++counters;
+  }
+  EXPECT_GE(counters, 6u);  // derived per-core tracks may add more
+  EXPECT_NE(oneshot.find("\"name\":\"sheds\""), std::string::npos);
+  EXPECT_NE(oneshot.find("\"name\":\"resident\""), std::string::npos);
+  EXPECT_EQ(oneshot.find("\"name\":\"empty track\""), std::string::npos);
+  EXPECT_EQ(std::count(oneshot.begin(), oneshot.end(), '{'),
+            std::count(oneshot.begin(), oneshot.end(), '}'));
+  EXPECT_EQ(std::count(oneshot.begin(), oneshot.end(), '['),
+            std::count(oneshot.begin(), oneshot.end(), ']'));
+}
+
+TEST(Perfetto, ZeroEventStreamWriterEmitsValidDocument) {
+  // A run that never produced a single event must still Finish into a
+  // well-formed document: metadata only, no dangling comma from the
+  // never-used event array.
+  PerfettoOptions opt;
+  opt.num_cores = 1;
+  PerfettoStreamWriter w(opt);
+  const std::string doc = w.Finish();
+  EXPECT_EQ(doc,
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+            "\"args\":{\"name\":\"sps simulation\"}},"
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+            "\"args\":{\"name\":\"core 0\"}}]}");
+  // And it is exactly what the one-shot path says about no events.
+  EXPECT_EQ(doc, ToPerfettoJson({}, opt));
+}
+
 }  // namespace
 }  // namespace sps::obs

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Summarize sps request-trace / flight-recorder artifacts.
+
+Reads either artifact the request tracer (DESIGN.md §16) produces and
+prints the top-N slowest requests with a per-stage time breakdown:
+
+  * a --reqtrace-out JSON (sniffed by its top-level "sps_reqtrace" key):
+    the tail-sampled span trees — slowest-K plus the "interesting"
+    (ladder / fallback / diverged) requests;
+  * a flight-<pid>.json crash dump (sniffed by its "threads" key): the
+    per-thread rings of the last span records before the dump, grouped
+    back into requests by trace id.
+
+Usage:
+  tools/trace_summary.py reqtrace.json [-n 10] [--stages]
+  tools/trace_summary.py checkpoints/flight-12345.json
+
+Exit codes: 0 on success, 2 on a malformed artifact. Wall-clock data:
+for humans debugging a slow or crashed replay, never for byte-compares.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def fmt_us(ns):
+    return f"{ns / 1e3:.1f}us"
+
+
+def stage_breakdown(spans):
+    """Per-stage totals (ns) over a request's span records, excluding the
+    root stage so the rows sum to roughly the root duration."""
+    by_stage = collections.Counter()
+    for s in spans:
+        if s.get("parent", -1) == -1:
+            continue
+        by_stage[s["stage"]] += s["dur_ns"]
+    return by_stage
+
+
+def print_request(rank, head, spans, show_stages):
+    flags = "".join(
+        tag
+        for cond, tag in (
+            (head.get("via_ladder"), " ladder"),
+            (head.get("via_fallback"), " fallback"),
+            (head.get("diverged"), " DIVERGED"),
+        )
+        if cond
+    )
+    print(
+        f"{rank:3d}. seq {head['seq']:>8} {head['kind']:<5} "
+        f"root {fmt_us(head['root_dur_ns']):>12} "
+        f"spans {len(spans):>5} [{head.get('sampled', 'flight')}]{flags}"
+    )
+    if not show_stages:
+        return
+    total = max(head["root_dur_ns"], 1)
+    for stage, ns in stage_breakdown(spans).most_common():
+        print(f"       {stage:<18} {fmt_us(ns):>12}  {100.0 * ns / total:5.1f}%")
+
+
+def summarize_reqtrace(doc, top_n, show_stages):
+    meta = doc["sps_reqtrace"]
+    traces = meta.get("traces", [])
+    print(
+        f"request traces: {meta.get('traces_seen', 0)} requests seen, "
+        f"{len(traces)} retained (K={meta.get('k')}), "
+        f"peak {meta.get('peak_retained_spans', 0)} spans held"
+    )
+    traces = sorted(traces, key=lambda t: t["root_dur_ns"], reverse=True)
+    for rank, t in enumerate(traces[:top_n], 1):
+        print_request(rank, t, t.get("spans", []), show_stages)
+    return 0
+
+
+def summarize_flight(doc, top_n, show_stages):
+    threads = doc.get("threads", [])
+    n_records = sum(len(t.get("records", [])) for t in threads)
+    print(
+        f"flight dump: reason={doc.get('reason', '?')} pid={doc.get('pid')} "
+        f"{len(threads)} thread ring(s), {n_records} records, "
+        f"{doc.get('traces_seen', 0)} requests seen"
+    )
+    # Group span records back into requests by trace id; the ring holds
+    # only the tail of history, so requests may be partial (no root).
+    by_trace = collections.defaultdict(list)
+    epochs = []
+    for t in threads:
+        for r in t.get("records", []):
+            if r.get("kind") == "epoch":
+                epochs.append(r)
+            elif r.get("trace_id", 0) != 0:
+                by_trace[r["trace_id"]].append(r)
+    if epochs:
+        e = max(epochs, key=lambda r: r["epoch"])
+        print(
+            f"last epoch {e['epoch']}: admits={e['admits']} "
+            f"rejects={e['rejects']} leaves={e['leaves']} "
+            f"resident={e['resident']}"
+        )
+    requests = []
+    for tid, spans in by_trace.items():
+        roots = [s for s in spans if s["stage"] in ("admit_total", "leave")]
+        root_dur = max((s["dur_ns"] for s in roots), default=max(s["dur_ns"] for s in spans))
+        requests.append(
+            (
+                {
+                    "seq": spans[0].get("seq", 0),
+                    "kind": "admit" if any(s["stage"] == "admit_total" for s in roots) else "leave" if roots else "?",
+                    "root_dur_ns": root_dur,
+                    "trace_id": tid,
+                },
+                spans,
+            )
+        )
+    requests.sort(key=lambda pair: pair[0]["root_dur_ns"], reverse=True)
+    print(f"{len(requests)} request(s) reconstructed from the ring tail:")
+    for rank, (head, spans) in enumerate(requests[:top_n], 1):
+        # Flight records carry no parent links; approximate the
+        # breakdown by excluding the root records themselves.
+        tagged = [
+            dict(s, parent=(-1 if s["stage"] in ("admit_total", "leave") else 0))
+            for s in spans
+        ]
+        print_request(rank, head, tagged, show_stages)
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("artifact", help="reqtrace JSON or flight-<pid>.json")
+    ap.add_argument("-n", "--top", type=int, default=10, help="rows to print")
+    ap.add_argument(
+        "--stages",
+        action="store_true",
+        help="per-stage breakdown under each request",
+    )
+    args = ap.parse_args()
+
+    doc = load(args.artifact)
+    if isinstance(doc, dict) and "sps_reqtrace" in doc:
+        return summarize_reqtrace(doc, args.top, args.stages)
+    if isinstance(doc, dict) and "threads" in doc:
+        return summarize_flight(doc, args.top, args.stages)
+    print(
+        f"error: {args.artifact} is neither a --reqtrace-out document "
+        "(no 'sps_reqtrace' key) nor a flight dump (no 'threads' key)",
+        file=sys.stderr,
+    )
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
